@@ -1,0 +1,281 @@
+//! Benchmarks of the paper's analyses, including the ablations of
+//! DESIGN.md §6:
+//!
+//! - whole-compiler throughput per benchmark kernel;
+//! - demand-driven vs exhaustive property analysis;
+//! - early termination on/off (Fig. 5 / Fig. 9);
+//! - reverse-topological priority worklist vs FIFO (§3.2.2);
+//! - interprocedural vs intraprocedural (the Fig. 15 reorganization);
+//! - the §2 single-indexed analyses (bDFS-based).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
+use irr_core::{
+    consecutively_written, find_index_gathering_loops, single_indexed_arrays, stack_access,
+    AnalysisCtx, DistanceSpec, Property, PropertyQuery,
+};
+use irr_driver::DriverOptions;
+use irr_frontend::{parse_program, Program, StmtId, StmtKind};
+use irr_programs::{all, Scale};
+use irr_symbolic::{Section, SymExpr};
+
+fn compile_benchmarks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(20);
+    for b in all(Scale::Test) {
+        let program = parse_program(&b.source).unwrap();
+        g.bench_function(format!("{}/with-iaa", b.name), |bench| {
+            bench.iter_batched(
+                || program.clone(),
+                |p| irr_driver::compile(p, DriverOptions::with_iaa()),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("{}/without-iaa", b.name), |bench| {
+            bench.iter_batched(
+                || program.clone(),
+                |p| irr_driver::compile(p, DriverOptions::without_iaa()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The DYFESM setup + query scenario used by several ablations.
+fn dyfesm_scenario() -> (Program, &'static str) {
+    let src = "program t
+         integer i, j, pptr(101), iblen(100)
+         real x(10000)
+         call setup
+         do 10 i = 1, 100
+           do j = 1, iblen(i)
+             x(pptr(i) + j - 1) = 1
+           enddo
+ 10      continue
+         end
+         subroutine setup
+         integer i2
+         do i2 = 1, 100
+           iblen(i2) = mod(i2, 7) + 1
+         enddo
+         pptr(1) = 1
+         do i2 = 1, 100
+           pptr(i2 + 1) = pptr(i2) + iblen(i2)
+         enddo
+         end";
+    (parse_program(src).unwrap(), src)
+}
+
+fn labeled_loop(p: &Program, label: u32) -> StmtId {
+    let mut all_s = Vec::new();
+    for proc in &p.procedures {
+        all_s.extend(p.stmts_in(&proc.body));
+    }
+    all_s
+        .into_iter()
+        .find(|s| matches!(p.stmt(*s).kind, StmtKind::Do { label: Some(l), .. } if l == label))
+        .expect("labeled loop exists")
+}
+
+fn query_with(opts: SolverOptions, ctx: &AnalysisCtx<'_>, at: StmtId) -> bool {
+    let p = ctx.program;
+    let pptr = p.symbols.lookup("pptr").unwrap();
+    let iblen = p.symbols.lookup("iblen").unwrap();
+    let mut apa = ArrayPropertyAnalysis::with_options(ctx, opts);
+    apa.check(&PropertyQuery {
+        array: pptr,
+        property: Property::ClosedFormDistance {
+            distance: DistanceSpec::Array(iblen),
+        },
+        section: Section::range1(SymExpr::int(1), SymExpr::int(99)),
+        at_stmt: at,
+    })
+}
+
+fn solver_ablations(c: &mut Criterion) {
+    let (program, _) = dyfesm_scenario();
+    let ctx = AnalysisCtx::new(&program);
+    let at = labeled_loop(&program, 10);
+    let mut g = c.benchmark_group("query-solver");
+    g.sample_size(30);
+    let base = SolverOptions::default();
+    assert!(query_with(base, &ctx, at));
+    g.bench_function("default", |bench| {
+        bench.iter(|| query_with(base, &ctx, at))
+    });
+    g.bench_function("no-early-termination", |bench| {
+        bench.iter(|| {
+            query_with(
+                SolverOptions {
+                    early_termination: false,
+                    ..base
+                },
+                &ctx,
+                at,
+            )
+        })
+    });
+    g.bench_function("fifo-worklist", |bench| {
+        bench.iter(|| {
+            query_with(
+                SolverOptions {
+                    rtop_priority: false,
+                    ..base
+                },
+                &ctx,
+                at,
+            )
+        })
+    });
+    // Summary caching across queries: repeated queries on one engine.
+    g.bench_function("cached-requery", |bench| {
+        let p = &program;
+        let pptr = p.symbols.lookup("pptr").unwrap();
+        let iblen = p.symbols.lookup("iblen").unwrap();
+        let mut apa = ArrayPropertyAnalysis::new(&ctx);
+        let q = PropertyQuery {
+            array: pptr,
+            property: Property::ClosedFormDistance {
+                distance: DistanceSpec::Array(iblen),
+            },
+            section: Section::range1(SymExpr::int(1), SymExpr::int(99)),
+            at_stmt: at,
+        };
+        apa.check(&q);
+        bench.iter(|| apa.check(&q))
+    });
+    g.finish();
+}
+
+/// Demand-driven (only the queries clients need) vs exhaustive (verify a
+/// battery of properties for every array everywhere) — the design choice
+/// §3 calls out: "the cost of interprocedural array reaching definition
+/// analysis and property checking is high".
+fn demand_vs_exhaustive(c: &mut Criterion) {
+    let b = all(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "DYFESM")
+        .unwrap();
+    let program = parse_program(&b.source).unwrap();
+    let mut g = c.benchmark_group("demand-vs-exhaustive");
+    g.sample_size(10);
+    g.bench_function("demand-driven-pipeline", |bench| {
+        bench.iter_batched(
+            || program.clone(),
+            |p| irr_driver::compile(p, DriverOptions::with_iaa()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("exhaustive-all-arrays", |bench| {
+        bench.iter(|| {
+            let ctx = AnalysisCtx::new(&program);
+            let mut apa = ArrayPropertyAnalysis::new(&ctx);
+            let last = *program.procedures[program.main().index()]
+                .body
+                .last()
+                .unwrap();
+            let mut verified = 0;
+            for (v, info) in program.symbols.iter() {
+                if !info.is_array() {
+                    continue;
+                }
+                let battery = [
+                    Property::Injective,
+                    Property::MonotoneNonDecreasing,
+                    Property::ClosedFormBound {
+                        lo: Some(SymExpr::int(0)),
+                        hi: None,
+                    },
+                ];
+                for prop in battery {
+                    let q = PropertyQuery {
+                        array: v,
+                        property: prop,
+                        section: Section::range1(SymExpr::int(1), SymExpr::int(50)),
+                        at_stmt: last,
+                    };
+                    if apa.check(&q) {
+                        verified += 1;
+                    }
+                }
+            }
+            verified
+        })
+    });
+    g.finish();
+}
+
+fn single_indexed_analyses(c: &mut Criterion) {
+    let tree = all(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "TREE")
+        .unwrap();
+    let program = parse_program(&tree.source).unwrap();
+    let ctx = AnalysisCtx::new(&program);
+    let accel = program.find_procedure("accel").unwrap();
+    let do10 = program
+        .stmts_in(&program.procedure(accel).body)
+        .into_iter()
+        .find(|s| program.stmt(*s).kind.is_loop())
+        .unwrap();
+    let stack = program.symbols.lookup("stack").unwrap();
+    let sptr = program.symbols.lookup("sptr").unwrap();
+    let mut g = c.benchmark_group("single-indexed");
+    g.bench_function("detect", |bench| {
+        bench.iter(|| single_indexed_arrays(&ctx, do10))
+    });
+    g.bench_function("stack-access", |bench| {
+        bench.iter(|| stack_access(&ctx, do10, stack, sptr))
+    });
+    let bdna = all(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "BDNA")
+        .unwrap();
+    let bprog = parse_program(&bdna.source).unwrap();
+    let bctx = AnalysisCtx::new(&bprog);
+    let actfor = bprog.find_procedure("actfor").unwrap();
+    let body = bprog.procedure(actfor).body.clone();
+    g.bench_function("gather-scan", |bench| {
+        bench.iter(|| find_index_gathering_loops(&bctx, &body))
+    });
+    let gather = find_index_gathering_loops(&bctx, &body)[0].loop_stmt;
+    let ind = bprog.symbols.lookup("ind").unwrap();
+    let q = bprog.symbols.lookup("q").unwrap();
+    g.bench_function("consecutively-written", |bench| {
+        bench.iter(|| consecutively_written(&bctx, gather, ind, q))
+    });
+    g.finish();
+}
+
+/// The paper's §1 argument against run-time tests: the inspector pays on
+/// every execution, while the compile-time query pays once at compile
+/// time. Compare the per-execution inspector cost against the (cached)
+/// compile-time query.
+fn runtime_vs_compile_time(c: &mut Criterion) {
+    use irr_exec::{inspect_offset_length, Interp};
+    let (program, _) = dyfesm_scenario();
+    let store = Interp::new(&program).run().unwrap().store;
+    let ptr = program.symbols.lookup("pptr").unwrap();
+    let len = program.symbols.lookup("iblen").unwrap();
+    let ctx = AnalysisCtx::new(&program);
+    let at = labeled_loop(&program, 10);
+    let mut g = c.benchmark_group("runtime-vs-compile-time");
+    g.bench_function("runtime-inspector-per-execution", |bench| {
+        bench.iter(|| inspect_offset_length(&store, ptr, len, 1, 100))
+    });
+    g.bench_function("compile-time-query-once", |bench| {
+        bench.iter(|| query_with(SolverOptions::default(), &ctx, at))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    compile_benchmarks,
+    solver_ablations,
+    demand_vs_exhaustive,
+    single_indexed_analyses,
+    runtime_vs_compile_time
+);
+criterion_main!(benches);

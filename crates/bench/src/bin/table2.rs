@@ -1,0 +1,60 @@
+//! Reproduces Table 2: per-program lines of code, compilation time,
+//! time spent in array property analysis, and its percentage of the
+//! whole compilation — plus the sequential execution cost measured by
+//! the interpreter (the paper reports wall-clock seconds on an Origin
+//! 2000; we report deterministic interpreter cost units).
+//!
+//! Run with `cargo run --release -p irr-bench --bin table2`.
+
+use irr_bench::{profile_run, Config};
+use irr_programs::{all, loc, Scale};
+
+fn main() {
+    // Paper values for comparison (Table 2): LoC, compile time (s),
+    // property-analysis share of compilation.
+    let paper: &[(&str, usize, f64)] = &[
+        ("TRFD", 485, 0.045),
+        ("DYFESM", 7650, 0.064),
+        ("BDNA", 4896, 0.067),
+        ("P3M", 2414, 0.109),
+        ("TREE", 1553, 0.067),
+    ];
+    println!("Table 2 — compilation time and analysis overhead");
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>10} {:>14} {:>12}",
+        "Program", "LoC", "compile(ms)", "analysis(ms)", "analysis%", "seq cost", "paper-an.%"
+    );
+    for b in all(Scale::Paper) {
+        let run = profile_run(&b.source, Config::WithIaa);
+        let stats = run.report.stats;
+        let compile_ms = stats.total_time.as_secs_f64() * 1e3;
+        let analysis_ms = stats.property_time.as_secs_f64() * 1e3;
+        let pct = if compile_ms > 0.0 {
+            100.0 * analysis_ms / compile_ms
+        } else {
+            0.0
+        };
+        let paper_pct = paper
+            .iter()
+            .find(|(n, _, _)| *n == b.name)
+            .map(|(_, _, p)| p * 100.0)
+            .unwrap_or(0.0);
+        println!(
+            "{:<8} {:>6} {:>12.2} {:>12.2} {:>9.1}% {:>14} {:>11.1}%",
+            b.name,
+            loc(&b.source),
+            compile_ms,
+            analysis_ms,
+            pct,
+            run.profile.total_cost,
+            paper_pct,
+        );
+    }
+    println!();
+    println!(
+        "(The paper's absolute compile times were measured on a 1999 Sun \
+         Enterprise server compiling the full applications; the comparable \
+         quantity is the modest share of compilation spent in the \
+         demand-driven property analysis: 4.5%–10.9% in the paper.)"
+    );
+}

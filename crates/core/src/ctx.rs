@@ -1,0 +1,329 @@
+//! Shared analysis context: the program, its graphs, and common helpers.
+
+use irr_frontend::{Expr, LValue, ProcId, Program, StmtId, StmtKind, VarId};
+use irr_graph::{Cfg, CfgNodeId, CfgNodeKind, Hcg};
+use irr_symbolic::{expr_to_sym, RangeEnv, SymExpr};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Analysis context over one program: owns the hierarchical control
+/// graph, caches per-region CFGs, and provides the common "what does this
+/// statement read/write" and "what ranges hold here" helpers all the
+/// analyses share.
+pub struct AnalysisCtx<'p> {
+    /// The program under analysis.
+    pub program: &'p Program,
+    /// The hierarchical control graph (§3.2.1).
+    pub hcg: Hcg,
+    /// Enclosing loop statement for each statement (innermost first).
+    parents: HashMap<StmtId, Vec<StmtId>>,
+    /// Procedure containing each statement.
+    proc_of: HashMap<StmtId, ProcId>,
+    cfg_cache: RefCell<HashMap<StmtId, std::rc::Rc<Cfg>>>,
+}
+
+impl<'p> AnalysisCtx<'p> {
+    /// Builds the context (and the HCG) for `program`.
+    pub fn new(program: &'p Program) -> AnalysisCtx<'p> {
+        let hcg = Hcg::build(program);
+        let mut parents: HashMap<StmtId, Vec<StmtId>> = HashMap::new();
+        let mut proc_of = HashMap::new();
+        for (i, proc) in program.procedures.iter().enumerate() {
+            let pid = ProcId(i as u32);
+            let mut stack: Vec<(StmtId, Vec<StmtId>)> = proc
+                .body
+                .iter()
+                .map(|s| (*s, Vec::new()))
+                .collect();
+            while let Some((s, chain)) = stack.pop() {
+                parents.insert(s, chain.clone());
+                proc_of.insert(s, pid);
+                let stmt = program.stmt(s);
+                let child_chain = if stmt.kind.is_loop() {
+                    let mut c = vec![s];
+                    c.extend(chain.iter().copied());
+                    c
+                } else {
+                    chain.clone()
+                };
+                for body in stmt.kind.bodies() {
+                    for &b in body {
+                        stack.push((b, child_chain.clone()));
+                    }
+                }
+            }
+        }
+        AnalysisCtx {
+            program,
+            hcg,
+            parents,
+            proc_of,
+            cfg_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Enclosing loop statements of `stmt`, innermost first.
+    pub fn enclosing_loops(&self, stmt: StmtId) -> &[StmtId] {
+        self.parents.get(&stmt).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The procedure containing `stmt`.
+    pub fn proc_of(&self, stmt: StmtId) -> Option<ProcId> {
+        self.proc_of.get(&stmt).copied()
+    }
+
+    /// The (cached) flat CFG of a loop statement — the region the bounded
+    /// DFS searches, including the back edge.
+    pub fn loop_cfg(&self, loop_stmt: StmtId) -> std::rc::Rc<Cfg> {
+        let mut cache = self.cfg_cache.borrow_mut();
+        cache
+            .entry(loop_stmt)
+            .or_insert_with(|| {
+                std::rc::Rc::new(Cfg::build(self.program, std::slice::from_ref(&loop_stmt)))
+            })
+            .clone()
+    }
+
+    /// A [`RangeEnv`] with the ranges of every `do` variable enclosing
+    /// `stmt` (including `stmt` itself when it is a `do`).
+    pub fn range_env_at(&self, stmt: StmtId) -> RangeEnv {
+        let mut env = RangeEnv::new();
+        let add = |s: StmtId, env: &mut RangeEnv| {
+            if let StmtKind::Do { var, lo, hi, step, .. } = &self.program.stmt(s).kind {
+                if step.as_ref().and_then(|e| e.as_int_lit()).unwrap_or(1) == 1 {
+                    if let (Some(lo), Some(hi)) = (expr_to_sym(lo), expr_to_sym(hi)) {
+                        env.set_var_range(*var, lo, hi);
+                    }
+                }
+            }
+        };
+        add(stmt, &mut env);
+        for &l in self.enclosing_loops(stmt) {
+            add(l, &mut env);
+        }
+        env
+    }
+
+    /// The `(lhs, rhs)` of an assignment statement.
+    pub fn assign_parts(&self, stmt: StmtId) -> Option<(&LValue, &Expr)> {
+        match &self.program.stmt(stmt).kind {
+            StmtKind::Assign { lhs, rhs } => Some((lhs, rhs)),
+            _ => None,
+        }
+    }
+
+    /// Whether the do-loop `stmt` has unit step.
+    pub fn unit_step(&self, stmt: StmtId) -> bool {
+        match &self.program.stmt(stmt).kind {
+            StmtKind::Do { step, .. } => {
+                step.as_ref().and_then(|e| e.as_int_lit()).unwrap_or(1) == 1
+            }
+            _ => false,
+        }
+    }
+
+    /// Symbolic loop bounds `(var, lo, hi)` of a unit-step do-loop.
+    pub fn do_bounds_sym(&self, stmt: StmtId) -> Option<(VarId, SymExpr, SymExpr)> {
+        match &self.program.stmt(stmt).kind {
+            StmtKind::Do { var, lo, hi, step, .. }
+                if step.as_ref().and_then(|e| e.as_int_lit()).unwrap_or(1) == 1 =>
+            {
+                Some((*var, expr_to_sym(lo)?, expr_to_sym(hi)?))
+            }
+            _ => None,
+        }
+    }
+
+    /// The expressions *evaluated* at a CFG node (assignment rhs and
+    /// subscripts, loop bounds, conditions, print arguments) — used to
+    /// classify reads.
+    pub fn node_exprs(&self, cfg: &Cfg, n: CfgNodeId) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        match cfg.kind(n) {
+            CfgNodeKind::Stmt(s) => match &self.program.stmt(s).kind {
+                StmtKind::Assign { lhs, rhs } => {
+                    for e in lhs.subscripts() {
+                        out.push(e);
+                    }
+                    out.push(rhs);
+                }
+                StmtKind::Print { args } => out.extend(args.iter()),
+                _ => {}
+            },
+            CfgNodeKind::LoopHead(s) => match &self.program.stmt(s).kind {
+                StmtKind::Do { lo, hi, step, .. } => {
+                    out.push(lo);
+                    out.push(hi);
+                    if let Some(st) = step {
+                        out.push(st);
+                    }
+                }
+                StmtKind::While { cond, .. } => out.push(cond),
+                _ => {}
+            },
+            CfgNodeKind::Branch(s) => {
+                if let StmtKind::If { cond, .. } = &self.program.stmt(s).kind {
+                    out.push(cond);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Whether the expressions evaluated at `n` read array element
+    /// `arr(idx_var)` (exactly single-indexed form).
+    pub fn node_reads_elem(&self, cfg: &Cfg, n: CfgNodeId, arr: VarId, idx_var: VarId) -> bool {
+        for e in self.node_exprs(cfg, n) {
+            let mut found = false;
+            irr_frontend::visit::for_each_subexpr(e, &mut |sub| {
+                if let Expr::Element(a, subs) = sub {
+                    if *a == arr && subs.len() == 1 && subs[0].is_var(idx_var) {
+                        found = true;
+                    }
+                }
+            });
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether node `n` is an assignment whose target is `arr(idx_var)`.
+    pub fn node_writes_elem(&self, cfg: &Cfg, n: CfgNodeId, arr: VarId, idx_var: VarId) -> bool {
+        if let CfgNodeKind::Stmt(s) = cfg.kind(n) {
+            if let Some((LValue::Element(a, subs), _)) = self.assign_parts(s) {
+                return *a == arr && subs.len() == 1 && subs[0].is_var(idx_var);
+            }
+        }
+        false
+    }
+
+    /// Whether any procedure transitively reachable from a `call` in
+    /// `body` references `var` (read or write) — used to bail out of the
+    /// single-indexed analyses when calls could disturb the index.
+    pub fn calls_touch_var(&self, body: &[StmtId], var: VarId) -> bool {
+        let mut procs: Vec<ProcId> = Vec::new();
+        for s in self.program.stmts_in(body) {
+            if let StmtKind::Call { proc } = &self.program.stmt(s).kind {
+                if !procs.contains(proc) {
+                    procs.push(*proc);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < procs.len() {
+            let p = procs[i];
+            i += 1;
+            let pbody = &self.program.procedure(p).body;
+            for s in self.program.stmts_in(pbody) {
+                if let StmtKind::Call { proc } = &self.program.stmt(s).kind {
+                    if !procs.contains(proc) {
+                        procs.push(*proc);
+                    }
+                }
+                let mut touched = false;
+                if let StmtKind::Assign { lhs, .. } = &self.program.stmt(s).kind {
+                    if lhs.var() == var {
+                        touched = true;
+                    }
+                }
+                irr_frontend::visit::for_each_expr_in_stmt(self.program, s, |e| {
+                    if e.mentions(var) {
+                        touched = true;
+                    }
+                });
+                if touched {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    #[test]
+    fn enclosing_loops_innermost_first() {
+        let p = parse_program(
+            "program t
+             integer i, j
+             do i = 1, 3
+               do j = 1, 2
+                 x = 1
+               enddo
+             enddo
+             end",
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&p);
+        let all = p.stmts_in(&p.procedure(p.main()).body);
+        let inner_assign = all
+            .iter()
+            .copied()
+            .find(|s| matches!(p.stmt(*s).kind, StmtKind::Assign { .. }))
+            .unwrap();
+        let loops = ctx.enclosing_loops(inner_assign);
+        assert_eq!(loops.len(), 2);
+        // Innermost (j-loop) first.
+        if let StmtKind::Do { var, .. } = &p.stmt(loops[0]).kind {
+            assert_eq!(p.symbols.name(*var), "j");
+        } else {
+            panic!("expected do");
+        }
+    }
+
+    #[test]
+    fn range_env_includes_loop_bounds() {
+        let p = parse_program(
+            "program t
+             integer i, n
+             real x(10)
+             do i = 2, n
+               x(i) = 1
+             enddo
+             end",
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&p);
+        let all = p.stmts_in(&p.procedure(p.main()).body);
+        let assign = all
+            .iter()
+            .copied()
+            .find(|s| matches!(p.stmt(*s).kind, StmtKind::Assign { .. }))
+            .unwrap();
+        let env = ctx.range_env_at(assign);
+        let i = p.symbols.lookup("i").unwrap();
+        // i - 2 >= 0 provable.
+        let e = SymExpr::var(i).sub(&SymExpr::int(2));
+        assert!(irr_symbolic::prove_ge0(&e, &env));
+    }
+
+    #[test]
+    fn calls_touch_var_detects_transitive_use() {
+        let p = parse_program(
+            "program t
+             integer p, q
+             call a
+             end
+             subroutine a
+             call b
+             end
+             subroutine b
+             p = p + 1
+             end",
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&p);
+        let body = p.procedure(p.main()).body.clone();
+        let pv = p.symbols.lookup("p").unwrap();
+        let qv = p.symbols.lookup("q").unwrap();
+        assert!(ctx.calls_touch_var(&body, pv));
+        assert!(!ctx.calls_touch_var(&body, qv));
+    }
+}

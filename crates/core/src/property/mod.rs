@@ -1,0 +1,237 @@
+//! Demand-driven interprocedural array property analysis (§3).
+//!
+//! Compilers can avoid conservative assumptions about indirect array
+//! accesses `x(idx(i))` by verifying *properties* of the index array
+//! `idx`: injectivity, monotonicity, closed-form value, closed-form
+//! bound, and closed-form distance (§3, after Blume & Eigenmann's
+//! observations on the Perfect Benchmarks).
+//!
+//! The analysis is *demand-driven*: a client (dependence test or
+//! privatization test) issues a [`PropertyQuery`] — "do the elements of
+//! `idx` in `section` have `property` at this statement?" — and the
+//! [`ArrayPropertyAnalysis`] answers by reverse query propagation over
+//! the hierarchical control graph (Figs. 5–12), consulting a
+//! property-specific pattern-matching checker (§3.2.8) at definition
+//! sites.
+
+pub mod checkers;
+pub mod solver;
+
+pub use checkers::PropertyChecker;
+pub use solver::{ArrayPropertyAnalysis, QueryStats, SolverOptions};
+
+use irr_frontend::VarId;
+use irr_symbolic::{Section, SymExpr};
+use std::fmt;
+
+/// Placeholder variable standing for the array subscript in property
+/// expressions: a closed-form value `idx(k) = k*(k-1)/2` is stored as the
+/// expression `k*(k-1)/2` with `k` replaced by [`INDEX_VAR`].
+pub const INDEX_VAR: VarId = VarId(u32::MAX - 1);
+
+/// Placeholder used internally for aggregation over a second iteration
+/// variable (the `j` of §3.2.5's `Aggregate` formulas).
+pub const ITER_VAR: VarId = VarId(u32::MAX - 2);
+
+/// The closed-form distance of an index array (§3): how
+/// `x(k+1) - x(k)` is expressed.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DistanceSpec {
+    /// The distance is another array: `x(k+1) - x(k) = y(k)` (the
+    /// offset/length pattern of Fig. 3).
+    Array(VarId),
+    /// The distance is an expression of the subscript ([`INDEX_VAR`]),
+    /// e.g. `k` for the TRFD triangular index array.
+    Expr(SymExpr),
+}
+
+impl DistanceSpec {
+    /// The distance at subscript `k` as a symbolic expression.
+    pub fn at(&self, k: &SymExpr) -> SymExpr {
+        match self {
+            DistanceSpec::Array(y) => SymExpr::elem(*y, vec![k.clone()]),
+            DistanceSpec::Expr(e) => e.subst(INDEX_VAR, k),
+        }
+    }
+}
+
+/// A verifiable property of an index array (§3).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Property {
+    /// `x(k) == value[INDEX_VAR := k]` for every `k` in the section.
+    ClosedFormValue {
+        /// The closed-form value in terms of [`INDEX_VAR`].
+        value: SymExpr,
+    },
+    /// `lo <= x(k) <= hi` for every `k` in the section (either side
+    /// optional).
+    ClosedFormBound {
+        /// Optional lower bound on element values.
+        lo: Option<SymExpr>,
+        /// Optional upper bound on element values.
+        hi: Option<SymExpr>,
+    },
+    /// `x(k+1) - x(k) == distance(k)` for every *pair index* `k` in the
+    /// section. For this property, section element `k` stands for the
+    /// pair `(x(k), x(k+1))`.
+    ClosedFormDistance {
+        /// The distance specification.
+        distance: DistanceSpec,
+    },
+    /// `x(i) != x(j)` whenever `i != j`, for subscripts in the section.
+    Injective,
+    /// `x(i) <= x(j)` whenever `i <= j`, for subscripts in the section.
+    MonotoneNonDecreasing,
+}
+
+impl Property {
+    /// Whether the property's own formulation mentions scalar `v` (such
+    /// definitions invalidate the property when `v` is reassigned).
+    pub fn mentions_var(&self, v: VarId) -> bool {
+        match self {
+            Property::ClosedFormValue { value } => value.mentions_var(v),
+            Property::ClosedFormBound { lo, hi } => {
+                lo.as_ref().is_some_and(|e| e.mentions_var(v))
+                    || hi.as_ref().is_some_and(|e| e.mentions_var(v))
+            }
+            Property::ClosedFormDistance { distance } => match distance {
+                DistanceSpec::Array(_) => false,
+                DistanceSpec::Expr(e) => e.mentions_var(v),
+            },
+            Property::Injective | Property::MonotoneNonDecreasing => false,
+        }
+    }
+
+    /// Whether the property's formulation mentions array `a`.
+    pub fn mentions_array(&self, a: VarId) -> bool {
+        match self {
+            Property::ClosedFormValue { value } => value.mentions_array(a),
+            Property::ClosedFormBound { lo, hi } => {
+                lo.as_ref().is_some_and(|e| e.mentions_array(a))
+                    || hi.as_ref().is_some_and(|e| e.mentions_array(a))
+            }
+            Property::ClosedFormDistance { distance } => match distance {
+                DistanceSpec::Array(y) => *y == a,
+                DistanceSpec::Expr(e) => e.mentions_array(a),
+            },
+            Property::Injective | Property::MonotoneNonDecreasing => false,
+        }
+    }
+
+    /// Whether the property is *set-global*: it constrains the section's
+    /// elements jointly, so a Gen that only partially covers a query is
+    /// unusable (two separately-injective definition sites are not
+    /// jointly injective).
+    pub fn requires_full_coverage(&self) -> bool {
+        matches!(
+            self,
+            Property::Injective | Property::MonotoneNonDecreasing
+        )
+    }
+
+    /// A short human-readable tag (matching Table 3's abbreviations).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Property::ClosedFormValue { .. } => "CFV",
+            Property::ClosedFormBound { .. } => "CFB",
+            Property::ClosedFormDistance { .. } => "CFD",
+            Property::Injective => "INJ",
+            Property::MonotoneNonDecreasing => "MONO",
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::ClosedFormValue { value } => write!(f, "closed-form value {value}"),
+            Property::ClosedFormBound { lo, hi } => {
+                write!(f, "closed-form bound [")?;
+                match lo {
+                    Some(e) => write!(f, "{e}")?,
+                    None => write!(f, "-inf")?,
+                }
+                write!(f, ", ")?;
+                match hi {
+                    Some(e) => write!(f, "{e}")?,
+                    None => write!(f, "+inf")?,
+                }
+                write!(f, "]")
+            }
+            Property::ClosedFormDistance { distance } => match distance {
+                DistanceSpec::Array(y) => write!(f, "closed-form distance (array {y})"),
+                DistanceSpec::Expr(e) => write!(f, "closed-form distance {e}"),
+            },
+            Property::Injective => write!(f, "injective"),
+            Property::MonotoneNonDecreasing => write!(f, "monotonically non-decreasing"),
+        }
+    }
+}
+
+/// A demand: "do all elements of `array` in `section` have `property`
+/// when control reaches the point after `at_stmt`?"
+#[derive(Clone, Debug)]
+pub struct PropertyQuery {
+    /// The index array.
+    pub array: VarId,
+    /// The property to verify.
+    pub property: Property,
+    /// The array section to verify it on.
+    pub section: Section,
+    /// The program point (query is raised *after* this statement).
+    pub at_stmt: irr_frontend::StmtId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_spec_instantiation() {
+        let y = VarId(3);
+        let k = SymExpr::var(VarId(0));
+        assert_eq!(
+            DistanceSpec::Array(y).at(&k),
+            SymExpr::elem(y, vec![k.clone()])
+        );
+        // distance "k" instantiated at k+1.
+        let d = DistanceSpec::Expr(SymExpr::var(INDEX_VAR));
+        assert_eq!(d.at(&k.add(&SymExpr::int(1))), k.add(&SymExpr::int(1)));
+    }
+
+    #[test]
+    fn property_mentions() {
+        let n = VarId(7);
+        let p = Property::ClosedFormBound {
+            lo: Some(SymExpr::int(1)),
+            hi: Some(SymExpr::var(n)),
+        };
+        assert!(p.mentions_var(n));
+        assert!(!p.mentions_var(VarId(8)));
+        let y = VarId(3);
+        let d = Property::ClosedFormDistance {
+            distance: DistanceSpec::Array(y),
+        };
+        assert!(d.mentions_array(y));
+        assert!(!d.mentions_array(VarId(4)));
+    }
+
+    #[test]
+    fn coverage_requirements() {
+        assert!(Property::Injective.requires_full_coverage());
+        assert!(Property::MonotoneNonDecreasing.requires_full_coverage());
+        assert!(!Property::ClosedFormValue {
+            value: SymExpr::int(0)
+        }
+        .requires_full_coverage());
+    }
+
+    #[test]
+    fn tags_match_table3() {
+        assert_eq!(
+            Property::ClosedFormValue { value: SymExpr::int(0) }.tag(),
+            "CFV"
+        );
+        assert_eq!(Property::Injective.tag(), "INJ");
+    }
+}

@@ -1,0 +1,149 @@
+//! Additional index-gathering recognition scenarios (§4).
+
+use irr_core::{find_index_gathering_loops, AnalysisCtx};
+use irr_core::gather::index_gathering_info;
+use irr_frontend::{parse_program, Program, StmtId};
+
+fn loops_of(p: &Program) -> Vec<StmtId> {
+    let mut out = Vec::new();
+    for proc in &p.procedures {
+        out.extend(
+            p.stmts_in(&proc.body)
+                .into_iter()
+                .filter(|s| p.stmt(*s).kind.is_loop()),
+        );
+    }
+    out
+}
+
+
+#[test]
+fn gather_with_nested_conditions() {
+    let src = "program t
+         integer i, q, n, ind(100), c(100)
+         real x(100)
+         do i = 1, n
+           if (x(i) > 0) then
+             if (c(i) > 2) then
+               q = q + 1
+               ind(q) = i
+             endif
+           endif
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let infos = index_gathering_info(&ctx, loops_of(&p)[0]);
+    assert_eq!(infos.len(), 1);
+}
+
+#[test]
+fn gather_in_else_branch() {
+    let src = "program t
+         integer i, q, n, ind(100)
+         real x(100), y(100)
+         do i = 1, n
+           if (x(i) > 0) then
+             y(i) = x(i)
+           else
+             q = q + 1
+             ind(q) = i
+           endif
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    assert_eq!(index_gathering_info(&ctx, loops_of(&p)[0]).len(), 1);
+}
+
+#[test]
+fn two_gathers_in_one_loop() {
+    // Two disjoint gathers with independent counters both qualify.
+    let src = "program t
+         integer i, q, r, n, ind(100), jnd(100)
+         real x(100)
+         do i = 1, n
+           if (x(i) > 0) then
+             q = q + 1
+             ind(q) = i
+           else
+             r = r + 1
+             jnd(r) = i
+           endif
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let infos = index_gathering_info(&ctx, loops_of(&p)[0]);
+    assert_eq!(infos.len(), 2);
+}
+
+#[test]
+fn gather_with_extra_counter_use_is_rejected() {
+    // q also feeds another array: its evolution is still an increment,
+    // but ind's store of `q` (not the loop index) breaks condition 4 for
+    // that array... here `other(q) = q` keeps ind valid and rejects
+    // `other`.
+    let src = "program t
+         integer i, q, n, ind(100), other(100)
+         real x(100)
+         do i = 1, n
+           if (x(i) > 0) then
+             q = q + 1
+             ind(q) = i
+             other(q) = q
+           endif
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let infos = index_gathering_info(&ctx, loops_of(&p)[0]);
+    assert_eq!(infos.len(), 1);
+    assert_eq!(p.symbols.name(infos[0].array), "ind");
+}
+
+#[test]
+fn counter_read_elsewhere_is_fine() {
+    // Using q in a read position (e.g. a bound) does not break the
+    // gather as long as its defs stay increments.
+    let src = "program t
+         integer i, j, q, n, ind(100)
+         real x(100), z(100)
+         q = 0
+         do i = 1, n
+           if (x(i) > 0) then
+             q = q + 1
+             ind(q) = i
+           endif
+         enddo
+         do j = 1, q
+           z(j) = ind(j)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let body = p.procedure(p.main()).body.clone();
+    assert_eq!(find_index_gathering_loops(&ctx, &body).len(), 1);
+}
+
+#[test]
+fn while_gathers_are_not_recognized() {
+    // §4 condition 1: the gathering loop must be a do loop (a while
+    // loop has no index to gather).
+    let src = "program t
+         integer i, q, n, ind(100)
+         real x(100)
+         i = 0
+         while (i < n)
+           i = i + 1
+           if (x(i) > 0) then
+             q = q + 1
+             ind(q) = i
+           endif
+         endwhile
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let body = p.procedure(p.main()).body.clone();
+    assert!(find_index_gathering_loops(&ctx, &body).is_empty());
+}

@@ -1,0 +1,279 @@
+//! Edge cases of the query solver: recursion, while-loop headers,
+//! worklist configurations, query splitting over multiple call sites,
+//! and conservative failures.
+
+use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
+use irr_core::{AnalysisCtx, DistanceSpec, Property, PropertyQuery};
+use irr_frontend::{parse_program, Program, StmtId, StmtKind};
+use irr_symbolic::{Section, SymExpr};
+
+fn loop_labeled(p: &Program, label: u32) -> StmtId {
+    let mut all = Vec::new();
+    for proc in &p.procedures {
+        all.extend(p.stmts_in(&proc.body));
+    }
+    all.into_iter()
+        .find(|s| matches!(p.stmt(*s).kind, StmtKind::Do { label: Some(l), .. } if l == label))
+        .expect("labeled loop")
+}
+
+#[test]
+fn recursive_procedures_fail_conservatively() {
+    // a calls b calls a: any query that needs to summarize or traverse
+    // the cycle must give up, not hang.
+    let src = "program t
+         integer idx(10), i
+         real z(10)
+         do i = 1, 10
+           idx(i) = i
+         enddo
+         call a
+         z(1) = idx(3)
+         end
+         subroutine a
+         call b
+         end
+         subroutine b
+         idx(2) = 5
+         call a
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let idx = p.symbols.lookup("idx").unwrap();
+    let use_stmt = *p.procedure(p.main()).body.last().unwrap();
+    let q = PropertyQuery {
+        array: idx,
+        property: Property::Injective,
+        section: Section::range1(SymExpr::int(1), SymExpr::int(10)),
+        at_stmt: use_stmt,
+    };
+    assert!(!apa.check(&q), "recursion must be conservative");
+}
+
+#[test]
+fn query_from_inside_a_while_loop() {
+    // The index array is defined before a while loop that does not touch
+    // it; a query raised inside the while loop must cross its header
+    // (the Fig. 10 while case).
+    let src = "program t
+         integer idx(20), i, k, n
+         real z(20), w(20)
+         do i = 1, 20
+           idx(i) = i
+         enddo
+         k = 0
+         while (k < n)
+           k = k + 1
+           z(idx(1)) = w(k)
+         endwhile
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let idx = p.symbols.lookup("idx").unwrap();
+    // The statement inside the while body.
+    let inner = p
+        .stmts_in(&p.procedure(p.main()).body)
+        .into_iter()
+        .filter(|s| matches!(p.stmt(*s).kind, StmtKind::Assign { .. }))
+        .last()
+        .unwrap();
+    let q = PropertyQuery {
+        array: idx,
+        property: Property::ClosedFormBound {
+            lo: Some(SymExpr::int(1)),
+            hi: Some(SymExpr::int(20)),
+        },
+        section: Section::range1(SymExpr::int(1), SymExpr::int(20)),
+        at_stmt: inner,
+    };
+    assert!(apa.check(&q), "query must escape the kill-free while loop");
+    // If the while loop *wrote* the index array, the same query fails.
+    let src2 = src.replace("z(idx(1)) = w(k)", "idx(1) = k\n           z(1) = w(k)");
+    let p2 = parse_program(&src2).unwrap();
+    let ctx2 = AnalysisCtx::new(&p2);
+    let mut apa2 = ArrayPropertyAnalysis::new(&ctx2);
+    let idx2 = p2.symbols.lookup("idx").unwrap();
+    let inner2 = p2
+        .stmts_in(&p2.procedure(p2.main()).body)
+        .into_iter()
+        .filter(|s| matches!(p2.stmt(*s).kind, StmtKind::Assign { .. }))
+        .last()
+        .unwrap();
+    let q2 = PropertyQuery {
+        array: idx2,
+        property: Property::ClosedFormBound {
+            lo: Some(SymExpr::int(1)),
+            hi: Some(SymExpr::int(20)),
+        },
+        section: Section::range1(SymExpr::int(1), SymExpr::int(20)),
+        at_stmt: inner2,
+    };
+    assert!(!apa2.check(&q2), "a while-loop kill is conservative");
+}
+
+#[test]
+fn query_splitting_requires_all_call_sites() {
+    // Two call sites of `use1`; the second is reached before the
+    // defining loop, so splitting must fail overall even though the
+    // first site verifies.
+    let src = "program t
+         integer idx(10), i
+         real z(10)
+         call use1
+         do 5 i = 1, 10
+           idx(i) = i
+ 5       continue
+         call use1
+         end
+         subroutine use1
+         z(1) = idx(3)
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let idx = p.symbols.lookup("idx").unwrap();
+    let use_stmt = {
+        let sub = p.find_procedure("use1").unwrap();
+        p.procedure(sub).body[0]
+    };
+    let q = PropertyQuery {
+        array: idx,
+        property: Property::Injective,
+        section: Section::range1(SymExpr::int(1), SymExpr::int(10)),
+        at_stmt: use_stmt,
+    };
+    assert!(!apa.check(&q), "one bad call site fails the split");
+}
+
+#[test]
+fn solver_options_do_not_change_answers() {
+    // All four on/off combinations of early termination and the priority
+    // worklist agree on a battery of queries over the DYFESM-like
+    // scenario (positive and negative).
+    let src = "program t
+         integer pptr(101), iblen(100), i, j
+         real x(10000)
+         call setup
+         do 10 i = 1, 100
+           do j = 1, iblen(i)
+             x(pptr(i) + j - 1) = 1
+           enddo
+ 10      continue
+         pptr(3) = 0
+         end
+         subroutine setup
+         integer k
+         do k = 1, 100
+           iblen(k) = mod(k, 5) + 1
+         enddo
+         pptr(1) = 1
+         do k = 1, 100
+           pptr(k + 1) = pptr(k) + iblen(k)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let pptr = p.symbols.lookup("pptr").unwrap();
+    let iblen = p.symbols.lookup("iblen").unwrap();
+    let at_loop = loop_labeled(&p, 10);
+    let after_clobber = *p.procedure(p.main()).body.last().unwrap();
+    let queries = [
+        (
+            PropertyQuery {
+                array: pptr,
+                property: Property::ClosedFormDistance {
+                    distance: DistanceSpec::Array(iblen),
+                },
+                section: Section::range1(SymExpr::int(1), SymExpr::int(99)),
+                at_stmt: at_loop,
+            },
+            true,
+        ),
+        (
+            PropertyQuery {
+                array: pptr,
+                property: Property::ClosedFormDistance {
+                    distance: DistanceSpec::Array(iblen),
+                },
+                section: Section::range1(SymExpr::int(1), SymExpr::int(99)),
+                at_stmt: after_clobber,
+            },
+            false, // pptr(3) = 0 kills pairs 2 and 3
+        ),
+        (
+            PropertyQuery {
+                array: iblen,
+                property: Property::ClosedFormBound {
+                    lo: Some(SymExpr::int(1)),
+                    hi: Some(SymExpr::int(5)),
+                },
+                section: Section::range1(SymExpr::int(1), SymExpr::int(100)),
+                at_stmt: at_loop,
+            },
+            true,
+        ),
+    ];
+    for early in [true, false] {
+        for rtop in [true, false] {
+            let mut apa = ArrayPropertyAnalysis::with_options(
+                &ctx,
+                SolverOptions {
+                    early_termination: early,
+                    rtop_priority: rtop,
+                    ..SolverOptions::default()
+                },
+            );
+            for (q, expect) in &queries {
+                assert_eq!(
+                    apa.check(q),
+                    *expect,
+                    "early={early} rtop={rtop} q={:?}",
+                    q.property
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn monotone_through_gather_loop() {
+    let src = "program t
+         integer ind(50), q, i, n
+         real x(50)
+         q = 0
+         do 7 i = 1, 50
+           if (x(i) > 0.5) then
+             q = q + 1
+             ind(q) = i
+           endif
+ 7       continue
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let ind = p.symbols.lookup("ind").unwrap();
+    let q = p.symbols.lookup("q").unwrap();
+    let gather = loop_labeled(&p, 7);
+    let query = PropertyQuery {
+        array: ind,
+        property: Property::MonotoneNonDecreasing,
+        section: Section::range1(SymExpr::int(1), SymExpr::var(q)),
+        at_stmt: gather,
+    };
+    assert!(apa.check(&query));
+    // Partial sections of a set-global property still verify when fully
+    // covered by the gather's Gen... but a section extending beyond it
+    // must not.
+    let too_wide = PropertyQuery {
+        array: ind,
+        property: Property::MonotoneNonDecreasing,
+        section: Section::range1(
+            SymExpr::int(1),
+            SymExpr::var(q).add(&SymExpr::int(1)),
+        ),
+        at_stmt: gather,
+    };
+    assert!(!apa.check(&too_wide));
+}

@@ -1,0 +1,430 @@
+//! Dependence-test scenarios: the DYFESM Fig. 13 loop, the TRFD
+//! triangular loop, CCS traversal (Fig. 3), the injective test, and
+//! negative cases.
+
+use irr_core::property::ArrayPropertyAnalysis;
+use irr_core::AnalysisCtx;
+use irr_deptest::{DependenceTester, TestKind};
+use irr_frontend::{parse_program, Program, StmtId};
+
+fn loops_of(p: &Program) -> Vec<StmtId> {
+    let mut out = Vec::new();
+    for proc in &p.procedures {
+        out.extend(
+            p.stmts_in(&proc.body)
+                .into_iter()
+                .filter(|s| p.stmt(*s).kind.is_loop()),
+        );
+    }
+    out
+}
+
+fn analyze(src: &str, loop_idx: usize, array: &str) -> irr_deptest::ArrayDepResult {
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let l = loops_of(&p)[loop_idx];
+    let a = p.symbols.lookup(array).unwrap();
+    dt.analyze_array(l, a)
+}
+
+#[test]
+fn identity_dimension_is_trivially_independent() {
+    let r = analyze(
+        "program t
+         integer i, n, ind(100)
+         real z(100, 100), x(100)
+         do i = 1, n
+           z(i, ind(i)) = x(i)
+         enddo
+         end",
+        0,
+        "z",
+    );
+    assert!(r.independent);
+    assert_eq!(r.test, Some(TestKind::IdentityDim));
+}
+
+#[test]
+fn affine_disjointness() {
+    // x(2i) and x(2i+1): hull [2i, 2i+1]; next iteration starts at
+    // 2i+2 > 2i+1.
+    let r = analyze(
+        "program t
+         integer i, n
+         real x(300)
+         do i = 1, n
+           x(2*i) = 1
+           x(2*i + 1) = 2
+         enddo
+         end",
+        0,
+        "x",
+    );
+    assert!(r.independent);
+    // The cheap GCD test fires first (parity disjointness).
+    assert_eq!(r.test, Some(TestKind::Gcd));
+}
+
+#[test]
+fn overlapping_affine_is_dependent() {
+    let r = analyze(
+        "program t
+         integer i, n
+         real x(300)
+         do i = 1, n
+           x(i) = x(i + 1)
+         enddo
+         end",
+        0,
+        "x",
+    );
+    assert!(!r.independent);
+}
+
+#[test]
+fn dyfesm_fig13_offset_length() {
+    // The SOLXDD loop of Fig. 13, with pptr/iblen defined CCS-style in a
+    // setup subroutine. iblen(i) >= 0 by construction (mod + 1).
+    let src = "program t
+         integer i, j, k, pptr(101), iblen(100)
+         real x(10000)
+         call setup
+         ! (the driver's constant propagation handles symbolic bounds;
+         ! here the tester is exercised directly with literal bounds)
+         do 10 i = 1, 100
+           do j = 2, iblen(i)
+             do k = 1, j - 1
+               x(pptr(i) + k - 1) = 1
+             enddo
+           enddo
+           do j = 1, iblen(i) - 1
+             do k = 1, j
+               x(1) = x(iblen(i) + pptr(i) + k - j - 1)
+             enddo
+           enddo
+ 10      continue
+         end
+         subroutine setup
+         integer i2
+         do i2 = 1, 100
+           iblen(i2) = mod(i2, 7) + 1
+         enddo
+         pptr(1) = 1
+         do i2 = 1, 100
+           pptr(i2 + 1) = pptr(i2) + iblen(i2)
+         enddo
+         end";
+    // Note: x(1) = ... read makes x written AND read; the write
+    // x(pptr(i)+k-1) vs read x(iblen+pptr+k-j-1) ranges must be proven
+    // disjoint across iterations of the outer i loop... but the x(1)
+    // write is loop-variant-free and conflicts across iterations! Use a
+    // separate target array for the read to keep the scenario faithful.
+    let src = src.replace("x(1) = x(", "y(k) = x(");
+    let src = src.replace(
+        "real x(10000)",
+        "real x(10000), y(10000)",
+    );
+    let p = parse_program(&src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let outer = loops_of(&p)
+        .into_iter()
+        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+        .unwrap();
+    let x = p.symbols.lookup("x").unwrap();
+    let r = dt.analyze_array(outer, x);
+    assert!(r.independent, "offset-length disproves the dependence: {r:?}");
+    assert_eq!(r.test, Some(TestKind::OffsetLength));
+    let pptr = p.symbols.lookup("pptr").unwrap();
+    let iblen = p.symbols.lookup("iblen").unwrap();
+    assert!(r.properties_used.iter().any(|(a, t)| *a == pptr && *t == "CFD"));
+    assert!(r.properties_used.iter().any(|(a, t)| *a == iblen && *t == "CFB"));
+}
+
+#[test]
+fn dyfesm_without_property_queries_fails() {
+    let src = "program t
+         integer i, j, pptr(101), iblen(100)
+         real x(10000)
+         call setup
+         ! (the driver's constant propagation handles symbolic bounds;
+         ! here the tester is exercised directly with literal bounds)
+         do 10 i = 1, 100
+           do j = 1, iblen(i)
+             x(pptr(i) + j - 1) = 1
+           enddo
+ 10      continue
+         end
+         subroutine setup
+         integer i2
+         do i2 = 1, 100
+           iblen(i2) = mod(i2, 7) + 1
+         enddo
+         pptr(1) = 1
+         do i2 = 1, 100
+           pptr(i2 + 1) = pptr(i2) + iblen(i2)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let outer = loops_of(&p)
+        .into_iter()
+        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+        .unwrap();
+    let x = p.symbols.lookup("x").unwrap();
+    // With IAA: independent.
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let r = dt.analyze_array(outer, x);
+    assert!(r.independent);
+    assert_eq!(r.test, Some(TestKind::OffsetLength));
+    // Without IAA: unknown.
+    let mut apa2 = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt2 = DependenceTester::new(&ctx, &mut apa2);
+    dt2.enable_property_queries = false;
+    let r2 = dt2.analyze_array(outer, x);
+    assert!(!r2.independent);
+}
+
+#[test]
+fn trfd_triangular_index() {
+    // INTGRL/do140-style: ia(i) = i*(i-1)/2 defined in a setup loop;
+    // the compute loop writes x(ia(i)+j), j in [1, i].
+    let src = "program t
+         integer i, j, ia(200)
+         real x(20200)
+         call setia
+         do 140 i = 1, 200
+           do j = 1, i
+             x(ia(i) + j) = 1
+           enddo
+ 140     continue
+         end
+         subroutine setia
+         integer k
+         do k = 1, 200
+           ia(k) = k*(k-1)/2
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let outer = loops_of(&p)
+        .into_iter()
+        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(140), .. }))
+        .unwrap();
+    let x = p.symbols.lookup("x").unwrap();
+    let r = dt.analyze_array(outer, x);
+    assert!(r.independent, "triangular subscripts are disjoint: {r:?}");
+    assert_eq!(r.test, Some(TestKind::OffsetLength));
+    let ia = p.symbols.lookup("ia").unwrap();
+    assert!(r.properties_used.iter().any(|(a, t)| *a == ia && *t == "CFV"));
+}
+
+#[test]
+fn injective_test_on_gathered_indices() {
+    let src = "program t
+         integer i, q, k, p, ind(100)
+         real x(100), z(100)
+         q = 0
+         do i = 1, p
+           if (x(i) > 0) then
+             q = q + 1
+             ind(q) = i
+           endif
+         enddo
+         do k = 1, q
+           z(ind(k)) = x(ind(k)) * 2
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let use_loop = loops_of(&p)[1];
+    let z = p.symbols.lookup("z").unwrap();
+    let r = dt.analyze_array(use_loop, z);
+    assert!(r.independent, "{r:?}");
+    assert_eq!(r.test, Some(TestKind::Injective));
+}
+
+#[test]
+fn non_injective_indices_stay_dependent() {
+    let src = "program t
+         integer i, k, q, ind(100)
+         real z(100), x(100)
+         do i = 1, 100
+           ind(i) = 1
+         enddo
+         q = 100
+         do k = 1, q
+           z(ind(k)) = x(k)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let use_loop = loops_of(&p)[1];
+    let z = p.symbols.lookup("z").unwrap();
+    let r = dt.analyze_array(use_loop, z);
+    assert!(!r.independent);
+}
+
+#[test]
+fn read_only_arrays_are_independent() {
+    let r = analyze(
+        "program t
+         integer i, n
+         real x(100), y(100)
+         do i = 1, n
+           y(i) = x(i) + x(n - i + 1)
+         enddo
+         end",
+        0,
+        "x",
+    );
+    assert!(r.independent, "never written in the loop");
+}
+
+#[test]
+fn index_array_written_in_loop_blocks_properties() {
+    let src = "program t
+         integer i, j, pptr(101), iblen(100)
+         real x(10000)
+         pptr(1) = 1
+         do i = 1, 100
+           pptr(i + 1) = pptr(i) + iblen(i)
+           do j = 1, iblen(i)
+             x(pptr(i) + j - 1) = 1
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let x = p.symbols.lookup("x").unwrap();
+    let r = dt.analyze_array(outer, x);
+    // pptr is written inside the tested loop: the hull's index arrays
+    // are not loop-invariant, so the test must refuse.
+    assert!(!r.independent);
+}
+
+#[test]
+fn simple_offset_length_test_matches_the_pattern() {
+    use irr_deptest::SimpleOffsetLengthTest;
+    let src = "program t
+         integer i, j, pptr(101), iblen(100)
+         real x(10000)
+         call setup
+         do 10 i = 1, 100
+           do j = 1, iblen(i)
+             x(pptr(i) + j - 1) = 1
+           enddo
+ 10      continue
+         end
+         subroutine setup
+         integer i2
+         do i2 = 1, 100
+           iblen(i2) = mod(i2, 7) + 1
+         enddo
+         pptr(1) = 1
+         do i2 = 1, 100
+           pptr(i2 + 1) = pptr(i2) + iblen(i2)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut t = SimpleOffsetLengthTest::new(&ctx, &mut apa);
+    let outer = loops_of(&p)
+        .into_iter()
+        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+        .unwrap();
+    let x = p.symbols.lookup("x").unwrap();
+    assert!(t.independent(outer, x));
+    // It is *less general*: a reversed within-segment subscript
+    // (Fig. 13's second loop nest walks segments backwards relative to
+    // j) does not match the simple `ptr(i)+j` pattern...
+    let src2 = src.replace(
+        "x(pptr(i) + j - 1) = 1",
+        "x(iblen(i) + pptr(i) - j) = 1",
+    );
+    let p2 = parse_program(&src2).unwrap();
+    let ctx2 = AnalysisCtx::new(&p2);
+    let mut apa2 = ArrayPropertyAnalysis::new(&ctx2);
+    let mut t2 = SimpleOffsetLengthTest::new(&ctx2, &mut apa2);
+    let outer2 = {
+        let mut out = Vec::new();
+        for proc in &p2.procedures {
+            out.extend(p2.stmts_in(&proc.body));
+        }
+        out.into_iter()
+            .find(|s| matches!(p2.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+            .unwrap()
+    };
+    let x2 = p2.symbols.lookup("x").unwrap();
+    assert!(!t2.independent(outer2, x2), "simple test must refuse");
+    // ... while the extended test still proves it.
+    let mut apa3 = ArrayPropertyAnalysis::new(&ctx2);
+    let mut dt = DependenceTester::new(&ctx2, &mut apa3);
+    assert!(dt.analyze_array(outer2, x2).independent);
+}
+
+#[test]
+fn gcd_test_disproves_interleaved_strides() {
+    // Writes x(2i), reads x(2i+5): the hulls overlap across iterations
+    // but parity makes them never collide.
+    let r = analyze(
+        "program t
+         integer i
+         real x(300), y(300)
+         do i = 1, 100
+           x(2*i) = x(2*i + 5) + 1
+         enddo
+         end",
+        0,
+        "x",
+    );
+    assert!(r.independent, "{r:?}");
+    assert_eq!(r.test, Some(TestKind::Gcd));
+}
+
+#[test]
+fn gcd_test_keeps_real_collisions() {
+    // Writes x(2i), reads x(2i+4): collision at i2 = i1 - 2.
+    let r = analyze(
+        "program t
+         integer i
+         real x(300)
+         do i = 1, 100
+           x(2*i) = x(2*i + 4) + 1
+         enddo
+         end",
+        0,
+        "x",
+    );
+    assert!(!r.independent);
+}
+
+#[test]
+fn gcd_constant_cell_is_dependent() {
+    let r = analyze(
+        "program t
+         integer i
+         real x(10)
+         do i = 1, 100
+           x(3) = x(3) + 1
+         enddo
+         end",
+        0,
+        "x",
+    );
+    assert!(!r.independent);
+}

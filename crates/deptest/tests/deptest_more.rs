@@ -1,0 +1,218 @@
+//! Additional dependence-test scenarios: multi-dimensional arrays,
+//! whole-loop analysis, while loops, and approximation boundaries.
+
+use irr_core::property::ArrayPropertyAnalysis;
+use irr_core::AnalysisCtx;
+use irr_deptest::{DependenceTester, TestKind};
+use irr_frontend::{parse_program, Program, StmtId};
+
+fn loops_of(p: &Program) -> Vec<StmtId> {
+    let mut out = Vec::new();
+    for proc in &p.procedures {
+        out.extend(
+            p.stmts_in(&proc.body)
+                .into_iter()
+                .filter(|s| p.stmt(*s).kind.is_loop()),
+        );
+    }
+    out
+}
+
+#[test]
+fn analyze_loop_covers_every_written_array() {
+    let src = "program t
+         integer i, n
+         real a(100), b(100), c(100)
+         do i = 1, 100
+           a(i) = b(i)
+           c(1) = c(1) + a(i)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let results = dt.analyze_loop(loops_of(&p)[0]);
+    assert_eq!(results.len(), 2); // a and c are written
+    let a = p.symbols.lookup("a").unwrap();
+    let c = p.symbols.lookup("c").unwrap();
+    assert!(results.iter().find(|r| r.array == a).unwrap().independent);
+    assert!(!results.iter().find(|r| r.array == c).unwrap().independent);
+}
+
+#[test]
+fn second_dimension_identity_is_enough() {
+    // z(ind(i), i): the second dimension is the loop index.
+    let src = "program t
+         integer i, n, ind(50)
+         real z(50, 50)
+         do i = 1, 50
+           z(ind(i), i) = 1
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let z = p.symbols.lookup("z").unwrap();
+    let r = dt.analyze_array(loops_of(&p)[0], z);
+    assert!(r.independent);
+    assert_eq!(r.test, Some(TestKind::IdentityDim));
+}
+
+#[test]
+fn mixed_rank_accesses_are_conservative() {
+    // Same array accessed with different ranks cannot happen in this
+    // language (the parser enforces ranks), so instead: a 2-D array
+    // where neither dimension separates.
+    let src = "program t
+         integer i, n, ind(50), jnd(50)
+         real z(50, 50)
+         do i = 1, 50
+           z(ind(i), jnd(i)) = 1
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let z = p.symbols.lookup("z").unwrap();
+    assert!(!dt.analyze_array(loops_of(&p)[0], z).independent);
+}
+
+#[test]
+fn while_loops_are_never_independent() {
+    let src = "program t
+         integer k, n
+         real x(100)
+         k = 0
+         while (k < n)
+           k = k + 1
+           x(k) = k
+         endwhile
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let x = p.symbols.lookup("x").unwrap();
+    let wl = loops_of(&p)[0];
+    assert!(!dt.analyze_array(wl, x).independent);
+}
+
+#[test]
+fn triangular_read_write_pair() {
+    // TRFD-like, but with a *read* of the previous segment: the ranges
+    // genuinely overlap across iterations — must stay dependent.
+    let src = "program t
+         integer i, j, ia(100)
+         real x(6000)
+         call setia
+         do 140 i = 2, 100
+           do j = 1, i
+             x(ia(i) + j) = x(ia(i - 1) + j) * 0.5
+           enddo
+ 140     continue
+         end
+         subroutine setia
+         integer k
+         do k = 1, 100
+           ia(k) = k*(k-1)/2
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let x = p.symbols.lookup("x").unwrap();
+    let outer = loops_of(&p)
+        .into_iter()
+        .find(|s| {
+            matches!(
+                p.stmt(*s).kind,
+                irr_frontend::StmtKind::Do { label: Some(140), .. }
+            )
+        })
+        .unwrap();
+    let r = dt.analyze_array(outer, x);
+    assert!(
+        !r.independent,
+        "reading the previous segment is a real flow dependence: {r:?}"
+    );
+}
+
+#[test]
+fn hull_with_unordered_bounds_degrades_gracefully() {
+    // Two accesses whose hull bounds cannot be ordered symbolically:
+    // x(a1(i)) and x(a2(i)) with unrelated index arrays — the tester
+    // must simply report "dependent", not panic.
+    let src = "program t
+         integer i, a1(50), a2(50)
+         real x(100)
+         do i = 1, 50
+           x(a1(i)) = x(a2(i))
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut dt = DependenceTester::new(&ctx, &mut apa);
+    let x = p.symbols.lookup("x").unwrap();
+    assert!(!dt.analyze_array(loops_of(&p)[0], x).independent);
+}
+
+#[test]
+fn properties_survive_across_multiple_segment_loops() {
+    // Several loops over the same CCS structure: the summary cache lets
+    // every loop verify against the same facts; all must come back
+    // independent.
+    let src = "program t
+         integer i, j, pptr(65), iblen(64)
+         real a(600), b(600), c(600)
+         call setup
+         do 1 i = 1, 64
+           do j = 1, iblen(i)
+             a(pptr(i) + j - 1) = 1
+           enddo
+ 1       continue
+         do 2 i = 1, 64
+           do j = 1, iblen(i)
+             b(pptr(i) + j - 1) = a(pptr(i) + j - 1)
+           enddo
+ 2       continue
+         do 3 i = 1, 64
+           do j = 1, iblen(i)
+             c(pptr(i) + j - 1) = a(pptr(i) + j - 1) + b(pptr(i) + j - 1)
+           enddo
+ 3       continue
+         end
+         subroutine setup
+         integer k
+         do k = 1, 64
+           iblen(k) = mod(k, 4) + 1
+         enddo
+         pptr(1) = 1
+         do k = 1, 64
+           pptr(k + 1) = pptr(k) + iblen(k)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    for (label, arr) in [(1u32, "a"), (2, "b"), (3, "c")] {
+        let l = loops_of(&p)
+            .into_iter()
+            .find(|s| {
+                matches!(
+                    p.stmt(*s).kind,
+                    irr_frontend::StmtKind::Do { label: Some(l2), .. } if l2 == label
+                )
+            })
+            .unwrap();
+        let v = p.symbols.lookup(arr).unwrap();
+        let mut dt = DependenceTester::new(&ctx, &mut apa);
+        let r = dt.analyze_array(l, v);
+        assert!(r.independent, "do{label} on {arr}: {r:?}");
+        assert_eq!(r.test, Some(TestKind::OffsetLength));
+    }
+}

@@ -1,0 +1,558 @@
+//! The parallelizing-compiler driver: Fig. 15's phase pipeline plus
+//! per-loop parallelization verdicts.
+//!
+//! Three configurations reproduce the paper's comparisons (Fig. 16):
+//!
+//! - **Polaris + IAA** — the full pipeline with the irregular array
+//!   access analyses enabled (the paper's contribution);
+//! - **Polaris** — the same pipeline with IAA disabled (traditional
+//!   privatization and dependence tests only);
+//! - **APO** — an SGI-`-apo`-like baseline: no inlining, no
+//!   interprocedural analysis, affine tests only.
+//!
+//! The phase *organization* is also selectable (Fig. 15(a) vs (b)): the
+//! "original" per-unit organization restricts the array property
+//! analysis to intraprocedural queries, which is exactly why the paper
+//! reorganizes the pipeline.
+
+pub mod emit;
+
+pub use emit::emit_annotated;
+pub use irr_passes::ReductionOp;
+
+use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
+use irr_core::AnalysisCtx;
+use irr_deptest::DependenceTester;
+use irr_frontend::{parse_program, LValue, ParseError, ProcId, Program, StmtId, StmtKind, VarId};
+use irr_passes::{
+    eliminate_dead_code, forward_substitute, inline_small_procedures, normalize_loops,
+    propagate_constants, recognize_reductions, substitute_induction_variables,
+};
+use irr_privatize::Privatizer;
+use std::time::{Duration, Instant};
+
+/// Phase organization (Fig. 15).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhaseOrder {
+    /// Fig. 15(a): per-unit transformation and analysis — the array
+    /// property analysis cannot cross procedure boundaries.
+    Original,
+    /// Fig. 15(b): all units are normalized before any analysis runs —
+    /// interprocedural queries work.
+    Reorganized,
+}
+
+/// Driver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverOptions {
+    /// Enable the irregular array access analyses (§2–§4).
+    pub enable_iaa: bool,
+    /// APO-like baseline: no inlining, intraprocedural only, no IAA.
+    pub baseline_apo: bool,
+    /// Phase organization.
+    pub phase_order: PhaseOrder,
+    /// Inlining threshold in statements (Polaris default: 50 lines).
+    pub inline_limit: usize,
+}
+
+impl Default for DriverOptions {
+    fn default() -> Self {
+        DriverOptions {
+            enable_iaa: true,
+            baseline_apo: false,
+            phase_order: PhaseOrder::Reorganized,
+            inline_limit: 50,
+        }
+    }
+}
+
+impl DriverOptions {
+    /// The full configuration (Polaris + IAA).
+    pub fn with_iaa() -> Self {
+        DriverOptions::default()
+    }
+
+    /// Polaris without the irregular analyses.
+    pub fn without_iaa() -> Self {
+        DriverOptions {
+            enable_iaa: false,
+            ..DriverOptions::default()
+        }
+    }
+
+    /// The APO-like baseline.
+    pub fn apo() -> Self {
+        DriverOptions {
+            enable_iaa: false,
+            baseline_apo: true,
+            ..DriverOptions::default()
+        }
+    }
+}
+
+/// Why a loop was rejected or how each written array was cleared.
+#[derive(Clone, Debug)]
+pub struct LoopVerdict {
+    /// The loop statement (in the *transformed* program).
+    pub loop_stmt: StmtId,
+    /// `PROC/do140`-style label.
+    pub label: String,
+    /// The procedure containing the loop.
+    pub proc: ProcId,
+    /// Whether the loop can be executed in parallel.
+    pub parallel: bool,
+    /// Arrays proven dependence-free, with the test used.
+    pub independent_arrays: Vec<(VarId, &'static str)>,
+    /// Arrays privatized, with the evidence tag.
+    pub privatized_arrays: Vec<(VarId, &'static str)>,
+    /// Scalars privatized.
+    pub privatized_scalars: Vec<VarId>,
+    /// Reduction scalars with their operators.
+    pub reductions: Vec<(VarId, irr_passes::ReductionOp)>,
+    /// `(index array name, property tag)` pairs verified on the way.
+    pub properties_used: Vec<(String, &'static str)>,
+    /// Human-readable blockers when not parallel.
+    pub blockers: Vec<String>,
+}
+
+/// Timings and counters for Table 2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompileStats {
+    /// Whole compilation time.
+    pub total_time: Duration,
+    /// Time spent in the scalar pass pipeline.
+    pub pass_time: Duration,
+    /// Time spent inside array property analysis queries.
+    pub property_time: Duration,
+    /// Number of property queries issued.
+    pub property_queries: u64,
+    /// Nodes visited by the query solver.
+    pub solver_nodes: u64,
+}
+
+/// The result of compiling a program.
+#[derive(Clone, Debug)]
+pub struct CompilationReport {
+    /// The transformed program (after the pass pipeline).
+    pub program: Program,
+    /// One verdict per `do` loop, program pre-order.
+    pub verdicts: Vec<LoopVerdict>,
+    /// Timings.
+    pub stats: CompileStats,
+}
+
+impl CompilationReport {
+    /// The verdict for the loop labeled `label` (e.g. `"INTGRL/do140"`).
+    pub fn verdict(&self, label: &str) -> Option<&LoopVerdict> {
+        self.verdicts.iter().find(|v| v.label == label)
+    }
+
+    /// Labels of all loops found parallel.
+    pub fn parallel_labels(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.parallel)
+            .map(|v| v.label.as_str())
+            .collect()
+    }
+}
+
+/// Parses and compiles a source program.
+///
+/// # Errors
+///
+/// Returns the parse error if `src` is not a valid program.
+pub fn compile_source(src: &str, opts: DriverOptions) -> Result<CompilationReport, ParseError> {
+    Ok(compile(parse_program(src)?, opts))
+}
+
+/// Runs the pass pipeline and the parallelization analysis.
+pub fn compile(mut program: Program, opts: DriverOptions) -> CompilationReport {
+    let t0 = Instant::now();
+    // ---- Fig. 15 pass pipeline -----------------------------------------
+    let tp = Instant::now();
+    if !opts.baseline_apo {
+        inline_small_procedures(&mut program, opts.inline_limit);
+    }
+    propagate_constants(&mut program);
+    normalize_loops(&mut program);
+    substitute_induction_variables(&mut program);
+    propagate_constants(&mut program);
+    forward_substitute(&mut program);
+    eliminate_dead_code(&mut program);
+    let pass_time = tp.elapsed();
+
+    // ---- analyses --------------------------------------------------------
+    let mut verdicts = Vec::new();
+    let property_time;
+    let property_queries;
+    let solver_nodes;
+    {
+        let ctx = AnalysisCtx::new(&program);
+        let solver_opts = SolverOptions {
+            interprocedural: opts.phase_order == PhaseOrder::Reorganized && !opts.baseline_apo,
+            ..SolverOptions::default()
+        };
+        let mut apa = ArrayPropertyAnalysis::with_options(&ctx, solver_opts);
+        for (pi, proc) in program.procedures.iter().enumerate() {
+            let proc_id = ProcId(pi as u32);
+            for s in program.stmts_in(&proc.body) {
+                if matches!(program.stmt(s).kind, StmtKind::Do { .. }) {
+                    verdicts.push(judge_loop(&ctx, &mut apa, &opts, proc_id, s));
+                }
+            }
+        }
+        property_time = apa.stats.total_time;
+        property_queries = apa.stats.queries;
+        solver_nodes = apa.stats.nodes_visited;
+    }
+    CompilationReport {
+        program,
+        verdicts,
+        stats: CompileStats {
+            total_time: t0.elapsed(),
+            pass_time,
+            property_time,
+            property_queries,
+            solver_nodes,
+        },
+    }
+}
+
+/// Decides whether one `do` loop is parallel.
+fn judge_loop<'c, 'p>(
+    ctx: &'c AnalysisCtx<'p>,
+    apa: &mut ArrayPropertyAnalysis<'c, 'p>,
+    opts: &DriverOptions,
+    proc: ProcId,
+    loop_stmt: StmtId,
+) -> LoopVerdict {
+    let program = ctx.program;
+    let mut v = LoopVerdict {
+        loop_stmt,
+        label: program.loop_label(proc, loop_stmt),
+        proc,
+        parallel: false,
+        independent_arrays: Vec::new(),
+        privatized_arrays: Vec::new(),
+        privatized_scalars: Vec::new(),
+        reductions: Vec::new(),
+        properties_used: Vec::new(),
+        blockers: Vec::new(),
+    };
+    let StmtKind::Do { var, body, .. } = &program.stmt(loop_stmt).kind else {
+        v.blockers.push("not a do loop".into());
+        return v;
+    };
+    let loop_var = *var;
+    let body = body.clone();
+
+    // Calls inside the loop: only tolerated when the callee is pure
+    // w.r.t. nothing — conservatively reject (the inliner flattened the
+    // eligible ones already).
+    if program
+        .stmts_in(&body)
+        .iter()
+        .any(|s| matches!(program.stmt(*s).kind, StmtKind::Call { .. }))
+    {
+        v.blockers.push("call inside loop".into());
+        return v;
+    }
+    // Print statements force sequential execution.
+    if program
+        .stmts_in(&body)
+        .iter()
+        .any(|s| matches!(program.stmt(*s).kind, StmtKind::Print { .. }))
+    {
+        v.blockers.push("i/o inside loop".into());
+        return v;
+    }
+
+    // ---- scalars ----------------------------------------------------------
+    let reductions = recognize_reductions(program, loop_stmt);
+    for r in &reductions {
+        v.reductions.push((r.var, r.op));
+    }
+    let reduction_vars: Vec<VarId> = reductions.iter().map(|r| r.var).collect();
+    for scalar in irr_frontend::visit::scalars_assigned_in(program, &body) {
+        if scalar == loop_var || reduction_vars.contains(&scalar) {
+            continue;
+        }
+        if scalar_privatizable(ctx, loop_stmt, scalar) {
+            v.privatized_scalars.push(scalar);
+        } else {
+            v.blockers
+                .push(format!("scalar `{}` carries a dependence", program.symbols.name(scalar)));
+        }
+    }
+
+    // ---- arrays -----------------------------------------------------------
+    let written = irr_frontend::visit::arrays_written_in(program, &body);
+    for array in written {
+        // Dependence test first.
+        let mut dt = DependenceTester::new(ctx, apa);
+        dt.enable_property_queries = opts.enable_iaa;
+        let dep = dt.analyze_array(loop_stmt, array);
+        if dep.independent {
+            let tag = dep.test.map(|t| t.tag()).unwrap_or("NONE");
+            v.independent_arrays.push((array, tag));
+            for (a, t) in dep.properties_used {
+                v.properties_used
+                    .push((program.symbols.name(a).to_string(), t));
+            }
+            continue;
+        }
+        // Then privatization — accepted only for scratch arrays (never
+        // read outside this loop), so no copy-out semantics are needed.
+        let mut pv = Privatizer::new(ctx, apa);
+        pv.enable_iaa = opts.enable_iaa;
+        let priv_res = pv.analyze_array(loop_stmt, array);
+        if priv_res.privatizable && array_is_scratch(program, &body, array) {
+            let tag = priv_res.evidence.map(|e| e.tag()).unwrap_or("REG");
+            v.privatized_arrays.push((array, tag));
+            for (a, t) in priv_res.properties_used {
+                v.properties_used
+                    .push((program.symbols.name(a).to_string(), t));
+            }
+            continue;
+        }
+        v.blockers.push(format!(
+            "array `{}` may carry a dependence",
+            program.symbols.name(array)
+        ));
+    }
+    v.parallel = v.blockers.is_empty();
+    v
+}
+
+/// Whether every *read* of `array` in the whole program happens inside
+/// the loop body — i.e. the array is scratch storage whose values never
+/// escape the loop, so privatizing it requires no copy-out.
+fn array_is_scratch(program: &Program, body: &[StmtId], array: VarId) -> bool {
+    let inside: std::collections::HashSet<StmtId> = program.stmts_in(body).into_iter().collect();
+    for proc in &program.procedures {
+        for s in program.stmts_in(&proc.body) {
+            if inside.contains(&s) {
+                continue;
+            }
+            let mut reads = false;
+            irr_frontend::visit::for_each_expr_in_stmt(program, s, |e| {
+                irr_frontend::visit::for_each_subexpr(e, &mut |sub| {
+                    if matches!(sub, irr_frontend::Expr::Element(a, _) if *a == array) {
+                        reads = true;
+                    }
+                });
+            });
+            if reads {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A scalar is privatizable for the loop when, in each iteration, every
+/// read sees a value written earlier in the *same* iteration. On the
+/// loop's flat CFG this is exactly: no path from the loop header reaches
+/// a node that reads the scalar without first passing a node that writes
+/// it — a bounded DFS with `fbound` = writes, `ffailed` = reads
+/// (statements like `v = v + 1` read before writing and correctly fail).
+/// Reductions are handled separately.
+fn scalar_privatizable(ctx: &AnalysisCtx<'_>, loop_stmt: StmtId, scalar: VarId) -> bool {
+    use irr_graph::bdfs::{bounded_dfs, BdfsOutcome};
+    use irr_graph::{CfgNodeId, CfgNodeKind};
+    let cfg = ctx.loop_cfg(loop_stmt);
+    let program = ctx.program;
+    let reads_scalar = |n: CfgNodeId| -> bool {
+        ctx.node_exprs(&cfg, n).iter().any(|e| e.mentions(scalar))
+    };
+    let writes_scalar = |n: CfgNodeId| -> bool {
+        match cfg.kind(n) {
+            CfgNodeKind::Stmt(s) => matches!(
+                &program.stmt(s).kind,
+                StmtKind::Assign { lhs: LValue::Scalar(w), .. } if *w == scalar
+            ),
+            CfgNodeKind::LoopHead(s) => {
+                // An inner do header assigns its induction variable
+                // (after evaluating the bounds, which `reads_scalar`
+                // checks first through the failed-set ordering).
+                matches!(&program.stmt(s).kind,
+                    StmtKind::Do { var, .. } if *var == scalar && s != loop_stmt)
+            }
+            _ => false,
+        }
+    };
+    let head = cfg
+        .nodes_where(|k| matches!(k, CfgNodeKind::LoopHead(s) if s == loop_stmt))
+        .into_iter()
+        .next();
+    let Some(head) = head else { return false };
+    bounded_dfs(
+        &cfg,
+        head,
+        |n| writes_scalar(n) && !reads_scalar(n),
+        reads_scalar,
+    ) == BdfsOutcome::Succeeded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1A: &str = "program t
+         integer i, j, k, n, p, link(100, 10)
+         real x(100), y(100), z(10, 100)
+         n = 10
+         do k = 1, n
+           p = 0
+           i = link(1, k)
+           while (i /= 0)
+             p = p + 1
+             x(p) = y(i)
+             i = link(i, k)
+           endwhile
+           do j = 1, p
+             z(k, j) = x(j)
+           enddo
+         enddo
+         end";
+
+    #[test]
+    fn fig1a_parallel_with_iaa_only() {
+        let with = compile_source(FIG1A, DriverOptions::with_iaa()).unwrap();
+        let k_loop = &with.verdicts[0];
+        assert!(k_loop.label.contains("do@"));
+        assert!(k_loop.parallel, "{k_loop:?}");
+        assert!(k_loop
+            .privatized_arrays
+            .iter()
+            .any(|(_, tag)| *tag == "CW"));
+        let without = compile_source(FIG1A, DriverOptions::without_iaa()).unwrap();
+        assert!(!without.verdicts[0].parallel);
+    }
+
+    #[test]
+    fn scalar_dependence_blocks() {
+        let src = "program t
+             integer i, n
+             real s, x(100)
+             s = 0
+             do i = 1, n
+               x(i) = s
+               s = s * 2 + 1
+             enddo
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        assert!(!rep.verdicts[0].parallel);
+        assert!(rep.verdicts[0]
+            .blockers
+            .iter()
+            .any(|b| b.contains("scalar `s`")));
+    }
+
+    #[test]
+    fn reductions_are_recognized() {
+        let src = "program t
+             integer i, n
+             real s, x(100)
+             s = 0
+             do i = 1, n
+               s = s + x(i)
+             enddo
+             print s
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        assert!(rep.verdicts[0].parallel, "{:?}", rep.verdicts[0]);
+        assert_eq!(rep.verdicts[0].reductions.len(), 1);
+    }
+
+    #[test]
+    fn regular_parallel_loop() {
+        let src = "program t
+             integer i, n
+             real x(100), y(100)
+             n = 100
+             do i = 1, n
+               x(i) = y(i) * 2
+             enddo
+             end";
+        let rep = compile_source(src, DriverOptions::apo()).unwrap();
+        assert!(rep.verdicts[0].parallel);
+    }
+
+    #[test]
+    fn phase_order_matters_for_interprocedural_queries() {
+        // The index array is defined in a big (non-inlinable) subroutine
+        // and used in the main loop; only the reorganized order verifies
+        // the property. Make the subroutine big enough to survive
+        // inlining.
+        let mut filler = String::new();
+        for k in 0..60 {
+            filler.push_str(&format!("dummy({}) = {k}\n", k + 1));
+        }
+        let src = format!(
+            "program t
+             integer k2, q, ind(100), dummy(100)
+             real z(100), x(100)
+             call setup
+             do k2 = 1, q
+               z(ind(k2)) = x(k2)
+             enddo
+             print z(1)
+             end
+             subroutine setup
+             integer i
+             {filler}
+             q = 0
+             do i = 1, 100
+               if (x(i) > 0) then
+                 q = q + 1
+                 ind(q) = i
+               endif
+             enddo
+             end"
+        );
+        let reorganized = compile_source(&src, DriverOptions::with_iaa()).unwrap();
+        let main_loop = reorganized
+            .verdicts
+            .iter()
+            .find(|v| v.label.starts_with("T/"))
+            .unwrap();
+        assert!(main_loop.parallel, "{main_loop:?}");
+        let original = compile_source(
+            &src,
+            DriverOptions {
+                phase_order: PhaseOrder::Original,
+                ..DriverOptions::with_iaa()
+            },
+        )
+        .unwrap();
+        let main_loop_orig = original
+            .verdicts
+            .iter()
+            .find(|v| v.label.starts_with("T/"))
+            .unwrap();
+        assert!(!main_loop_orig.parallel, "{main_loop_orig:?}");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let rep = compile_source(FIG1A, DriverOptions::with_iaa()).unwrap();
+        assert!(rep.stats.total_time >= rep.stats.pass_time);
+    }
+
+    #[test]
+    fn labeled_loops_get_paper_style_names() {
+        let src = "program trfd
+             integer i
+             real x(10)
+             do 140 i = 1, 10
+               x(i) = 1
+ 140         continue
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        assert_eq!(rep.verdicts[0].label, "TRFD/do140");
+        assert!(rep.verdict("TRFD/do140").is_some());
+        assert_eq!(rep.parallel_labels(), vec!["TRFD/do140"]);
+    }
+}

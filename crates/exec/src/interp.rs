@@ -1,0 +1,733 @@
+//! The instrumenting tree-walking interpreter.
+
+use irr_frontend::{
+    BinOp, Expr, Intrinsic, LValue, ProcId, Program, ScalarType, StmtId, StmtKind, UnOp, VarId,
+};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A runtime scalar value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    Int(i64),
+    Real(f64),
+}
+
+impl Value {
+    /// The value as a real.
+    pub fn as_real(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Real(v) => v,
+        }
+    }
+
+    /// The value as an integer (reals truncate, as Fortran `INT`).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Real(v) => v as i64,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Array storage.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ArrayData {
+    Int { data: Vec<i64>, dims: Vec<usize> },
+    Real { data: Vec<f64>, dims: Vec<usize> },
+}
+
+impl ArrayData {
+    fn len(&self) -> usize {
+        match self {
+            ArrayData::Int { data, .. } => data.len(),
+            ArrayData::Real { data, .. } => data.len(),
+        }
+    }
+
+    fn dims(&self) -> &[usize] {
+        match self {
+            ArrayData::Int { dims, .. } | ArrayData::Real { dims, .. } => dims,
+        }
+    }
+}
+
+/// The global store (all variables are global).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Store {
+    scalars: Vec<Value>,
+    arrays: Vec<Option<ArrayData>>,
+}
+
+impl Store {
+    /// Initializes the store for a program: integers 0, reals 0.0,
+    /// arrays zero-filled (array extents must evaluate to constants or
+    /// to scalars already assigned... extents are evaluated lazily at
+    /// first touch).
+    pub fn new(program: &Program) -> Store {
+        let n = program.symbols.len();
+        let mut scalars = Vec::with_capacity(n);
+        for (_, info) in program.symbols.iter() {
+            scalars.push(match info.ty {
+                ScalarType::Int => Value::Int(0),
+                ScalarType::Real => Value::Real(0.0),
+            });
+        }
+        Store {
+            scalars,
+            arrays: vec![None; n],
+        }
+    }
+
+    /// Reads a scalar.
+    pub fn scalar(&self, v: VarId) -> Value {
+        self.scalars[v.index()]
+    }
+
+    /// Writes a scalar (coercing to the declared type).
+    pub fn set_scalar(&mut self, v: VarId, ty: ScalarType, val: Value) {
+        self.scalars[v.index()] = match ty {
+            ScalarType::Int => Value::Int(val.as_int()),
+            ScalarType::Real => Value::Real(val.as_real()),
+        };
+    }
+
+    /// Reads `arr` as a flat `f64` vector (for checksums in tests).
+    pub fn array_as_reals(&self, arr: VarId) -> Option<Vec<f64>> {
+        match self.arrays[arr.index()].as_ref()? {
+            ArrayData::Int { data, .. } => Some(data.iter().map(|v| *v as f64).collect()),
+            ArrayData::Real { data, .. } => Some(data.clone()),
+        }
+    }
+
+    /// Raw array access for the parallel merger.
+    pub(crate) fn array(&self, arr: VarId) -> Option<&ArrayData> {
+        self.arrays[arr.index()].as_ref()
+    }
+
+    pub(crate) fn array_mut(&mut self, arr: VarId) -> &mut Option<ArrayData> {
+        &mut self.arrays[arr.index()]
+    }
+
+    pub(crate) fn scalars(&self) -> &[Value] {
+        &self.scalars
+    }
+
+    pub(crate) fn scalars_mut(&mut self) -> &mut [Value] {
+        &mut self.scalars
+    }
+}
+
+/// Per-loop execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct LoopStats {
+    /// Number of times the loop was entered.
+    pub invocations: u64,
+    /// Total statement cost spent inside (including nested).
+    pub total_cost: u64,
+    /// Per-invocation iteration costs (only for recorded loops).
+    pub iteration_costs: Vec<Vec<u64>>,
+}
+
+/// Whole-run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    /// Total statements executed (the cost unit).
+    pub total_cost: u64,
+    /// Per-loop stats.
+    pub loops: HashMap<StmtId, LoopStats>,
+}
+
+/// Runtime errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// Array subscript outside the declared extent.
+    OutOfBounds { array: String, index: i64, extent: usize },
+    /// Division by zero.
+    DivisionByZero,
+    /// The fuel limit was exhausted (runaway loop guard).
+    OutOfFuel,
+    /// An array extent did not evaluate to a positive constant.
+    BadExtent { array: String },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { array, index, extent } => {
+                write!(f, "subscript {index} out of bounds for `{array}` (extent {extent})")
+            }
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::OutOfFuel => write!(f, "execution fuel exhausted"),
+            ExecError::BadExtent { array } => write!(f, "bad extent for array `{array}`"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a complete run.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// Lines produced by `print`.
+    pub output: Vec<String>,
+    /// Statistics.
+    pub stats: ExecStats,
+    /// Final memory.
+    pub store: Store,
+}
+
+/// The interpreter.
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// The store (public so the parallel executor can swap it).
+    pub store: Store,
+    /// Statistics.
+    pub stats: ExecStats,
+    /// Loops whose per-iteration costs are recorded.
+    pub record_loops: HashSet<StmtId>,
+    /// `print` output.
+    pub output: Vec<String>,
+    /// Remaining execution fuel.
+    pub fuel: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// The program being interpreted.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Creates an interpreter with a fresh store and default fuel.
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        Interp {
+            program,
+            store: Store::new(program),
+            stats: ExecStats::default(),
+            record_loops: HashSet::new(),
+            output: Vec::new(),
+            fuel: 2_000_000_000,
+        }
+    }
+
+    /// Runs the whole program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] raised during execution.
+    pub fn run(mut self) -> Result<ExecOutcome, ExecError> {
+        let main = self.program.main();
+        self.exec_proc(main)?;
+        Ok(ExecOutcome {
+            output: self.output,
+            stats: self.stats,
+            store: self.store,
+        })
+    }
+
+    /// Executes one procedure body.
+    pub fn exec_proc(&mut self, p: ProcId) -> Result<(), ExecError> {
+        let body = self.program.procedures[p.index()].body.clone();
+        self.exec_body(&body)
+    }
+
+    /// Executes a statement list.
+    pub fn exec_body(&mut self, body: &[StmtId]) -> Result<(), ExecError> {
+        for &s in body {
+            self.exec_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn charge(&mut self, n: u64) -> Result<(), ExecError> {
+        self.stats.total_cost += n;
+        if self.fuel < n {
+            return Err(ExecError::OutOfFuel);
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+
+    /// Executes a single statement.
+    pub fn exec_stmt(&mut self, s: StmtId) -> Result<(), ExecError> {
+        self.charge(1)?;
+        match self.program.stmt(s).kind.clone() {
+            StmtKind::Assign { lhs, rhs } => {
+                let val = self.eval(&rhs)?;
+                match lhs {
+                    LValue::Scalar(v) => {
+                        let ty = self.program.symbols.var(v).ty;
+                        self.store.set_scalar(v, ty, val);
+                    }
+                    LValue::Element(a, subs) => {
+                        let idx = self.flat_index(a, &subs)?;
+                        self.write_element(a, idx, val);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
+                let lo = self.eval(&lo)?.as_int();
+                let hi = self.eval(&hi)?.as_int();
+                let step = match step {
+                    Some(e) => self.eval(&e)?.as_int(),
+                    None => 1,
+                };
+                if step == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                let record = self.record_loops.contains(&s);
+                let entry = self.stats.loops.entry(s).or_default();
+                entry.invocations += 1;
+                let cost_at_entry = self.stats.total_cost;
+                let mut iter_costs: Vec<u64> = Vec::new();
+                let ty = self.program.symbols.var(var).ty;
+                let mut i = lo;
+                while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
+                    self.store.set_scalar(var, ty, Value::Int(i));
+                    let c0 = self.stats.total_cost;
+                    self.exec_body(&body)?;
+                    self.charge(1)?; // loop bookkeeping
+                    if record {
+                        iter_costs.push(self.stats.total_cost - c0);
+                    }
+                    i += step;
+                }
+                // Fortran leaves the induction variable at the
+                // first out-of-range value.
+                self.store.set_scalar(var, ty, Value::Int(i));
+                let total = self.stats.total_cost - cost_at_entry;
+                let entry = self.stats.loops.entry(s).or_default();
+                entry.total_cost += total;
+                if record {
+                    entry.iteration_costs.push(iter_costs);
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let entry = self.stats.loops.entry(s).or_default();
+                entry.invocations += 1;
+                let cost_at_entry = self.stats.total_cost;
+                while self.eval_cond(&cond)? {
+                    self.charge(1)?;
+                    self.exec_body(&body)?;
+                }
+                let total = self.stats.total_cost - cost_at_entry;
+                self.stats.loops.entry(s).or_default().total_cost += total;
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval_cond(&cond)? {
+                    self.exec_body(&then_body)
+                } else {
+                    self.exec_body(&else_body)
+                }
+            }
+            StmtKind::Call { proc } => self.exec_proc(proc),
+            StmtKind::Print { args } => {
+                let mut parts = Vec::with_capacity(args.len());
+                for a in &args {
+                    parts.push(format!("{}", self.eval(a)?));
+                }
+                self.output.push(parts.join(" "));
+                Ok(())
+            }
+            StmtKind::Return => Ok(()),
+        }
+    }
+
+    /// Evaluates a numeric expression.
+    pub fn eval(&mut self, e: &Expr) -> Result<Value, ExecError> {
+        match e {
+            Expr::IntLit(v) => Ok(Value::Int(*v)),
+            Expr::RealLit(v) => Ok(Value::Real(*v)),
+            Expr::Var(v) => Ok(self.store.scalar(*v)),
+            Expr::Element(a, subs) => {
+                let idx = self.flat_index(*a, subs)?;
+                Ok(self.read_element(*a, idx))
+            }
+            Expr::Bin(op, x, y) => {
+                let a = self.eval(x)?;
+                if op.is_logical() || op.is_comparison() {
+                    // Logical value in numeric position: treat as 0/1.
+                    let b = self.eval_cond(e)?;
+                    return Ok(Value::Int(b as i64));
+                }
+                let b = self.eval(y)?;
+                Ok(apply_bin(*op, a, b)?)
+            }
+            Expr::Un(UnOp::Neg, x) => Ok(match self.eval(x)? {
+                Value::Int(v) => Value::Int(-v),
+                Value::Real(v) => Value::Real(-v),
+            }),
+            Expr::Un(UnOp::Not, _) => {
+                let b = self.eval_cond(e)?;
+                Ok(Value::Int(b as i64))
+            }
+            Expr::Call(intr, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                apply_intrinsic(*intr, &vals)
+            }
+        }
+    }
+
+    /// Evaluates a condition.
+    pub fn eval_cond(&mut self, e: &Expr) -> Result<bool, ExecError> {
+        match e {
+            Expr::Bin(op, x, y) if op.is_comparison() => {
+                let a = self.eval(x)?;
+                let b = self.eval(y)?;
+                let ord = match (a, b) {
+                    (Value::Int(p), Value::Int(q)) => p.cmp(&q),
+                    _ => a
+                        .as_real()
+                        .partial_cmp(&b.as_real())
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                };
+                Ok(match op {
+                    BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                    BinOp::Ne => ord != std::cmp::Ordering::Equal,
+                    BinOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinOp::Le => ord != std::cmp::Ordering::Greater,
+                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinOp::Ge => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!("comparison"),
+                })
+            }
+            Expr::Bin(BinOp::And, x, y) => Ok(self.eval_cond(x)? && self.eval_cond(y)?),
+            Expr::Bin(BinOp::Or, x, y) => Ok(self.eval_cond(x)? || self.eval_cond(y)?),
+            Expr::Un(UnOp::Not, x) => Ok(!self.eval_cond(x)?),
+            other => Ok(self.eval(other)?.as_real() != 0.0),
+        }
+    }
+
+    fn ensure_array(&mut self, a: VarId) -> Result<(), ExecError> {
+        if self.store.arrays[a.index()].is_some() {
+            return Ok(());
+        }
+        let info = self.program.symbols.var(a);
+        let mut dims = Vec::with_capacity(info.dims.len());
+        for d in info.dims.clone() {
+            let v = self.eval(&d)?.as_int();
+            if v <= 0 {
+                return Err(ExecError::BadExtent {
+                    array: info.name.clone(),
+                });
+            }
+            dims.push(v as usize);
+        }
+        let total: usize = dims.iter().product();
+        let data = match info.ty {
+            ScalarType::Int => ArrayData::Int {
+                data: vec![0; total],
+                dims,
+            },
+            ScalarType::Real => ArrayData::Real {
+                data: vec![0.0; total],
+                dims,
+            },
+        };
+        self.store.arrays[a.index()] = Some(data);
+        Ok(())
+    }
+
+    fn flat_index(&mut self, a: VarId, subs: &[Expr]) -> Result<usize, ExecError> {
+        self.ensure_array(a)?;
+        let mut vals = Vec::with_capacity(subs.len());
+        for s in subs {
+            vals.push(self.eval(s)?.as_int());
+        }
+        let arr = self.store.arrays[a.index()].as_ref().expect("ensured");
+        let dims = arr.dims();
+        // Fortran column-major, 1-based.
+        let mut idx: usize = 0;
+        let mut stride: usize = 1;
+        for (k, &v) in vals.iter().enumerate() {
+            let extent = dims[k];
+            if v < 1 || v as usize > extent {
+                return Err(ExecError::OutOfBounds {
+                    array: self.program.symbols.name(a).to_string(),
+                    index: v,
+                    extent,
+                });
+            }
+            idx += (v as usize - 1) * stride;
+            stride *= extent;
+        }
+        debug_assert!(idx < arr.len());
+        Ok(idx)
+    }
+
+    fn read_element(&self, a: VarId, idx: usize) -> Value {
+        match self.store.arrays[a.index()].as_ref().expect("ensured") {
+            ArrayData::Int { data, .. } => Value::Int(data[idx]),
+            ArrayData::Real { data, .. } => Value::Real(data[idx]),
+        }
+    }
+
+    fn write_element(&mut self, a: VarId, idx: usize, val: Value) {
+        match self.store.arrays[a.index()].as_mut().expect("ensured") {
+            ArrayData::Int { data, .. } => data[idx] = val.as_int(),
+            ArrayData::Real { data, .. } => data[idx] = val.as_real(),
+        }
+    }
+}
+
+fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(match op {
+            BinOp::Add => Value::Int(x.wrapping_add(y)),
+            BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+            BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+            BinOp::Div => {
+                if y == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                Value::Int(x.div_euclid(y))
+            }
+            BinOp::Mod => {
+                if y == 0 {
+                    return Err(ExecError::DivisionByZero);
+                }
+                Value::Int(x.rem_euclid(y))
+            }
+            _ => unreachable!("handled in eval"),
+        }),
+        _ => {
+            let (x, y) = (a.as_real(), b.as_real());
+            Ok(match op {
+                BinOp::Add => Value::Real(x + y),
+                BinOp::Sub => Value::Real(x - y),
+                BinOp::Mul => Value::Real(x * y),
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return Err(ExecError::DivisionByZero);
+                    }
+                    Value::Real(x / y)
+                }
+                BinOp::Mod => Value::Real(x.rem_euclid(y)),
+                _ => unreachable!("handled in eval"),
+            })
+        }
+    }
+}
+
+fn apply_intrinsic(intr: Intrinsic, vals: &[Value]) -> Result<Value, ExecError> {
+    let real1 = |f: fn(f64) -> f64| -> Result<Value, ExecError> {
+        Ok(Value::Real(f(vals[0].as_real())))
+    };
+    match intr {
+        Intrinsic::Min => match (vals[0], vals[1]) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.min(b))),
+            (a, b) => Ok(Value::Real(a.as_real().min(b.as_real()))),
+        },
+        Intrinsic::Max => match (vals[0], vals[1]) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.max(b))),
+            (a, b) => Ok(Value::Real(a.as_real().max(b.as_real()))),
+        },
+        Intrinsic::Abs => Ok(match vals[0] {
+            Value::Int(v) => Value::Int(v.abs()),
+            Value::Real(v) => Value::Real(v.abs()),
+        }),
+        Intrinsic::Mod => apply_bin(BinOp::Mod, vals[0], vals[1]),
+        Intrinsic::Sqrt => real1(f64::sqrt),
+        Intrinsic::Sin => real1(f64::sin),
+        Intrinsic::Cos => real1(f64::cos),
+        Intrinsic::Exp => real1(f64::exp),
+        Intrinsic::Log => real1(f64::ln),
+        Intrinsic::Int => Ok(Value::Int(vals[0].as_int())),
+        Intrinsic::Real => Ok(Value::Real(vals[0].as_real())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    fn run(src: &str) -> ExecOutcome {
+        let p = parse_program(src).unwrap();
+        Interp::new(&p).run().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run("program t\nprint 1 + 2 * 3, 10 / 3, mod(10, 3)\nend\n");
+        assert_eq!(out.output, vec!["7 3 1"]);
+    }
+
+    #[test]
+    fn floor_division_semantics() {
+        let out = run("program t\nprint (0 - 7) / 2, mod(0 - 7, 2)\nend\n");
+        // div_euclid(-7, 2) = -4, rem_euclid = 1.
+        assert_eq!(out.output, vec!["-4 1"]);
+    }
+
+    #[test]
+    fn do_loop_and_arrays() {
+        let out = run(
+            "program t
+             integer i
+             real x(10)
+             do i = 1, 10
+               x(i) = i * 1.5
+             enddo
+             print x(1), x(10)
+             end",
+        );
+        assert_eq!(out.output, vec!["1.5 15"]);
+    }
+
+    #[test]
+    fn while_and_if() {
+        let out = run(
+            "program t
+             integer p, total
+             p = 0
+             total = 0
+             while (p < 5)
+               p = p + 1
+               if (mod(p, 2) == 0) then
+                 total = total + p
+               endif
+             endwhile
+             print total
+             end",
+        );
+        assert_eq!(out.output, vec!["6"]);
+    }
+
+    #[test]
+    fn subroutine_calls_share_globals() {
+        let out = run(
+            "program t
+             integer k
+             k = 1
+             call bump
+             call bump
+             print k
+             end
+             subroutine bump
+             k = k + 1
+             end",
+        );
+        assert_eq!(out.output, vec!["3"]);
+    }
+
+    #[test]
+    fn two_dimensional_arrays() {
+        let out = run(
+            "program t
+             integer i, j
+             real z(3, 4)
+             do i = 1, 3
+               do j = 1, 4
+                 z(i, j) = i * 10 + j
+               enddo
+             enddo
+             print z(2, 3), z(3, 4)
+             end",
+        );
+        assert_eq!(out.output, vec!["23 34"]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_caught() {
+        let p = parse_program("program t\nreal x(3)\nx(4) = 1\nend\n").unwrap();
+        let err = Interp::new(&p).run().unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loops() {
+        let p = parse_program("program t\ninteger i\nwhile (1 > 0)\ni = i\nendwhile\nend\n")
+            .unwrap();
+        let mut it = Interp::new(&p);
+        it.fuel = 10_000;
+        assert_eq!(it.run().unwrap_err(), ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn loop_stats_and_recording() {
+        let p = parse_program(
+            "program t
+             integer i, j
+             real x(100)
+             do i = 1, 4
+               do j = 1, i
+                 x(j) = i + j
+               enddo
+             enddo
+             end",
+        )
+        .unwrap();
+        let outer = p
+            .stmts_in(&p.procedure(p.main()).body)
+            .into_iter()
+            .find(|s| p.stmt(*s).kind.is_loop())
+            .unwrap();
+        let mut it = Interp::new(&p);
+        it.record_loops.insert(outer);
+        let out = it.run().unwrap();
+        let stats = &out.stats.loops[&outer];
+        assert_eq!(stats.invocations, 1);
+        assert_eq!(stats.iteration_costs.len(), 1);
+        let iters = &stats.iteration_costs[0];
+        assert_eq!(iters.len(), 4);
+        // Triangular work: each iteration costs more than the previous.
+        assert!(iters.windows(2).all(|w| w[0] < w[1]), "{iters:?}");
+    }
+
+    #[test]
+    fn induction_variable_final_value() {
+        let out = run(
+            "program t
+             integer i
+             do i = 1, 5
+               i = i
+             enddo
+             print i
+             end",
+        );
+        assert_eq!(out.output, vec!["6"]);
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        let out = run(
+            "program t
+             integer i, k
+             k = 7
+             do i = 5, 1
+               k = 0
+             enddo
+             print k, i
+             end",
+        );
+        assert_eq!(out.output, vec!["7 5"]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Analytic machine models and the speedup simulator for Fig. 16.
+//!
+//! The interpreter measures per-iteration costs of every parallelized
+//! loop. The simulator converts a profile into a parallel execution time
+//! under **static block scheduling** on `P` processors (the scheduling
+//! Polaris' backend generated), plus per-parallel-region overhead:
+//!
+//! ```text
+//! T_region(P) = max over processors of (sum of its chunk's iteration
+//!               costs)  +  fork + join*P  +  barrier_per_iter * n/P
+//! ```
+//!
+//! Two machine presets reproduce the paper's platforms: the Origin 2000
+//! (fast interconnect, moderate fork cost — speedups to 32 processors)
+//! and the older Challenge (four processors, much cheaper fork —
+//! which is why tiny-input DYFESM only speeds up there, Fig. 16(f)).
+
+use crate::interp::ExecStats;
+use irr_frontend::StmtId;
+use std::collections::HashMap;
+
+/// An analytic parallel machine.
+#[derive(Clone, Debug)]
+pub struct MachineModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Maximum processors.
+    pub max_procs: usize,
+    /// Fixed cost of entering a parallel region (cost units).
+    pub fork_overhead: f64,
+    /// Additional cost per participating processor (thread wake/join).
+    pub per_proc_overhead: f64,
+    /// Per-iteration scheduling/cache tax in parallel mode.
+    pub per_iter_overhead: f64,
+}
+
+impl MachineModel {
+    /// The SGI Origin 2000 preset (195 MHz R10k, up to 32 used).
+    pub fn origin2000() -> MachineModel {
+        MachineModel {
+            name: "Origin2000",
+            max_procs: 32,
+            fork_overhead: 600.0,
+            per_proc_overhead: 60.0,
+            per_iter_overhead: 0.3,
+        }
+    }
+
+    /// The SGI Challenge preset (200 MHz R4400, 4 processors): slower
+    /// processors make the *relative* parallelization overhead far
+    /// smaller, which is why tiny workloads still speed up (Fig. 16(f)).
+    pub fn challenge() -> MachineModel {
+        MachineModel {
+            name: "Challenge",
+            max_procs: 4,
+            fork_overhead: 40.0,
+            per_proc_overhead: 8.0,
+            per_iter_overhead: 0.05,
+        }
+    }
+}
+
+/// Profile of one parallelized loop.
+#[derive(Clone, Debug, Default)]
+pub struct LoopProfile {
+    /// Total sequential cost spent in the loop (all invocations).
+    pub total_cost: u64,
+    /// Per-invocation per-iteration costs.
+    pub invocations: Vec<Vec<u64>>,
+}
+
+/// Profile of a whole program run.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramProfile {
+    /// Total sequential cost.
+    pub total_cost: u64,
+    /// Profiles of the loops that will run in parallel.
+    pub parallel_loops: HashMap<StmtId, LoopProfile>,
+}
+
+impl ProgramProfile {
+    /// Extracts a profile from interpreter statistics, keeping the given
+    /// loops as the parallel set.
+    pub fn from_stats(stats: &ExecStats, parallel: &[StmtId]) -> ProgramProfile {
+        let mut loops = HashMap::new();
+        for &l in parallel {
+            if let Some(ls) = stats.loops.get(&l) {
+                loops.insert(
+                    l,
+                    LoopProfile {
+                        total_cost: ls.total_cost,
+                        invocations: ls.iteration_costs.clone(),
+                    },
+                );
+            }
+        }
+        ProgramProfile {
+            total_cost: stats.total_cost,
+            parallel_loops: loops,
+        }
+    }
+
+    /// The fraction of sequential time covered by the parallel loops
+    /// (Table 3's "% of sequential time" column).
+    pub fn parallel_coverage(&self) -> f64 {
+        if self.total_cost == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.parallel_loops.values().map(|l| l.total_cost).sum();
+        covered as f64 / self.total_cost as f64
+    }
+}
+
+/// Simulated execution time of one parallel region invocation.
+fn region_time(iter_costs: &[u64], procs: usize, m: &MachineModel) -> f64 {
+    if iter_costs.is_empty() {
+        return 0.0;
+    }
+    let p = procs.clamp(1, iter_costs.len());
+    if p == 1 {
+        return iter_costs.iter().sum::<u64>() as f64;
+    }
+    // Static block scheduling: contiguous chunks, sizes n/p (+1).
+    let n = iter_costs.len();
+    let base = n / p;
+    let extra = n % p;
+    let mut start = 0usize;
+    let mut max_chunk = 0f64;
+    for t in 0..p {
+        let len = base + usize::from(t < extra);
+        let sum: u64 = iter_costs[start..start + len].iter().sum();
+        start += len;
+        max_chunk = max_chunk.max(sum as f64);
+    }
+    max_chunk
+        + m.fork_overhead
+        + m.per_proc_overhead * p as f64
+        + m.per_iter_overhead * (n as f64 / p as f64)
+}
+
+/// Simulated total program time on `procs` processors.
+pub fn simulate_program_time(profile: &ProgramProfile, procs: usize, m: &MachineModel) -> f64 {
+    let serial_part: f64 = profile.total_cost as f64
+        - profile
+            .parallel_loops
+            .values()
+            .map(|l| l.total_cost as f64)
+            .sum::<f64>();
+    let mut t = serial_part.max(0.0);
+    for lp in profile.parallel_loops.values() {
+        for inv in &lp.invocations {
+            t += region_time(inv, procs, m);
+        }
+    }
+    t
+}
+
+/// Speedup relative to the sequential run.
+pub fn simulate_speedup(profile: &ProgramProfile, procs: usize, m: &MachineModel) -> f64 {
+    let t_par = simulate_program_time(profile, procs, m);
+    if t_par <= 0.0 {
+        return 1.0;
+    }
+    profile.total_cost as f64 / t_par
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_profile(iters: usize, cost: u64, invocations: usize) -> ProgramProfile {
+        let inv: Vec<Vec<u64>> = (0..invocations)
+            .map(|_| vec![cost; iters])
+            .collect();
+        let total = (iters as u64) * cost * invocations as u64;
+        let mut loops = HashMap::new();
+        loops.insert(
+            StmtId(0),
+            LoopProfile {
+                total_cost: total,
+                invocations: inv,
+            },
+        );
+        ProgramProfile {
+            total_cost: total,
+            parallel_loops: loops,
+        }
+    }
+
+    #[test]
+    fn near_linear_speedup_for_big_balanced_loops() {
+        let profile = uniform_profile(100_000, 50, 1);
+        let m = MachineModel::origin2000();
+        let s8 = simulate_speedup(&profile, 8, &m);
+        assert!(s8 > 7.0, "s8 = {s8}");
+        let s32 = simulate_speedup(&profile, 32, &m);
+        assert!(s32 > 24.0, "s32 = {s32}");
+    }
+
+    #[test]
+    fn tiny_loops_slow_down_with_more_processors() {
+        // DYFESM-like: many invocations of a small region (~300 units
+        // of work per region).
+        let profile = uniform_profile(30, 10, 2000);
+        let m = MachineModel::origin2000();
+        let s1 = simulate_speedup(&profile, 1, &m);
+        let s8 = simulate_speedup(&profile, 8, &m);
+        assert!(s1 <= 1.0 + 1e-9);
+        assert!(s8 < 1.0, "overhead dominates: s8 = {s8}");
+        // ... but the cheap-fork Challenge still gains.
+        let c = MachineModel::challenge();
+        let s4c = simulate_speedup(&profile, 4, &c);
+        let s1c = simulate_speedup(&profile, 1, &c);
+        assert!(s4c > s1c, "s4c = {s4c}, s1c = {s1c}");
+    }
+
+    #[test]
+    fn imbalanced_triangular_loops_scale_sublinearly() {
+        // Iteration i costs i (TRFD-like triangular): with block
+        // scheduling the last chunk dominates.
+        let iters: Vec<u64> = (1..=10_000u64).collect();
+        let total: u64 = iters.iter().sum();
+        let mut loops = HashMap::new();
+        loops.insert(
+            StmtId(0),
+            LoopProfile {
+                total_cost: total,
+                invocations: vec![iters],
+            },
+        );
+        let profile = ProgramProfile {
+            total_cost: total,
+            parallel_loops: loops,
+        };
+        let m = MachineModel::origin2000();
+        let s4 = simulate_speedup(&profile, 4, &m);
+        // Perfect would be 4; block scheduling gives ~ total / last
+        // chunk = n^2/2 / (n^2 (1 - 9/16) / 2)... well below 4.
+        assert!(s4 > 1.5 && s4 < 3.5, "s4 = {s4}");
+    }
+
+    #[test]
+    fn amdahl_limit_from_serial_part() {
+        // Half the program is serial.
+        let mut profile = uniform_profile(100_000, 50, 1);
+        profile.total_cost *= 2;
+        let m = MachineModel::origin2000();
+        let s32 = simulate_speedup(&profile, 32, &m);
+        assert!(s32 < 2.0 + 1e-9, "Amdahl bound: {s32}");
+        assert!(s32 > 1.8);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let mut profile = uniform_profile(1000, 10, 1);
+        profile.total_cost *= 4; // loop is 25% of the program
+        assert!((profile.parallel_coverage() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_processors_than_iterations() {
+        let profile = uniform_profile(3, 1000, 1);
+        let m = MachineModel::origin2000();
+        // Clamped to 3 processors; no panic, sane value.
+        let s = simulate_speedup(&profile, 32, &m);
+        assert!(s > 0.0 && s < 3.5);
+    }
+}

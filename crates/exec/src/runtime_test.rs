@@ -1,0 +1,200 @@
+//! Run-time parallelization tests — the alternative the paper argues
+//! against (§1: "these methods introduce overhead that is not always
+//! negligible and also increase the code size, since the unoptimized
+//! version must also be available in case the tests fail").
+//!
+//! An *inspector* examines index-array values in the live store right
+//! before a candidate loop and decides whether the parallel version may
+//! run. This module implements the two inspectors corresponding to the
+//! properties the compile-time analysis verifies statically, so the
+//! trade-off can be measured (see the `runtime-vs-compile-time` bench
+//! group): the inspector pays `O(section)` on *every* execution, the
+//! compile-time query pays once.
+
+use crate::interp::Store;
+use irr_frontend::VarId;
+use std::collections::HashSet;
+
+/// Result of a run-time inspection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Inspection {
+    /// The property holds for this execution: the parallel version may
+    /// run (this time).
+    ParallelOk,
+    /// The property fails: fall back to the sequential version.
+    Sequential,
+}
+
+/// Inspects whether `idx(lo..=hi)` holds pairwise-distinct values — the
+/// run-time counterpart of the injectivity property (§3).
+///
+/// Returns `Sequential` when the section is out of bounds or the array
+/// has not been materialized.
+pub fn inspect_injective(store: &Store, idx: VarId, lo: i64, hi: i64) -> Inspection {
+    let Some(values) = store.array_as_reals(idx) else {
+        return Inspection::Sequential;
+    };
+    if lo < 1 || hi as usize > values.len() {
+        return Inspection::Sequential;
+    }
+    let mut seen = HashSet::with_capacity((hi - lo + 1).max(0) as usize);
+    for k in lo..=hi {
+        let v = values[(k - 1) as usize] as i64;
+        if !seen.insert(v) {
+            return Inspection::Sequential;
+        }
+    }
+    Inspection::ParallelOk
+}
+
+/// Inspects whether `idx(lo..=hi)` values all lie within
+/// `[val_lo, val_hi]` — the run-time counterpart of the closed-form
+/// bound property.
+pub fn inspect_bounded(
+    store: &Store,
+    idx: VarId,
+    lo: i64,
+    hi: i64,
+    val_lo: i64,
+    val_hi: i64,
+) -> Inspection {
+    let Some(values) = store.array_as_reals(idx) else {
+        return Inspection::Sequential;
+    };
+    if lo < 1 || hi as usize > values.len() {
+        return Inspection::Sequential;
+    }
+    for k in lo..=hi {
+        let v = values[(k - 1) as usize] as i64;
+        if v < val_lo || v > val_hi {
+            return Inspection::Sequential;
+        }
+    }
+    Inspection::ParallelOk
+}
+
+/// Inspects whether `ptr` is a proper offset array for lengths `len`
+/// over segments `lo..=hi`: `ptr(k+1) == ptr(k) + len(k)` with
+/// `len(k) >= 0` — the run-time counterpart of the closed-form distance
+/// property (the check the offset–length test performs statically).
+pub fn inspect_offset_length(
+    store: &Store,
+    ptr: VarId,
+    len: VarId,
+    lo: i64,
+    hi: i64,
+) -> Inspection {
+    let (Some(p), Some(l)) = (store.array_as_reals(ptr), store.array_as_reals(len)) else {
+        return Inspection::Sequential;
+    };
+    if lo < 1 || (hi + 1) as usize > p.len() || hi as usize > l.len() {
+        return Inspection::Sequential;
+    }
+    for k in lo..=hi {
+        let lk = l[(k - 1) as usize] as i64;
+        if lk < 0 {
+            return Inspection::Sequential;
+        }
+        let pk = p[(k - 1) as usize] as i64;
+        let pk1 = p[k as usize] as i64;
+        if pk1 != pk + lk {
+            return Inspection::Sequential;
+        }
+    }
+    Inspection::ParallelOk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use irr_frontend::parse_program;
+
+    fn store_of(src: &str) -> (irr_frontend::Program, Store) {
+        let p = parse_program(src).unwrap();
+        let out = Interp::new(&p).run().unwrap();
+        (p, out.store)
+    }
+
+    #[test]
+    fn injective_inspector() {
+        let (p, store) = store_of(
+            "program t
+             integer idx(10), i
+             do i = 1, 10
+               idx(i) = 11 - i
+             enddo
+             idx(10) = 9
+             end",
+        );
+        let idx = p.symbols.lookup("idx").unwrap();
+        // idx = [10, 9, ..., 2, 9]: first nine distinct, full range not.
+        assert_eq!(inspect_injective(&store, idx, 1, 9), Inspection::ParallelOk);
+        assert_eq!(inspect_injective(&store, idx, 1, 10), Inspection::Sequential);
+        // Out of bounds is sequential.
+        assert_eq!(inspect_injective(&store, idx, 1, 11), Inspection::Sequential);
+    }
+
+    #[test]
+    fn bounded_inspector() {
+        let (p, store) = store_of(
+            "program t
+             integer idx(10), i
+             do i = 1, 10
+               idx(i) = i + 2
+             enddo
+             end",
+        );
+        let idx = p.symbols.lookup("idx").unwrap();
+        assert_eq!(
+            inspect_bounded(&store, idx, 1, 10, 3, 12),
+            Inspection::ParallelOk
+        );
+        assert_eq!(
+            inspect_bounded(&store, idx, 1, 10, 1, 10),
+            Inspection::Sequential
+        );
+    }
+
+    #[test]
+    fn offset_length_inspector() {
+        let (p, store) = store_of(
+            "program t
+             integer ptr(11), len(10), k
+             do k = 1, 10
+               len(k) = mod(k, 3) + 1
+             enddo
+             ptr(1) = 1
+             do k = 1, 10
+               ptr(k + 1) = ptr(k) + len(k)
+             enddo
+             end",
+        );
+        let ptr = p.symbols.lookup("ptr").unwrap();
+        let len = p.symbols.lookup("len").unwrap();
+        assert_eq!(
+            inspect_offset_length(&store, ptr, len, 1, 10),
+            Inspection::ParallelOk
+        );
+        // Break one link.
+        let (p2, store2) = store_of(
+            "program t
+             integer ptr(11), len(10), k
+             do k = 1, 10
+               len(k) = 2
+             enddo
+             ptr(1) = 1
+             do k = 1, 10
+               ptr(k + 1) = ptr(k) + len(k)
+             enddo
+             ptr(5) = 0
+             end",
+        );
+        let ptr2 = p2.symbols.lookup("ptr").unwrap();
+        let len2 = p2.symbols.lookup("len").unwrap();
+        assert_eq!(
+            inspect_offset_length(&store2, ptr2, len2, 1, 10),
+            Inspection::Sequential
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Programmatic construction of programs.
+//!
+//! The builder is used by tests (including the property-based program
+//! generators) and by passes that synthesize code.
+
+use crate::ast::{Expr, LValue, Procedure, Program, Stmt, StmtId, StmtKind};
+use crate::diag::SourceLoc;
+use crate::symbols::{ProcId, ScalarType, SymbolTable, VarId};
+
+/// Builds a [`Program`] one procedure at a time.
+///
+/// # Example
+///
+/// ```
+/// use irr_frontend::{ProgramBuilder, Expr, ScalarType};
+///
+/// let mut b = ProgramBuilder::new("demo");
+/// let n = b.scalar("n");
+/// let i = b.scalar("i");
+/// let x = b.declare_array("x", ScalarType::Real, &[Expr::int(100)]);
+/// b.assign_scalar(n, Expr::int(100));
+/// b.do_loop(i, Expr::int(1), Expr::Var(n), |b| {
+///     b.assign_element(x, vec![Expr::Var(i)], Expr::Var(i));
+/// });
+/// let program = b.finish();
+/// assert_eq!(program.procedures.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    symbols: SymbolTable,
+    stmts: Vec<Stmt>,
+    procedures: Vec<Procedure>,
+    /// Stack of open statement lists; the bottom entry is the body of the
+    /// procedure currently being built.
+    open: Vec<Vec<StmtId>>,
+    current_name: String,
+    current_is_main: bool,
+}
+
+impl ProgramBuilder {
+    /// Starts a builder whose first (current) procedure is the `program`
+    /// unit named `main_name`.
+    pub fn new(main_name: &str) -> ProgramBuilder {
+        ProgramBuilder {
+            symbols: SymbolTable::new(),
+            stmts: Vec::new(),
+            procedures: Vec::new(),
+            open: vec![Vec::new()],
+            current_name: main_name.to_ascii_lowercase(),
+            current_is_main: true,
+        }
+    }
+
+    /// Access to the symbol table being built.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Declares (or interns) a scalar with implicit typing.
+    pub fn scalar(&mut self, name: &str) -> VarId {
+        self.symbols.intern_scalar(name)
+    }
+
+    /// Declares a scalar with an explicit type.
+    pub fn declare_scalar(&mut self, name: &str, ty: ScalarType) -> VarId {
+        self.symbols
+            .declare(name, ty, Vec::new())
+            .expect("builder declarations must not conflict")
+    }
+
+    /// Declares an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a conflicting redeclaration.
+    pub fn declare_array(&mut self, name: &str, ty: ScalarType, dims: &[Expr]) -> VarId {
+        self.symbols
+            .declare(name, ty, dims.to_vec())
+            .expect("builder declarations must not conflict")
+    }
+
+    fn push(&mut self, kind: StmtKind) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(Stmt {
+            id,
+            kind,
+            loc: SourceLoc::synthetic(),
+        });
+        self.open
+            .last_mut()
+            .expect("builder always has an open body")
+            .push(id);
+        id
+    }
+
+    /// Appends `lhs = rhs` for a scalar target.
+    pub fn assign_scalar(&mut self, var: VarId, rhs: Expr) -> StmtId {
+        self.push(StmtKind::Assign {
+            lhs: LValue::Scalar(var),
+            rhs,
+        })
+    }
+
+    /// Appends `arr(subs...) = rhs`.
+    pub fn assign_element(&mut self, arr: VarId, subs: Vec<Expr>, rhs: Expr) -> StmtId {
+        self.push(StmtKind::Assign {
+            lhs: LValue::Element(arr, subs),
+            rhs,
+        })
+    }
+
+    /// Appends a `do var = lo, hi` loop, building its body in `f`.
+    pub fn do_loop(
+        &mut self,
+        var: VarId,
+        lo: Expr,
+        hi: Expr,
+        f: impl FnOnce(&mut ProgramBuilder),
+    ) -> StmtId {
+        self.do_loop_labeled(var, lo, hi, None, f)
+    }
+
+    /// Appends a labeled `do` loop.
+    pub fn do_loop_labeled(
+        &mut self,
+        var: VarId,
+        lo: Expr,
+        hi: Expr,
+        label: Option<u32>,
+        f: impl FnOnce(&mut ProgramBuilder),
+    ) -> StmtId {
+        self.open.push(Vec::new());
+        f(self);
+        let body = self.open.pop().expect("matching body");
+        self.push(StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step: None,
+            body,
+            label,
+        })
+    }
+
+    /// Appends a `while (cond)` loop, building its body in `f`.
+    pub fn while_loop(&mut self, cond: Expr, f: impl FnOnce(&mut ProgramBuilder)) -> StmtId {
+        self.open.push(Vec::new());
+        f(self);
+        let body = self.open.pop().expect("matching body");
+        self.push(StmtKind::While { cond, body })
+    }
+
+    /// Appends an `if (cond) then ... endif`, building the then-branch in
+    /// `f`.
+    pub fn if_then(&mut self, cond: Expr, f: impl FnOnce(&mut ProgramBuilder)) -> StmtId {
+        self.open.push(Vec::new());
+        f(self);
+        let then_body = self.open.pop().expect("matching body");
+        self.push(StmtKind::If {
+            cond,
+            then_body,
+            else_body: Vec::new(),
+        })
+    }
+
+    /// Appends an `if (cond) then ... else ... endif`.
+    pub fn if_then_else(
+        &mut self,
+        cond: Expr,
+        f: impl FnOnce(&mut ProgramBuilder),
+        g: impl FnOnce(&mut ProgramBuilder),
+    ) -> StmtId {
+        self.open.push(Vec::new());
+        f(self);
+        let then_body = self.open.pop().expect("matching body");
+        self.open.push(Vec::new());
+        g(self);
+        let else_body = self.open.pop().expect("matching body");
+        self.push(StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// Appends a `print` statement.
+    pub fn print(&mut self, args: Vec<Expr>) -> StmtId {
+        self.push(StmtKind::Print { args })
+    }
+
+    /// Appends a `call` to a procedure that will be defined (or was
+    /// defined) with `subroutine`. Panics at `finish` if never defined.
+    pub fn call(&mut self, proc: ProcId) -> StmtId {
+        self.push(StmtKind::Call { proc })
+    }
+
+    /// Finishes the current procedure and starts a new `subroutine`.
+    /// Returns the [`ProcId`] the new subroutine will have.
+    pub fn subroutine(&mut self, name: &str) -> ProcId {
+        assert_eq!(self.open.len(), 1, "cannot switch units inside a block");
+        let body = std::mem::take(&mut self.open[0]);
+        self.procedures.push(Procedure {
+            name: std::mem::replace(&mut self.current_name, name.to_ascii_lowercase()),
+            is_main: std::mem::replace(&mut self.current_is_main, false),
+            body,
+        });
+        ProcId(self.procedures.len() as u32)
+    }
+
+    /// The [`ProcId`] that the *next* call to [`ProgramBuilder::subroutine`]
+    /// will produce; useful for building forward calls.
+    pub fn next_proc_id(&self) -> ProcId {
+        ProcId(self.procedures.len() as u32 + 1)
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is still open or a `call` targets a procedure id
+    /// that was never created.
+    pub fn finish(mut self) -> Program {
+        assert_eq!(self.open.len(), 1, "unclosed block at finish");
+        let body = std::mem::take(&mut self.open[0]);
+        self.procedures.push(Procedure {
+            name: self.current_name.clone(),
+            is_main: self.current_is_main,
+            body,
+        });
+        let nprocs = self.procedures.len() as u32;
+        for s in &self.stmts {
+            if let StmtKind::Call { proc } = &s.kind {
+                assert!(proc.0 < nprocs, "call to undefined procedure {proc:?}");
+            }
+        }
+        Program {
+            symbols: self.symbols,
+            stmts: self.stmts,
+            procedures: self.procedures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = ProgramBuilder::new("Main");
+        let i = b.scalar("i");
+        let p = b.scalar("p");
+        let x = b.declare_array("x", ScalarType::Real, &[Expr::int(100)]);
+        b.assign_scalar(p, Expr::int(0));
+        b.do_loop(i, Expr::int(1), Expr::int(10), |b| {
+            b.if_then(
+                Expr::bin(BinOp::Gt, Expr::Var(i), Expr::int(5)),
+                |b| {
+                    b.assign_scalar(p, Expr::add(Expr::Var(p), Expr::int(1)));
+                    b.assign_element(x, vec![Expr::Var(p)], Expr::Var(i));
+                },
+            );
+        });
+        let prog = b.finish();
+        assert_eq!(prog.procedures.len(), 1);
+        assert_eq!(prog.procedures[0].name, "main");
+        assert!(prog.procedures[0].is_main);
+        assert_eq!(prog.stmts_in(&prog.procedures[0].body).len(), 5);
+    }
+
+    #[test]
+    fn multiple_units_and_calls() {
+        let mut b = ProgramBuilder::new("main");
+        let sub_id = b.next_proc_id();
+        b.call(sub_id);
+        b.subroutine("helper");
+        let x = b.scalar("x");
+        b.assign_scalar(x, Expr::int(1));
+        let prog = b.finish();
+        assert_eq!(prog.procedures.len(), 2);
+        assert_eq!(prog.find_procedure("helper"), Some(sub_id));
+    }
+
+    #[test]
+    #[should_panic(expected = "call to undefined procedure")]
+    fn dangling_call_panics() {
+        let mut b = ProgramBuilder::new("main");
+        b.call(ProcId(99));
+        b.finish();
+    }
+}

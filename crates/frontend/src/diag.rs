@@ -1,0 +1,73 @@
+//! Diagnostics: source locations and parse errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in the original source text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SourceLoc {
+    /// 1-based line; 0 for synthesized statements.
+    pub line: u32,
+    /// 1-based column; 0 for synthesized statements.
+    pub col: u32,
+}
+
+impl SourceLoc {
+    /// A location for compiler-synthesized statements.
+    pub fn synthetic() -> SourceLoc {
+        SourceLoc { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// Error produced by the lexer or parser.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub loc: SourceLoc,
+}
+
+impl ParseError {
+    /// Creates a new parse error.
+    pub fn new(message: impl Into<String>, loc: SourceLoc) -> ParseError {
+        ParseError {
+            message: message.into(),
+            loc,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.loc, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError::new("unexpected token", SourceLoc { line: 3, col: 7 });
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected token");
+    }
+
+    #[test]
+    fn synthetic_location_displays_marker() {
+        assert_eq!(SourceLoc::synthetic().to_string(), "<synthetic>");
+    }
+}

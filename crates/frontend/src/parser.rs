@@ -1,0 +1,920 @@
+//! Recursive-descent parser for the mini-Fortran language.
+
+use crate::ast::{
+    BinOp, Expr, Intrinsic, LValue, Procedure, Program, Stmt, StmtId, StmtKind, UnOp,
+};
+use crate::diag::{ParseError, SourceLoc};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::symbols::{ProcId, ScalarType, SymbolTable};
+
+/// Parses a complete program (one `program` unit plus any number of
+/// `subroutine` units, in any order).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax or semantic
+/// problem encountered (undeclared arrays, unknown call targets,
+/// duplicate units, missing `program` unit, ...).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let parser = Parser {
+        tokens,
+        pos: 0,
+        symbols: SymbolTable::new(),
+        stmts: Vec::new(),
+        procedures: Vec::new(),
+        pending_calls: Vec::new(),
+    };
+    parser.parse()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    symbols: SymbolTable,
+    stmts: Vec<Stmt>,
+    procedures: Vec<Procedure>,
+    /// `(stmt, callee-name, loc)` — resolved after all units are parsed so
+    /// that forward calls work.
+    pending_calls: Vec<(StmtId, String, SourceLoc)>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn loc(&self) -> SourceLoc {
+        self.tokens[self.pos].loc
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.loc())
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Newline => {
+                self.bump();
+                Ok(())
+            }
+            Token::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {other:?}"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Token::Newline) {
+            self.bump();
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                format!("expected {what}, found {other:?}"),
+                self.tokens[self.pos.saturating_sub(1)].loc,
+            )),
+        }
+    }
+
+    fn new_stmt(&mut self, kind: StmtKind, loc: SourceLoc) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(Stmt { id, kind, loc });
+        id
+    }
+
+    fn parse(mut self) -> Result<Program, ParseError> {
+        self.skip_newlines();
+        while !matches!(self.peek(), Token::Eof) {
+            self.parse_unit()?;
+            self.skip_newlines();
+        }
+        if !self.procedures.iter().any(|p| p.is_main) {
+            return Err(ParseError::new(
+                "missing `program` unit",
+                SourceLoc::synthetic(),
+            ));
+        }
+        // Resolve calls now that every unit is known.
+        for (stmt, name, loc) in std::mem::take(&mut self.pending_calls) {
+            let target = self
+                .procedures
+                .iter()
+                .position(|p| p.name == name)
+                .ok_or_else(|| ParseError::new(format!("call to unknown procedure `{name}`"), loc))?;
+            self.stmts[stmt.index()].kind = StmtKind::Call {
+                proc: ProcId(target as u32),
+            };
+        }
+        Ok(Program {
+            symbols: self.symbols,
+            stmts: self.stmts,
+            procedures: self.procedures,
+        })
+    }
+
+    fn parse_unit(&mut self) -> Result<(), ParseError> {
+        let is_main = if self.eat_kw("program") {
+            true
+        } else if self.eat_kw("subroutine") {
+            false
+        } else {
+            return Err(self.err("expected `program` or `subroutine`"));
+        };
+        let name = self.expect_ident("unit name")?;
+        if self.procedures.iter().any(|p| p.name == name) {
+            return Err(self.err(format!("duplicate unit `{name}`")));
+        }
+        self.expect_newline()?;
+        let body = self.parse_stmts(&mut None)?;
+        if !self.eat_kw("end") {
+            return Err(self.err("expected `end`"));
+        }
+        self.expect_newline()?;
+        self.procedures.push(Procedure {
+            name,
+            is_main,
+            body,
+        });
+        Ok(())
+    }
+
+    /// Parses statements until a block terminator. When `close_label` is
+    /// `Some(label)`, the sequence may be terminated by `label continue`.
+    fn parse_stmts(&mut self, close_label: &mut Option<u32>) -> Result<Vec<StmtId>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Token::Eof => return Ok(out),
+                Token::Ident(s)
+                    if matches!(
+                        s.as_str(),
+                        "end" | "enddo" | "endif" | "endwhile" | "else" | "elseif"
+                    ) =>
+                {
+                    return Ok(out)
+                }
+                Token::Int(v) => {
+                    // `NNN continue` closes a labeled do loop.
+                    let v = *v;
+                    if close_label.is_some_and(|l| l as i64 == v)
+                        && self.peek2().is_kw("continue")
+                    {
+                        self.bump();
+                        self.bump();
+                        *close_label = None; // consumed
+                        return Ok(out);
+                    }
+                    return Err(self.err("unexpected integer label"));
+                }
+                _ => {
+                    if let Some(s) = self.parse_stmt()? {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses one statement (or a declaration, which produces no
+    /// statement).
+    fn parse_stmt(&mut self) -> Result<Option<StmtId>, ParseError> {
+        let loc = self.loc();
+        let head = match self.peek() {
+            Token::Ident(s) => s.clone(),
+            other => return Err(self.err(format!("expected statement, found {other:?}"))),
+        };
+        match head.as_str() {
+            "integer" | "real" => {
+                self.parse_decl()?;
+                Ok(None)
+            }
+            "do" => {
+                // `do while (...)` or counted do.
+                if self.peek2().is_kw("while") {
+                    self.bump();
+                    self.parse_while(loc).map(Some)
+                } else {
+                    self.parse_do(loc).map(Some)
+                }
+            }
+            "while" => self.parse_while(loc).map(Some),
+            "if" => self.parse_if(loc).map(Some),
+            "call" => {
+                self.bump();
+                let name = self.expect_ident("procedure name")?;
+                self.expect_newline()?;
+                // Placeholder target resolved at end of parse.
+                let id = self.new_stmt(StmtKind::Call { proc: ProcId(u32::MAX) }, loc);
+                self.pending_calls.push((id, name, loc));
+                Ok(Some(id))
+            }
+            "print" => {
+                self.bump();
+                // Optional Fortran `print *,` prefix.
+                if matches!(self.peek(), Token::Star) {
+                    self.bump();
+                    self.expect(&Token::Comma, "`,` after `print *`")?;
+                }
+                let mut args = vec![self.parse_expr()?];
+                while matches!(self.peek(), Token::Comma) {
+                    self.bump();
+                    args.push(self.parse_expr()?);
+                }
+                self.expect_newline()?;
+                Ok(Some(self.new_stmt(StmtKind::Print { args }, loc)))
+            }
+            "return" => {
+                self.bump();
+                self.expect_newline()?;
+                Ok(Some(self.new_stmt(StmtKind::Return, loc)))
+            }
+            _ => self.parse_assign(loc).map(Some),
+        }
+    }
+
+    fn parse_decl(&mut self) -> Result<(), ParseError> {
+        let ty = if self.eat_kw("integer") {
+            ScalarType::Int
+        } else {
+            self.bump(); // `real`
+            ScalarType::Real
+        };
+        loop {
+            let loc = self.loc();
+            let name = self.expect_ident("variable name")?;
+            let mut dims = Vec::new();
+            if matches!(self.peek(), Token::LParen) {
+                self.bump();
+                dims.push(self.parse_expr()?);
+                while matches!(self.peek(), Token::Comma) {
+                    self.bump();
+                    dims.push(self.parse_expr()?);
+                }
+                self.expect(&Token::RParen, "`)`")?;
+            }
+            self.symbols
+                .declare(&name, ty, dims)
+                .map_err(|m| ParseError::new(m, loc))?;
+            if matches!(self.peek(), Token::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect_newline()
+    }
+
+    fn parse_do(&mut self, loc: SourceLoc) -> Result<StmtId, ParseError> {
+        self.bump(); // `do`
+        let label = match self.peek() {
+            Token::Int(v) if *v >= 0 => {
+                let v = *v as u32;
+                self.bump();
+                Some(v)
+            }
+            _ => None,
+        };
+        let var_name = self.expect_ident("loop variable")?;
+        let var = self.symbols.intern_scalar(&var_name);
+        self.expect(&Token::Assign, "`=`")?;
+        let lo = self.parse_expr()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let hi = self.parse_expr()?;
+        let step = if matches!(self.peek(), Token::Comma) {
+            self.bump();
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_newline()?;
+        let mut close = label;
+        let body = self.parse_stmts(&mut close)?;
+        if close.is_some() {
+            // Not closed by `label continue`; expect enddo / end do.
+            self.expect_enddo()?;
+        } else if label.is_none() {
+            self.expect_enddo()?;
+        }
+        self.expect_newline()?;
+        Ok(self.new_stmt(
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                label,
+            },
+            loc,
+        ))
+    }
+
+    fn expect_enddo(&mut self) -> Result<(), ParseError> {
+        if self.eat_kw("enddo") {
+            return Ok(());
+        }
+        if self.peek().is_kw("end") && self.peek2().is_kw("do") {
+            self.bump();
+            self.bump();
+            return Ok(());
+        }
+        Err(self.err("expected `enddo`"))
+    }
+
+    fn parse_while(&mut self, loc: SourceLoc) -> Result<StmtId, ParseError> {
+        self.bump(); // `while`
+        self.expect(&Token::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Token::RParen, "`)`")?;
+        self.expect_newline()?;
+        let body = self.parse_stmts(&mut None)?;
+        if self.eat_kw("endwhile") || self.eat_kw("enddo") {
+            // ok
+        } else if self.peek().is_kw("end")
+            && (self.peek2().is_kw("while") || self.peek2().is_kw("do"))
+        {
+            self.bump();
+            self.bump();
+        } else {
+            return Err(self.err("expected `endwhile` or `enddo`"));
+        }
+        self.expect_newline()?;
+        Ok(self.new_stmt(StmtKind::While { cond, body }, loc))
+    }
+
+    fn parse_if(&mut self, loc: SourceLoc) -> Result<StmtId, ParseError> {
+        self.bump(); // `if`
+        self.expect(&Token::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Token::RParen, "`)`")?;
+        if self.eat_kw("then") {
+            self.expect_newline()?;
+            let then_body = self.parse_stmts(&mut None)?;
+            let else_body = if self.peek().is_kw("elseif")
+                || (self.peek().is_kw("else") && self.peek2().is_kw("if"))
+            {
+                // `elseif (...) then` — parse the rest as a nested if.
+                if self.eat_kw("elseif") {
+                    // rewind trick: re-insert an `if` by parsing directly
+                    let nested_loc = self.loc();
+                    let nested = self.parse_if_after_keyword(nested_loc)?;
+                    return Ok(self.finish_if(cond, then_body, vec![nested], loc));
+                } else {
+                    self.bump(); // else
+                    let nested_loc = self.loc();
+                    self.bump(); // if
+                    let nested = self.parse_if_after_keyword(nested_loc)?;
+                    return Ok(self.finish_if(cond, then_body, vec![nested], loc));
+                }
+            } else if self.eat_kw("else") {
+                self.expect_newline()?;
+                self.parse_stmts(&mut None)?
+            } else {
+                Vec::new()
+            };
+            self.expect_endif()?;
+            self.expect_newline()?;
+            Ok(self.finish_if(cond, then_body, else_body, loc))
+        } else {
+            // One-line if: `if (cond) stmt`.
+            let inner = self
+                .parse_stmt()?
+                .ok_or_else(|| self.err("expected a statement after one-line `if`"))?;
+            Ok(self.new_stmt(
+                StmtKind::If {
+                    cond,
+                    then_body: vec![inner],
+                    else_body: Vec::new(),
+                },
+                loc,
+            ))
+        }
+    }
+
+    /// Parses the `(cond) then ... endif` part of an `elseif` chain. The
+    /// closing `endif` of the chain is shared, so this does not consume it.
+    fn parse_if_after_keyword(&mut self, loc: SourceLoc) -> Result<StmtId, ParseError> {
+        self.expect(&Token::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Token::RParen, "`)`")?;
+        if !self.eat_kw("then") {
+            return Err(self.err("expected `then` after `elseif (...)`"));
+        }
+        self.expect_newline()?;
+        let then_body = self.parse_stmts(&mut None)?;
+        let else_body = if self.peek().is_kw("elseif")
+            || (self.peek().is_kw("else") && self.peek2().is_kw("if"))
+        {
+            if self.eat_kw("elseif") {
+                let nested_loc = self.loc();
+                let nested = self.parse_if_after_keyword(nested_loc)?;
+                vec![nested]
+            } else {
+                self.bump();
+                let nested_loc = self.loc();
+                self.bump();
+                let nested = self.parse_if_after_keyword(nested_loc)?;
+                vec![nested]
+            }
+        } else if self.eat_kw("else") {
+            self.expect_newline()?;
+            self.parse_stmts(&mut None)?
+        } else {
+            Vec::new()
+        };
+        // Note: endif is consumed by the outermost caller for elseif
+        // chains; since we recursed, consume it here and signal up by
+        // producing the statement. The outer caller uses finish_if without
+        // re-consuming.
+        self.expect_endif()?;
+        self.expect_newline()?;
+        Ok(self.finish_if(cond, then_body, else_body, loc))
+    }
+
+    fn finish_if(
+        &mut self,
+        cond: Expr,
+        then_body: Vec<StmtId>,
+        else_body: Vec<StmtId>,
+        loc: SourceLoc,
+    ) -> StmtId {
+        self.new_stmt(
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            },
+            loc,
+        )
+    }
+
+    fn expect_endif(&mut self) -> Result<(), ParseError> {
+        if self.eat_kw("endif") {
+            return Ok(());
+        }
+        if self.peek().is_kw("end") && self.peek2().is_kw("if") {
+            self.bump();
+            self.bump();
+            return Ok(());
+        }
+        Err(self.err("expected `endif`"))
+    }
+
+    fn parse_assign(&mut self, loc: SourceLoc) -> Result<StmtId, ParseError> {
+        let name = self.expect_ident("assignment target")?;
+        let lhs = if matches!(self.peek(), Token::LParen) {
+            let var = self
+                .symbols
+                .lookup(&name)
+                .filter(|v| self.symbols.var(*v).is_array())
+                .ok_or_else(|| self.err(format!("assignment to undeclared array `{name}`")))?;
+            self.bump();
+            let mut subs = vec![self.parse_expr()?];
+            while matches!(self.peek(), Token::Comma) {
+                self.bump();
+                subs.push(self.parse_expr()?);
+            }
+            self.expect(&Token::RParen, "`)`")?;
+            let rank = self.symbols.var(var).rank();
+            if subs.len() != rank {
+                return Err(self.err(format!(
+                    "array `{name}` has rank {rank} but {} subscripts given",
+                    subs.len()
+                )));
+            }
+            LValue::Element(var, subs)
+        } else {
+            LValue::Scalar(self.symbols.intern_scalar(&name))
+        };
+        self.expect(&Token::Assign, "`=`")?;
+        let rhs = self.parse_expr()?;
+        self.expect_newline()?;
+        Ok(self.new_stmt(StmtKind::Assign { lhs, rhs }, loc))
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Token::Or) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while matches!(self.peek(), Token::And) {
+            self.bump();
+            let rhs = self.parse_not()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Token::Not) {
+            self.bump();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(inner)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_addsub()?;
+        let op = match self.peek() {
+            Token::EqEq => BinOp::Eq,
+            Token::NotEq => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_addsub()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn parse_addsub(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_muldiv()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let inner = self.parse_unary()?;
+                Ok(Expr::Un(UnOp::Neg, Box::new(inner)))
+            }
+            Token::Plus => {
+                self.bump();
+                self.parse_unary()
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.loc();
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::IntLit(v)),
+            Token::Real(v) => Ok(Expr::RealLit(v)),
+            Token::LParen => {
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                if matches!(self.peek(), Token::LParen) {
+                    // Array reference or intrinsic call.
+                    let declared_array = self
+                        .symbols
+                        .lookup(&name)
+                        .filter(|v| self.symbols.var(*v).is_array());
+                    self.bump();
+                    let mut args = vec![self.parse_expr()?];
+                    while matches!(self.peek(), Token::Comma) {
+                        self.bump();
+                        args.push(self.parse_expr()?);
+                    }
+                    self.expect(&Token::RParen, "`)`")?;
+                    if let Some(var) = declared_array {
+                        let rank = self.symbols.var(var).rank();
+                        if args.len() != rank {
+                            return Err(ParseError::new(
+                                format!(
+                                    "array `{name}` has rank {rank} but {} subscripts given",
+                                    args.len()
+                                ),
+                                loc,
+                            ));
+                        }
+                        return Ok(Expr::Element(var, args));
+                    }
+                    if let Some(intr) = Intrinsic::from_name(&name) {
+                        return Ok(Expr::Call(intr, args));
+                    }
+                    Err(ParseError::new(
+                        format!("`{name}` is not a declared array or intrinsic"),
+                        loc,
+                    ))
+                } else {
+                    Ok(Expr::Var(self.symbols.intern_scalar(&name)))
+                }
+            }
+            other => Err(ParseError::new(
+                format!("expected expression, found {other:?}"),
+                loc,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        parse_program(src).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse("program t\nx = 1\nend\n");
+        assert_eq!(p.procedures.len(), 1);
+        assert!(p.procedures[0].is_main);
+        assert_eq!(p.procedures[0].body.len(), 1);
+    }
+
+    #[test]
+    fn missing_program_unit_is_error() {
+        assert!(parse_program("subroutine s\nx = 1\nend\n").is_err());
+    }
+
+    #[test]
+    fn do_loop_with_label_and_continue() {
+        let p = parse(
+            "program t
+             integer i, n
+             real x(10)
+             do 140 i = 1, n
+               x(i) = i
+ 140         continue
+             end",
+        );
+        let main = p.main();
+        let body = &p.procedure(main).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::Do { label, body, .. } => {
+                assert_eq!(*label, Some(140));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected do, got {other:?}"),
+        }
+        assert_eq!(p.loop_label(main, body[0]), "T/do140");
+    }
+
+    #[test]
+    fn nested_do_while_if() {
+        let p = parse(
+            "program t
+             integer i, p, n
+             real x(100), y(100)
+             p = 0
+             do i = 1, n
+               while (p < 10)
+                 p = p + 1
+                 x(p) = y(i)
+               endwhile
+               if (p >= 1) then
+                 y(i) = x(p)
+                 p = p - 1
+               else
+                 y(i) = 0
+               endif
+             enddo
+             end",
+        );
+        let main = p.main();
+        let all = p.stmts_in(&p.procedure(main).body);
+        assert!(all.len() >= 8);
+    }
+
+    #[test]
+    fn one_line_if() {
+        let p = parse("program t\ninteger q, i\nif (i > 0) q = q + 1\nend\n");
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert!(else_body.is_empty());
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elseif_chain() {
+        let p = parse(
+            "program t
+             integer a, b
+             if (a > 0) then
+               b = 1
+             elseif (a < 0) then
+               b = 2
+             else
+               b = 3
+             endif
+             end",
+        );
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(p.stmt(else_body[0]).kind, StmtKind::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_resolution_is_order_independent() {
+        let p = parse(
+            "program t
+             call s
+             end
+             subroutine s
+             x = 1
+             end",
+        );
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::Call { proc } => {
+                assert_eq!(p.procedure(*proc).name, "s");
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+        // Forward reference also works: subroutine defined before program.
+        let p2 = parse(
+            "subroutine s
+             x = 1
+             end
+             program t
+             call s
+             end",
+        );
+        assert!(p2.find_procedure("s").is_some());
+    }
+
+    #[test]
+    fn unknown_call_is_error() {
+        assert!(parse_program("program t\ncall nope\nend\n").is_err());
+    }
+
+    #[test]
+    fn undeclared_array_is_error() {
+        assert!(parse_program("program t\nq(1) = 2\nend\n").is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_is_error() {
+        assert!(parse_program("program t\nreal a(5,5)\na(1) = 2\nend\n").is_err());
+        assert!(parse_program("program t\nreal a(5)\nx = a(1,2)\nend\n").is_err());
+    }
+
+    #[test]
+    fn intrinsics_parse() {
+        let p = parse("program t\nx = min(1, 2) + sqrt(4.0) + mod(7, 3)\nend\n");
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::Assign { rhs, .. } => {
+                let mut vars = Vec::new();
+                rhs.collect_vars(&mut vars);
+                assert!(vars.is_empty());
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_indirect_subscripts() {
+        let p = parse(
+            "program t
+             integer pos(10), k
+             real x(10), y(10)
+             y(k) = x(pos(k))
+             end",
+        );
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::Assign { rhs, .. } => match rhs {
+                Expr::Element(_, subs) => {
+                    assert!(matches!(subs[0], Expr::Element(..)));
+                }
+                other => panic!("expected element, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_while_form() {
+        let p = parse(
+            "program t
+             integer i
+             do while (i < 10)
+               i = i + 1
+             enddo
+             end",
+        );
+        let body = &p.procedure(p.main()).body;
+        assert!(matches!(p.stmt(body[0]).kind, StmtKind::While { .. }));
+    }
+
+    #[test]
+    fn print_statement() {
+        let p = parse("program t\nprint *, 1, 2\nprint 3\nend\n");
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::Print { args } => assert_eq!(args.len(), 2),
+            other => panic!("expected print, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn do_with_step() {
+        let p = parse("program t\ninteger i\ndo i = 1, 10, 2\ni = i\nenddo\nend\n");
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::Do { step, .. } => assert!(step.is_some()),
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse("program t\nx = 1 + 2 * 3\nend\n");
+        let body = &p.procedure(p.main()).body;
+        match &p.stmt(body[0]).kind {
+            StmtKind::Assign { rhs, .. } => match rhs {
+                Expr::Bin(BinOp::Add, _, r) => {
+                    assert!(matches!(**r, Expr::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+}

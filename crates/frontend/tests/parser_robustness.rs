@@ -1,0 +1,111 @@
+//! Parser robustness: malformed inputs must produce errors (with
+//! positions), never panics; near-miss syntax is rejected.
+
+use irr_frontend::parse_program;
+
+fn rejects(src: &str) {
+    match parse_program(src) {
+        Ok(_) => panic!("should reject:\n{src}"),
+        Err(e) => {
+            // The error formats with a location.
+            let msg = e.to_string();
+            assert!(msg.contains("parse error"), "{msg}");
+        }
+    }
+}
+
+#[test]
+fn unterminated_blocks() {
+    rejects("program t\ndo i = 1, 3\nx = 1\nend\n");
+    rejects("program t\nif (a > 0) then\nx = 1\nend\n");
+    rejects("program t\nwhile (a > 0)\nx = 1\nend\n");
+    rejects("program t\nx = 1\n"); // missing end
+}
+
+#[test]
+fn mismatched_terminators() {
+    rejects("program t\ndo i = 1, 3\nx = 1\nendif\nend\n");
+    rejects("program t\nif (a > 0) then\nx = 1\nenddo\nend\n");
+    // A labeled do closed with the wrong label.
+    rejects("program t\ndo 10 i = 1, 3\nx = 1\n 20 continue\nend\n");
+}
+
+#[test]
+fn malformed_expressions() {
+    rejects("program t\nx = 1 +\nend\n");
+    rejects("program t\nx = (1 + 2\nend\n");
+    rejects("program t\nx = * 3\nend\n");
+    rejects("program t\nx = min(1,\nend\n");
+}
+
+#[test]
+fn malformed_statements() {
+    rejects("program t\ndo i 1, 3\nx = 1\nenddo\nend\n");
+    rejects("program t\ndo i = 1\nx = 1\nenddo\nend\n");
+    rejects("program t\nif a > 0 then\nx = 1\nendif\nend\n");
+    rejects("program t\ncall\nend\n");
+    rejects("program t\n= 5\nend\n");
+}
+
+#[test]
+fn duplicate_units() {
+    rejects("program t\nx = 1\nend\nprogram t\ny = 2\nend\n");
+    rejects(
+        "program t\nx = 1\nend\nsubroutine s\ny = 1\nend\nsubroutine s\nz = 1\nend\n",
+    );
+}
+
+#[test]
+fn error_positions_point_at_the_problem() {
+    let err = parse_program("program t\nx = 1\ny = @\nend\n").unwrap_err();
+    assert_eq!(err.loc.line, 3, "{err}");
+}
+
+#[test]
+fn deeply_nested_parse_is_fine() {
+    // 40 nested ifs: recursion depth is healthy.
+    let mut src = String::from("program t\ninteger a\n");
+    for _ in 0..40 {
+        src.push_str("if (a > 0) then\n");
+    }
+    src.push_str("a = 1\n");
+    for _ in 0..40 {
+        src.push_str("endif\n");
+    }
+    src.push_str("end\n");
+    let p = parse_program(&src).unwrap();
+    assert_eq!(p.stmts_in(&p.procedure(p.main()).body).len(), 41);
+}
+
+#[test]
+fn crlf_and_semicolon_separators() {
+    let p = parse_program("program t\r\nx = 1; y = 2\r\nend\r\n").unwrap();
+    assert_eq!(p.stmts_in(&p.procedure(p.main()).body).len(), 2);
+}
+
+#[test]
+fn keywords_are_case_insensitive() {
+    let p = parse_program(
+        "PROGRAM T\nINTEGER I\nREAL X(5)\nDO I = 1, 5\nX(I) = I\nENDDO\nEND\n",
+    )
+    .unwrap();
+    assert_eq!(p.procedures[0].name, "t");
+    assert!(p.symbols.lookup("x").is_some());
+}
+
+#[test]
+fn comments_everywhere() {
+    let p = parse_program(
+        "! leading comment
+         program t ! trailing
+         ! inside
+         integer i
+         do i = 1, 2 ! bound comment
+           ! body comment
+           x = i
+         enddo
+         end ! done",
+    )
+    .unwrap();
+    assert_eq!(p.procedures.len(), 1);
+}

@@ -1,0 +1,269 @@
+//! Property-based round-trip tests: parse → print → parse → print is a
+//! fixpoint, and the reparsed program has the same shape.
+
+use irr_frontend::{parse_program, print_program, StmtKind};
+use proptest::prelude::*;
+
+/// A random statement in a small safe fragment (literal loop bounds,
+/// in-bounds subscripts).
+#[derive(Clone, Debug)]
+enum S {
+    AssignScalar(u8, E),
+    AssignElem(u8, E, E),
+    Do(u8, i64, i64, Vec<S>),
+    While(E, Vec<S>),
+    If(E, Vec<S>, Vec<S>),
+    Print(E),
+}
+
+#[derive(Clone, Debug)]
+enum E {
+    Int(i64),
+    Real(i64),
+    Scalar(u8),
+    Elem(u8, Box<E>),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Mod(Box<E>, i64),
+    Min(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+fn expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-9i64..10).prop_map(E::Int),
+        (-9i64..10).prop_map(E::Real),
+        (0u8..3).prop_map(E::Scalar),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (0u8..2, inner.clone()).prop_map(|(a, e)| E::Elem(a, Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), 1i64..9).prop_map(|(a, c)| E::Mod(Box::new(a), c)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<S> {
+    let assign = prop_oneof![
+        (0u8..3, expr()).prop_map(|(v, e)| S::AssignScalar(v, e)),
+        (0u8..2, expr(), expr()).prop_map(|(a, i, e)| S::AssignElem(a, i, e)),
+        expr().prop_map(S::Print),
+    ];
+    if depth == 0 {
+        assign.boxed()
+    } else {
+        prop_oneof![
+            assign,
+            (
+                0u8..3,
+                1i64..4,
+                1i64..8,
+                proptest::collection::vec(stmt(depth - 1), 1..3)
+            )
+                .prop_map(|(v, lo, hi, b)| S::Do(v, lo, hi, b)),
+            (expr(), proptest::collection::vec(stmt(depth - 1), 1..3))
+                .prop_map(|(c, b)| S::While(c, b)),
+            (
+                expr(),
+                proptest::collection::vec(stmt(depth - 1), 1..3),
+                proptest::collection::vec(stmt(depth - 1), 0..2)
+            )
+                .prop_map(|(c, t, e)| S::If(c, t, e)),
+        ]
+        .boxed()
+    }
+}
+
+fn scalar_name(v: u8) -> &'static str {
+    ["n1", "n2", "xs"][v as usize % 3]
+}
+
+fn array_name(a: u8) -> &'static str {
+    ["arr", "brr"][a as usize % 2]
+}
+
+fn render_expr(e: &E, out: &mut String) {
+    match e {
+        E::Int(v) => {
+            if *v < 0 {
+                out.push_str(&format!("(0 - {})", -v));
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        E::Real(v) => out.push_str(&format!("({v}.0 + 0.5)")),
+        E::Scalar(v) => out.push_str(scalar_name(*v)),
+        E::Elem(a, i) => {
+            out.push_str(array_name(*a));
+            out.push_str("(mod(");
+            render_expr(i, out);
+            out.push_str(", 8) + 1)");
+        }
+        E::Add(a, b) => bin(out, a, "+", b),
+        E::Sub(a, b) => bin(out, a, "-", b),
+        E::Mul(a, b) => bin(out, a, "*", b),
+        E::Mod(a, c) => {
+            out.push_str("mod(");
+            render_expr(a, out);
+            out.push_str(&format!(", {c})"));
+        }
+        E::Min(a, b) => {
+            out.push_str("min(");
+            render_expr(a, out);
+            out.push_str(", ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        E::Neg(a) => {
+            out.push_str("(-");
+            render_expr(a, out);
+            out.push(')');
+        }
+    }
+}
+
+fn bin(out: &mut String, a: &E, op: &str, b: &E) {
+    out.push('(');
+    render_expr(a, out);
+    out.push_str(&format!(" {op} "));
+    render_expr(b, out);
+    out.push(')');
+}
+
+fn render_stmt(s: &S, ind: usize, out: &mut String, fuel_guard: &mut u32) {
+    let pad = "  ".repeat(ind);
+    match s {
+        S::AssignScalar(v, e) => {
+            out.push_str(&format!("{pad}{} = ", scalar_name(*v)));
+            render_expr(e, out);
+            out.push('\n');
+        }
+        S::AssignElem(a, i, e) => {
+            out.push_str(&format!("{pad}{}(mod(", array_name(*a)));
+            render_expr(i, out);
+            out.push_str(", 8) + 1) = ");
+            render_expr(e, out);
+            out.push('\n');
+        }
+        S::Do(v, lo, hi, body) => {
+            out.push_str(&format!("{pad}do {} = {lo}, {hi}\n", scalar_name(*v)));
+            for b in body {
+                render_stmt(b, ind + 1, out, fuel_guard);
+            }
+            out.push_str(&format!("{pad}enddo\n"));
+        }
+        S::While(c, body) => {
+            // Bound the while with a dedicated counter so interpretation
+            // terminates.
+            *fuel_guard += 1;
+            let g = format!("nw{fuel_guard}");
+            out.push_str(&format!("{pad}{g} = 0\n"));
+            out.push_str(&format!("{pad}while ({g} < 3 .and. ("));
+            render_expr(c, out);
+            out.push_str(") /= 0)\n");
+            out.push_str(&format!("{pad}  {g} = {g} + 1\n"));
+            for b in body {
+                render_stmt(b, ind + 1, out, fuel_guard);
+            }
+            out.push_str(&format!("{pad}endwhile\n"));
+        }
+        S::If(c, t, e) => {
+            out.push_str(&format!("{pad}if (("));
+            render_expr(c, out);
+            out.push_str(") > 0) then\n");
+            for b in t {
+                render_stmt(b, ind + 1, out, fuel_guard);
+            }
+            if !e.is_empty() {
+                out.push_str(&format!("{pad}else\n"));
+                for b in e {
+                    render_stmt(b, ind + 1, out, fuel_guard);
+                }
+            }
+            out.push_str(&format!("{pad}endif\n"));
+        }
+        S::Print(e) => {
+            out.push_str(&format!("{pad}print "));
+            render_expr(e, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn render_program(stmts: &[S]) -> String {
+    let mut body = String::new();
+    let mut guard = 0;
+    for s in stmts {
+        render_stmt(s, 1, &mut body, &mut guard);
+    }
+    let mut decls = String::new();
+    for g in 1..=guard {
+        decls.push_str(&format!("  integer nw{g}\n"));
+    }
+    format!(
+        "program gen\n  integer n1, n2\n  real xs, arr(9), brr(9)\n{decls}{body}end\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print(parse(print(parse(src)))) == print(parse(src)) and the
+    /// statement shapes survive.
+    #[test]
+    fn print_parse_roundtrip(stmts in proptest::collection::vec(stmt(2), 1..6)) {
+        let src = render_program(&stmts);
+        let p1 = parse_program(&src)
+            .unwrap_or_else(|e| panic!("generated source must parse: {e}\n{src}"));
+        let printed1 = print_program(&p1);
+        let p2 = parse_program(&printed1)
+            .unwrap_or_else(|e| panic!("printed source must reparse: {e}\n{printed1}"));
+        let printed2 = print_program(&p2);
+        prop_assert_eq!(&printed1, &printed2, "printer not a fixpoint\nsrc:\n{}", src);
+        // Same number of statements of each kind.
+        let count = |p: &irr_frontend::Program| {
+            let mut c = [0usize; 6];
+            for proc in &p.procedures {
+                for s in p.stmts_in(&proc.body) {
+                    let k = match p.stmt(s).kind {
+                        StmtKind::Assign { .. } => 0,
+                        StmtKind::Do { .. } => 1,
+                        StmtKind::While { .. } => 2,
+                        StmtKind::If { .. } => 3,
+                        StmtKind::Print { .. } => 4,
+                        _ => 5,
+                    };
+                    c[k] += 1;
+                }
+            }
+            c
+        };
+        prop_assert_eq!(count(&p1), count(&p2));
+    }
+
+    /// Generated programs interpret identically before and after a
+    /// print/parse round trip (the printer preserves semantics, not just
+    /// shape).
+    #[test]
+    fn roundtrip_preserves_execution(stmts in proptest::collection::vec(stmt(2), 1..5)) {
+        let src = render_program(&stmts);
+        let p1 = parse_program(&src).unwrap();
+        let p2 = parse_program(&print_program(&p1)).unwrap();
+        let run = |p: &irr_frontend::Program| {
+            let mut it = irr_exec::Interp::new(p);
+            it.fuel = 2_000_000;
+            it.run().map(|o| o.output)
+        };
+        match (run(&p1), run(&p2)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "outputs differ\n{}", src),
+            (Err(_), Err(_)) => {} // same failure class is acceptable
+            (a, b) => prop_assert!(false, "one run failed: {a:?} vs {b:?}\n{src}"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Bounded depth-first search (Fig. 2 of the paper).
+//!
+//! `bDFS` explores a control-flow graph from a start node. Two predicates
+//! steer it:
+//!
+//! - `fbound(n)` — when true for the *current* node, its successors are
+//!   not explored (the node is a search boundary);
+//! - `ffailed(n)` — when true for an *adjacent* node, the whole search
+//!   terminates immediately with [`BdfsOutcome::Failed`].
+//!
+//! The single-indexed access analyses of §2 are built entirely from runs
+//! of this search with different predicate pairs (e.g. "from every
+//! `p = p + 1`, a write of `x(p)` must be reached before another
+//! `p = p + 1`").
+
+use crate::cfg::{Cfg, CfgNodeId};
+
+/// Result of a bounded DFS.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BdfsOutcome {
+    /// No failing node was adjacent to any explored path.
+    Succeeded,
+    /// Some path reached a node with `ffailed(n) == true` before a
+    /// boundary.
+    Failed,
+}
+
+/// Runs the bounded DFS of Fig. 2 starting at `start`.
+///
+/// Exactly as in the paper, the predicates are *not* evaluated on
+/// `start` itself: `ffailed` is checked on nodes adjacent to the current
+/// one, and `fbound` is checked when a node is expanded. A path that
+/// cycles back to `start` therefore *does* check `ffailed(start)`.
+pub fn bounded_dfs(
+    cfg: &Cfg,
+    start: CfgNodeId,
+    fbound: impl Fn(CfgNodeId) -> bool,
+    ffailed: impl Fn(CfgNodeId) -> bool,
+) -> BdfsOutcome {
+    let mut visited = vec![false; cfg.len()];
+    visited[start.index()] = true;
+    // Iterative version of the recursive bDFS(u) in Fig. 2.
+    let mut stack = vec![start];
+    // The start node's expansion is unconditional only if it is not a
+    // boundary itself.
+    while let Some(u) = stack.pop() {
+        // Fig. 2 checks fbound on every visited node, including the
+        // start; a bounded node's successors are not explored.
+        if fbound(u) {
+            continue;
+        }
+        for &v in cfg.succs(u) {
+            if ffailed(v) {
+                return BdfsOutcome::Failed;
+            }
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    BdfsOutcome::Succeeded
+}
+
+/// Runs [`bounded_dfs`] from every node in `starts`, failing if any run
+/// fails.
+pub fn bounded_dfs_all(
+    cfg: &Cfg,
+    starts: &[CfgNodeId],
+    fbound: impl Fn(CfgNodeId) -> bool,
+    ffailed: impl Fn(CfgNodeId) -> bool,
+) -> BdfsOutcome {
+    for &s in starts {
+        if bounded_dfs(cfg, s, &fbound, &ffailed) == BdfsOutcome::Failed {
+            return BdfsOutcome::Failed;
+        }
+    }
+    BdfsOutcome::Succeeded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgNodeKind;
+    use irr_frontend::{parse_program, Program, StmtKind};
+
+    fn setup(src: &str) -> (Program, Cfg) {
+        let p = parse_program(src).unwrap();
+        let body = p.procedure(p.main()).body.clone();
+        let cfg = Cfg::build(&p, &body);
+        (p, cfg)
+    }
+
+    /// Finds the CFG node for the k-th assignment statement.
+    fn nth_assign(p: &Program, cfg: &Cfg, k: usize) -> CfgNodeId {
+        let mut assigns: Vec<CfgNodeId> = cfg
+            .nodes_where(|kind| matches!(kind, CfgNodeKind::Stmt(_)))
+            .into_iter()
+            .filter(|n| {
+                cfg.kind(*n)
+                    .stmt()
+                    .is_some_and(|s| matches!(p.stmt(s).kind, StmtKind::Assign { .. }))
+            })
+            .collect();
+        assigns.sort_by_key(|n| cfg.kind(*n).stmt().unwrap());
+        assigns[k]
+    }
+
+    #[test]
+    fn straight_line_succeeds_without_failing_nodes() {
+        let (p, cfg) = setup("program t\na = 1\nb = 2\nc = 3\nend\n");
+        let start = nth_assign(&p, &cfg, 0);
+        let out = bounded_dfs(&cfg, start, |_| false, |_| false);
+        assert_eq!(out, BdfsOutcome::Succeeded);
+    }
+
+    #[test]
+    fn fails_when_reaching_failed_node() {
+        let (p, cfg) = setup("program t\na = 1\nb = 2\nc = 3\nend\n");
+        let start = nth_assign(&p, &cfg, 0);
+        let target = nth_assign(&p, &cfg, 2);
+        let out = bounded_dfs(&cfg, start, |_| false, |n| n == target);
+        assert_eq!(out, BdfsOutcome::Failed);
+    }
+
+    #[test]
+    fn boundary_blocks_failure() {
+        // a=1 ; b=2 ; c=3 — bounding at b prevents reaching c.
+        let (p, cfg) = setup("program t\na = 1\nb = 2\nc = 3\nend\n");
+        let start = nth_assign(&p, &cfg, 0);
+        let bound = nth_assign(&p, &cfg, 1);
+        let target = nth_assign(&p, &cfg, 2);
+        let out = bounded_dfs(&cfg, start, |n| n == bound, |n| n == target);
+        assert_eq!(out, BdfsOutcome::Succeeded);
+    }
+
+    #[test]
+    fn failure_on_alternate_branch_is_found() {
+        // if-diamond: bounding the then-arm does not protect the else-arm.
+        let (p, cfg) = setup(
+            "program t
+             integer q
+             a = 1
+             if (q > 0) then
+               b = 2
+             else
+               c = 3
+             endif
+             end",
+        );
+        let start = nth_assign(&p, &cfg, 0);
+        let bound = nth_assign(&p, &cfg, 1); // b = 2
+        let target = nth_assign(&p, &cfg, 2); // c = 3
+        let out = bounded_dfs(&cfg, start, |n| n == bound, |n| n == target);
+        assert_eq!(out, BdfsOutcome::Failed);
+    }
+
+    #[test]
+    fn cycle_reaches_start_again() {
+        // Inside a loop, an unprotected path wraps around and reaches the
+        // start node itself.
+        let (p, cfg) = setup(
+            "program t
+             integer i, p
+             do i = 1, 9
+               p = p + 1
+             enddo
+             end",
+        );
+        let start = nth_assign(&p, &cfg, 0);
+        // ffailed on the start: reachable through the back edge.
+        let out = bounded_dfs(&cfg, start, |_| false, |n| n == start);
+        assert_eq!(out, BdfsOutcome::Failed);
+    }
+
+    #[test]
+    fn bound_between_start_and_cycle_protects() {
+        let (p, cfg) = setup(
+            "program t
+             integer i, p
+             real x(100)
+             do i = 1, 9
+               p = p + 1
+               x(p) = 1
+             enddo
+             end",
+        );
+        let inc = nth_assign(&p, &cfg, 0);
+        let write = nth_assign(&p, &cfg, 1);
+        // From p=p+1, every path to another p=p+1 passes the write first.
+        let out = bounded_dfs(&cfg, inc, |n| n == write, |n| n == inc);
+        assert_eq!(out, BdfsOutcome::Succeeded);
+    }
+
+    #[test]
+    fn bounded_dfs_all_aggregates() {
+        let (p, cfg) = setup("program t\na = 1\nb = 2\nend\n");
+        let s0 = nth_assign(&p, &cfg, 0);
+        let s1 = nth_assign(&p, &cfg, 1);
+        assert_eq!(
+            bounded_dfs_all(&cfg, &[s0, s1], |_| false, |_| false),
+            BdfsOutcome::Succeeded
+        );
+        assert_eq!(
+            bounded_dfs_all(&cfg, &[s0, s1], |_| false, |n| n == s1),
+            BdfsOutcome::Failed
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Control-flow graphs for the irregular-access analyses.
+//!
+//! Two graph views are provided, matching the two analyses of the paper:
+//!
+//! - [`Cfg`] — a flat, *cyclic* control-flow graph of a region (loops keep
+//!   their back edges). This is what the bounded depth-first search
+//!   ([`bdfs`], Fig. 2 of the paper) runs on for single-indexed access
+//!   analysis: "is there a path from one `p = p + 1` to another that does
+//!   not write `x(p)`?" is a question about *paths including the loop
+//!   back edge*.
+//! - [`Hcg`] — the hierarchical control graph of §3.2.1: each loop body
+//!   and procedure body is a *section* with a single entry and exit; back
+//!   edges are deleted, so every section is a DAG. Reverse query
+//!   propagation, reverse-topological worklists, and dominator
+//!   computations all operate on sections.
+
+pub mod bdfs;
+pub mod cfg;
+pub mod hcg;
+
+pub use bdfs::{bounded_dfs, BdfsOutcome};
+pub use cfg::{Cfg, CfgNodeId, CfgNodeKind};
+pub use hcg::{Hcg, HcgNodeId, HcgNodeKind, SectionId, SectionInfo, SectionKind};

@@ -1,0 +1,172 @@
+//! Structural edge cases for the CFG and HCG.
+
+use irr_frontend::{parse_program, Program};
+use irr_graph::{bounded_dfs, BdfsOutcome, Cfg, CfgNodeKind, Hcg, HcgNodeKind};
+
+fn program(src: &str) -> Program {
+    parse_program(src).unwrap()
+}
+
+#[test]
+fn empty_procedure_body() {
+    let p = program("program t\nend\n");
+    let cfg = Cfg::build(&p, &p.procedure(p.main()).body);
+    assert_eq!(cfg.succs(Cfg::ENTRY), &[Cfg::EXIT]);
+    let h = Hcg::build(&p);
+    let sec = h.proc_section(p.main());
+    assert_eq!(h.section(sec).topo_order.len(), 2); // entry, exit
+    assert!(!h.is_empty());
+}
+
+#[test]
+fn deeply_nested_structures() {
+    let p = program(
+        "program t
+         integer a, b, c, i, j
+         do i = 1, 3
+           if (a > 0) then
+             do j = 1, 2
+               while (b < 5)
+                 b = b + 1
+                 if (c > 0) then
+                   c = c - 1
+                 else
+                   c = c + 1
+                 endif
+               endwhile
+             enddo
+           endif
+         enddo
+         end",
+    );
+    let cfg = Cfg::build(&p, &p.procedure(p.main()).body);
+    // Every node reachable from entry, exit reachable from every node
+    // that is not the exit.
+    let mut seen = vec![false; cfg.len()];
+    let mut stack = vec![Cfg::ENTRY];
+    seen[Cfg::ENTRY.index()] = true;
+    while let Some(n) = stack.pop() {
+        for &s in cfg.succs(n) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    assert!(seen.iter().all(|&b| b), "unreachable CFG nodes");
+    // The HCG has one section per loop body plus the procedure.
+    let h = Hcg::build(&p);
+    let loops = p
+        .stmts_in(&p.procedure(p.main()).body)
+        .into_iter()
+        .filter(|s| p.stmt(*s).kind.is_loop())
+        .count();
+    let mut sections = 0;
+    for n in 0..h.len() as u32 {
+        if matches!(h.kind(irr_graph::HcgNodeId(n)), HcgNodeKind::Entry(_)) {
+            sections += 1;
+        }
+    }
+    assert_eq!(sections, loops + 1);
+}
+
+#[test]
+fn dominance_is_section_local() {
+    let p = program(
+        "program t
+         integer i
+         a = 1
+         do i = 1, 3
+           b = 2
+         enddo
+         end",
+    );
+    let h = Hcg::build(&p);
+    let main_sec = h.proc_section(p.main());
+    let a_node = h
+        .section(main_sec)
+        .topo_order
+        .iter()
+        .copied()
+        .find(|n| matches!(h.kind(*n), HcgNodeKind::Simple(_)))
+        .unwrap();
+    // The b=2 node lives in the loop body section: cross-section
+    // dominance queries answer false rather than panicking.
+    let loop_body = p
+        .stmts_in(&p.procedure(p.main()).body)
+        .into_iter()
+        .find(|s| p.stmt(*s).kind.is_loop())
+        .and_then(|l| h.loop_section(l))
+        .unwrap();
+    let b_node = h
+        .section(loop_body)
+        .topo_order
+        .iter()
+        .copied()
+        .find(|n| matches!(h.kind(*n), HcgNodeKind::Simple(_)))
+        .unwrap();
+    assert!(!h.dominates(a_node, b_node));
+    assert!(!h.dominates(b_node, a_node));
+    assert!(h.dominates(a_node, a_node));
+}
+
+#[test]
+fn bdfs_bounded_start_explores_nothing() {
+    let p = program("program t\na = 1\nb = 2\nend\n");
+    let cfg = Cfg::build(&p, &p.procedure(p.main()).body);
+    let first = cfg.succs(Cfg::ENTRY)[0];
+    let second = cfg.succs(first)[0];
+    // fbound on the start itself: the search never leaves it, so the
+    // ffailed successor is never seen.
+    let out = bounded_dfs(&cfg, first, |n| n == first, |n| n == second);
+    assert_eq!(out, BdfsOutcome::Succeeded);
+}
+
+#[test]
+fn call_sites_enumerate_every_caller() {
+    let p = program(
+        "program t
+         call s
+         call s
+         end
+         subroutine r
+         call s
+         end
+         subroutine s
+         x = 1
+         end",
+    );
+    let h = Hcg::build(&p);
+    let s = p.find_procedure("s").unwrap();
+    // Two calls in main + one in r (r itself is never called, but its
+    // call site exists).
+    assert_eq!(h.call_sites(s).len(), 3);
+    let r = p.find_procedure("r").unwrap();
+    assert!(h.call_sites(r).is_empty());
+}
+
+#[test]
+fn cfg_region_of_inner_loop_only() {
+    // Building the CFG of just an inner loop statement scopes the search
+    // region (used by the per-loop single-indexed analyses).
+    let p = program(
+        "program t
+         integer i, j
+         real x(10)
+         do i = 1, 3
+           do j = 1, 4
+             x(j) = i
+           enddo
+         enddo
+         end",
+    );
+    let inner = p
+        .stmts_in(&p.procedure(p.main()).body)
+        .into_iter()
+        .filter(|s| p.stmt(*s).kind.is_loop())
+        .nth(1)
+        .unwrap();
+    let cfg = Cfg::build(&p, std::slice::from_ref(&inner));
+    let heads = cfg.nodes_where(|k| matches!(k, CfgNodeKind::LoopHead(_)));
+    assert_eq!(heads.len(), 1, "only the inner loop's head is present");
+}

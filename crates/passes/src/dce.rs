@@ -1,0 +1,183 @@
+//! Dead scalar-assignment elimination.
+//!
+//! Removes assignments to scalars that are never read anywhere in the
+//! program (after the other scalar passes have rewritten uses away).
+//! Array writes and anything with observable effects are kept.
+
+use irr_frontend::{Expr, LValue, Program, StmtId, StmtKind, VarId};
+use std::collections::HashSet;
+
+/// Removes dead scalar assignments; returns how many were removed.
+pub fn eliminate_dead_code(program: &mut Program) -> usize {
+    let mut removed = 0;
+    loop {
+        let live = collect_read_vars(program);
+        let mut removed_this_round = 0;
+        for i in 0..program.procedures.len() {
+            let body = program.procedures[i].body.clone();
+            let new_body = prune_body(program, body, &live, &mut removed_this_round);
+            program.procedures[i].body = new_body;
+        }
+        if removed_this_round == 0 {
+            break;
+        }
+        removed += removed_this_round;
+    }
+    removed
+}
+
+/// Every scalar that is *read* somewhere: in any expression, as a loop
+/// induction variable (its value is observable after the loop), or
+/// printed.
+fn collect_read_vars(program: &Program) -> HashSet<VarId> {
+    let mut live = HashSet::new();
+    fn record(live: &mut HashSet<VarId>, e: &Expr) {
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        live.extend(vars);
+    }
+    for proc in &program.procedures {
+        for s in program.stmts_in(&proc.body) {
+            match &program.stmt(s).kind {
+                StmtKind::Assign { lhs, rhs } => {
+                    record(&mut live, rhs);
+                    for e in lhs.subscripts() {
+                        record(&mut live, e);
+                    }
+                }
+                StmtKind::Do { var, lo, hi, step, .. } => {
+                    live.insert(*var);
+                    record(&mut live, lo);
+                    record(&mut live, hi);
+                    if let Some(st) = step {
+                        record(&mut live, st);
+                    }
+                }
+                StmtKind::While { cond, .. } => record(&mut live, cond),
+                StmtKind::If { cond, .. } => record(&mut live, cond),
+                StmtKind::Print { args } => {
+                    for e in args {
+                        record(&mut live, e);
+                    }
+                }
+                StmtKind::Call { .. } | StmtKind::Return => {}
+            }
+        }
+    }
+    live
+}
+
+fn prune_body(
+    program: &mut Program,
+    body: Vec<StmtId>,
+    live: &HashSet<VarId>,
+    removed: &mut usize,
+) -> Vec<StmtId> {
+    let mut out = Vec::with_capacity(body.len());
+    for s in body {
+        let kind = program.stmt(s).kind.clone();
+        match kind {
+            StmtKind::Assign {
+                lhs: LValue::Scalar(v),
+                ..
+            } if !live.contains(&v) => {
+                *removed += 1;
+            }
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+                label,
+            } => {
+                let inner = prune_body(program, inner, live, removed);
+                program.stmt_mut(s).kind = StmtKind::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body: inner,
+                    label,
+                };
+                out.push(s);
+            }
+            StmtKind::While { cond, body: inner } => {
+                let inner = prune_body(program, inner, live, removed);
+                program.stmt_mut(s).kind = StmtKind::While { cond, body: inner };
+                out.push(s);
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_body = prune_body(program, then_body, live, removed);
+                let else_body = prune_body(program, else_body, live, removed);
+                program.stmt_mut(s).kind = StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                };
+                out.push(s);
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    #[test]
+    fn removes_unread_scalar() {
+        let mut p = parse_program(
+            "program t
+             integer a, b
+             real x(10)
+             a = 5
+             b = 2
+             x(b) = 1
+             end",
+        )
+        .unwrap();
+        let n = eliminate_dead_code(&mut p);
+        assert_eq!(n, 1);
+        let printed = irr_frontend::print_program(&p);
+        assert!(!printed.contains("a = 5"), "printed:\n{printed}");
+        assert!(printed.contains("b = 2"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn cascading_removal() {
+        let mut p = parse_program(
+            "program t
+             integer a, b
+             a = 5
+             b = a + 1
+             end",
+        )
+        .unwrap();
+        // b unread -> removed; then a unread -> removed.
+        let n = eliminate_dead_code(&mut p);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn printed_and_array_values_are_kept() {
+        let mut p = parse_program(
+            "program t
+             integer a
+             real x(10)
+             a = 5
+             x(1) = 2
+             print a
+             end",
+        )
+        .unwrap();
+        assert_eq!(eliminate_dead_code(&mut p), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Forward substitution of scalar definitions into later uses.
+//!
+//! `m = n - 1 ; do i = 1, m` becomes `do i = 1, n - 1`, exposing the
+//! symbolic bound to the range test. Substitution is deliberately
+//! conservative: only *single-definition* scalars are propagated (a
+//! multiply-defined scalar is usually an index variable whose irregular
+//! idiom — `p = 0; p = p + 1; x(p) = ...` — must survive for the §2
+//! analyses), only while the defined variable and every variable in its
+//! defining expression remain unmodified, and never across calls.
+
+use irr_frontend::{Expr, LValue, Program, StmtId, StmtKind, VarId};
+use std::collections::HashMap;
+
+/// Applies forward substitution in every procedure. Returns the number
+/// of use sites rewritten.
+pub fn forward_substitute(program: &mut Program) -> usize {
+    let mut rewrites = 0;
+    for i in 0..program.procedures.len() {
+        let body = program.procedures[i].body.clone();
+        // Scalars assigned more than once in this procedure are index
+        // variables, accumulators, or state: never substitute them.
+        let mut counts: HashMap<VarId, usize> = HashMap::new();
+        for s in program.stmts_in(&body) {
+            match &program.stmt(s).kind {
+                StmtKind::Assign { lhs: LValue::Scalar(v), .. } => {
+                    *counts.entry(*v).or_insert(0) += 1;
+                }
+                StmtKind::Do { var, .. } => {
+                    *counts.entry(*var).or_insert(0) += 2;
+                }
+                _ => {}
+            }
+        }
+        let single_def: std::collections::HashSet<VarId> = counts
+            .into_iter()
+            .filter(|(_, c)| *c == 1)
+            .map(|(v, _)| v)
+            .collect();
+        let mut defs: HashMap<VarId, Expr> = HashMap::new();
+        rewrites += walk(program, &body, &mut defs, &single_def);
+    }
+    rewrites
+}
+
+/// Whether `e` is simple enough to copy: scalars, literals, arithmetic —
+/// no array references (their values could change).
+fn substitutable(e: &Expr) -> bool {
+    match e {
+        Expr::IntLit(_) | Expr::RealLit(_) | Expr::Var(_) => true,
+        Expr::Element(..) => false,
+        Expr::Bin(_, a, b) => substitutable(a) && substitutable(b),
+        Expr::Un(_, a) => substitutable(a),
+        // Intrinsic calls are values the symbolic layer treats as opaque
+        // anchors (e.g. a runtime-derived stack bottom): keep the name.
+        Expr::Call(..) => false,
+    }
+}
+
+fn invalidate(defs: &mut HashMap<VarId, Expr>, killed: VarId) {
+    defs.remove(&killed);
+    defs.retain(|_, e| !e.mentions(killed));
+}
+
+fn kill_region(program: &Program, body: &[StmtId], defs: &mut HashMap<VarId, Expr>) {
+    for v in irr_frontend::visit::scalars_assigned_in(program, body) {
+        invalidate(defs, v);
+    }
+    for s in program.stmts_in(body) {
+        if matches!(program.stmt(s).kind, StmtKind::Call { .. }) {
+            defs.clear();
+        }
+    }
+}
+
+fn walk(
+    program: &mut Program,
+    body: &[StmtId],
+    defs: &mut HashMap<VarId, Expr>,
+    single_def: &std::collections::HashSet<VarId>,
+) -> usize {
+    let mut rewrites = 0;
+    for &s in body {
+        let kind = program.stmt(s).kind.clone();
+        match kind {
+            StmtKind::Assign { lhs, mut rhs } => {
+                rewrites += subst_expr(&mut rhs, defs);
+                let lhs = match lhs {
+                    LValue::Scalar(v) => LValue::Scalar(v),
+                    LValue::Element(a, mut subs) => {
+                        for e in &mut subs {
+                            rewrites += subst_expr(e, defs);
+                        }
+                        LValue::Element(a, subs)
+                    }
+                };
+                if let LValue::Scalar(v) = &lhs {
+                    invalidate(defs, *v);
+                    if single_def.contains(v) && substitutable(&rhs) && !rhs.mentions(*v) {
+                        defs.insert(*v, rhs.clone());
+                    }
+                }
+                program.stmt_mut(s).kind = StmtKind::Assign { lhs, rhs };
+            }
+            StmtKind::Do {
+                var,
+                mut lo,
+                mut hi,
+                mut step,
+                body: inner,
+                label,
+            } => {
+                rewrites += subst_expr(&mut lo, defs);
+                rewrites += subst_expr(&mut hi, defs);
+                if let Some(st) = &mut step {
+                    rewrites += subst_expr(st, defs);
+                }
+                program.stmt_mut(s).kind = StmtKind::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body: inner.clone(),
+                    label,
+                };
+                invalidate(defs, var);
+                kill_region(program, &inner, defs);
+                rewrites += walk(program, &inner, defs, single_def);
+                kill_region(program, &inner, defs);
+            }
+            StmtKind::While { mut cond, body: inner } => {
+                kill_region(program, &inner, defs);
+                rewrites += subst_expr(&mut cond, defs);
+                program.stmt_mut(s).kind = StmtKind::While {
+                    cond,
+                    body: inner.clone(),
+                };
+                rewrites += walk(program, &inner, defs, single_def);
+                kill_region(program, &inner, defs);
+            }
+            StmtKind::If {
+                mut cond,
+                then_body,
+                else_body,
+            } => {
+                rewrites += subst_expr(&mut cond, defs);
+                program.stmt_mut(s).kind = StmtKind::If {
+                    cond,
+                    then_body: then_body.clone(),
+                    else_body: else_body.clone(),
+                };
+                let mut d_then = defs.clone();
+                let mut d_else = defs.clone();
+                rewrites += walk(program, &then_body, &mut d_then, single_def);
+                rewrites += walk(program, &else_body, &mut d_else, single_def);
+                // Keep only definitions that survived both arms
+                // unchanged.
+                defs.retain(|v, e| d_then.get(v) == Some(e) && d_else.get(v) == Some(e));
+            }
+            StmtKind::Call { .. } => {
+                defs.clear();
+            }
+            StmtKind::Print { mut args } => {
+                for e in &mut args {
+                    rewrites += subst_expr(e, defs);
+                }
+                program.stmt_mut(s).kind = StmtKind::Print { args };
+            }
+            StmtKind::Return => {}
+        }
+    }
+    rewrites
+}
+
+fn subst_expr(e: &mut Expr, defs: &HashMap<VarId, Expr>) -> usize {
+    match e {
+        Expr::Var(v) => {
+            if let Some(def) = defs.get(v) {
+                *e = def.clone();
+                1
+            } else {
+                0
+            }
+        }
+        Expr::IntLit(_) | Expr::RealLit(_) => 0,
+        Expr::Element(_, subs) => subs.iter_mut().map(|x| subst_expr(x, defs)).sum(),
+        Expr::Bin(_, a, b) => subst_expr(a, defs) + subst_expr(b, defs),
+        Expr::Un(_, a) => subst_expr(a, defs),
+        Expr::Call(_, args) => args.iter_mut().map(|x| subst_expr(x, defs)).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    #[test]
+    fn substitutes_into_loop_bounds() {
+        let mut p = parse_program(
+            "program t
+             integer n, m, i
+             real x(100)
+             m = n - 1
+             do i = 1, m
+               x(i) = 1
+             enddo
+             end",
+        )
+        .unwrap();
+        let r = forward_substitute(&mut p);
+        assert!(r >= 1);
+        let printed = irr_frontend::print_program(&p);
+        assert!(printed.contains("do i = 1, (n - 1)"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn redefinition_stops_substitution() {
+        let mut p = parse_program(
+            "program t
+             integer n, m
+             real x(100)
+             m = n - 1
+             n = 5
+             x(m) = 1
+             end",
+        )
+        .unwrap();
+        forward_substitute(&mut p);
+        let printed = irr_frontend::print_program(&p);
+        // m's definition mentions n which changed: keep the use symbolic.
+        assert!(printed.contains("x(m)"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn array_rhs_is_not_substituted() {
+        let mut p = parse_program(
+            "program t
+             integer m, a(10), k
+             real x(100)
+             m = a(3)
+             a(3) = 0
+             x(m) = 1
+             end",
+        )
+        .unwrap();
+        forward_substitute(&mut p);
+        let printed = irr_frontend::print_program(&p);
+        assert!(printed.contains("x(m)"), "printed:\n{printed}");
+        let _ = p.symbols.lookup("k");
+    }
+
+    #[test]
+    fn branches_preserve_only_common_defs() {
+        let mut p = parse_program(
+            "program t
+             integer m, c
+             real x(100)
+             m = 3
+             if (c > 0) then
+               m = 4
+             endif
+             x(m) = 1
+             end",
+        )
+        .unwrap();
+        forward_substitute(&mut p);
+        let printed = irr_frontend::print_program(&p);
+        assert!(printed.contains("x(m)"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn chains_of_definitions() {
+        let mut p = parse_program(
+            "program t
+             integer a, b, n
+             real x(100)
+             a = n + 1
+             b = a + 1
+             x(b) = 1
+             end",
+        )
+        .unwrap();
+        forward_substitute(&mut p);
+        let printed = irr_frontend::print_program(&p);
+        assert!(
+            printed.contains("x(((n + 1) + 1))"),
+            "printed:\n{printed}"
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! Induction variable substitution.
+//!
+//! A scalar `q` that is incremented by a constant exactly once per
+//! iteration, unconditionally, at the top level of a `do` loop body is a
+//! derived induction variable. The pass removes the increment, rewrites
+//! uses of `q` inside the loop as `q + c*(i - lo [+1])` (where `q` now
+//! always holds its loop-entry value), and appends
+//! `q = q + c * max(hi - lo + 1, 0)` after the loop to restore the final
+//! value. Irregular-looking subscripts like `x(q)` thus become affine in
+//! the loop index.
+//!
+//! Conditional increments (the gather loops of §4) are deliberately
+//! *not* substituted — those are exactly the cases the paper's irregular
+//! analyses exist for.
+
+use irr_frontend::{BinOp, Expr, Intrinsic, LValue, Program, Stmt, StmtId, StmtKind, VarId};
+use irr_frontend::diag::SourceLoc;
+
+/// Applies induction variable substitution to every `do` loop in the
+/// program. Returns the number of variables substituted.
+pub fn substitute_induction_variables(program: &mut Program) -> usize {
+    let mut count = 0;
+    for i in 0..program.procedures.len() {
+        let body = program.procedures[i].body.clone();
+        let new_body = walk_body(program, body, &mut count);
+        program.procedures[i].body = new_body;
+    }
+    count
+}
+
+/// Processes a body list, returning the (possibly longer) replacement.
+fn walk_body(program: &mut Program, body: Vec<StmtId>, count: &mut usize) -> Vec<StmtId> {
+    let mut out = Vec::with_capacity(body.len());
+    for s in body {
+        // Recurse into nested bodies first.
+        match program.stmt(s).kind.clone() {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+                label,
+            } => {
+                let inner = walk_body(program, inner, count);
+                program.stmt_mut(s).kind = StmtKind::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body: inner,
+                    label,
+                };
+                out.push(s);
+                // Try to substitute in this loop; may append adjustments.
+                for adj in substitute_in_loop(program, s, count) {
+                    out.push(adj);
+                }
+            }
+            StmtKind::While { cond, body: inner } => {
+                let inner = walk_body(program, inner, count);
+                program.stmt_mut(s).kind = StmtKind::While { cond, body: inner };
+                out.push(s);
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_body = walk_body(program, then_body, count);
+                let else_body = walk_body(program, else_body, count);
+                program.stmt_mut(s).kind = StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                };
+                out.push(s);
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+/// Recognizes `q = q + c` / `q = q - c` and returns `(q, c)`.
+fn increment_of(program: &Program, s: StmtId) -> Option<(VarId, i64)> {
+    if let StmtKind::Assign {
+        lhs: LValue::Scalar(q),
+        rhs,
+    } = &program.stmt(s).kind
+    {
+        match rhs {
+            Expr::Bin(BinOp::Add, a, b) => {
+                if let (Expr::Var(v), Expr::IntLit(c)) = (a.as_ref(), b.as_ref()) {
+                    if v == q {
+                        return Some((*q, *c));
+                    }
+                }
+                if let (Expr::IntLit(c), Expr::Var(v)) = (a.as_ref(), b.as_ref()) {
+                    if v == q {
+                        return Some((*q, *c));
+                    }
+                }
+            }
+            Expr::Bin(BinOp::Sub, a, b) => {
+                if let (Expr::Var(v), Expr::IntLit(c)) = (a.as_ref(), b.as_ref()) {
+                    if v == q {
+                        return Some((*q, -*c));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Attempts the substitution for one loop; returns the post-loop
+/// adjustment statements to splice after it.
+fn substitute_in_loop(program: &mut Program, loop_stmt: StmtId, count: &mut usize) -> Vec<StmtId> {
+    let StmtKind::Do {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+        label,
+    } = program.stmt(loop_stmt).kind.clone()
+    else {
+        return Vec::new();
+    };
+    if step.as_ref().and_then(|e| e.as_int_lit()).unwrap_or(1) != 1 {
+        return Vec::new();
+    }
+    let all = program.stmts_in(&body);
+    // Bail out if calls are present (they might touch the candidates).
+    if all
+        .iter()
+        .any(|s| matches!(program.stmt(*s).kind, StmtKind::Call { .. }))
+    {
+        return Vec::new();
+    }
+    // The adjustment uses lo/hi after the loop, so the body must not
+    // assign anything they mention.
+    let assigned = irr_frontend::visit::scalars_assigned_in(program, &body);
+    let bounds_stable = !assigned
+        .iter()
+        .any(|v| lo.mentions(*v) || hi.mentions(*v));
+    if !bounds_stable {
+        return Vec::new();
+    }
+    let candidates: Vec<(usize, StmtId, VarId, i64)> = body
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, s)| increment_of(program, *s).map(|(q, c)| (pos, *s, q, c)))
+        .filter(|(_, inc_stmt, q, _)| {
+            *q != var
+                && !all.iter().any(|s| {
+                    *s != *inc_stmt
+                        && match &program.stmt(*s).kind {
+                            StmtKind::Assign {
+                                lhs: LValue::Scalar(v),
+                                ..
+                            } => v == q,
+                            StmtKind::Do { var: v, .. } => v == q,
+                            _ => false,
+                        }
+                })
+        })
+        .collect();
+    let mut adjustments = Vec::new();
+    let mut new_body = body.clone();
+    for (pos, inc_stmt, q, c) in candidates {
+        // Rewrite every use of q in the loop (except the increment
+        // itself, which is removed): before the increment the value is
+        // q + c*(i - lo), after it q + c*(i - lo + 1).
+        let make = |extra: i64| {
+            let delta = Expr::add(
+                Expr::sub(Expr::Var(var), lo.clone()),
+                Expr::int(extra),
+            );
+            Expr::add(Expr::Var(q), Expr::mul(Expr::int(c), delta))
+        };
+        let before = make(0);
+        let after = make(1);
+        for (k, s) in body.iter().enumerate() {
+            if *s == inc_stmt {
+                continue;
+            }
+            let replacement = if k < pos { &before } else { &after };
+            for t in program.stmts_in(std::slice::from_ref(s)) {
+                rewrite_stmt_uses(program, t, q, replacement);
+            }
+        }
+        // Remove the increment from the body.
+        new_body.retain(|s| *s != inc_stmt);
+        // q = q + c * max(hi - lo + 1, 0) after the loop.
+        let trip = Expr::Call(
+            Intrinsic::Max,
+            vec![
+                Expr::add(Expr::sub(hi.clone(), lo.clone()), Expr::int(1)),
+                Expr::int(0),
+            ],
+        );
+        let adj_kind = StmtKind::Assign {
+            lhs: LValue::Scalar(q),
+            rhs: Expr::add(Expr::Var(q), Expr::mul(Expr::int(c), trip)),
+        };
+        let id = StmtId(program.stmts.len() as u32);
+        program.stmts.push(Stmt {
+            id,
+            kind: adj_kind,
+            loc: SourceLoc::synthetic(),
+        });
+        adjustments.push(id);
+        *count += 1;
+    }
+    if !adjustments.is_empty() {
+        program.stmt_mut(loop_stmt).kind = StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body: new_body,
+            label,
+        };
+    }
+    adjustments
+}
+
+fn rewrite_stmt_uses(program: &mut Program, s: StmtId, q: VarId, replacement: &Expr) {
+    let mut kind = program.stmt(s).kind.clone();
+    let mut n = 0usize;
+    {
+        let mut fix = |e: &mut Expr| n += rewrite_expr_uses(e, q, replacement);
+        match &mut kind {
+            StmtKind::Assign { lhs, rhs } => {
+                fix(rhs);
+                if let LValue::Element(_, subs) = lhs {
+                    for e in subs {
+                        fix(e);
+                    }
+                }
+            }
+            StmtKind::Do { lo, hi, step, .. } => {
+                fix(lo);
+                fix(hi);
+                if let Some(st) = step {
+                    fix(st);
+                }
+            }
+            StmtKind::While { cond, .. } => fix(cond),
+            StmtKind::If { cond, .. } => fix(cond),
+            StmtKind::Print { args } => {
+                for e in args {
+                    fix(e);
+                }
+            }
+            StmtKind::Call { .. } | StmtKind::Return => {}
+        }
+    }
+    if n > 0 {
+        program.stmt_mut(s).kind = kind;
+    }
+}
+
+fn rewrite_expr_uses(e: &mut Expr, q: VarId, replacement: &Expr) -> usize {
+    match e {
+        Expr::Var(v) if *v == q => {
+            *e = replacement.clone();
+            1
+        }
+        Expr::Var(_) | Expr::IntLit(_) | Expr::RealLit(_) => 0,
+        Expr::Element(_, subs) => subs
+            .iter_mut()
+            .map(|x| rewrite_expr_uses(x, q, replacement))
+            .sum(),
+        Expr::Bin(_, a, b) => {
+            rewrite_expr_uses(a, q, replacement) + rewrite_expr_uses(b, q, replacement)
+        }
+        Expr::Un(_, a) => rewrite_expr_uses(a, q, replacement),
+        Expr::Call(_, args) => args
+            .iter_mut()
+            .map(|x| rewrite_expr_uses(x, q, replacement))
+            .sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    #[test]
+    fn unconditional_increment_is_substituted() {
+        let mut p = parse_program(
+            "program t
+             integer i, q, n
+             real x(100)
+             q = 0
+             do i = 1, n
+               q = q + 1
+               x(q) = i
+             enddo
+             end",
+        )
+        .unwrap();
+        let n = substitute_induction_variables(&mut p);
+        assert_eq!(n, 1);
+        let printed = irr_frontend::print_program(&p);
+        // x(q) becomes x(q + 1*((i-1)+1)); the increment is gone; the
+        // final value is restored after the loop.
+        assert!(
+            printed.contains("x((q + (1 * ((i - 1) + 1))))"),
+            "printed:\n{printed}"
+        );
+        assert!(
+            printed.contains("q = (q + (1 * max(((n - 1) + 1), 0)))"),
+            "printed:\n{printed}"
+        );
+        assert!(!printed.contains("q = (q + 1)\n"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn conditional_increment_is_left_alone() {
+        let mut p = parse_program(
+            "program t
+             integer i, q, n, ind(100)
+             real x(100)
+             q = 0
+             do i = 1, n
+               if (x(i) > 0) then
+                 q = q + 1
+                 ind(q) = i
+               endif
+             enddo
+             end",
+        )
+        .unwrap();
+        let n = substitute_induction_variables(&mut p);
+        assert_eq!(n, 0, "gather loops must not be destroyed");
+        let printed = irr_frontend::print_program(&p);
+        assert!(printed.contains("ind(q)"), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn uses_before_increment_get_smaller_offset() {
+        let mut p = parse_program(
+            "program t
+             integer i, q, n
+             real x(100), y(100)
+             do i = 1, n
+               y(i) = x(q)
+               q = q + 1
+             enddo
+             end",
+        )
+        .unwrap();
+        substitute_induction_variables(&mut p);
+        let printed = irr_frontend::print_program(&p);
+        assert!(
+            printed.contains("x((q + (1 * ((i - 1) + 0))))"),
+            "printed:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn two_defs_block_substitution() {
+        let mut p = parse_program(
+            "program t
+             integer i, q, n
+             real x(100)
+             do i = 1, n
+               q = q + 1
+               x(q) = i
+               q = q - 1
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(substitute_induction_variables(&mut p), 0);
+    }
+
+    #[test]
+    fn substituted_loop_matches_interpretation() {
+        // Semantic check by hand: q0=0, loop 1..3 writes x(1), x(2),
+        // x(3); after the loop q == 3. Verify the rewritten uses with a
+        // direct symbolic check on the printed program.
+        let mut p = parse_program(
+            "program t
+             integer i, q
+             real x(10)
+             q = 0
+             do i = 1, 3
+               q = q + 1
+               x(q) = i
+             enddo
+             print q
+             end",
+        )
+        .unwrap();
+        substitute_induction_variables(&mut p);
+        let printed = irr_frontend::print_program(&p);
+        // The adjustment restores q = 0 + 1*max(3,0) = 3.
+        assert!(printed.contains("max(((3 - 1) + 1), 0)"), "{printed}");
+    }
+
+    #[test]
+    fn unstable_bounds_block_substitution() {
+        let mut p = parse_program(
+            "program t
+             integer i, q, n
+             real x(100)
+             do i = 1, n
+               q = q + 1
+               n = n - 1
+               x(q) = i
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(substitute_induction_variables(&mut p), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! The scalar optimization phases of the parallelizer pipeline
+//! (Fig. 15 of the paper).
+//!
+//! Polaris runs a fixed sequence of normalizing transformations before
+//! the analyses: inlining, interprocedural constant propagation, program
+//! normalization, induction variable substitution, constant propagation,
+//! forward substitution, and dead-code elimination. These are
+//! implemented here as real (if modest) AST-to-AST passes; §5.1.1's
+//! reorganization — running every transformation on every program unit
+//! *before* any analysis — is what makes the interprocedural array
+//! property analysis possible, and is reproduced in `irr-driver`.
+
+pub mod constprop;
+pub mod dce;
+pub mod forward_sub;
+pub mod induction;
+pub mod inline;
+pub mod normalize;
+pub mod reduction;
+
+pub use constprop::propagate_constants;
+pub use dce::eliminate_dead_code;
+pub use forward_sub::forward_substitute;
+pub use induction::substitute_induction_variables;
+pub use inline::inline_small_procedures;
+pub use normalize::normalize_loops;
+pub use reduction::{recognize_reductions, Reduction, ReductionOp};

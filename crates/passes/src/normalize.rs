@@ -1,0 +1,170 @@
+//! Loop normalization.
+//!
+//! Rewrites constant-step `do` loops into unit-step form so every later
+//! phase only sees `do i' = 1, n` loops:
+//!
+//! ```text
+//! do i = lo, hi, c        do i2 = 1, (hi - lo + c) / c
+//!   ... i ...        =>     i = lo + (i2 - 1) * c      (synthesized)
+//! enddo                     ... i ...
+//!                         enddo
+//! ```
+//!
+//! The original induction variable becomes an ordinary derived variable,
+//! which the scalar passes then clean up.
+
+use irr_frontend::diag::SourceLoc;
+use irr_frontend::{Expr, LValue, Program, ScalarType, Stmt, StmtId, StmtKind};
+
+/// Normalizes every constant-step (`step != 1`) `do` loop. Returns the
+/// number of loops rewritten.
+pub fn normalize_loops(program: &mut Program) -> usize {
+    let mut count = 0;
+    for i in 0..program.procedures.len() {
+        for s in program.stmts_in(&program.procedures[i].body.clone()) {
+            let StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step: Some(step),
+                body,
+                label,
+            } = program.stmt(s).kind.clone()
+            else {
+                continue;
+            };
+            let Some(c) = step.as_int_lit() else { continue };
+            if c == 1 {
+                // Drop the redundant step.
+                program.stmt_mut(s).kind = StmtKind::Do {
+                    var,
+                    lo,
+                    hi,
+                    step: None,
+                    body,
+                    label,
+                };
+                continue;
+            }
+            if c <= 0 {
+                continue; // negative/zero steps are left alone
+            }
+            // Fresh induction variable.
+            let fresh_name = fresh_var_name(program, "i_nrm");
+            let fresh = program
+                .symbols
+                .declare(&fresh_name, ScalarType::Int, Vec::new())
+                .expect("fresh name cannot conflict");
+            // i = lo + (i2 - 1) * c, prepended to the body.
+            let derive = StmtKind::Assign {
+                lhs: LValue::Scalar(var),
+                rhs: Expr::add(
+                    lo.clone(),
+                    Expr::mul(
+                        Expr::sub(Expr::Var(fresh), Expr::int(1)),
+                        Expr::int(c),
+                    ),
+                ),
+            };
+            let derive_id = StmtId(program.stmts.len() as u32);
+            program.stmts.push(Stmt {
+                id: derive_id,
+                kind: derive,
+                loc: SourceLoc::synthetic(),
+            });
+            let mut new_body = vec![derive_id];
+            new_body.extend(body);
+            // Trip count: (hi - lo + c) / c with floor division.
+            let trip = Expr::bin(
+                irr_frontend::BinOp::Div,
+                Expr::add(Expr::sub(hi.clone(), lo.clone()), Expr::int(c)),
+                Expr::int(c),
+            );
+            program.stmt_mut(s).kind = StmtKind::Do {
+                var: fresh,
+                lo: Expr::int(1),
+                hi: trip,
+                step: None,
+                body: new_body,
+                label,
+            };
+            count += 1;
+        }
+    }
+    count
+}
+
+fn fresh_var_name(program: &Program, base: &str) -> String {
+    let mut k = 0;
+    loop {
+        let name = format!("{base}{k}");
+        if program.symbols.lookup(&name).is_none() {
+            return name;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    #[test]
+    fn constant_step_is_normalized() {
+        let mut p = parse_program(
+            "program t
+             integer i
+             real x(100)
+             do i = 1, 99, 2
+               x(i) = 1
+             enddo
+             end",
+        )
+        .unwrap();
+        let n = normalize_loops(&mut p);
+        assert_eq!(n, 1);
+        let printed = irr_frontend::print_program(&p);
+        assert!(printed.contains("do i_nrm0 = 1,"), "printed:\n{printed}");
+        assert!(
+            printed.contains("i = (1 + ((i_nrm0 - 1) * 2))"),
+            "printed:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn unit_step_is_cleaned() {
+        let mut p = parse_program(
+            "program t
+             integer i
+             real x(10)
+             do i = 1, 10, 1
+               x(i) = 1
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(normalize_loops(&mut p), 0);
+        let body = p.procedure(p.main()).body.clone();
+        match &p.stmt(body[0]).kind {
+            StmtKind::Do { step, .. } => assert!(step.is_none()),
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_step_left_alone() {
+        let mut p = parse_program(
+            "program t
+             integer i
+             real x(10)
+             do i = 10, 1, 0 - 1
+               x(i) = 1
+             enddo
+             end",
+        )
+        .unwrap();
+        // Step is an expression, not a literal: left alone.
+        assert_eq!(normalize_loops(&mut p), 0);
+    }
+}

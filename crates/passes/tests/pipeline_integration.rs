@@ -1,0 +1,141 @@
+//! The whole Fig. 15 pass pipeline on tricky programs: interactions
+//! between phases and semantic preservation.
+
+use irr_exec::Interp;
+use irr_frontend::{parse_program, print_program, Program};
+use irr_passes::{
+    eliminate_dead_code, forward_substitute, inline_small_procedures, normalize_loops,
+    propagate_constants, substitute_induction_variables,
+};
+
+fn pipeline(p: &mut Program) {
+    inline_small_procedures(p, 50);
+    propagate_constants(p);
+    normalize_loops(p);
+    substitute_induction_variables(p);
+    propagate_constants(p);
+    forward_substitute(p);
+    eliminate_dead_code(p);
+}
+
+fn outputs(p: &Program) -> Vec<String> {
+    Interp::new(p).run().expect("program runs").output
+}
+
+#[test]
+fn induction_after_normalization() {
+    // A strided loop with a derived induction variable: normalization
+    // introduces a unit-step loop, then induction substitution rewrites
+    // the pointer.
+    let src = "program t
+         integer i, q
+         real x(200)
+         q = 0
+         do i = 2, 40, 2
+           q = q + 1
+           x(q) = i * 1.0
+         enddo
+         print x(1), x(20), q
+         end";
+    let mut p = parse_program(src).unwrap();
+    let before = outputs(&p);
+    pipeline(&mut p);
+    let after = outputs(&p);
+    assert_eq!(before, after);
+    assert_eq!(before, vec!["2 40 20"]);
+    // The irregular q subscripts became affine in the new index.
+    let printed = print_program(&p);
+    assert!(
+        !printed.contains("q = (q + 1)"),
+        "increment hoisted:\n{printed}"
+    );
+}
+
+#[test]
+fn constants_flow_through_inlined_calls() {
+    let src = "program t
+         integer n, i
+         real x(64)
+         n = 8
+         call dbl
+         do i = 1, n
+           x(i) = i
+         enddo
+         print x(n), n
+         end
+         subroutine dbl
+         n = n * 2
+         end";
+    let mut p = parse_program(src).unwrap();
+    let before = outputs(&p);
+    pipeline(&mut p);
+    assert_eq!(before, outputs(&p));
+    // n*2 inlined and folded: the loop bound is literal 16.
+    let printed = print_program(&p);
+    assert!(printed.contains("do i = 1, 16"), "{printed}");
+}
+
+#[test]
+fn dce_never_removes_observable_state() {
+    let src = "program t
+         integer a, b, c
+         a = 1
+         b = a + 1
+         c = b + 1
+         print c
+         end";
+    let mut p = parse_program(src).unwrap();
+    let before = outputs(&p);
+    pipeline(&mut p);
+    assert_eq!(before, outputs(&p));
+    assert_eq!(before, vec!["3"]);
+}
+
+#[test]
+fn gather_idiom_survives_the_whole_pipeline() {
+    // The pipeline must not destroy the conditional-increment gather
+    // idiom (the irregular analyses depend on it).
+    let src = "program t
+         integer i, q, ind(32)
+         real w(32)
+         call init
+         q = 0
+         do 9 i = 1, 32
+           if (w(i) > 0.5) then
+             q = q + 1
+             ind(q) = i
+           endif
+ 9       continue
+         print q, ind(1)
+         end
+         subroutine init
+         integer k
+         do k = 1, 32
+           w(k) = mod(k * 7, 10) * 0.1
+         enddo
+         end";
+    let mut p = parse_program(src).unwrap();
+    let before = outputs(&p);
+    pipeline(&mut p);
+    assert_eq!(before, outputs(&p));
+    let printed = print_program(&p);
+    assert!(printed.contains("q = (q + 1)"), "gather kept:\n{printed}");
+    assert!(printed.contains("ind(q)"), "gather kept:\n{printed}");
+    // And the gather is still recognized afterwards.
+    let ctx = irr_core::AnalysisCtx::new(&p);
+    let main_body = p.procedures[p.main().index()].body.clone();
+    let found = irr_core::find_index_gathering_loops(&ctx, &main_body);
+    assert_eq!(found.len(), 1);
+}
+
+#[test]
+fn pipeline_is_idempotent_on_its_own_output() {
+    for b in irr_programs::all(irr_programs::Scale::Test) {
+        let mut p = parse_program(&b.source).unwrap();
+        pipeline(&mut p);
+        let once = print_program(&p);
+        pipeline(&mut p);
+        let twice = print_program(&p);
+        assert_eq!(once, twice, "{} pipeline not idempotent", b.name);
+    }
+}

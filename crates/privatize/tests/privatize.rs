@@ -1,0 +1,324 @@
+//! Privatization scenarios: the three motivating examples of Fig. 1,
+//! the P3M/BDNA gather-then-use pattern, and negative cases.
+
+use irr_core::property::ArrayPropertyAnalysis;
+use irr_core::AnalysisCtx;
+use irr_frontend::{parse_program, Program, StmtId};
+use irr_privatize::{PrivatizeEvidence, Privatizer};
+
+fn loops_of(p: &Program) -> Vec<StmtId> {
+    let mut out = Vec::new();
+    for proc in &p.procedures {
+        out.extend(
+            p.stmts_in(&proc.body)
+                .into_iter()
+                .filter(|s| p.stmt(*s).kind.is_loop()),
+        );
+    }
+    out
+}
+
+#[test]
+fn fig1a_consecutively_written_privatization() {
+    // The paper's first motivating example: x() is filled by a while
+    // loop via p (consecutively written from p = 0), then read as
+    // x(1..p). Traditional tests fail (no closed form for p); the CW
+    // analysis privatizes x for the outer k loop.
+    let src = "program t
+         integer i, j, k, n, p, link(100, 10)
+         real x(100), y(100), z(10, 100)
+         do k = 1, n
+           p = 0
+           i = link(1, k)
+           while (i /= 0)
+             p = p + 1
+             x(p) = y(i)
+             i = link(i, k)
+           endwhile
+           do j = 1, p
+             z(k, j) = x(j)
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let x = p.symbols.lookup("x").unwrap();
+    let r = pv.analyze_array(outer, x);
+    assert!(r.privatizable, "{r:?}");
+    assert_eq!(r.evidence, Some(PrivatizeEvidence::ConsecutivelyWritten));
+    // Without IAA the same array is not privatizable.
+    let mut apa2 = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv2 = Privatizer::new(&ctx, &mut apa2);
+    pv2.enable_iaa = false;
+    let r2 = pv2.analyze_array(outer, x);
+    assert!(!r2.privatizable);
+}
+
+#[test]
+fn fig1b_stack_privatization() {
+    let src = "program t
+         integer i, j, n, m, p, cond(100)
+         real t2(100), work(100)
+         do i = 1, n
+           p = 0
+           do j = 1, m
+             p = p + 1
+             t2(p) = work(j)
+             if (cond(j) > 0) then
+               if (p >= 1) then
+                 work(j) = t2(p)
+                 p = p - 1
+               endif
+             endif
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let t2 = p.symbols.lookup("t2").unwrap();
+    let r = pv.analyze_array(outer, t2);
+    assert!(r.privatizable, "{r:?}");
+    assert_eq!(r.evidence, Some(PrivatizeEvidence::Stack));
+}
+
+#[test]
+fn fig1c_indirect_read_with_bounds() {
+    // x(1..m) is written, then read through pos(k) with pos values in
+    // [1, m] (set up by an index-gathering loop); x privatizes for the
+    // outer i loop.
+    let src = "program t
+         integer i, j, k, n, m, q, pos(100)
+         real x(100), y(100), z(100, 100), w(100)
+         m = 50
+         q = 0
+         do j = 1, m
+           if (w(j) > 0) then
+             q = q + 1
+             pos(q) = j
+           endif
+         enddo
+         do i = 1, n
+           do j = 1, m
+             x(j) = y(i) + j
+           enddo
+           do k = 1, q
+             z(i, k) = x(pos(k))
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)
+        .into_iter()
+        .nth(1)
+        .unwrap(); // the i loop (after the gather loop)
+    let x = p.symbols.lookup("x").unwrap();
+    let r = pv.analyze_array(outer, x);
+    assert!(r.privatizable, "{r:?}");
+    assert_eq!(r.evidence, Some(PrivatizeEvidence::IndirectBounded));
+    let pos = p.symbols.lookup("pos").unwrap();
+    assert!(r.properties_used.iter().any(|(a, t)| *a == pos && *t == "CFB"));
+    // Without IAA: not privatizable.
+    let mut apa2 = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv2 = Privatizer::new(&ctx, &mut apa2);
+    pv2.enable_iaa = false;
+    assert!(!pv2.analyze_array(outer, x).privatizable);
+}
+
+#[test]
+fn regular_write_before_read() {
+    let src = "program t
+         integer i, j, n, m
+         real x(100), z(100, 100)
+         do i = 1, n
+           do j = 1, m
+             x(j) = i + j
+           enddo
+           do j = 1, m
+             z(i, j) = x(j) * 2
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let x = p.symbols.lookup("x").unwrap();
+    let r = pv.analyze_array(outer, x);
+    assert!(r.privatizable, "{r:?}");
+    assert_eq!(r.evidence, Some(PrivatizeEvidence::Regular));
+}
+
+#[test]
+fn read_beyond_written_region_fails() {
+    let src = "program t
+         integer i, j, n, m
+         real x(100), z(100, 100)
+         do i = 1, n
+           do j = 1, m
+             x(j) = i + j
+           enddo
+           do j = 1, m
+             z(i, j) = x(j + 1)
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let x = p.symbols.lookup("x").unwrap();
+    assert!(!pv.analyze_array(outer, x).privatizable);
+}
+
+#[test]
+fn conditional_write_fails_but_both_arms_ok() {
+    // Write under a condition: not a MUST write.
+    let src = "program t
+         integer i, n, c
+         real x(100), z(100)
+         do i = 1, n
+           if (c > 0) then
+             x(1) = 1
+           endif
+           z(i) = x(1)
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let x = p.symbols.lookup("x").unwrap();
+    assert!(!pv.analyze_array(outer, x).privatizable);
+    // Writing in both arms is a MUST write.
+    let src2 = src.replace(
+        "if (c > 0) then\n             x(1) = 1\n           endif",
+        "if (c > 0) then\n             x(1) = 1\n           else\n             x(1) = 2\n           endif",
+    );
+    let p2 = parse_program(&src2).unwrap();
+    let ctx2 = AnalysisCtx::new(&p2);
+    let mut apa2 = ArrayPropertyAnalysis::new(&ctx2);
+    let mut pv2 = Privatizer::new(&ctx2, &mut apa2);
+    let outer2 = loops_of(&p2)[0];
+    let x2 = p2.symbols.lookup("x").unwrap();
+    let r2 = pv2.analyze_array(outer2, x2);
+    assert!(r2.privatizable, "{r2:?}");
+}
+
+#[test]
+fn unbounded_indirect_read_fails() {
+    // pos has no provable bounds: the CFB query fails.
+    let src = "program t
+         integer i, j, k, n, m, q, pos(100)
+         real x(100), y(100), z(100, 100)
+         do i = 1, n
+           do j = 1, m
+             x(j) = y(i) + j
+           enddo
+           do k = 1, q
+             z(i, k) = x(pos(k))
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let x = p.symbols.lookup("x").unwrap();
+    assert!(!pv.analyze_array(outer, x).privatizable);
+}
+
+#[test]
+fn read_inside_cw_while_loop_blocks_cw_shortcut() {
+    // Like Fig. 1(a) but the while loop also reads x(p) before writing:
+    // the CW shortcut must not claim coverage.
+    let src = "program t
+         integer i, k, n, p, link(100, 10)
+         real x(100), y(100), z(10, 100)
+         do k = 1, n
+           p = 0
+           i = link(1, k)
+           while (i /= 0)
+             p = p + 1
+             y(i) = x(p)
+             x(p) = y(i)
+             i = link(i, k)
+           endwhile
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let x = p.symbols.lookup("x").unwrap();
+    assert!(!pv.analyze_array(outer, x).privatizable);
+}
+
+#[test]
+fn two_dimensional_scratch_array() {
+    // A 2-D per-iteration workspace: wk(j, c) filled for all j and both
+    // columns, then read back — privatizable with multi-dim sections.
+    let src = "program t
+         integer i, j, n, m
+         real wk(16, 2), z(100)
+         n = 50
+         m = 16
+         do i = 1, n
+           do j = 1, m
+             wk(j, 1) = i + j
+             wk(j, 2) = i - j
+           enddo
+           do j = 1, m
+             z(i) = z(i) + wk(j, 1) * wk(j, 2)
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let wk = p.symbols.lookup("wk").unwrap();
+    let r = pv.analyze_array(outer, wk);
+    assert!(r.privatizable, "{r:?}");
+    assert_eq!(r.evidence, Some(PrivatizeEvidence::Regular));
+}
+
+#[test]
+fn two_dimensional_partial_fill_fails() {
+    // Only column 1 is filled; reading column 2 is upward-exposed.
+    let src = "program t
+         integer i, j, n, m
+         real wk(16, 2), z(100)
+         n = 50
+         m = 16
+         do i = 1, n
+           do j = 1, m
+             wk(j, 1) = i + j
+           enddo
+           do j = 1, m
+             z(i) = z(i) + wk(j, 2)
+           enddo
+         enddo
+         end";
+    let p = parse_program(src).unwrap();
+    let ctx = AnalysisCtx::new(&p);
+    let mut apa = ArrayPropertyAnalysis::new(&ctx);
+    let mut pv = Privatizer::new(&ctx, &mut apa);
+    let outer = loops_of(&p)[0];
+    let wk = p.symbols.lookup("wk").unwrap();
+    assert!(!pv.analyze_array(outer, wk).privatizable);
+}

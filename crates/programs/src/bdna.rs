@@ -1,0 +1,92 @@
+//! BDNA kernel (Perfect Benchmarks): molecular dynamics of DNA in
+//! water.
+//!
+//! `ACTFOR/do240` builds a per-particle distance scratch `xdt`, gathers
+//! the indices of close pairs into `ind` (`ACTFOR/do236`, a §4
+//! index-gathering loop — "ind CW" in Table 3), and accumulates forces
+//! through the gathered indices `xdt(ind(j))`. The loop parallelizes
+//! only when `xdt` is privatized via the closed-form bound of `ind` and
+//! `ind` itself via the consecutively-written analysis. Per Table 3 the
+//! loop is ~32% of sequential time.
+
+use crate::{Benchmark, Scale};
+
+/// Builds the BDNA kernel at the given scale.
+pub fn benchmark(scale: Scale) -> Benchmark {
+    // n: particles (outer loop); m: neighbor candidates per particle;
+    // reps/nreg: the regular force sweeps (the other ~68%).
+    let (n, m, nreg, reps) = match scale {
+        Scale::Test => (24, 16, 400, 4),
+        Scale::Paper => (400, 120, 20000, 12),
+    };
+    let source = format!(
+        "program bdna
+  integer i, j, k, q, n, m, nreg, nrep, ind({m})
+  real x({n}), f({n}), xdt({m}), reg({nreg}), total
+  n = {n}
+  m = {m}
+  nreg = {nreg}
+  nrep = {reps}
+  call init
+  call actfor
+  call regwork
+  call chksum
+end
+
+subroutine init
+  integer i2
+  do i2 = 1, n
+    x(i2) = mod(i2 * 13, 29) * 0.05
+  enddo
+  do i2 = 1, nreg
+    reg(i2) = mod(i2 * 7, 11) * 0.125
+  enddo
+end
+
+subroutine actfor
+  do 240 i = 1, n
+    do j = 1, m
+      xdt(j) = x(i) - x(j) + (i - j) * 0.001
+    enddo
+    q = 0
+    do 236 j = 1, m
+      if (xdt(j) > 0.2) then
+        q = q + 1
+        ind(q) = j
+      endif
+ 236 continue
+    do j = 1, q
+      f(i) = f(i) + xdt(ind(j)) * 0.01 + 0.001
+    enddo
+ 240 continue
+end
+
+subroutine regwork
+  ! regular sweeps: the bulk of BDNA parallelizes conventionally
+  do 300 k = 1, nrep
+    do i = 1, nreg
+      reg(i) = reg(i) * 0.75 + 0.25
+    enddo
+ 300 continue
+end
+
+subroutine chksum
+  integer i4
+  total = 0.0
+  do i4 = 1, n
+    total = total + f(i4)
+  enddo
+  do i4 = 1, nreg
+    total = total + reg(i4)
+  enddo
+  print total
+end
+"
+    );
+    Benchmark {
+        name: "BDNA",
+        source,
+        irregular_labels: vec!["ACTFOR/do240"],
+        paper_coverage: 0.32,
+    }
+}

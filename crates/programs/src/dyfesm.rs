@@ -1,0 +1,133 @@
+//! DYFESM kernel (Perfect Benchmarks): explicit finite-element dynamics.
+//!
+//! The irregular loops are the segment sweeps of `SOLXDD` (Fig. 13's
+//! source) and `HOP/do20`: arrays are stored in CCS-style segments
+//! addressed through the offset array `pptr` with lengths `iblen`, so
+//! every sweep needs the offset–length test (closed-form distance of
+//! `pptr` = `iblen`, `iblen >= 0`).
+//!
+//! The input is deliberately tiny (the paper used "a tiny input data
+//! set" and the program *slowed down* when parallelized on the Origin —
+//! Fig. 16(e) — but gained 1.6x on the cheap-fork Challenge,
+//! Fig. 16(f)): each parallel region has only `nblk` = 8 iterations and
+//! the loops are invoked once per time step.
+
+use crate::{Benchmark, Scale};
+
+/// Builds the DYFESM kernel at the given scale.
+pub fn benchmark(scale: Scale) -> Benchmark {
+    // nblk: number of segments (region iteration count — tiny!);
+    // steps: time steps; ser: serial relaxation length per step.
+    let (nblk, steps, ser, upd) = match scale {
+        Scale::Test => (8, 4, 120, 300),
+        Scale::Paper => (16, 300, 500, 1700),
+    };
+    let sz = nblk * 8 + 1;
+    let source = format!(
+        "program dyfesm
+  integer i, j, it, nblk, nstep, pptr({nb1}), iblen({nblk}), nser
+  real xdd({sz}), zd({sz}), r({sz}), y({sz}), xdplus({sz}), xplus({sz}), xd({sz})
+  real serial({ser}), u({upd}), total
+  integer nupd
+  nblk = {nblk}
+  nstep = {steps}
+  nser = {ser}
+  nupd = {upd}
+  call setup
+  do 1 it = 1, nstep
+    call solxdd
+    call hop
+    call update
+    call relax
+ 1 continue
+  call chksum
+end
+
+subroutine setup
+  integer i2
+  do i2 = 1, nblk
+    iblen(i2) = mod(i2 * 3, 7) + 2
+  enddo
+  pptr(1) = 1
+  do i2 = 1, nblk
+    pptr(i2 + 1) = pptr(i2) + iblen(i2)
+  enddo
+  do i2 = 1, {sz}
+    r(i2) = mod(i2 * 11, 17) * 0.1
+    y(i2) = mod(i2 * 5, 13) * 0.2
+    xd(i2) = 0.5
+    xplus(i2) = 0.25
+  enddo
+  serial(1) = 1.0
+end
+
+subroutine solxdd
+  do 4 i = 1, nblk
+    do j = 1, iblen(i)
+      xdd(pptr(i) + j - 1) = r(pptr(i) + j - 1) * 0.9 + 0.1
+    enddo
+ 4 continue
+  do 10 i = 1, nblk
+    do j = 1, iblen(i)
+      y(pptr(i) + j - 1) = y(pptr(i) + j - 1) * 0.99 + xdd(pptr(i) + j - 1) * 0.01
+    enddo
+ 10 continue
+  do 30 i = 1, nblk
+    do j = 1, iblen(i)
+      zd(pptr(i) + j - 1) = xdd(pptr(i) + j - 1) + y(pptr(i) + j - 1)
+    enddo
+ 30 continue
+  do 50 i = 1, nblk
+    do j = 1, iblen(i)
+      xdd(pptr(i) + j - 1) = xdd(pptr(i) + j - 1) + zd(pptr(i) + j - 1) * 0.5
+    enddo
+ 50 continue
+end
+
+subroutine hop
+  do 20 i = 1, nblk
+    do j = 1, iblen(i)
+      xdplus(pptr(i) + j - 1) = xplus(pptr(i) + j - 1) + xd(pptr(i) + j - 1) * 0.1
+    enddo
+ 20 continue
+end
+
+subroutine update
+  ! the conventional-parallel part of each time step
+  do i = 1, nupd
+    u(i) = u(i) * 0.9 + 0.1
+  enddo
+end
+
+subroutine relax
+  integer k2
+  do k2 = 2, nser
+    serial(k2) = serial(k2 - 1) * 0.5 + serial(k2) * 0.5 + 0.001
+  enddo
+end
+
+subroutine chksum
+  integer i4
+  total = 0.0
+  do i4 = 1, {sz}
+    total = total + xdd(i4) + zd(i4) + xdplus(i4)
+  enddo
+  total = total + serial(nser) + u(nupd)
+  print total
+end
+",
+        nb1 = nblk + 1,
+    );
+    Benchmark {
+        name: "DYFESM",
+        source,
+        irregular_labels: vec![
+            "SOLXDD/do4",
+            "SOLXDD/do10",
+            "SOLXDD/do30",
+            "SOLXDD/do50",
+            "HOP/do20",
+        ],
+        paper_coverage: 0.20,
+    }
+}

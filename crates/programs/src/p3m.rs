@@ -1,0 +1,90 @@
+//! P3M kernel (NCSA): particle-particle/particle-mesh simulation.
+//!
+//! The dominant loop is `PP/do100` (74% of sequential time, Table 3):
+//! each particle fills a distance scratch `x0` (`PP/do50`), gathers
+//! close-neighbor indices into `ind0` via the counter `np0`
+//! (`PP/do57`, consecutively written), and accumulates the
+//! particle-particle force through `x0(ind0(k))` — privatizable only
+//! with the closed-form bound of `ind0` and the CW analysis.
+
+use crate::{Benchmark, Scale};
+
+/// Builds the P3M kernel at the given scale.
+pub fn benchmark(scale: Scale) -> Benchmark {
+    // np: particles; mc: neighbor candidates; mesh: the small regular
+    // particle-mesh part (~26%).
+    let (np, mc, mesh, mrep) = match scale {
+        Scale::Test => (30, 20, 200, 3),
+        Scale::Paper => (700, 150, 13000, 6),
+    };
+    let source = format!(
+        "program p3m
+  integer i, j, k, np0, np, mc, nmesh, nrep, ind0({mc})
+  real px({np}), acc({np}), x0({mc}), mesh({mesh}), total
+  np = {np}
+  mc = {mc}
+  nmesh = {mesh}
+  nrep = {mrep}
+  call init
+  call pp
+  call pm
+  call chksum
+end
+
+subroutine init
+  integer i2
+  do i2 = 1, np
+    px(i2) = mod(i2 * 17, 31) * 0.04
+  enddo
+  do i2 = 1, nmesh
+    mesh(i2) = mod(i2 * 3, 7) * 0.2
+  enddo
+end
+
+subroutine pp
+  do 100 i = 1, np
+    do 50 j = 1, mc
+      x0(j) = abs(px(i) - px(j)) + (j - i) * 0.0005
+ 50 continue
+    np0 = 0
+    do 57 j = 1, mc
+      if (x0(j) < 0.4) then
+        np0 = np0 + 1
+        ind0(np0) = j
+      endif
+ 57 continue
+    do k = 1, np0
+      acc(i) = acc(i) + 1.0 / (x0(ind0(k)) + 0.05)
+    enddo
+ 100 continue
+end
+
+subroutine pm
+  ! the particle-mesh part: regular sweeps
+  do 200 k = 1, nrep
+    do i = 1, nmesh
+      mesh(i) = mesh(i) * 0.9 + 0.1
+    enddo
+ 200 continue
+end
+
+subroutine chksum
+  integer i4
+  total = 0.0
+  do i4 = 1, np
+    total = total + acc(i4)
+  enddo
+  do i4 = 1, nmesh
+    total = total + mesh(i4)
+  enddo
+  print total
+end
+"
+    );
+    Benchmark {
+        name: "P3M",
+        source,
+        irregular_labels: vec!["PP/do100"],
+        paper_coverage: 0.74,
+    }
+}

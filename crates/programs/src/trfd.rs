@@ -1,0 +1,94 @@
+//! TRFD kernel (Perfect Benchmarks): two-electron integral
+//! transformation.
+//!
+//! The irregular loop is `INTGRL/do140`: the triangular index array
+//! `ia(i) = i*(i-1)/2` makes the write `xrsiq(ia(i)+j)` irregular;
+//! with the closed-form value/distance property the iterations write
+//! disjoint segments `[ia(i)+1 : ia(i)+i]`. Per Table 3 this loop is
+//! only ~5% of the sequential time — the bulk is the regular
+//! transformation sweeps — so parallelizing it moves the 16-processor
+//! speedup from ~5 to ~6 (Fig. 16(a)).
+
+use crate::{Benchmark, Scale};
+
+/// Builds the TRFD kernel at the given scale.
+pub fn benchmark(scale: Scale) -> Benchmark {
+    // m: triangular dimension (do140 costs ~m^2/2);
+    // n, reps: regular sweep size (costs ~3*n*reps).
+    let (m, n, reps) = match scale {
+        Scale::Test => (24, 300, 12),
+        Scale::Paper => (800, 25000, 120),
+    };
+    let mt = m * (m + 1) / 2 + 1;
+    let source = format!(
+        "program trfd
+  integer i, j, k, m, n, nrep, ia({m}), seed
+  real v({m}), w({m}), xrsiq({mt}), xij({n}), yij({n}), total
+  m = {m}
+  n = {n}
+  nrep = {reps}
+  call setia
+  call init
+  ! regular transformation sweeps (the ~95% regular part)
+  do 100 k = 1, nrep
+    do i = 1, n
+      xij(i) = yij(i) * 0.5 + xij(i) * 0.25 + 1.0
+    enddo
+    do i = 1, n
+      yij(i) = xij(i) * 0.125 + yij(i) * 0.5
+    enddo
+ 100 continue
+  call intgrl
+  call chksum
+end
+
+subroutine setia
+  integer i2
+  do i2 = 1, m
+    ia(i2) = i2 * (i2 - 1) / 2
+  enddo
+end
+
+subroutine init
+  integer i3
+  seed = 12345
+  do i3 = 1, m
+    seed = mod(seed * 1103 + 12345, 65536)
+    v(i3) = seed * 0.0001
+    seed = mod(seed * 1103 + 12345, 65536)
+    w(i3) = seed * 0.0001
+  enddo
+  do i3 = 1, n
+    yij(i3) = mod(i3 * 7, 13) * 0.125
+  enddo
+end
+
+subroutine intgrl
+  ! the irregular triangular store
+  do 140 i = 1, m
+    do j = 1, i
+      xrsiq(ia(i) + j) = v(i) * w(j) + 0.5
+    enddo
+ 140 continue
+end
+
+subroutine chksum
+  integer i4
+  total = 0.0
+  do i4 = 1, n
+    total = total + xij(i4) + yij(i4)
+  enddo
+  do i4 = 1, m
+    total = total + xrsiq(ia(i4) + 1)
+  enddo
+  print total
+end
+"
+    );
+    Benchmark {
+        name: "TRFD",
+        source,
+        irregular_labels: vec!["INTGRL/do140"],
+        paper_coverage: 0.05,
+    }
+}

@@ -1,0 +1,47 @@
+//! Symbolic expressions, ranges, and array-section algebra.
+//!
+//! The analyses of Lin & Padua (PLDI 2000) manipulate *array sections*
+//! with symbolic bounds (`x[1:p]`, `data[offset(i) : offset(i)+length(i)-1]`)
+//! and need to decide questions like "is `pptr(i) + iblen(i) - 1 <
+//! pptr(i+1)` provable?". This crate provides:
+//!
+//! - [`SymExpr`] — a normalized rational polynomial over [`Atom`]s
+//!   (variables, array elements like `pptr(i)`, and opaque operations like
+//!   truncating division). Rational normalization is what lets
+//!   `i*(i-1)/2 + i` and `i*(i+1)/2` be recognized as equal.
+//! - [`SymRange`] / [`Bound`] — symbolic intervals with ±∞.
+//! - [`RangeEnv`] — facts about atoms (loop variable ranges, array value
+//!   bounds from property analysis) used by the prover.
+//! - [`prove_ge0`] and friends — a conservative inequality prover with
+//!   sound rules for truncating division (the sandwich
+//!   `(a-c+1)/c <= a div c <= a/c` plus difference canonicalization).
+//! - [`Section`] — per-dimension symbolic array sections with the
+//!   MAY/MUST-directed operations and the loop aggregation of §3.2.5.
+//!
+//! # Example
+//!
+//! ```
+//! use irr_symbolic::{SymExpr, RangeEnv, prove_ge0};
+//! use irr_frontend::VarId;
+//!
+//! let i = SymExpr::var(VarId(0));
+//! let n = SymExpr::var(VarId(1));
+//! let mut env = RangeEnv::new();
+//! env.set_var_range(VarId(0), SymExpr::int(1), n.clone()); // 1 <= i <= n
+//! // i*(i+1)/2 - i*(i-1)/2 - i == 0 by rational normalization.
+//! let a = i.clone().mul(&i.clone().add(&SymExpr::int(1))).div_exact(2);
+//! let b = i.clone().mul(&i.clone().sub(&SymExpr::int(1))).div_exact(2);
+//! assert!(prove_ge0(&a.sub(&b).sub(&i), &env));
+//! ```
+
+pub mod convert;
+pub mod expr;
+pub mod prove;
+pub mod range;
+pub mod section;
+
+pub use convert::expr_to_sym;
+pub use expr::{Atom, Monomial, OpaqueOp, SymExpr};
+pub use prove::{prove_eq, prove_ge0, prove_gt0, prove_le, prove_lt};
+pub use range::{Bound, RangeEnv, SymRange};
+pub use section::{extremes_over, AggMode, Section};

@@ -1,0 +1,305 @@
+//! Property-based tests of the symbolic layer.
+//!
+//! The central soundness contract: whenever `prove_*` says a fact is
+//! provable under an environment, the fact must hold for **every**
+//! concrete valuation consistent with that environment. The tests
+//! generate random expressions and valuations and check the symbolic
+//! layer against direct evaluation.
+
+use irr_frontend::VarId;
+use irr_symbolic::{
+    prove_eq, prove_ge0, prove_le, AggMode, RangeEnv, Section, SymExpr,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random expression tree over three variables.
+#[derive(Clone, Debug)]
+enum E {
+    Const(i64),
+    Var(u8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    /// Floor division by a positive constant.
+    Div(Box<E>, i64),
+    /// Non-negative remainder by a positive constant.
+    Mod(Box<E>, i64),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(-6i64..7).prop_map(E::Const), (0u8..3).prop_map(E::Var)];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), 1i64..5).prop_map(|(a, c)| E::Div(Box::new(a), c + 1)),
+            (inner, 1i64..5).prop_map(|(a, c)| E::Mod(Box::new(a), c + 1)),
+        ]
+    })
+}
+
+fn to_sym(e: &E) -> SymExpr {
+    match e {
+        E::Const(c) => SymExpr::int(*c),
+        E::Var(v) => SymExpr::var(VarId(*v as u32)),
+        E::Add(a, b) => to_sym(a).add(&to_sym(b)),
+        E::Sub(a, b) => to_sym(a).sub(&to_sym(b)),
+        E::Mul(a, b) => to_sym(a).mul(&to_sym(b)),
+        E::Div(a, c) => to_sym(a).div(&SymExpr::int(*c)),
+        E::Mod(a, c) => to_sym(a).mod_op(&SymExpr::int(*c)),
+    }
+}
+
+/// Direct evaluation with the language's floor semantics.
+fn eval(e: &E, vals: &[i64; 3]) -> i64 {
+    match e {
+        E::Const(c) => *c,
+        E::Var(v) => vals[*v as usize],
+        E::Add(a, b) => eval(a, vals).wrapping_add(eval(b, vals)),
+        E::Sub(a, b) => eval(a, vals).wrapping_sub(eval(b, vals)),
+        E::Mul(a, b) => eval(a, vals).wrapping_mul(eval(b, vals)),
+        E::Div(a, c) => eval(a, vals).div_euclid(*c),
+        E::Mod(a, c) => eval(a, vals).rem_euclid(*c),
+    }
+}
+
+/// Evaluates a SymExpr (rational polynomial over atoms) directly; the
+/// result is a rational `(num, den)` to tolerate intermediate halves.
+fn eval_sym(e: &SymExpr, vals: &HashMap<VarId, i64>) -> Option<(i128, i128)> {
+    let mut num: i128 = 0;
+    for (m, c) in e.terms() {
+        let mut term: i128 = *c as i128;
+        for a in m.atoms() {
+            term *= eval_atom(a, vals)? as i128;
+        }
+        num += term;
+    }
+    Some((num, e.den() as i128))
+}
+
+fn eval_atom(a: &irr_symbolic::Atom, vals: &HashMap<VarId, i64>) -> Option<i64> {
+    use irr_symbolic::{Atom, OpaqueOp};
+    match a {
+        Atom::Var(v) => vals.get(v).copied(),
+        Atom::Elem(..) => None,
+        Atom::Opaque(op, args) => {
+            let xs: Vec<i64> = args
+                .iter()
+                .map(|x| {
+                    let (n, d) = eval_sym(x, vals)?;
+                    if n % d != 0 {
+                        return None;
+                    }
+                    i64::try_from(n / d).ok()
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(match op {
+                OpaqueOp::Div => {
+                    if xs[1] == 0 {
+                        return None;
+                    }
+                    xs[0].div_euclid(xs[1])
+                }
+                OpaqueOp::Mod => {
+                    if xs[1] == 0 {
+                        return None;
+                    }
+                    xs[0].rem_euclid(xs[1])
+                }
+                OpaqueOp::Min => xs[0].min(xs[1]),
+                OpaqueOp::Max => xs[0].max(xs[1]),
+            })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Normalization is value-preserving: the polynomial form evaluates
+    /// to exactly the tree's value (as a rational with denominator 1
+    /// after full evaluation).
+    #[test]
+    fn normalization_preserves_value(e in expr_strategy(), v0 in -8i64..9, v1 in -8i64..9, v2 in -8i64..9) {
+        let sym = to_sym(&e);
+        let direct = eval(&e, &[v0, v1, v2]);
+        let mut vals = HashMap::new();
+        vals.insert(VarId(0), v0);
+        vals.insert(VarId(1), v1);
+        vals.insert(VarId(2), v2);
+        if let Some((num, den)) = eval_sym(&sym, &vals) {
+            // The polynomial may be an exact rational; the value must
+            // still match the integer result exactly.
+            prop_assert_eq!(num, direct as i128 * den,
+                "tree {:?} -> {} but poly {} evaluates to {}/{}", e, direct, sym, num, den);
+        }
+    }
+
+    /// Prover soundness: a proven `a >= 0` holds for every valuation in
+    /// the environment's ranges.
+    #[test]
+    fn prove_ge0_is_sound(e in expr_strategy(), lo0 in -4i64..2, w0 in 0i64..6, lo1 in -4i64..2, w1 in 0i64..6, s0 in 0..5i64, s1 in 0..5i64, v2 in -8i64..9) {
+        let sym = to_sym(&e);
+        let mut env = RangeEnv::new();
+        env.set_var_range(VarId(0), SymExpr::int(lo0), SymExpr::int(lo0 + w0));
+        env.set_var_range(VarId(1), SymExpr::int(lo1), SymExpr::int(lo1 + w1));
+        // v2 unconstrained in the env.
+        if prove_ge0(&sym, &env) {
+            // Sample the box (including endpoints).
+            let x0 = (lo0 + s0 % (w0 + 1)).min(lo0 + w0);
+            let x1 = (lo1 + s1 % (w1 + 1)).min(lo1 + w1);
+            let direct = eval(&e, &[x0, x1, v2]);
+            prop_assert!(direct >= 0,
+                "proved {} >= 0 under v0 in [{},{}], v1 in [{},{}] but eval({:?}, [{x0},{x1},{v2}]) = {}",
+                sym, lo0, lo0 + w0, lo1, lo1 + w1, e, direct);
+        }
+    }
+
+    /// prove_eq is sound.
+    #[test]
+    fn prove_eq_is_sound(a in expr_strategy(), b in expr_strategy(), v0 in -8i64..9, v1 in -8i64..9, v2 in -8i64..9) {
+        let (sa, sb) = (to_sym(&a), to_sym(&b));
+        let env = RangeEnv::new();
+        if prove_eq(&sa, &sb, &env) {
+            prop_assert_eq!(eval(&a, &[v0, v1, v2]), eval(&b, &[v0, v1, v2]),
+                "proved {} == {}", sa, sb);
+        }
+    }
+
+    /// Substitution commutes with evaluation.
+    #[test]
+    fn subst_commutes_with_eval(e in expr_strategy(), r in -5i64..6, v1 in -8i64..9, v2 in -8i64..9) {
+        let sym = to_sym(&e).subst(VarId(0), &SymExpr::int(r));
+        let direct = eval(&e, &[r, v1, v2]);
+        let mut vals = HashMap::new();
+        vals.insert(VarId(1), v1);
+        vals.insert(VarId(2), v2);
+        if let Some((num, den)) = eval_sym(&sym, &vals) {
+            prop_assert_eq!(num, direct as i128 * den);
+        }
+    }
+}
+
+// ----- section algebra soundness over concrete integer ranges -----------
+
+fn concrete(lo: i64, hi: i64) -> Section {
+    Section::range1(SymExpr::int(lo), SymExpr::int(hi))
+}
+
+fn members(s: &Section, universe: std::ops::RangeInclusive<i64>) -> Vec<i64> {
+    let env = RangeEnv::new();
+    universe
+        .filter(|k| {
+            let pt = Section::point(vec![SymExpr::int(*k)]);
+            !s.provably_disjoint(&pt, &env)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// MAY union contains both operands; MUST intersection is contained
+    /// in both; subtract_under over-approximates the true difference;
+    /// subtract_may never keeps a killed element.
+    #[test]
+    fn section_ops_respect_directions(a_lo in 0i64..12, a_w in 0i64..8, b_lo in 0i64..12, b_w in 0i64..8) {
+        let env = RangeEnv::new();
+        let a = concrete(a_lo, a_lo + a_w);
+        let b = concrete(b_lo, b_lo + b_w);
+        let uni = 0i64..=24;
+        let ma: Vec<i64> = members(&a, uni.clone());
+        let mb: Vec<i64> = members(&b, uni.clone());
+
+        let u = a.union_may(&b, &env);
+        let mu = members(&u, uni.clone());
+        for k in ma.iter().chain(mb.iter()) {
+            prop_assert!(mu.contains(k), "union_may lost {k}");
+        }
+
+        let i = a.intersect_must(&b, &env);
+        let mi = members(&i, uni.clone());
+        for k in &mi {
+            prop_assert!(ma.contains(k) && mb.contains(k), "intersect_must invented {k}");
+        }
+
+        let d = a.subtract_under(&b, &env);
+        let md = members(&d, uni.clone());
+        for k in &ma {
+            if !mb.contains(k) {
+                prop_assert!(md.contains(k), "subtract_under lost live element {k}");
+            }
+        }
+
+        let dm = a.subtract_may(&b, &env);
+        let mdm = members(&dm, uni.clone());
+        for k in &mdm {
+            prop_assert!(!mb.contains(k), "subtract_may kept killed element {k}");
+            prop_assert!(ma.contains(k), "subtract_may invented {k}");
+        }
+
+        let um = a.union_must(&b, &env);
+        let mum = members(&um, uni.clone());
+        for k in &mum {
+            prop_assert!(ma.contains(k) || mb.contains(k), "union_must invented {k}");
+        }
+    }
+
+    /// Aggregation directions: MAY over-approximates and MUST
+    /// under-approximates the true union over iterations of a section
+    /// `[i + c : i + c + w]`.
+    #[test]
+    fn aggregation_respects_directions(c in -3i64..4, w in 0i64..3, lo in 1i64..4, span in 0i64..5, stride in 1i64..3) {
+        let env = RangeEnv::new();
+        let var = VarId(9);
+        let i = SymExpr::var(var).scale(stride);
+        let sec = Section::range1(
+            i.add(&SymExpr::int(c)),
+            i.add(&SymExpr::int(c + w)),
+        );
+        let hi = lo + span;
+        // True union.
+        let mut truth: Vec<i64> = Vec::new();
+        for it in lo..=hi {
+            for k in (stride * it + c)..=(stride * it + c + w) {
+                if !truth.contains(&k) {
+                    truth.push(k);
+                }
+            }
+        }
+        let uni = -20i64..=40;
+        let may = sec.aggregate(var, &SymExpr::int(lo), &SymExpr::int(hi), &env, AggMode::May);
+        let m_may = members(&may, uni.clone());
+        for k in &truth {
+            prop_assert!(m_may.contains(k), "May aggregation lost {k}");
+        }
+        let must = sec.aggregate(var, &SymExpr::int(lo), &SymExpr::int(hi), &env, AggMode::Must);
+        let m_must = members(&must, uni.clone());
+        for k in &m_must {
+            prop_assert!(truth.contains(k), "Must aggregation invented {k} (truth {truth:?}, stride {stride})");
+        }
+    }
+
+    /// `extremes_over` brackets the true extremes of a monotone
+    /// expression.
+    #[test]
+    fn extremes_bracket_truth(a in -4i64..5, b in -6i64..7, lo in -3i64..3, span in 0i64..6) {
+        let var = VarId(3);
+        let e = SymExpr::var(var).scale(a).add(&SymExpr::int(b));
+        let env = RangeEnv::new();
+        let hi = lo + span;
+        if let Some((emin, emax)) = irr_symbolic::extremes_over(
+            &e, var, &SymExpr::int(lo), &SymExpr::int(hi), &env,
+        ) {
+            let (emin, emax) = (emin.as_int().unwrap(), emax.as_int().unwrap());
+            for it in lo..=hi {
+                let v = a * it + b;
+                prop_assert!(emin <= v && v <= emax);
+            }
+            // And they are attained.
+            prop_assert!(prove_le(&SymExpr::int(emin), &SymExpr::int(emax), &env));
+        }
+    }
+}

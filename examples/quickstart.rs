@@ -1,0 +1,91 @@
+//! Quickstart: compile the paper's motivating example (Fig. 1(a)) and
+//! see the irregular analyses at work.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use irr_repro::driver::{compile_source, DriverOptions};
+
+fn main() {
+    // Fig. 1(a): x() is filled through the irregular single-indexed
+    // pointer p inside a while loop, then read as x(1..p). No closed
+    // form for p exists, so traditional privatization fails — the
+    // consecutively-written analysis (§2.2) is what parallelizes do-k.
+    let source = "
+program fig1a
+  integer i, j, k, n, p, link(64, 16)
+  real x(64), y(64), z(16, 64)
+  n = 16
+  call init
+  do 100 k = 1, n
+    p = 0
+    i = link(1, k)
+    while (i /= 0)
+      p = p + 1
+      x(p) = y(i)
+      i = link(i, k)
+    endwhile
+    do j = 1, p
+      z(k, j) = x(j)
+    enddo
+ 100 continue
+  print z(1, 1), z(16, 1)
+end
+
+subroutine init
+  integer a, b
+  do a = 1, 64
+    y(a) = a * 0.5
+    do b = 1, 16
+      link(a, b) = mod(a + b, 40)
+    enddo
+  enddo
+end
+";
+    println!("=== With the irregular array access analyses (the paper) ===");
+    let with = compile_source(source, DriverOptions::with_iaa()).expect("parses");
+    report(&with);
+
+    println!("\n=== Without them (traditional Polaris) ===");
+    let without = compile_source(source, DriverOptions::without_iaa()).expect("parses");
+    report(&without);
+
+    println!(
+        "\nThe k-loop is parallel only with the consecutively-written \
+         analysis: the while loop's writes provably cover x(1..p)."
+    );
+
+    // The Polaris-style output artifact: the program annotated with
+    // parallel directives.
+    println!("\n=== Annotated output (directives on cleared loops) ===");
+    for line in irr_repro::driver::emit_annotated(&with).lines() {
+        if line.trim_start().starts_with("!$omp")
+            || line.trim_start().starts_with("do ")
+        {
+            println!("{line}");
+        }
+    }
+}
+
+fn report(rep: &irr_repro::driver::CompilationReport) {
+    for v in &rep.verdicts {
+        print!(
+            "  {:<16} {}",
+            v.label,
+            if v.parallel { "PARALLEL" } else { "serial  " }
+        );
+        if !v.privatized_arrays.is_empty() {
+            let names: Vec<String> = v
+                .privatized_arrays
+                .iter()
+                .map(|(a, tag)| format!("{}[{}]", rep.program.symbols.name(*a), tag))
+                .collect();
+            print!("  privatized: {}", names.join(", "));
+        }
+        if !v.blockers.is_empty() {
+            print!("  blockers: {}", v.blockers.join("; "));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,29 @@
+//! Umbrella crate for the reproduction of Lin & Padua, *Compiler Analysis
+//! of Irregular Memory Accesses* (PLDI 2000).
+//!
+//! This crate re-exports the whole workspace so the examples in
+//! `examples/` and the cross-crate integration tests in `tests/` can use
+//! one import root. See the individual crates for the substance:
+//!
+//! - [`frontend`] — the mini-Fortran language,
+//! - [`graph`] — CFGs, the hierarchical control graph, bounded DFS,
+//! - [`symbolic`] — symbolic expressions and array-section algebra,
+//! - [`core`] — the paper's analyses (single-indexed access analysis and
+//!   demand-driven interprocedural array property analysis),
+//! - [`passes`] — the normalization pipeline,
+//! - [`deptest`] — dependence tests (range / offset-length / injective),
+//! - [`privatize`] — the extended privatization test,
+//! - [`driver`] — the parallelizing pipeline,
+//! - [`exec`] — the interpreter and machine models,
+//! - [`programs`] — the five benchmark kernels.
+
+pub use irr_core as core;
+pub use irr_deptest as deptest;
+pub use irr_driver as driver;
+pub use irr_exec as exec;
+pub use irr_frontend as frontend;
+pub use irr_graph as graph;
+pub use irr_passes as passes;
+pub use irr_privatize as privatize;
+pub use irr_programs as programs;
+pub use irr_symbolic as symbolic;
