@@ -6,38 +6,38 @@
 //! - early termination on/off (Fig. 5 / Fig. 9);
 //! - reverse-topological priority worklist vs FIFO (§3.2.2);
 //! - interprocedural vs intraprocedural (the Fig. 15 reorganization);
-//! - the §2 single-indexed analyses (bDFS-based).
+//! - the §2 single-indexed analyses (bDFS-based);
+//! - the §1 run-time-vs-compile-time trade-off, now including the
+//!   hybrid runtime's versioned schedule cache.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use irr_bench::harness::Runner;
 use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
 use irr_core::{
     consecutively_written, find_index_gathering_loops, single_indexed_arrays, stack_access,
     AnalysisCtx, DistanceSpec, Property, PropertyQuery,
 };
-use irr_driver::DriverOptions;
+use irr_driver::{DispatchTier, DriverOptions};
+use irr_exec::{inspect_offset_length, Interp, LoopDispatcher};
 use irr_frontend::{parse_program, Program, StmtId, StmtKind};
 use irr_programs::{all, Scale};
+use irr_runtime::{HybridConfig, HybridDispatcher};
 use irr_symbolic::{Section, SymExpr};
 
-fn compile_benchmarks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
+fn compile_benchmarks(r: &Runner) {
+    let mut g = r.group("compile");
     g.sample_size(20);
     for b in all(Scale::Test) {
         let program = parse_program(&b.source).unwrap();
-        g.bench_function(format!("{}/with-iaa", b.name), |bench| {
-            bench.iter_batched(
-                || program.clone(),
-                |p| irr_driver::compile(p, DriverOptions::with_iaa()),
-                BatchSize::SmallInput,
-            )
-        });
-        g.bench_function(format!("{}/without-iaa", b.name), |bench| {
-            bench.iter_batched(
-                || program.clone(),
-                |p| irr_driver::compile(p, DriverOptions::without_iaa()),
-                BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_setup(
+            &format!("{}/with-iaa", b.name),
+            || program.clone(),
+            |p| irr_driver::compile(p, DriverOptions::with_iaa()),
+        );
+        g.bench_with_setup(
+            &format!("{}/without-iaa", b.name),
+            || program.clone(),
+            |p| irr_driver::compile(p, DriverOptions::without_iaa()),
+        );
     }
     g.finish();
 }
@@ -93,43 +93,37 @@ fn query_with(opts: SolverOptions, ctx: &AnalysisCtx<'_>, at: StmtId) -> bool {
     })
 }
 
-fn solver_ablations(c: &mut Criterion) {
+fn solver_ablations(r: &Runner) {
     let (program, _) = dyfesm_scenario();
     let ctx = AnalysisCtx::new(&program);
     let at = labeled_loop(&program, 10);
-    let mut g = c.benchmark_group("query-solver");
+    let mut g = r.group("query-solver");
     g.sample_size(30);
     let base = SolverOptions::default();
     assert!(query_with(base, &ctx, at));
-    g.bench_function("default", |bench| {
-        bench.iter(|| query_with(base, &ctx, at))
+    g.bench_function("default", || query_with(base, &ctx, at));
+    g.bench_function("no-early-termination", || {
+        query_with(
+            SolverOptions {
+                early_termination: false,
+                ..base
+            },
+            &ctx,
+            at,
+        )
     });
-    g.bench_function("no-early-termination", |bench| {
-        bench.iter(|| {
-            query_with(
-                SolverOptions {
-                    early_termination: false,
-                    ..base
-                },
-                &ctx,
-                at,
-            )
-        })
-    });
-    g.bench_function("fifo-worklist", |bench| {
-        bench.iter(|| {
-            query_with(
-                SolverOptions {
-                    rtop_priority: false,
-                    ..base
-                },
-                &ctx,
-                at,
-            )
-        })
+    g.bench_function("fifo-worklist", || {
+        query_with(
+            SolverOptions {
+                rtop_priority: false,
+                ..base
+            },
+            &ctx,
+            at,
+        )
     });
     // Summary caching across queries: repeated queries on one engine.
-    g.bench_function("cached-requery", |bench| {
+    {
         let p = &program;
         let pptr = p.symbols.lookup("pptr").unwrap();
         let iblen = p.symbols.lookup("iblen").unwrap();
@@ -143,8 +137,8 @@ fn solver_ablations(c: &mut Criterion) {
             at_stmt: at,
         };
         apa.check(&q);
-        bench.iter(|| apa.check(&q))
-    });
+        g.bench_function("cached-requery", || apa.check(&q));
+    }
     g.finish();
 }
 
@@ -152,61 +146,57 @@ fn solver_ablations(c: &mut Criterion) {
 /// battery of properties for every array everywhere) — the design choice
 /// §3 calls out: "the cost of interprocedural array reaching definition
 /// analysis and property checking is high".
-fn demand_vs_exhaustive(c: &mut Criterion) {
+fn demand_vs_exhaustive(r: &Runner) {
     let b = all(Scale::Test)
         .into_iter()
         .find(|b| b.name == "DYFESM")
         .unwrap();
     let program = parse_program(&b.source).unwrap();
-    let mut g = c.benchmark_group("demand-vs-exhaustive");
+    let mut g = r.group("demand-vs-exhaustive");
     g.sample_size(10);
-    g.bench_function("demand-driven-pipeline", |bench| {
-        bench.iter_batched(
-            || program.clone(),
-            |p| irr_driver::compile(p, DriverOptions::with_iaa()),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("exhaustive-all-arrays", |bench| {
-        bench.iter(|| {
-            let ctx = AnalysisCtx::new(&program);
-            let mut apa = ArrayPropertyAnalysis::new(&ctx);
-            let last = *program.procedures[program.main().index()]
-                .body
-                .last()
-                .unwrap();
-            let mut verified = 0;
-            for (v, info) in program.symbols.iter() {
-                if !info.is_array() {
-                    continue;
-                }
-                let battery = [
-                    Property::Injective,
-                    Property::MonotoneNonDecreasing,
-                    Property::ClosedFormBound {
-                        lo: Some(SymExpr::int(0)),
-                        hi: None,
-                    },
-                ];
-                for prop in battery {
-                    let q = PropertyQuery {
-                        array: v,
-                        property: prop,
-                        section: Section::range1(SymExpr::int(1), SymExpr::int(50)),
-                        at_stmt: last,
-                    };
-                    if apa.check(&q) {
-                        verified += 1;
-                    }
+    g.bench_with_setup(
+        "demand-driven-pipeline",
+        || program.clone(),
+        |p| irr_driver::compile(p, DriverOptions::with_iaa()),
+    );
+    g.bench_function("exhaustive-all-arrays", || {
+        let ctx = AnalysisCtx::new(&program);
+        let mut apa = ArrayPropertyAnalysis::new(&ctx);
+        let last = *program.procedures[program.main().index()]
+            .body
+            .last()
+            .unwrap();
+        let mut verified = 0;
+        for (v, info) in program.symbols.iter() {
+            if !info.is_array() {
+                continue;
+            }
+            let battery = [
+                Property::Injective,
+                Property::MonotoneNonDecreasing,
+                Property::ClosedFormBound {
+                    lo: Some(SymExpr::int(0)),
+                    hi: None,
+                },
+            ];
+            for prop in battery {
+                let q = PropertyQuery {
+                    array: v,
+                    property: prop,
+                    section: Section::range1(SymExpr::int(1), SymExpr::int(50)),
+                    at_stmt: last,
+                };
+                if apa.check(&q) {
+                    verified += 1;
                 }
             }
-            verified
-        })
+        }
+        verified
     });
     g.finish();
 }
 
-fn single_indexed_analyses(c: &mut Criterion) {
+fn single_indexed_analyses(r: &Runner) {
     let tree = all(Scale::Test)
         .into_iter()
         .find(|b| b.name == "TREE")
@@ -221,13 +211,9 @@ fn single_indexed_analyses(c: &mut Criterion) {
         .unwrap();
     let stack = program.symbols.lookup("stack").unwrap();
     let sptr = program.symbols.lookup("sptr").unwrap();
-    let mut g = c.benchmark_group("single-indexed");
-    g.bench_function("detect", |bench| {
-        bench.iter(|| single_indexed_arrays(&ctx, do10))
-    });
-    g.bench_function("stack-access", |bench| {
-        bench.iter(|| stack_access(&ctx, do10, stack, sptr))
-    });
+    let mut g = r.group("single-indexed");
+    g.bench_function("detect", || single_indexed_arrays(&ctx, do10));
+    g.bench_function("stack-access", || stack_access(&ctx, do10, stack, sptr));
     let bdna = all(Scale::Test)
         .into_iter()
         .find(|b| b.name == "BDNA")
@@ -236,46 +222,90 @@ fn single_indexed_analyses(c: &mut Criterion) {
     let bctx = AnalysisCtx::new(&bprog);
     let actfor = bprog.find_procedure("actfor").unwrap();
     let body = bprog.procedure(actfor).body.clone();
-    g.bench_function("gather-scan", |bench| {
-        bench.iter(|| find_index_gathering_loops(&bctx, &body))
-    });
+    g.bench_function("gather-scan", || find_index_gathering_loops(&bctx, &body));
     let gather = find_index_gathering_loops(&bctx, &body)[0].loop_stmt;
     let ind = bprog.symbols.lookup("ind").unwrap();
     let q = bprog.symbols.lookup("q").unwrap();
-    g.bench_function("consecutively-written", |bench| {
-        bench.iter(|| consecutively_written(&bctx, gather, ind, q))
+    g.bench_function("consecutively-written", || {
+        consecutively_written(&bctx, gather, ind, q)
     });
     g.finish();
 }
 
+/// The flagship guarded loop: `p(i) = mod(i*3, n) + 1` is a permutation
+/// (gcd(3, 512) = 1) the static injectivity checkers cannot derive, so
+/// the compiler leaves a `RuntimeGuarded` verdict on `do 20`.
+const GUARDED_SRC: &str = "program t
+     integer i, n, p(512)
+     real z(512), x(512)
+     n = 512
+     do i = 1, n
+       p(i) = mod(i * 3, n) + 1
+       x(i) = i * 1.0
+     enddo
+     do 20 i = 1, n
+       z(p(i)) = x(i) * 2.0
+ 20  continue
+     print z(1)
+     end";
+
 /// The paper's §1 argument against run-time tests: the inspector pays on
 /// every execution, while the compile-time query pays once at compile
 /// time. Compare the per-execution inspector cost against the (cached)
-/// compile-time query.
-fn runtime_vs_compile_time(c: &mut Criterion) {
-    use irr_exec::{inspect_offset_length, Interp};
+/// compile-time query — and against the hybrid runtime's middle ground,
+/// where a versioned schedule cache turns re-entry into a few integer
+/// compares.
+fn runtime_vs_compile_time(r: &Runner) {
     let (program, _) = dyfesm_scenario();
     let store = Interp::new(&program).run().unwrap().store;
     let ptr = program.symbols.lookup("pptr").unwrap();
     let len = program.symbols.lookup("iblen").unwrap();
     let ctx = AnalysisCtx::new(&program);
     let at = labeled_loop(&program, 10);
-    let mut g = c.benchmark_group("runtime-vs-compile-time");
-    g.bench_function("runtime-inspector-per-execution", |bench| {
-        bench.iter(|| inspect_offset_length(&store, ptr, len, 1, 100))
+    let mut g = r.group("runtime-vs-compile-time");
+    g.bench_function("runtime-inspector-per-execution", || {
+        inspect_offset_length(&store, ptr, len, 1, 100)
     });
-    g.bench_function("compile-time-query-once", |bench| {
-        bench.iter(|| query_with(SolverOptions::default(), &ctx, at))
+    g.bench_function("compile-time-query-once", || {
+        query_with(SolverOptions::default(), &ctx, at)
+    });
+
+    // The hybrid tier: dispatch the guarded mod-permutation loop with
+    // and without the schedule cache. Uncached pays the O(section)
+    // inspector on every entry; cached re-entry compares store versions.
+    let rep = irr_driver::compile_source(GUARDED_SRC, DriverOptions::with_iaa()).unwrap();
+    let v = rep.verdict("T/do20").expect("verdict for do20");
+    assert!(
+        matches!(v.tier, DispatchTier::RuntimeGuarded(_)),
+        "bench scenario must stay guarded: {v:?}"
+    );
+    let loop_stmt = v.loop_stmt;
+    let guarded_store = Interp::new(&rep.program).run().unwrap().store;
+    let mut uncached = HybridDispatcher::new(
+        &rep,
+        HybridConfig {
+            cache_schedules: false,
+            ..HybridConfig::default()
+        },
+    );
+    g.bench_function("hybrid-guarded-inspect-per-entry", || {
+        uncached.dispatch(&guarded_store, loop_stmt, 1, 512, 1)
+    });
+    let mut cached = HybridDispatcher::new(&rep, HybridConfig::default());
+    cached.dispatch(&guarded_store, loop_stmt, 1, 512, 1); // warm the cache
+    cached.dispatch(&guarded_store, loop_stmt, 1, 512, 1);
+    assert_eq!(cached.telemetry.cache_hits, 1, "{:?}", cached.telemetry);
+    g.bench_function("hybrid-guarded-cached-reentry", || {
+        cached.dispatch(&guarded_store, loop_stmt, 1, 512, 1)
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    compile_benchmarks,
-    solver_ablations,
-    demand_vs_exhaustive,
-    single_indexed_analyses,
-    runtime_vs_compile_time
-);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env();
+    compile_benchmarks(&r);
+    solver_ablations(&r);
+    demand_vs_exhaustive(&r);
+    single_indexed_analyses(&r);
+    runtime_vs_compile_time(&r);
+}

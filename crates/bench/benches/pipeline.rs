@@ -1,7 +1,7 @@
 //! Benchmarks of the substrate: the Fig. 15 scalar passes, graph
 //! construction, the interpreter, and the Fig. 16 speedup simulation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use irr_bench::harness::Runner;
 use irr_bench::{profile_run, Config};
 use irr_exec::{simulate_speedup, Interp, MachineModel};
 use irr_frontend::parse_program;
@@ -12,80 +12,66 @@ use irr_passes::{
 };
 use irr_programs::{all, Scale};
 
-fn passes(c: &mut Criterion) {
+fn passes(r: &Runner) {
     let b = all(Scale::Test)
         .into_iter()
         .find(|b| b.name == "DYFESM")
         .unwrap();
     let program = parse_program(&b.source).unwrap();
-    let mut g = c.benchmark_group("passes");
-    g.bench_function("inline", |bench| {
-        bench.iter_batched(
-            || program.clone(),
-            |mut p| inline_small_procedures(&mut p, 50),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("constprop", |bench| {
-        bench.iter_batched(
-            || program.clone(),
-            |mut p| propagate_constants(&mut p),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("forward-sub", |bench| {
-        bench.iter_batched(
-            || program.clone(),
-            |mut p| forward_substitute(&mut p),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("induction", |bench| {
-        bench.iter_batched(
-            || program.clone(),
-            |mut p| substitute_induction_variables(&mut p),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("normalize", |bench| {
-        bench.iter_batched(
-            || program.clone(),
-            |mut p| normalize_loops(&mut p),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("dce", |bench| {
-        bench.iter_batched(
-            || program.clone(),
-            |mut p| eliminate_dead_code(&mut p),
-            BatchSize::SmallInput,
-        )
-    });
+    let mut g = r.group("passes");
+    g.bench_with_setup(
+        "inline",
+        || program.clone(),
+        |mut p| inline_small_procedures(&mut p, 50),
+    );
+    g.bench_with_setup(
+        "constprop",
+        || program.clone(),
+        |mut p| propagate_constants(&mut p),
+    );
+    g.bench_with_setup(
+        "forward-sub",
+        || program.clone(),
+        |mut p| forward_substitute(&mut p),
+    );
+    g.bench_with_setup(
+        "induction",
+        || program.clone(),
+        |mut p| substitute_induction_variables(&mut p),
+    );
+    g.bench_with_setup(
+        "normalize",
+        || program.clone(),
+        |mut p| normalize_loops(&mut p),
+    );
+    g.bench_with_setup(
+        "dce",
+        || program.clone(),
+        |mut p| eliminate_dead_code(&mut p),
+    );
     g.finish();
 }
 
-fn graphs(c: &mut Criterion) {
+fn graphs(r: &Runner) {
     let b = all(Scale::Test)
         .into_iter()
         .find(|b| b.name == "TREE")
         .unwrap();
     let program = parse_program(&b.source).unwrap();
-    let mut g = c.benchmark_group("graphs");
-    g.bench_function("hcg-build", |bench| bench.iter(|| Hcg::build(&program)));
+    let mut g = r.group("graphs");
+    g.bench_function("hcg-build", || Hcg::build(&program));
     let main_body = program.procedures[program.main().index()].body.clone();
-    g.bench_function("cfg-build", |bench| {
-        bench.iter(|| Cfg::build(&program, &main_body))
-    });
+    g.bench_function("cfg-build", || Cfg::build(&program, &main_body));
     g.finish();
 }
 
-fn execution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("execution");
+fn execution(r: &Runner) {
+    let mut g = r.group("execution");
     g.sample_size(10);
     for b in all(Scale::Test) {
         let program = parse_program(&b.source).unwrap();
-        g.bench_function(format!("interpret/{}", b.name), |bench| {
-            bench.iter(|| Interp::new(&program).run().expect("runs"))
+        g.bench_function(&format!("interpret/{}", b.name), || {
+            Interp::new(&program).run().expect("runs")
         });
     }
     // Speedup simulation itself (per Fig. 16 data point).
@@ -95,11 +81,15 @@ fn execution(c: &mut Criterion) {
         .unwrap();
     let run = profile_run(&tree.source, Config::WithIaa);
     let origin = MachineModel::origin2000();
-    g.bench_function("simulate-speedup-32", |bench| {
-        bench.iter(|| simulate_speedup(&run.profile, 32, &origin))
+    g.bench_function("simulate-speedup-32", || {
+        simulate_speedup(&run.profile, 32, &origin)
     });
     g.finish();
 }
 
-criterion_group!(benches, passes, graphs, execution);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env();
+    passes(&r);
+    graphs(&r);
+    execution(&r);
+}

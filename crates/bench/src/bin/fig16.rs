@@ -14,7 +14,11 @@ fn main() {
     let origin = MachineModel::origin2000();
     println!("Fig. 16 — simulated speedups ({})", origin.name);
     for b in all(Scale::Paper) {
-        println!("\n{} (irregular-loop coverage target {:.0}%):", b.name, b.paper_coverage * 100.0);
+        println!(
+            "\n{} (irregular-loop coverage target {:.0}%):",
+            b.name,
+            b.paper_coverage * 100.0
+        );
         print!("{:>12}", "procs");
         for p in procs {
             print!("{p:>8}");
@@ -39,7 +43,10 @@ fn main() {
         .into_iter()
         .find(|b| b.name == "DYFESM")
         .expect("dyfesm exists");
-    println!("\nDYFESM on {} (Fig. 16(f); paper: ~1.6x at 4 procs):", challenge.name);
+    println!(
+        "\nDYFESM on {} (Fig. 16(f); paper: ~1.6x at 4 procs):",
+        challenge.name
+    );
     let cprocs = [1usize, 2, 3, 4];
     print!("{:>12}", "procs");
     for p in cprocs {

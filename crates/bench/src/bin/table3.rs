@@ -56,8 +56,7 @@ fn main() {
             props.sort();
             props.dedup();
             let mut tests: Vec<&str> = Vec::new();
-            if v
-                .independent_arrays
+            if v.independent_arrays
                 .iter()
                 .any(|(_, t)| !matches!(*t, "IDDIM" | "AFFINE"))
             {
@@ -67,7 +66,11 @@ fn main() {
                 tests.push("PRIV");
             }
             if tests.is_empty() {
-                tests.push(if v.independent_arrays.is_empty() { "PRIV" } else { "DD" });
+                tests.push(if v.independent_arrays.is_empty() {
+                    "PRIV"
+                } else {
+                    "DD"
+                });
             }
             let test = tests.join(",");
             let cost = outcome

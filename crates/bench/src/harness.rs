@@ -1,0 +1,142 @@
+//! A minimal timing harness for the `[[bench]]` targets.
+//!
+//! The repository builds with no network access, so the benches cannot
+//! depend on an external framework such as criterion. This harness
+//! keeps the familiar group / `bench_function` shape: each benchmark
+//! warms up, takes `samples` wall-clock samples of the closure, and
+//! prints min / median / mean nanoseconds per call.
+//!
+//! Command-line behavior (so the binaries stay friendly to `cargo
+//! bench` and `cargo test --benches`):
+//!
+//! - a bare argument is a substring filter on `group/name`;
+//! - `--test` (passed by `cargo test --benches`) runs every benchmark
+//!   exactly once, as a smoke test, without timing loops;
+//! - other flags (`--bench`, etc.) are ignored.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Top-level runner; parses the command line once per bench binary.
+pub struct Runner {
+    filter: Option<String>,
+    check_only: bool,
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args`.
+    pub fn from_env() -> Runner {
+        let mut filter = None;
+        let mut check_only = false;
+        for a in std::env::args().skip(1) {
+            if a == "--test" {
+                check_only = true;
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
+            }
+        }
+        Runner { filter, check_only }
+    }
+
+    /// Starts a named benchmark group (default 50 samples per entry).
+    pub fn group(&self, name: &str) -> Group<'_> {
+        Group {
+            runner: self,
+            name: name.to_string(),
+            samples: 50,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct Group<'r> {
+    runner: &'r Runner,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples for subsequent entries.
+    pub fn sample_size(&mut self, n: usize) {
+        self.samples = n.max(1);
+    }
+
+    /// Times `f`, which receives a fresh value from `setup` on every
+    /// call (the setup cost is excluded from the measurement).
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        id: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.runner.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.runner.check_only {
+            black_box(f(setup()));
+            println!("{full}: ok (check mode)");
+            return;
+        }
+        // Warmup.
+        for _ in 0..2 {
+            black_box(f(setup()));
+        }
+        let mut ns: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            ns.push(t.elapsed().as_nanos());
+        }
+        ns.sort_unstable();
+        let min = ns[0];
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+        println!(
+            "{full}: median {median} ns, min {min} ns, mean {mean} ns ({} samples)",
+            ns.len()
+        );
+    }
+
+    /// Times a closure with no per-call setup.
+    pub fn bench_function<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        self.bench_with_setup(id, || (), |()| f());
+    }
+
+    /// Ends the group (kept for call-site symmetry with the former
+    /// criterion API; prints nothing).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let runner = Runner {
+            filter: None,
+            check_only: true,
+        };
+        let mut called = 0;
+        let mut g = runner.group("g");
+        g.bench_function("f", || called += 1);
+        assert_eq!(called, 1);
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let runner = Runner {
+            filter: Some("other".into()),
+            check_only: true,
+        };
+        let mut called = 0;
+        let mut g = runner.group("g");
+        g.bench_function("f", || called += 1);
+        assert_eq!(called, 0);
+    }
+}

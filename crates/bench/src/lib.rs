@@ -12,6 +12,8 @@
 //!    of the chosen loops;
 //! 4. feed the measured profile to the machine model.
 
+pub mod harness;
+
 use irr_driver::{CompilationReport, DriverOptions};
 use irr_exec::{Interp, MachineModel, ProgramProfile};
 use irr_frontend::{ProcId, Program, StmtId, StmtKind};
@@ -104,9 +106,11 @@ pub fn parallel_loop_set(report: &CompilationReport) -> Vec<StmtId> {
             }
             // Dynamically nested through calls?
             let reach = reachable_procs(program, body);
-            reach
-                .iter()
-                .any(|p| program.stmts_in(&program.procedures[p.index()].body).contains(&s))
+            reach.iter().any(|p| {
+                program
+                    .stmts_in(&program.procedures[p.index()].body)
+                    .contains(&s)
+            })
         });
         if !enclosed {
             chosen.push(s);
@@ -134,8 +138,8 @@ pub struct ProfiledRun {
 /// Panics if the source fails to parse or the program fails to execute —
 /// benchmark kernels are trusted inputs.
 pub fn profile_run(source: &str, config: Config) -> ProfiledRun {
-    let report = irr_driver::compile_source(source, config.options())
-        .expect("benchmark source parses");
+    let report =
+        irr_driver::compile_source(source, config.options()).expect("benchmark source parses");
     let parallel = parallel_loop_set(&report);
     let mut interp = Interp::new(&report.program);
     for &l in &parallel {

@@ -30,11 +30,8 @@ impl<'p> AnalysisCtx<'p> {
         let mut proc_of = HashMap::new();
         for (i, proc) in program.procedures.iter().enumerate() {
             let pid = ProcId(i as u32);
-            let mut stack: Vec<(StmtId, Vec<StmtId>)> = proc
-                .body
-                .iter()
-                .map(|s| (*s, Vec::new()))
-                .collect();
+            let mut stack: Vec<(StmtId, Vec<StmtId>)> =
+                proc.body.iter().map(|s| (*s, Vec::new())).collect();
             while let Some((s, chain)) = stack.pop() {
                 parents.insert(s, chain.clone());
                 proc_of.insert(s, pid);
@@ -89,7 +86,10 @@ impl<'p> AnalysisCtx<'p> {
     pub fn range_env_at(&self, stmt: StmtId) -> RangeEnv {
         let mut env = RangeEnv::new();
         let add = |s: StmtId, env: &mut RangeEnv| {
-            if let StmtKind::Do { var, lo, hi, step, .. } = &self.program.stmt(s).kind {
+            if let StmtKind::Do {
+                var, lo, hi, step, ..
+            } = &self.program.stmt(s).kind
+            {
                 if step.as_ref().and_then(|e| e.as_int_lit()).unwrap_or(1) == 1 {
                     if let (Some(lo), Some(hi)) = (expr_to_sym(lo), expr_to_sym(hi)) {
                         env.set_var_range(*var, lo, hi);
@@ -125,9 +125,9 @@ impl<'p> AnalysisCtx<'p> {
     /// Symbolic loop bounds `(var, lo, hi)` of a unit-step do-loop.
     pub fn do_bounds_sym(&self, stmt: StmtId) -> Option<(VarId, SymExpr, SymExpr)> {
         match &self.program.stmt(stmt).kind {
-            StmtKind::Do { var, lo, hi, step, .. }
-                if step.as_ref().and_then(|e| e.as_int_lit()).unwrap_or(1) == 1 =>
-            {
+            StmtKind::Do {
+                var, lo, hi, step, ..
+            } if step.as_ref().and_then(|e| e.as_int_lit()).unwrap_or(1) == 1 => {
                 Some((*var, expr_to_sym(lo)?, expr_to_sym(hi)?))
             }
             _ => None,

@@ -98,12 +98,10 @@ pub fn index_gathering_info(ctx: &AnalysisCtx<'_>, loop_stmt: StmtId) -> Vec<Ind
         // Condition 5: one assignment cannot reach another without first
         // reaching the do header — each iteration stores at most once.
         let cfg = ctx.loop_cfg(loop_stmt);
-        let is_header = |n: CfgNodeId| {
-            matches!(cfg.kind(n), CfgNodeKind::LoopHead(s) if s == loop_stmt)
-        };
-        let is_assign = |n: CfgNodeId| {
-            matches!(cfg.kind(n), CfgNodeKind::Stmt(s) if assigns.contains(&s))
-        };
+        let is_header =
+            |n: CfgNodeId| matches!(cfg.kind(n), CfgNodeKind::LoopHead(s) if s == loop_stmt);
+        let is_assign =
+            |n: CfgNodeId| matches!(cfg.kind(n), CfgNodeKind::Stmt(s) if assigns.contains(&s));
         let starts: Vec<CfgNodeId> = cfg.nodes().filter(|n| is_assign(*n)).collect();
         let mut ok = true;
         for s in starts {
@@ -128,10 +126,7 @@ pub fn index_gathering_info(ctx: &AnalysisCtx<'_>, loop_stmt: StmtId) -> Vec<Ind
 }
 
 /// Scans a whole procedure body (transitively) for index-gathering loops.
-pub fn find_index_gathering_loops(
-    ctx: &AnalysisCtx<'_>,
-    body: &[StmtId],
-) -> Vec<IndexGatherInfo> {
+pub fn find_index_gathering_loops(ctx: &AnalysisCtx<'_>, body: &[StmtId]) -> Vec<IndexGatherInfo> {
     let mut out = Vec::new();
     for s in ctx.program.stmts_in(body) {
         if matches!(ctx.program.stmt(s).kind, StmtKind::Do { .. }) {

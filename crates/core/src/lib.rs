@@ -34,7 +34,6 @@ pub use property::{
     ArrayPropertyAnalysis, DistanceSpec, Property, PropertyQuery, QueryStats, INDEX_VAR,
 };
 pub use single_indexed::{
-    consecutively_written, single_indexed_arrays, ConsecutivelyWritten, IndexDefKind,
-    SingleIndexed,
+    consecutively_written, single_indexed_arrays, ConsecutivelyWritten, IndexDefKind, SingleIndexed,
 };
 pub use stack::{stack_access, StackAccess};

@@ -87,9 +87,7 @@ impl PropertyChecker {
             Property::ClosedFormValue { value } => {
                 let expected = value.subst(INDEX_VAR, sub);
                 match expr_to_sym(rhs) {
-                    Some(r) if r == expected => {
-                        (Section::Empty, Section::point(vec![sub.clone()]))
-                    }
+                    Some(r) if r == expected => (Section::Empty, Section::point(vec![sub.clone()])),
                     _ => (Section::point(vec![sub.clone()]), Section::Empty),
                 }
             }
@@ -132,11 +130,11 @@ impl PropertyChecker {
                             let pure = r.atoms().iter().all(|a| match a {
                                 irr_symbolic::Atom::Var(w) => *w == v,
                                 irr_symbolic::Atom::Elem(..) => false,
-                                irr_symbolic::Atom::Opaque(_, args) => args
-                                    .iter()
-                                    .all(|x| x.atoms().iter().all(
-                                        |b| matches!(b, irr_symbolic::Atom::Var(w) if *w == v),
-                                    )),
+                                irr_symbolic::Atom::Opaque(_, args) => args.iter().all(|x| {
+                                    x.atoms()
+                                        .iter()
+                                        .all(|b| matches!(b, irr_symbolic::Atom::Var(w) if *w == v))
+                                }),
                             });
                             if pure {
                                 let prev = r.subst(v, &sub.sub(&one));
@@ -270,10 +268,7 @@ impl PropertyChecker {
         }
         // After the loop the gathered section is [c+1 : q] in terms of
         // the counter's value at loop exit.
-        let gen = Section::range1(
-            c.add(&SymExpr::int(1)),
-            SymExpr::var(info.counter),
-        );
+        let gen = Section::range1(c.add(&SymExpr::int(1)), SymExpr::var(info.counter));
         (Section::Empty, gen).into()
     }
 
@@ -319,8 +314,8 @@ impl PropertyChecker {
             // Pattern (b): x(i) = x(i-1) + d(i-1) — generates pairs
             // [lo-1 : hi-1], kills pairs [lo-1 : hi].
             if sub == i {
-                let expected = SymExpr::elem(self.array, vec![i.sub(&one)])
-                    .add(&distance.at(&i.sub(&one)));
+                let expected =
+                    SymExpr::elem(self.array, vec![i.sub(&one)]).add(&distance.at(&i.sub(&one)));
                 if r == expected {
                     return Some((
                         Section::range1(lo.sub(&one), hi.clone()),
@@ -346,10 +341,7 @@ impl PropertyChecker {
             let sub = expr_to_sym(&subs[0])?;
             let r1 = expr_to_sym(rhs1)?;
             let r2 = expr_to_sym(rhs2)?;
-            if sub == i
-                && r1 == SymExpr::var(*t)
-                && r2 == SymExpr::var(*t).add(&distance.at(&i))
-            {
+            if sub == i && r1 == SymExpr::var(*t) && r2 == SymExpr::var(*t).add(&distance.at(&i)) {
                 return Some((
                     Section::range1(lo.sub(&one), hi.clone()),
                     Section::range1(lo.clone(), hi.sub(&one)),

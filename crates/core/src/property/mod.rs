@@ -123,10 +123,7 @@ impl Property {
     /// unusable (two separately-injective definition sites are not
     /// jointly injective).
     pub fn requires_full_coverage(&self) -> bool {
-        matches!(
-            self,
-            Property::Injective | Property::MonotoneNonDecreasing
-        )
+        matches!(self, Property::Injective | Property::MonotoneNonDecreasing)
     }
 
     /// A short human-readable tag (matching Table 3's abbreviations).
@@ -229,7 +226,10 @@ mod tests {
     #[test]
     fn tags_match_table3() {
         assert_eq!(
-            Property::ClosedFormValue { value: SymExpr::int(0) }.tag(),
+            Property::ClosedFormValue {
+                value: SymExpr::int(0)
+            }
+            .tag(),
             "CFV"
         );
         assert_eq!(Property::Injective.tag(), "INJ");

@@ -144,7 +144,9 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                 return true;
             }
             let sec = self.ctx.hcg.section_of(frontier[0].0);
-            debug_assert!(frontier.iter().all(|(n, _)| self.ctx.hcg.section_of(*n) == sec));
+            debug_assert!(frontier
+                .iter()
+                .all(|(n, _)| self.ctx.hcg.section_of(*n) == sec));
             match self.solve_section(chk, sec, frontier, visited_procs) {
                 SectionOutcome::Killed => return false,
                 SectionOutcome::Resolved => return true,
@@ -191,8 +193,7 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                                 return false; // recursion: give up
                             }
                             visited_procs.push(pid);
-                            let sites: Vec<HcgNodeId> =
-                                self.ctx.hcg.call_sites(pid).to_vec();
+                            let sites: Vec<HcgNodeId> = self.ctx.hcg.call_sites(pid).to_vec();
                             if sites.is_empty() {
                                 return false; // unreachable procedure
                             }
@@ -329,9 +330,7 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
     ) -> Result<Section, ()> {
         match self.ctx.hcg.kind(n) {
             HcgNodeKind::Entry(_) => Ok(set.clone()),
-            HcgNodeKind::Exit(_) | HcgNodeKind::Join(_) | HcgNodeKind::Branch(_) => {
-                Ok(set.clone())
-            }
+            HcgNodeKind::Exit(_) | HcgNodeKind::Join(_) | HcgNodeKind::Branch(_) => Ok(set.clone()),
             HcgNodeKind::Simple(stmt) => {
                 self.stats.summarizations += 1;
                 let (kill, gen) = chk.summarize_stmt(self.ctx, stmt);
@@ -465,9 +464,13 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                 let prev_hi = SymExpr::var(var).sub(&SymExpr::int(1));
                 // Aggregate earlier iterations (j in [lo, i-1]) with a
                 // placeholder for j.
-                let kill_earlier = kill_b
-                    .subst(var, &SymExpr::var(ITER_VAR))
-                    .aggregate(ITER_VAR, &lo, &prev_hi, &env, AggMode::May);
+                let kill_earlier = kill_b.subst(var, &SymExpr::var(ITER_VAR)).aggregate(
+                    ITER_VAR,
+                    &lo,
+                    &prev_hi,
+                    &env,
+                    AggMode::May,
+                );
                 // Fig. 10 line 4: earlier iterations must not kill any
                 // queried element. (Checking against the full set — not
                 // the post-Gen remainder — is required here: a Gen from
@@ -476,9 +479,13 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                 if !kill_earlier.provably_disjoint(set, &env) {
                     return None;
                 }
-                let gen_earlier = gen_b
-                    .subst(var, &SymExpr::var(ITER_VAR))
-                    .aggregate(ITER_VAR, &lo, &prev_hi, &env, AggMode::Must);
+                let gen_earlier = gen_b.subst(var, &SymExpr::var(ITER_VAR)).aggregate(
+                    ITER_VAR,
+                    &lo,
+                    &prev_hi,
+                    &env,
+                    AggMode::Must,
+                );
                 let rem_i = self.apply_gen(chk, set, &gen_earlier, &env).ok()?;
                 // The query for the loop's predecessors covers all
                 // iterations.
@@ -567,9 +574,7 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                 } else {
                     kill_b.aggregate(var, &lo, &hi, &env, AggMode::May)
                 };
-                let gen_stale = assigned
-                    .iter()
-                    .any(|v| *v != var && gen_b.mentions_var(*v));
+                let gen_stale = assigned.iter().any(|v| *v != var && gen_b.mentions_var(*v));
                 let gen = if gen_stale || gen_b.is_empty() {
                     Section::Empty
                 } else {
@@ -578,9 +583,13 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                     let mut iter_env = env.clone();
                     iter_env.set_var_range(var, lo.clone(), hi.clone());
                     let next_lo = SymExpr::var(var).add(&SymExpr::int(1));
-                    let kill_later = kill_b
-                        .subst(var, &SymExpr::var(ITER_VAR))
-                        .aggregate(ITER_VAR, &next_lo, &hi, &iter_env, AggMode::May);
+                    let kill_later = kill_b.subst(var, &SymExpr::var(ITER_VAR)).aggregate(
+                        ITER_VAR,
+                        &next_lo,
+                        &hi,
+                        &iter_env,
+                        AggMode::May,
+                    );
                     let gen_i = gen_b.subtract_may(&kill_later, &iter_env);
                     gen_i.aggregate(var, &lo, &hi, &env, AggMode::Must)
                 };

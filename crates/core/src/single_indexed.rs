@@ -39,11 +39,7 @@ pub enum IndexDefKind {
 
 /// Classifies an assignment to `var`; `None` if `stmt` does not assign
 /// `var`.
-pub fn classify_index_def(
-    ctx: &AnalysisCtx<'_>,
-    stmt: StmtId,
-    var: VarId,
-) -> Option<IndexDefKind> {
+pub fn classify_index_def(ctx: &AnalysisCtx<'_>, stmt: StmtId, var: VarId) -> Option<IndexDefKind> {
     match &ctx.program.stmt(stmt).kind {
         StmtKind::Assign {
             lhs: LValue::Scalar(v),
@@ -182,13 +178,11 @@ pub fn consecutively_written(
         }
     }
     let cfg = ctx.loop_cfg(loop_stmt);
-    let inc_nodes: Vec<CfgNodeId> = cfg.nodes_where(|k| {
-        matches!(k, CfgNodeKind::Stmt(s) if increments.contains(&s))
-    });
+    let inc_nodes: Vec<CfgNodeId> =
+        cfg.nodes_where(|k| matches!(k, CfgNodeKind::Stmt(s) if increments.contains(&s)));
     let is_write = |n: CfgNodeId| ctx.node_writes_elem(&cfg, n, array, index);
     let is_inc_or_exit = |n: CfgNodeId| {
-        n == Cfg::EXIT
-            || matches!(cfg.kind(n), CfgNodeKind::Stmt(s) if increments.contains(&s))
+        n == Cfg::EXIT || matches!(cfg.kind(n), CfgNodeKind::Stmt(s) if increments.contains(&s))
     };
     for &inc in &inc_nodes {
         // From each increment, every path must hit a write of
@@ -245,7 +239,10 @@ mod tests {
         let si = single_indexed_arrays(&ctx, l);
         let x = p.symbols.lookup("x").unwrap();
         let pv = p.symbols.lookup("p").unwrap();
-        assert!(si.contains(&SingleIndexed { array: x, index: pv }));
+        assert!(si.contains(&SingleIndexed {
+            array: x,
+            index: pv
+        }));
         // y(i) is regular (loop index), so it must not be reported.
         let y = p.symbols.lookup("y").unwrap();
         assert!(!si.iter().any(|s| s.array == y));

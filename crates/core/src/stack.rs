@@ -89,7 +89,8 @@ pub fn stack_access(
     // Writes of the array must all be x(p).
     for acc in irr_frontend::visit::collect_array_accesses(program, &body) {
         if acc.array == array {
-            let ok = matches!(acc.subscripts.as_slice(), [irr_frontend::Expr::Var(v)] if *v == index);
+            let ok =
+                matches!(acc.subscripts.as_slice(), [irr_frontend::Expr::Var(v)] if *v == index);
             if !ok {
                 return None;
             }

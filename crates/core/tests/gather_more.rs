@@ -1,7 +1,7 @@
 //! Additional index-gathering recognition scenarios (§4).
 
-use irr_core::{find_index_gathering_loops, AnalysisCtx};
 use irr_core::gather::index_gathering_info;
+use irr_core::{find_index_gathering_loops, AnalysisCtx};
 use irr_frontend::{parse_program, Program, StmtId};
 
 fn loops_of(p: &Program) -> Vec<StmtId> {
@@ -15,7 +15,6 @@ fn loops_of(p: &Program) -> Vec<StmtId> {
     }
     out
 }
-
 
 #[test]
 fn gather_with_nested_conditions() {

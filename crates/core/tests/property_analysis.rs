@@ -77,7 +77,10 @@ fn fig8_simple_reverse_propagation() {
         let body = &p.procedure(p.main()).body;
         *body.last().unwrap()
     };
-    let q = PropertyQuery { at_stmt: final_stmt, ..q };
+    let q = PropertyQuery {
+        at_stmt: final_stmt,
+        ..q
+    };
     assert!(apa.check(&q), "triangular CFV should verify");
     assert!(apa.stats.queries >= 1);
 }
@@ -224,7 +227,10 @@ fn interprocedural_definition_fig11_fig12() {
         section: Section::range1(SymExpr::int(1), SymExpr::int(100)),
         at_stmt: use_stmt,
     };
-    assert!(apa.check(&q), "identity loop in callee verifies injectivity");
+    assert!(
+        apa.check(&q),
+        "identity loop in callee verifies injectivity"
+    );
     // Monotonicity holds too.
     let qm = PropertyQuery {
         array: idx,

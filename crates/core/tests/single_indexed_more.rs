@@ -2,9 +2,7 @@
 //! with nested control flow, multiple stacks, and adversarial
 //! near-misses.
 
-use irr_core::{
-    consecutively_written, single_indexed_arrays, stack_access, AnalysisCtx,
-};
+use irr_core::{consecutively_written, single_indexed_arrays, stack_access, AnalysisCtx};
 use irr_frontend::{parse_program, Program, StmtId};
 
 fn loops_of(p: &Program) -> Vec<StmtId> {

@@ -76,8 +76,7 @@ fn query_from_inside_a_while_loop() {
     let inner = p
         .stmts_in(&p.procedure(p.main()).body)
         .into_iter()
-        .filter(|s| matches!(p.stmt(*s).kind, StmtKind::Assign { .. }))
-        .last()
+        .rfind(|s| matches!(p.stmt(*s).kind, StmtKind::Assign { .. }))
         .unwrap();
     let q = PropertyQuery {
         array: idx,
@@ -98,8 +97,7 @@ fn query_from_inside_a_while_loop() {
     let inner2 = p2
         .stmts_in(&p2.procedure(p2.main()).body)
         .into_iter()
-        .filter(|s| matches!(p2.stmt(*s).kind, StmtKind::Assign { .. }))
-        .last()
+        .rfind(|s| matches!(p2.stmt(*s).kind, StmtKind::Assign { .. }))
         .unwrap();
     let q2 = PropertyQuery {
         array: idx2,
@@ -269,10 +267,7 @@ fn monotone_through_gather_loop() {
     let too_wide = PropertyQuery {
         array: ind,
         property: Property::MonotoneNonDecreasing,
-        section: Section::range1(
-            SymExpr::int(1),
-            SymExpr::var(q).add(&SymExpr::int(1)),
-        ),
+        section: Section::range1(SymExpr::int(1), SymExpr::var(q).add(&SymExpr::int(1))),
         at_stmt: gather,
     };
     assert!(!apa.check(&too_wide));

@@ -22,8 +22,8 @@
 
 use irr_core::property::ArrayPropertyAnalysis;
 use irr_core::{AnalysisCtx, DistanceSpec, Property, PropertyQuery, INDEX_VAR};
-use irr_frontend::{Expr, StmtId, StmtKind, VarId};
 use irr_frontend::visit::{collect_array_accesses, ArrayAccess};
+use irr_frontend::{Expr, StmtId, StmtKind, VarId};
 use irr_symbolic::{
     expr_to_sym, extremes_over, prove_ge0, prove_gt0, Atom, Bound, RangeEnv, Section, SymExpr,
     SymRange,
@@ -61,6 +61,29 @@ impl TestKind {
     }
 }
 
+/// A property the compile-time solver needed but could not prove: the
+/// access pattern matched a known-parallelizable shape, and this is the
+/// *one missing fact*. A run-time inspector can check it against the
+/// live store and recover the parallel schedule (the hybrid strategy
+/// §1 contrasts with pure compile-time analysis).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ResidualCheck {
+    /// All accesses are `a(p(i))`; parallel iff `p` is injective on the
+    /// loop's index range.
+    Injective {
+        /// The index array whose injectivity is unknown.
+        array: VarId,
+    },
+    /// The hull matched the offset–length shape `x(ptr(i) + j)`;
+    /// parallel iff `ptr(i+1) - ptr(i) >= len(i) >= 0` at run time.
+    OffsetLength {
+        /// The offset (pointer) array.
+        ptr: VarId,
+        /// The length array.
+        len: VarId,
+    },
+}
+
 /// Outcome of testing one array in one loop.
 #[derive(Clone, Debug)]
 pub struct ArrayDepResult {
@@ -73,6 +96,10 @@ pub struct ArrayDepResult {
     /// `(index array, property tag)` pairs verified by the property
     /// analysis on the way.
     pub properties_used: Vec<(VarId, &'static str)>,
+    /// When `independent` is false but an access pattern matched, the
+    /// run-time checks that would each (alone) establish independence.
+    /// Empty when no pattern matched (hard dependence or unanalyzable).
+    pub residual: Vec<ResidualCheck>,
 }
 
 /// The dependence tester; borrows the shared property analysis engine as
@@ -118,6 +145,7 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
             independent: false,
             test: None,
             properties_used: Vec::new(),
+            residual: Vec::new(),
         };
         let Some((var, lo, hi)) = self.ctx.do_bounds_sym(loop_stmt) else {
             return result; // while loops carry unknown dependences
@@ -168,6 +196,7 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
                 Some(kind) => {
                     result.independent = true;
                     result.test = Some(kind);
+                    result.residual.clear();
                     return result;
                 }
                 None => continue,
@@ -176,10 +205,12 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
 
         // Layer 4b: the injective test for 1-D `a(p(i))` subscripts.
         if rank == 1 && self.enable_property_queries {
-            if let Some(kind) = self.injective_test(loop_stmt, &accesses, var, &lo, &hi, &mut result)
+            if let Some(kind) =
+                self.injective_test(loop_stmt, &accesses, var, &lo, &hi, &mut result)
             {
                 result.independent = true;
                 result.test = Some(kind);
+                result.residual.clear();
                 return result;
             }
         }
@@ -211,11 +242,7 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
         };
         for acc in accesses {
             let sub = expr_to_sym(&acc.subscripts[d])?;
-            if sub
-                .atoms()
-                .iter()
-                .any(|a| !matches!(a, Atom::Var(_)))
-            {
+            if sub.atoms().iter().any(|a| !matches!(a, Atom::Var(_))) {
                 any_atoms = true;
             }
             // Eliminate inner loop variables by monotone substitution.
@@ -278,8 +305,7 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
         step_env.set_var_range(var, lo.clone(), hi.sub(&SymExpr::int(1)));
         let next = SymExpr::var(var).add(&SymExpr::int(1));
         let increasing = prove_gt0(&h_lo.subst(var, &next).sub(h_hi), &step_env);
-        let decreasing =
-            increasing || prove_gt0(&h_lo.sub(&h_hi.subst(var, &next)), &step_env);
+        let decreasing = increasing || prove_gt0(&h_lo.sub(&h_hi.subst(var, &next)), &step_env);
         if increasing || decreasing {
             return Some(if any_atoms {
                 TestKind::Range
@@ -307,6 +333,14 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
                 at_stmt: loop_stmt,
             };
             if !self.apa.check(&q) {
+                // The shape fit but the fact didn't prove: leave it for
+                // a run-time inspector.
+                if let DistanceSpec::Array(y) = &dist {
+                    let rc = ResidualCheck::OffsetLength { ptr: x, len: *y };
+                    if !result.residual.contains(&rc) {
+                        result.residual.push(rc);
+                    }
+                }
                 continue;
             }
             // Non-negativity of the distance on the traversed range.
@@ -336,6 +370,10 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
                         result.properties_used.push((*y, "CFB"));
                         true
                     } else {
+                        let rc = ResidualCheck::OffsetLength { ptr: x, len: *y };
+                        if !result.residual.contains(&rc) {
+                            result.residual.push(rc);
+                        }
                         false
                     }
                 }
@@ -475,6 +513,12 @@ impl<'a, 'c, 'p> DependenceTester<'a, 'c, 'p> {
             result.properties_used.push((p, "INJ"));
             Some(TestKind::Injective)
         } else {
+            // The `a(p(i))` shape matched and `p` is loop-invariant: an
+            // injectivity inspection of `p` at run time would clear it.
+            let rc = ResidualCheck::Injective { array: p };
+            if !result.residual.contains(&rc) {
+                result.residual.push(rc);
+            }
             None
         }
     }
@@ -625,14 +669,10 @@ impl<'a, 'c, 'p> SimpleOffsetLengthTest<'a, 'c, 'p> {
             // The rest must be `j + const` with `j` an inner loop var
             // whose bounds are [1, len(i) (+ const)].
             let rest = sub.sub(&SymExpr::elem(ptr, vec![SymExpr::var(var)]));
-            let Some(j) = rest
-                .atoms()
-                .iter()
-                .find_map(|a| match a {
-                    Atom::Var(v) if *v != var => Some(*v),
-                    _ => None,
-                })
-            else {
+            let Some(j) = rest.atoms().iter().find_map(|a| match a {
+                Atom::Var(v) if *v != var => Some(*v),
+                _ => None,
+            }) else {
                 return false;
             };
             if rest.coeff_of_atom(&Atom::Var(j)) != (1, 1) {

@@ -122,26 +122,40 @@ fn dyfesm_fig13_offset_length() {
     // write is loop-variant-free and conflicts across iterations! Use a
     // separate target array for the read to keep the scenario faithful.
     let src = src.replace("x(1) = x(", "y(k) = x(");
-    let src = src.replace(
-        "real x(10000)",
-        "real x(10000), y(10000)",
-    );
+    let src = src.replace("real x(10000)", "real x(10000), y(10000)");
     let p = parse_program(&src).unwrap();
     let ctx = AnalysisCtx::new(&p);
     let mut apa = ArrayPropertyAnalysis::new(&ctx);
     let mut dt = DependenceTester::new(&ctx, &mut apa);
     let outer = loops_of(&p)
         .into_iter()
-        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+        .find(|s| {
+            matches!(
+                p.stmt(*s).kind,
+                irr_frontend::StmtKind::Do {
+                    label: Some(10),
+                    ..
+                }
+            )
+        })
         .unwrap();
     let x = p.symbols.lookup("x").unwrap();
     let r = dt.analyze_array(outer, x);
-    assert!(r.independent, "offset-length disproves the dependence: {r:?}");
+    assert!(
+        r.independent,
+        "offset-length disproves the dependence: {r:?}"
+    );
     assert_eq!(r.test, Some(TestKind::OffsetLength));
     let pptr = p.symbols.lookup("pptr").unwrap();
     let iblen = p.symbols.lookup("iblen").unwrap();
-    assert!(r.properties_used.iter().any(|(a, t)| *a == pptr && *t == "CFD"));
-    assert!(r.properties_used.iter().any(|(a, t)| *a == iblen && *t == "CFB"));
+    assert!(r
+        .properties_used
+        .iter()
+        .any(|(a, t)| *a == pptr && *t == "CFD"));
+    assert!(r
+        .properties_used
+        .iter()
+        .any(|(a, t)| *a == iblen && *t == "CFB"));
 }
 
 #[test]
@@ -172,7 +186,15 @@ fn dyfesm_without_property_queries_fails() {
     let ctx = AnalysisCtx::new(&p);
     let outer = loops_of(&p)
         .into_iter()
-        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+        .find(|s| {
+            matches!(
+                p.stmt(*s).kind,
+                irr_frontend::StmtKind::Do {
+                    label: Some(10),
+                    ..
+                }
+            )
+        })
         .unwrap();
     let x = p.symbols.lookup("x").unwrap();
     // With IAA: independent.
@@ -215,14 +237,25 @@ fn trfd_triangular_index() {
     let mut dt = DependenceTester::new(&ctx, &mut apa);
     let outer = loops_of(&p)
         .into_iter()
-        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(140), .. }))
+        .find(|s| {
+            matches!(
+                p.stmt(*s).kind,
+                irr_frontend::StmtKind::Do {
+                    label: Some(140),
+                    ..
+                }
+            )
+        })
         .unwrap();
     let x = p.symbols.lookup("x").unwrap();
     let r = dt.analyze_array(outer, x);
     assert!(r.independent, "triangular subscripts are disjoint: {r:?}");
     assert_eq!(r.test, Some(TestKind::OffsetLength));
     let ia = p.symbols.lookup("ia").unwrap();
-    assert!(r.properties_used.iter().any(|(a, t)| *a == ia && *t == "CFV"));
+    assert!(r
+        .properties_used
+        .iter()
+        .any(|(a, t)| *a == ia && *t == "CFV"));
 }
 
 #[test]
@@ -345,17 +378,22 @@ fn simple_offset_length_test_matches_the_pattern() {
     let mut t = SimpleOffsetLengthTest::new(&ctx, &mut apa);
     let outer = loops_of(&p)
         .into_iter()
-        .find(|s| matches!(p.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+        .find(|s| {
+            matches!(
+                p.stmt(*s).kind,
+                irr_frontend::StmtKind::Do {
+                    label: Some(10),
+                    ..
+                }
+            )
+        })
         .unwrap();
     let x = p.symbols.lookup("x").unwrap();
     assert!(t.independent(outer, x));
     // It is *less general*: a reversed within-segment subscript
     // (Fig. 13's second loop nest walks segments backwards relative to
     // j) does not match the simple `ptr(i)+j` pattern...
-    let src2 = src.replace(
-        "x(pptr(i) + j - 1) = 1",
-        "x(iblen(i) + pptr(i) - j) = 1",
-    );
+    let src2 = src.replace("x(pptr(i) + j - 1) = 1", "x(iblen(i) + pptr(i) - j) = 1");
     let p2 = parse_program(&src2).unwrap();
     let ctx2 = AnalysisCtx::new(&p2);
     let mut apa2 = ArrayPropertyAnalysis::new(&ctx2);
@@ -366,7 +404,15 @@ fn simple_offset_length_test_matches_the_pattern() {
             out.extend(p2.stmts_in(&proc.body));
         }
         out.into_iter()
-            .find(|s| matches!(p2.stmt(*s).kind, irr_frontend::StmtKind::Do { label: Some(10), .. }))
+            .find(|s| {
+                matches!(
+                    p2.stmt(*s).kind,
+                    irr_frontend::StmtKind::Do {
+                        label: Some(10),
+                        ..
+                    }
+                )
+            })
             .unwrap()
     };
     let x2 = p2.symbols.lookup("x").unwrap();

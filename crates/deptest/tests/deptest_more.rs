@@ -130,7 +130,10 @@ fn triangular_read_write_pair() {
         .find(|s| {
             matches!(
                 p.stmt(*s).kind,
-                irr_frontend::StmtKind::Do { label: Some(140), .. }
+                irr_frontend::StmtKind::Do {
+                    label: Some(140),
+                    ..
+                }
             )
         })
         .unwrap();

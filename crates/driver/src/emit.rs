@@ -2,12 +2,18 @@
 //! produced — the program with parallel directives on the loops the
 //! analysis cleared, including privatization and reduction clauses.
 
-use crate::{CompilationReport, LoopVerdict};
+use crate::{CompilationReport, DispatchTier, LoopVerdict, ResidualCheck};
 use irr_frontend::{print_program, StmtKind};
 
 /// Renders the transformed program with OpenMP-style directive comments
 /// (`!$omp parallel do private(...) reduction(+:...)`) above every loop
 /// the driver found parallel.
+///
+/// Runtime-guarded loops (unknown at compile time, but clearable by an
+/// inspector) get a distinct `!$irr guarded do inspect(...)` comment
+/// instead, naming the properties the hybrid runtime must check — so the
+/// artifact records all three dispatch tiers without claiming static
+/// parallelism the analysis never proved.
 ///
 /// The directives are comments in the mini-Fortran language, so the
 /// annotated source still parses and executes identically.
@@ -36,6 +42,11 @@ pub fn emit_annotated(report: &CompilationReport) -> String {
                     let indent = &line[..line.len() - trimmed.len()];
                     out.push_str(indent);
                     out.push_str(&directive_for(report, v));
+                    out.push('\n');
+                } else if let DispatchTier::RuntimeGuarded(guard) = &v.tier {
+                    let indent = &line[..line.len() - trimmed.len()];
+                    out.push_str(indent);
+                    out.push_str(&guarded_directive_for(report, guard));
                     out.push('\n');
                 }
             }
@@ -82,6 +93,23 @@ fn directive_for(report: &CompilationReport, v: &LoopVerdict) -> String {
     format!("!$omp parallel do{clauses}")
 }
 
+fn guarded_directive_for(report: &CompilationReport, guard: &crate::GuardPlan) -> String {
+    let symbols = &report.program.symbols;
+    let checks: Vec<String> = guard
+        .checks
+        .iter()
+        .map(|c| match c {
+            ResidualCheck::Injective { array } => {
+                format!("injective({})", symbols.name(*array))
+            }
+            ResidualCheck::OffsetLength { ptr, len } => {
+                format!("offlen({}, {})", symbols.name(*ptr), symbols.name(*len))
+            }
+        })
+        .collect();
+    format!("!$irr guarded do inspect({})", checks.join(", "))
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{compile_source, DriverOptions};
@@ -125,10 +153,7 @@ mod tests {
         // The directives are comments: the annotated source reparses and
         // is the same program.
         let reparsed = parse_program(&annotated).expect("annotated source parses");
-        assert_eq!(
-            reparsed.procedures.len(),
-            rep.program.procedures.len()
-        );
+        assert_eq!(reparsed.procedures.len(), rep.program.procedures.len());
     }
 
     #[test]

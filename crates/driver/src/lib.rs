@@ -18,6 +18,7 @@
 pub mod emit;
 
 pub use emit::emit_annotated;
+pub use irr_deptest::ResidualCheck;
 pub use irr_passes::ReductionOp;
 
 use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
@@ -90,6 +91,39 @@ impl DriverOptions {
     }
 }
 
+/// The inspections a hybrid runtime must pass — against the live store,
+/// with the loop's evaluated bounds — before this loop may legally run
+/// in parallel. Every check corresponds to one property the compile-time
+/// solver left unknown.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GuardPlan {
+    /// All checks must pass (they cover distinct blocked arrays).
+    pub checks: Vec<ResidualCheck>,
+}
+
+/// How the executor should dispatch a loop — the three-tier outcome of
+/// the hybrid compile-time/run-time strategy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DispatchTier {
+    /// Proven parallel at compile time: no run-time checks needed.
+    CompileTimeParallel,
+    /// Unknown at compile time, but every blocker reduces to a
+    /// run-time-checkable property: inspect, then dispatch per result.
+    RuntimeGuarded(GuardPlan),
+    /// Proven or presumed sequential; no inspection can clear it.
+    Sequential,
+}
+
+impl DispatchTier {
+    /// The guard plan, when this tier is runtime-guarded.
+    pub fn guard(&self) -> Option<&GuardPlan> {
+        match self {
+            DispatchTier::RuntimeGuarded(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
 /// Why a loop was rejected or how each written array was cleared.
 #[derive(Clone, Debug)]
 pub struct LoopVerdict {
@@ -113,6 +147,8 @@ pub struct LoopVerdict {
     pub properties_used: Vec<(String, &'static str)>,
     /// Human-readable blockers when not parallel.
     pub blockers: Vec<String>,
+    /// How a hybrid runtime should dispatch this loop.
+    pub tier: DispatchTier,
 }
 
 /// Timings and counters for Table 2.
@@ -239,6 +275,7 @@ fn judge_loop<'c, 'p>(
         reductions: Vec::new(),
         properties_used: Vec::new(),
         blockers: Vec::new(),
+        tier: DispatchTier::Sequential,
     };
     let StmtKind::Do { var, body, .. } = &program.stmt(loop_stmt).kind else {
         v.blockers.push("not a do loop".into());
@@ -268,6 +305,11 @@ fn judge_loop<'c, 'p>(
         return v;
     }
 
+    // Whether every blocker so far can be discharged by a run-time
+    // inspection; scalar dependences and unanalyzable arrays cannot.
+    let mut guardable = true;
+    let mut guard_checks: Vec<ResidualCheck> = Vec::new();
+
     // ---- scalars ----------------------------------------------------------
     let reductions = recognize_reductions(program, loop_stmt);
     for r in &reductions {
@@ -281,8 +323,11 @@ fn judge_loop<'c, 'p>(
         if scalar_privatizable(ctx, loop_stmt, scalar) {
             v.privatized_scalars.push(scalar);
         } else {
-            v.blockers
-                .push(format!("scalar `{}` carries a dependence", program.symbols.name(scalar)));
+            guardable = false;
+            v.blockers.push(format!(
+                "scalar `{}` carries a dependence",
+                program.symbols.name(scalar)
+            ));
         }
     }
 
@@ -316,12 +361,58 @@ fn judge_loop<'c, 'p>(
             }
             continue;
         }
-        v.blockers.push(format!(
-            "array `{}` may carry a dependence",
-            program.symbols.name(array)
-        ));
+        if dep.residual.is_empty() {
+            guardable = false;
+            v.blockers.push(format!(
+                "array `{}` may carry a dependence",
+                program.symbols.name(array)
+            ));
+        } else {
+            // The dependence is Unknown, not disproven — but the tester
+            // identified the exact missing facts. Surface them both as a
+            // readable blocker and as a machine-usable guard plan.
+            let needed: Vec<String> = dep
+                .residual
+                .iter()
+                .map(|rc| match rc {
+                    ResidualCheck::Injective { array } => {
+                        format!("injectivity of `{}`", program.symbols.name(*array))
+                    }
+                    ResidualCheck::OffsetLength { ptr, len } => format!(
+                        "offset-length of `{}`/`{}`",
+                        program.symbols.name(*ptr),
+                        program.symbols.name(*len)
+                    ),
+                })
+                .collect();
+            v.blockers.push(format!(
+                "array `{}` unknown at compile time (runtime-checkable: {})",
+                program.symbols.name(array),
+                needed.join(", ")
+            ));
+            for rc in dep.residual {
+                if !guard_checks.contains(&rc) {
+                    guard_checks.push(rc);
+                }
+            }
+        }
     }
     v.parallel = v.blockers.is_empty();
+    // Product reductions are not mergeable by the chunked executor, so
+    // such loops stay sequential at run time regardless of the verdict.
+    let mergeable_reductions = !v
+        .reductions
+        .iter()
+        .any(|(_, op)| matches!(op, irr_passes::ReductionOp::Product));
+    v.tier = if v.parallel && mergeable_reductions {
+        DispatchTier::CompileTimeParallel
+    } else if !v.parallel && guardable && !guard_checks.is_empty() && mergeable_reductions {
+        DispatchTier::RuntimeGuarded(GuardPlan {
+            checks: guard_checks,
+        })
+    } else {
+        DispatchTier::Sequential
+    };
     v
 }
 
@@ -363,9 +454,8 @@ fn scalar_privatizable(ctx: &AnalysisCtx<'_>, loop_stmt: StmtId, scalar: VarId) 
     use irr_graph::{CfgNodeId, CfgNodeKind};
     let cfg = ctx.loop_cfg(loop_stmt);
     let program = ctx.program;
-    let reads_scalar = |n: CfgNodeId| -> bool {
-        ctx.node_exprs(&cfg, n).iter().any(|e| e.mentions(scalar))
-    };
+    let reads_scalar =
+        |n: CfgNodeId| -> bool { ctx.node_exprs(&cfg, n).iter().any(|e| e.mentions(scalar)) };
     let writes_scalar = |n: CfgNodeId| -> bool {
         match cfg.kind(n) {
             CfgNodeKind::Stmt(s) => matches!(
@@ -423,10 +513,7 @@ mod tests {
         let k_loop = &with.verdicts[0];
         assert!(k_loop.label.contains("do@"));
         assert!(k_loop.parallel, "{k_loop:?}");
-        assert!(k_loop
-            .privatized_arrays
-            .iter()
-            .any(|(_, tag)| *tag == "CW"));
+        assert!(k_loop.privatized_arrays.iter().any(|(_, tag)| *tag == "CW"));
         let without = compile_source(FIG1A, DriverOptions::without_iaa()).unwrap();
         assert!(!without.verdicts[0].parallel);
     }

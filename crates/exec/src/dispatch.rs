@@ -1,0 +1,59 @@
+//! Loop dispatch hooks: the seam between the interpreter and a hybrid
+//! compile-time/run-time parallelization subsystem.
+//!
+//! A [`LoopDispatcher`] is consulted at **every dynamic entry** of every
+//! `do` loop, after the bounds have been evaluated against the live
+//! store. It decides — per execution — whether the loop runs through the
+//! ordinary sequential interpreter or through the chunked parallel
+//! executor with a given [`ParallelPlan`]. The hybrid runtime in
+//! `irr-runtime` implements this trait with guarded (inspector-driven)
+//! dispatch and a version-keyed schedule cache; the default
+//! [`SequentialDispatch`] recovers the plain interpreter.
+
+use crate::interp::Store;
+use crate::parallel::ParallelPlan;
+use irr_frontend::StmtId;
+
+/// How one dynamic execution of a loop should run.
+#[derive(Clone, Debug)]
+pub enum LoopDecision {
+    /// Run the loop through the sequential interpreter.
+    Sequential,
+    /// Run the loop through the chunked parallel executor.
+    Parallel(ParallelPlan),
+}
+
+/// Per-execution loop dispatch. Implementations may inspect the live
+/// store (e.g. run an inspector over an index array) before deciding.
+pub trait LoopDispatcher {
+    /// Decides how to run `loop_stmt` for this execution.
+    ///
+    /// `lo`, `hi`, and `step` are the loop bounds already evaluated
+    /// against the live store (`lo > hi` with `step > 0` means the loop
+    /// is zero-trip this time).
+    fn dispatch(
+        &mut self,
+        store: &Store,
+        loop_stmt: StmtId,
+        lo: i64,
+        hi: i64,
+        step: i64,
+    ) -> LoopDecision;
+}
+
+/// The trivial dispatcher: every loop runs sequentially. Using it with
+/// [`crate::Interp::run_dispatched`] is exactly [`crate::Interp::run`].
+pub struct SequentialDispatch;
+
+impl LoopDispatcher for SequentialDispatch {
+    fn dispatch(
+        &mut self,
+        _store: &Store,
+        _loop_stmt: StmtId,
+        _lo: i64,
+        _hi: i64,
+        _step: i64,
+    ) -> LoopDecision {
+        LoopDecision::Sequential
+    }
+}

@@ -1,5 +1,6 @@
 //! The instrumenting tree-walking interpreter.
 
+use crate::dispatch::{LoopDecision, LoopDispatcher, SequentialDispatch};
 use irr_frontend::{
     BinOp, Expr, Intrinsic, LValue, ProcId, Program, ScalarType, StmtId, StmtKind, UnOp, VarId,
 };
@@ -63,10 +64,27 @@ impl ArrayData {
 }
 
 /// The global store (all variables are global).
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Every array slot carries a monotonically increasing **write-version
+/// counter**, bumped whenever the array is materialized or any of its
+/// elements may have been written. Version counters let the hybrid
+/// runtime's schedule cache (`irr-runtime`) re-run an inspection only
+/// when an index array has actually been mutated since the last loop
+/// entry — O(n)-per-mutation instead of O(n)-per-execution. Versions
+/// are bookkeeping metadata: they do not participate in store equality.
+#[derive(Clone, Debug)]
 pub struct Store {
     scalars: Vec<Value>,
     arrays: Vec<Option<ArrayData>>,
+    versions: Vec<u64>,
+}
+
+impl PartialEq for Store {
+    fn eq(&self, other: &Store) -> bool {
+        // Versions are deliberately excluded: two stores holding the
+        // same values are equal regardless of their write histories.
+        self.scalars == other.scalars && self.arrays == other.arrays
+    }
 }
 
 impl Store {
@@ -86,7 +104,25 @@ impl Store {
         Store {
             scalars,
             arrays: vec![None; n],
+            versions: vec![0; n],
         }
+    }
+
+    /// The write-version counter of `arr`: bumped on materialization and
+    /// on every (potential) element write. Two equal versions at two
+    /// program points guarantee the array was not mutated in between.
+    pub fn array_version(&self, arr: VarId) -> u64 {
+        self.versions[arr.index()]
+    }
+
+    /// Records a (potential) write to `arr`.
+    pub(crate) fn bump_version(&mut self, arr: VarId) {
+        self.versions[arr.index()] += 1;
+    }
+
+    /// The flat element count of `arr`, if materialized.
+    pub fn array_len(&self, arr: VarId) -> Option<usize> {
+        self.arrays[arr.index()].as_ref().map(ArrayData::len)
     }
 
     /// Reads a scalar.
@@ -116,6 +152,8 @@ impl Store {
     }
 
     pub(crate) fn array_mut(&mut self, arr: VarId) -> &mut Option<ArrayData> {
+        // Raw mutable access (the parallel merger): assume a write.
+        self.bump_version(arr);
         &mut self.arrays[arr.index()]
     }
 
@@ -152,24 +190,42 @@ pub struct ExecStats {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExecError {
     /// Array subscript outside the declared extent.
-    OutOfBounds { array: String, index: i64, extent: usize },
+    OutOfBounds {
+        array: String,
+        index: i64,
+        extent: usize,
+    },
     /// Division by zero.
     DivisionByZero,
     /// The fuel limit was exhausted (runaway loop guard).
     OutOfFuel,
     /// An array extent did not evaluate to a positive constant.
     BadExtent { array: String },
+    /// A parallel dispatch failed (e.g. conflicting chunk writes) — the
+    /// dispatcher requested a parallel execution that was not actually
+    /// legal.
+    ParallelFailure { reason: String },
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::OutOfBounds { array, index, extent } => {
-                write!(f, "subscript {index} out of bounds for `{array}` (extent {extent})")
+            ExecError::OutOfBounds {
+                array,
+                index,
+                extent,
+            } => {
+                write!(
+                    f,
+                    "subscript {index} out of bounds for `{array}` (extent {extent})"
+                )
             }
             ExecError::DivisionByZero => write!(f, "division by zero"),
             ExecError::OutOfFuel => write!(f, "execution fuel exhausted"),
             ExecError::BadExtent { array } => write!(f, "bad extent for array `{array}`"),
+            ExecError::ParallelFailure { reason } => {
+                write!(f, "parallel dispatch failed: {reason}")
+            }
         }
     }
 }
@@ -225,9 +281,24 @@ impl<'p> Interp<'p> {
     /// # Errors
     ///
     /// Propagates any [`ExecError`] raised during execution.
-    pub fn run(mut self) -> Result<ExecOutcome, ExecError> {
+    pub fn run(self) -> Result<ExecOutcome, ExecError> {
+        self.run_dispatched(&mut SequentialDispatch)
+    }
+
+    /// Runs the whole program, consulting `dispatcher` at every dynamic
+    /// `do`-loop entry (see [`LoopDispatcher`]). This is the execution
+    /// entry point of the hybrid inspector–executor runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] raised during execution, including
+    /// failures of parallel dispatches the dispatcher requested.
+    pub fn run_dispatched(
+        mut self,
+        dispatcher: &mut dyn LoopDispatcher,
+    ) -> Result<ExecOutcome, ExecError> {
         let main = self.program.main();
-        self.exec_proc(main)?;
+        self.exec_proc_with(main, dispatcher)?;
         Ok(ExecOutcome {
             output: self.output,
             stats: self.stats,
@@ -237,14 +308,32 @@ impl<'p> Interp<'p> {
 
     /// Executes one procedure body.
     pub fn exec_proc(&mut self, p: ProcId) -> Result<(), ExecError> {
+        self.exec_proc_with(p, &mut SequentialDispatch)
+    }
+
+    /// Executes one procedure body under a dispatcher.
+    pub fn exec_proc_with(
+        &mut self,
+        p: ProcId,
+        dispatcher: &mut dyn LoopDispatcher,
+    ) -> Result<(), ExecError> {
         let body = self.program.procedures[p.index()].body.clone();
-        self.exec_body(&body)
+        self.exec_body_with(&body, dispatcher)
     }
 
     /// Executes a statement list.
     pub fn exec_body(&mut self, body: &[StmtId]) -> Result<(), ExecError> {
+        self.exec_body_with(body, &mut SequentialDispatch)
+    }
+
+    /// Executes a statement list under a dispatcher.
+    pub fn exec_body_with(
+        &mut self,
+        body: &[StmtId],
+        dispatcher: &mut dyn LoopDispatcher,
+    ) -> Result<(), ExecError> {
         for &s in body {
-            self.exec_stmt(s)?;
+            self.exec_stmt_with(s, dispatcher)?;
         }
         Ok(())
     }
@@ -260,6 +349,18 @@ impl<'p> Interp<'p> {
 
     /// Executes a single statement.
     pub fn exec_stmt(&mut self, s: StmtId) -> Result<(), ExecError> {
+        self.exec_stmt_with(s, &mut SequentialDispatch)
+    }
+
+    /// Executes a single statement under a dispatcher. Compound
+    /// statements (loops, conditionals, calls) propagate the dispatcher
+    /// into their bodies, so guarded loops are dispatched per execution
+    /// at **any** nesting depth.
+    pub fn exec_stmt_with(
+        &mut self,
+        s: StmtId,
+        dispatcher: &mut dyn LoopDispatcher,
+    ) -> Result<(), ExecError> {
         self.charge(1)?;
         match self.program.stmt(s).kind.clone() {
             StmtKind::Assign { lhs, rhs } => {
@@ -293,6 +394,17 @@ impl<'p> Interp<'p> {
                 if step == 0 {
                     return Err(ExecError::DivisionByZero);
                 }
+                if let LoopDecision::Parallel(plan) =
+                    dispatcher.dispatch(&self.store, s, lo, hi, step)
+                {
+                    return crate::parallel::exec_do_parallel(self, s, &plan, lo, hi, step)
+                        .map_err(|e| match e {
+                            crate::parallel::ParallelError::Exec(x) => x,
+                            other => ExecError::ParallelFailure {
+                                reason: other.to_string(),
+                            },
+                        });
+                }
                 let record = self.record_loops.contains(&s);
                 let entry = self.stats.loops.entry(s).or_default();
                 entry.invocations += 1;
@@ -303,7 +415,7 @@ impl<'p> Interp<'p> {
                 while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
                     self.store.set_scalar(var, ty, Value::Int(i));
                     let c0 = self.stats.total_cost;
-                    self.exec_body(&body)?;
+                    self.exec_body_with(&body, dispatcher)?;
                     self.charge(1)?; // loop bookkeeping
                     if record {
                         iter_costs.push(self.stats.total_cost - c0);
@@ -327,7 +439,7 @@ impl<'p> Interp<'p> {
                 let cost_at_entry = self.stats.total_cost;
                 while self.eval_cond(&cond)? {
                     self.charge(1)?;
-                    self.exec_body(&body)?;
+                    self.exec_body_with(&body, dispatcher)?;
                 }
                 let total = self.stats.total_cost - cost_at_entry;
                 self.stats.loops.entry(s).or_default().total_cost += total;
@@ -339,12 +451,12 @@ impl<'p> Interp<'p> {
                 else_body,
             } => {
                 if self.eval_cond(&cond)? {
-                    self.exec_body(&then_body)
+                    self.exec_body_with(&then_body, dispatcher)
                 } else {
-                    self.exec_body(&else_body)
+                    self.exec_body_with(&else_body, dispatcher)
                 }
             }
-            StmtKind::Call { proc } => self.exec_proc(proc),
+            StmtKind::Call { proc } => self.exec_proc_with(proc, dispatcher),
             StmtKind::Print { args } => {
                 let mut parts = Vec::with_capacity(args.len());
                 for a in &args {
@@ -452,6 +564,7 @@ impl<'p> Interp<'p> {
             },
         };
         self.store.arrays[a.index()] = Some(data);
+        self.store.bump_version(a);
         Ok(())
     }
 
@@ -494,6 +607,7 @@ impl<'p> Interp<'p> {
             ArrayData::Int { data, .. } => data[idx] = val.as_int(),
             ArrayData::Real { data, .. } => data[idx] = val.as_real(),
         }
+        self.store.bump_version(a);
     }
 }
 
@@ -537,9 +651,8 @@ fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
 }
 
 fn apply_intrinsic(intr: Intrinsic, vals: &[Value]) -> Result<Value, ExecError> {
-    let real1 = |f: fn(f64) -> f64| -> Result<Value, ExecError> {
-        Ok(Value::Real(f(vals[0].as_real())))
-    };
+    let real1 =
+        |f: fn(f64) -> f64| -> Result<Value, ExecError> { Ok(Value::Real(f(vals[0].as_real()))) };
     match intr {
         Intrinsic::Min => match (vals[0], vals[1]) {
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.min(b))),
@@ -589,23 +702,20 @@ mod tests {
 
     #[test]
     fn do_loop_and_arrays() {
-        let out = run(
-            "program t
+        let out = run("program t
              integer i
              real x(10)
              do i = 1, 10
                x(i) = i * 1.5
              enddo
              print x(1), x(10)
-             end",
-        );
+             end");
         assert_eq!(out.output, vec!["1.5 15"]);
     }
 
     #[test]
     fn while_and_if() {
-        let out = run(
-            "program t
+        let out = run("program t
              integer p, total
              p = 0
              total = 0
@@ -616,15 +726,13 @@ mod tests {
                endif
              endwhile
              print total
-             end",
-        );
+             end");
         assert_eq!(out.output, vec!["6"]);
     }
 
     #[test]
     fn subroutine_calls_share_globals() {
-        let out = run(
-            "program t
+        let out = run("program t
              integer k
              k = 1
              call bump
@@ -633,15 +741,13 @@ mod tests {
              end
              subroutine bump
              k = k + 1
-             end",
-        );
+             end");
         assert_eq!(out.output, vec!["3"]);
     }
 
     #[test]
     fn two_dimensional_arrays() {
-        let out = run(
-            "program t
+        let out = run("program t
              integer i, j
              real z(3, 4)
              do i = 1, 3
@@ -650,8 +756,7 @@ mod tests {
                enddo
              enddo
              print z(2, 3), z(3, 4)
-             end",
-        );
+             end");
         assert_eq!(out.output, vec!["23 34"]);
     }
 
@@ -664,8 +769,8 @@ mod tests {
 
     #[test]
     fn fuel_limit_stops_infinite_loops() {
-        let p = parse_program("program t\ninteger i\nwhile (1 > 0)\ni = i\nendwhile\nend\n")
-            .unwrap();
+        let p =
+            parse_program("program t\ninteger i\nwhile (1 > 0)\ni = i\nendwhile\nend\n").unwrap();
         let mut it = Interp::new(&p);
         it.fuel = 10_000;
         assert_eq!(it.run().unwrap_err(), ExecError::OutOfFuel);
@@ -704,30 +809,26 @@ mod tests {
 
     #[test]
     fn induction_variable_final_value() {
-        let out = run(
-            "program t
+        let out = run("program t
              integer i
              do i = 1, 5
                i = i
              enddo
              print i
-             end",
-        );
+             end");
         assert_eq!(out.output, vec!["6"]);
     }
 
     #[test]
     fn zero_trip_loop() {
-        let out = run(
-            "program t
+        let out = run("program t
              integer i, k
              k = 7
              do i = 5, 1
                k = 0
              enddo
              print k, i
-             end",
-        );
+             end");
         assert_eq!(out.output, vec!["7 5"]);
     }
 }

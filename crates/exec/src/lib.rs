@@ -18,12 +18,18 @@
 //! non-negative remainder (`div_euclid`/`rem_euclid`), matching the
 //! assumptions of the symbolic layer.
 
+pub mod dispatch;
 pub mod interp;
 pub mod machine;
 pub mod parallel;
+pub mod rng;
 pub mod runtime_test;
 
+pub use dispatch::{LoopDecision, LoopDispatcher, SequentialDispatch};
 pub use interp::{ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Value};
-pub use machine::{simulate_program_time, simulate_speedup, LoopProfile, MachineModel, ProgramProfile};
-pub use parallel::{run_loop_parallel, ParallelError, ParallelPlan, ReduceOp};
+pub use machine::{
+    simulate_program_time, simulate_speedup, LoopProfile, MachineModel, ProgramProfile,
+};
+pub use parallel::{exec_do_parallel, run_loop_parallel, ParallelError, ParallelPlan, ReduceOp};
+pub use rng::SplitMix64;
 pub use runtime_test::{inspect_bounded, inspect_injective, inspect_offset_length, Inspection};

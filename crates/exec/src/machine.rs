@@ -169,9 +169,7 @@ mod tests {
     use super::*;
 
     fn uniform_profile(iters: usize, cost: u64, invocations: usize) -> ProgramProfile {
-        let inv: Vec<Vec<u64>> = (0..invocations)
-            .map(|_| vec![cost; iters])
-            .collect();
+        let inv: Vec<Vec<u64>> = (0..invocations).map(|_| vec![cost; iters]).collect();
         let total = (iters as u64) * cost * invocations as u64;
         let mut loops = HashMap::new();
         loops.insert(

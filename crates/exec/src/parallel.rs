@@ -149,15 +149,7 @@ fn run_chunked(
     plan: &ParallelPlan,
 ) -> Result<(), ParallelError> {
     let program = interp.program();
-    let StmtKind::Do {
-        var,
-        lo,
-        hi,
-        step,
-        body,
-        ..
-    } = program.stmt(loop_stmt).kind.clone()
-    else {
+    let StmtKind::Do { lo, hi, step, .. } = program.stmt(loop_stmt).kind.clone() else {
         return Err(ParallelError::NotADoLoop);
     };
     let lo = interp.eval(&lo)?.as_int();
@@ -166,13 +158,45 @@ fn run_chunked(
         Some(e) => interp.eval(&e)?.as_int(),
         None => 1,
     };
+    exec_do_parallel(interp, loop_stmt, plan, lo, hi, step)
+}
+
+/// Executes one `do` loop in parallel chunks per `plan`, with the bounds
+/// already evaluated. This is the dispatch hook the hybrid runtime uses
+/// after a guard (or a compile-time verdict) clears the loop: the
+/// iteration space `lo..=hi` is split into contiguous chunks, each chunk
+/// runs in its own thread on a clone of the live store, and the chunks'
+/// write sets are merged back (detecting conflicts).
+///
+/// Loop statistics record the invocation; the induction variable is left
+/// at `hi + 1` (or `lo` for a zero-trip loop), matching sequential
+/// semantics.
+///
+/// # Errors
+///
+/// [`ParallelError::NotADoLoop`] when the statement is not a `do` loop
+/// or `step != 1`; [`ParallelError::WriteConflict`] when chunks disagree;
+/// worker [`ExecError`]s are propagated.
+pub fn exec_do_parallel(
+    interp: &mut Interp<'_>,
+    loop_stmt: StmtId,
+    plan: &ParallelPlan,
+    lo: i64,
+    hi: i64,
+    step: i64,
+) -> Result<(), ParallelError> {
+    let program = interp.program();
+    let StmtKind::Do { var, body, .. } = program.stmt(loop_stmt).kind.clone() else {
+        return Err(ParallelError::NotADoLoop);
+    };
     if step != 1 {
         return Err(ParallelError::NotADoLoop);
     }
+    interp.stats.loops.entry(loop_stmt).or_default().invocations += 1;
+    let ty = program.symbols.var(var).ty;
     if lo > hi {
         // Zero-trip: sequential semantics leave the induction variable
         // at `lo`.
-        let ty = program.symbols.var(var).ty;
         interp.store.set_scalar(var, ty, Value::Int(lo));
         return Ok(());
     }
@@ -193,12 +217,12 @@ fn run_chunked(
         start += len as i64;
     }
     // Run each chunk on a cloned store.
-    let results: Vec<Result<Store, ExecError>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Store, ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &(clo, chi) in &chunks {
             let snapshot = snapshot.clone();
             let body = body.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut worker = Interp::new(program);
                 worker.store = snapshot;
                 let ty = program.symbols.var(var).ty;
@@ -211,9 +235,11 @@ fn run_chunked(
                 Ok(worker.store)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     let mut stores = Vec::with_capacity(results.len());
     for r in results {
         stores.push(r?);
@@ -221,7 +247,6 @@ fn run_chunked(
     // Merge into the master store.
     merge(program, interp, &snapshot, &stores, plan, var)?;
     // Sequential semantics: the induction variable ends one past `hi`.
-    let ty = program.symbols.var(var).ty;
     interp.store.set_scalar(var, ty, Value::Int(hi + 1));
     Ok(())
 }
@@ -285,7 +310,9 @@ fn merge(
         let base = snapshot.array(v).cloned();
         if plan.privatized.contains(&v) {
             // Scratch: keep the snapshot contents.
-            *interp.store.array_mut(v) = base;
+            if interp.store.array(v) != base.as_ref() {
+                *interp.store.array_mut(v) = base;
+            }
             continue;
         }
         // Some workers may have materialized an array the snapshot had
@@ -301,7 +328,12 @@ fn merge(
                 }
             }
         }
-        *interp.store.array_mut(v) = merged;
+        // Write back (and bump the array's version) only on a real
+        // change: schedule-cache keys depend on versions staying put for
+        // arrays the loop never touched.
+        if interp.store.array(v) != merged.as_ref() {
+            *interp.store.array_mut(v) = merged;
+        }
     }
     Ok(())
 }

@@ -28,9 +28,15 @@ pub enum Inspection {
 /// Inspects whether `idx(lo..=hi)` holds pairwise-distinct values — the
 /// run-time counterpart of the injectivity property (§3).
 ///
-/// Returns `Sequential` when the section is out of bounds or the array
-/// has not been materialized.
+/// An empty section (`hi < lo`) is vacuously injective — `ParallelOk`
+/// regardless of the array's state, checked *before* materialization and
+/// bounds (a zero-trip loop reads nothing, so nothing can conflict).
+/// Otherwise returns `Sequential` when the section is out of bounds or
+/// the array has not been materialized.
 pub fn inspect_injective(store: &Store, idx: VarId, lo: i64, hi: i64) -> Inspection {
+    if hi < lo {
+        return Inspection::ParallelOk;
+    }
     let Some(values) = store.array_as_reals(idx) else {
         return Inspection::Sequential;
     };
@@ -50,6 +56,9 @@ pub fn inspect_injective(store: &Store, idx: VarId, lo: i64, hi: i64) -> Inspect
 /// Inspects whether `idx(lo..=hi)` values all lie within
 /// `[val_lo, val_hi]` — the run-time counterpart of the closed-form
 /// bound property.
+///
+/// An empty section (`hi < lo`) is vacuously bounded — `ParallelOk`
+/// before any materialization or bounds check.
 pub fn inspect_bounded(
     store: &Store,
     idx: VarId,
@@ -58,6 +67,9 @@ pub fn inspect_bounded(
     val_lo: i64,
     val_hi: i64,
 ) -> Inspection {
+    if hi < lo {
+        return Inspection::ParallelOk;
+    }
     let Some(values) = store.array_as_reals(idx) else {
         return Inspection::Sequential;
     };
@@ -77,6 +89,9 @@ pub fn inspect_bounded(
 /// over segments `lo..=hi`: `ptr(k+1) == ptr(k) + len(k)` with
 /// `len(k) >= 0` — the run-time counterpart of the closed-form distance
 /// property (the check the offset–length test performs statically).
+///
+/// An empty section (`hi < lo`) has no segments and is vacuously valid —
+/// `ParallelOk` before any materialization or bounds check.
 pub fn inspect_offset_length(
     store: &Store,
     ptr: VarId,
@@ -84,6 +99,9 @@ pub fn inspect_offset_length(
     lo: i64,
     hi: i64,
 ) -> Inspection {
+    if hi < lo {
+        return Inspection::ParallelOk;
+    }
     let (Some(p), Some(l)) = (store.array_as_reals(ptr), store.array_as_reals(len)) else {
         return Inspection::Sequential;
     };
@@ -130,9 +148,15 @@ mod tests {
         let idx = p.symbols.lookup("idx").unwrap();
         // idx = [10, 9, ..., 2, 9]: first nine distinct, full range not.
         assert_eq!(inspect_injective(&store, idx, 1, 9), Inspection::ParallelOk);
-        assert_eq!(inspect_injective(&store, idx, 1, 10), Inspection::Sequential);
+        assert_eq!(
+            inspect_injective(&store, idx, 1, 10),
+            Inspection::Sequential
+        );
         // Out of bounds is sequential.
-        assert_eq!(inspect_injective(&store, idx, 1, 11), Inspection::Sequential);
+        assert_eq!(
+            inspect_injective(&store, idx, 1, 11),
+            Inspection::Sequential
+        );
     }
 
     #[test]

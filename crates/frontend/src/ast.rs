@@ -375,9 +375,7 @@ impl Program {
     pub fn loop_label(&self, proc: ProcId, loop_stmt: StmtId) -> String {
         let pname = self.procedures[proc.index()].name.to_ascii_uppercase();
         match &self.stmt(loop_stmt).kind {
-            StmtKind::Do {
-                label: Some(l), ..
-            } => format!("{pname}/do{l}"),
+            StmtKind::Do { label: Some(l), .. } => format!("{pname}/do{l}"),
             StmtKind::Do { .. } => format!("{pname}/do@{}", self.stmt(loop_stmt).loc.line),
             StmtKind::While { .. } => format!("{pname}/while@{}", self.stmt(loop_stmt).loc.line),
             _ => format!("{pname}/{loop_stmt}"),
@@ -420,7 +418,11 @@ mod tests {
         let e = Expr::add(Expr::int(1), Expr::int(2));
         assert_eq!(
             e,
-            Expr::Bin(BinOp::Add, Box::new(Expr::IntLit(1)), Box::new(Expr::IntLit(2)))
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::IntLit(1)),
+                Box::new(Expr::IntLit(2))
+            )
         );
         assert_eq!(Expr::int(7).as_int_lit(), Some(7));
         assert_eq!(e.as_int_lit(), None);
@@ -451,7 +453,7 @@ mod tests {
         let main = p.main();
         let all = p.stmts_in(&p.procedure(main).body);
         assert_eq!(all.len(), 3); // do + two assigns
-        // The loop comes first (pre-order).
+                                  // The loop comes first (pre-order).
         assert!(matches!(p.stmt(all[0]).kind, StmtKind::Do { .. }));
     }
 }

@@ -254,13 +254,10 @@ mod tests {
         let x = b.declare_array("x", ScalarType::Real, &[Expr::int(100)]);
         b.assign_scalar(p, Expr::int(0));
         b.do_loop(i, Expr::int(1), Expr::int(10), |b| {
-            b.if_then(
-                Expr::bin(BinOp::Gt, Expr::Var(i), Expr::int(5)),
-                |b| {
-                    b.assign_scalar(p, Expr::add(Expr::Var(p), Expr::int(1)));
-                    b.assign_element(x, vec![Expr::Var(p)], Expr::Var(i));
-                },
-            );
+            b.if_then(Expr::bin(BinOp::Gt, Expr::Var(i), Expr::int(5)), |b| {
+                b.assign_scalar(p, Expr::add(Expr::Var(p), Expr::int(1)));
+                b.assign_element(x, vec![Expr::Var(p)], Expr::Var(i));
+            });
         });
         let prog = b.finish();
         assert_eq!(prog.procedures.len(), 1);

@@ -271,7 +271,8 @@ fn lex_number(s: &str, at: SourceLoc) -> Result<(Token, usize), ParseError> {
             }
         }
     }
-    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E' || bytes[i] == b'd' || bytes[i] == b'D')
+    if i < bytes.len()
+        && (bytes[i] == b'e' || bytes[i] == b'E' || bytes[i] == b'd' || bytes[i] == b'D')
     {
         let mut j = i + 1;
         if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
@@ -304,7 +305,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -133,7 +133,9 @@ impl Parser {
                 .procedures
                 .iter()
                 .position(|p| p.name == name)
-                .ok_or_else(|| ParseError::new(format!("call to unknown procedure `{name}`"), loc))?;
+                .ok_or_else(|| {
+                    ParseError::new(format!("call to unknown procedure `{name}`"), loc)
+                })?;
             self.stmts[stmt.index()].kind = StmtKind::Call {
                 proc: ProcId(target as u32),
             };
@@ -190,8 +192,7 @@ impl Parser {
                 Token::Int(v) => {
                     // `NNN continue` closes a labeled do loop.
                     let v = *v;
-                    if close_label.is_some_and(|l| l as i64 == v)
-                        && self.peek2().is_kw("continue")
+                    if close_label.is_some_and(|l| l as i64 == v) && self.peek2().is_kw("continue")
                     {
                         self.bump();
                         self.bump();
@@ -238,7 +239,12 @@ impl Parser {
                 let name = self.expect_ident("procedure name")?;
                 self.expect_newline()?;
                 // Placeholder target resolved at end of parse.
-                let id = self.new_stmt(StmtKind::Call { proc: ProcId(u32::MAX) }, loc);
+                let id = self.new_stmt(
+                    StmtKind::Call {
+                        proc: ProcId(u32::MAX),
+                    },
+                    loc,
+                );
                 self.pending_calls.push((id, name, loc));
                 Ok(Some(id))
             }

@@ -185,7 +185,9 @@ fn render(e: &Expr, symbols: Option<&SymbolTable>) -> String {
                 BinOp::Sub => "-",
                 BinOp::Mul => "*",
                 BinOp::Div => "/",
-                BinOp::Mod => return format!("mod({}, {})", render(a, symbols), render(b, symbols)),
+                BinOp::Mod => {
+                    return format!("mod({}, {})", render(a, symbols), render(b, symbols))
+                }
                 BinOp::Eq => "==",
                 BinOp::Ne => "/=",
                 BinOp::Lt => "<",

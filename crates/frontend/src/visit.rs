@@ -112,14 +112,12 @@ pub fn scalars_assigned_in(p: &Program, body: &[StmtId]) -> Vec<VarId> {
             StmtKind::Assign {
                 lhs: LValue::Scalar(v),
                 ..
+            } if !out.contains(v) => {
+                out.push(*v);
             }
-                if !out.contains(v) => {
-                    out.push(*v);
-                }
-            StmtKind::Do { var, .. }
-                if !out.contains(var) => {
-                    out.push(*var);
-                }
+            StmtKind::Do { var, .. } if !out.contains(var) => {
+                out.push(*var);
+            }
             _ => {}
         }
     }

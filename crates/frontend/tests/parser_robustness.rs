@@ -50,9 +50,7 @@ fn malformed_statements() {
 #[test]
 fn duplicate_units() {
     rejects("program t\nx = 1\nend\nprogram t\ny = 2\nend\n");
-    rejects(
-        "program t\nx = 1\nend\nsubroutine s\ny = 1\nend\nsubroutine s\nz = 1\nend\n",
-    );
+    rejects("program t\nx = 1\nend\nsubroutine s\ny = 1\nend\nsubroutine s\nz = 1\nend\n");
 }
 
 #[test]
@@ -85,10 +83,8 @@ fn crlf_and_semicolon_separators() {
 
 #[test]
 fn keywords_are_case_insensitive() {
-    let p = parse_program(
-        "PROGRAM T\nINTEGER I\nREAL X(5)\nDO I = 1, 5\nX(I) = I\nENDDO\nEND\n",
-    )
-    .unwrap();
+    let p = parse_program("PROGRAM T\nINTEGER I\nREAL X(5)\nDO I = 1, 5\nX(I) = I\nENDDO\nEND\n")
+        .unwrap();
     assert_eq!(p.procedures[0].name, "t");
     assert!(p.symbols.lookup("x").is_some());
 }

@@ -1,8 +1,11 @@
 //! Property-based round-trip tests: parse → print → parse → print is a
-//! fixpoint, and the reparsed program has the same shape.
+//! fixpoint, and the reparsed program has the same shape. Random
+//! programs are drawn from a deterministic in-tree [`SplitMix64`]
+//! stream, so the suite runs offline and is reproducible from the seeds
+//! below.
 
+use irr_exec::SplitMix64;
 use irr_frontend::{parse_program, print_program, StmtKind};
-use proptest::prelude::*;
 
 /// A random statement in a small safe fragment (literal loop bounds,
 /// in-bounds subscripts).
@@ -30,53 +33,57 @@ enum E {
     Neg(Box<E>),
 }
 
-fn expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-9i64..10).prop_map(E::Int),
-        (-9i64..10).prop_map(E::Real),
-        (0u8..3).prop_map(E::Scalar),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (0u8..2, inner.clone()).prop_map(|(a, e)| E::Elem(a, Box::new(e))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), 1i64..9).prop_map(|(a, c)| E::Mod(Box::new(a), c)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| E::Neg(Box::new(a))),
-        ]
-    })
+fn draw_expr(rng: &mut SplitMix64, depth: u32) -> E {
+    let leaf = depth == 0 || rng.below(3) == 0;
+    if leaf {
+        match rng.below(3) {
+            0 => E::Int(rng.range_i64(-9, 9)),
+            1 => E::Real(rng.range_i64(-9, 9)),
+            _ => E::Scalar(rng.below(3) as u8),
+        }
+    } else {
+        let d = depth - 1;
+        match rng.below(7) {
+            0 => E::Elem(rng.below(2) as u8, Box::new(draw_expr(rng, d))),
+            1 => E::Add(Box::new(draw_expr(rng, d)), Box::new(draw_expr(rng, d))),
+            2 => E::Sub(Box::new(draw_expr(rng, d)), Box::new(draw_expr(rng, d))),
+            3 => E::Mul(Box::new(draw_expr(rng, d)), Box::new(draw_expr(rng, d))),
+            4 => E::Mod(Box::new(draw_expr(rng, d)), rng.range_i64(1, 8)),
+            5 => E::Min(Box::new(draw_expr(rng, d)), Box::new(draw_expr(rng, d))),
+            _ => E::Neg(Box::new(draw_expr(rng, d))),
+        }
+    }
 }
 
-fn stmt(depth: u32) -> BoxedStrategy<S> {
-    let assign = prop_oneof![
-        (0u8..3, expr()).prop_map(|(v, e)| S::AssignScalar(v, e)),
-        (0u8..2, expr(), expr()).prop_map(|(a, i, e)| S::AssignElem(a, i, e)),
-        expr().prop_map(S::Print),
-    ];
-    if depth == 0 {
-        assign.boxed()
+fn draw_stmts(rng: &mut SplitMix64, depth: u32, lo: usize, hi: usize) -> Vec<S> {
+    let count = rng.range_usize(lo, hi);
+    (0..count).map(|_| draw_stmt(rng, depth)).collect()
+}
+
+fn draw_stmt(rng: &mut SplitMix64, depth: u32) -> S {
+    let structural = depth > 0 && rng.below(2) == 0;
+    if !structural {
+        match rng.below(3) {
+            0 => S::AssignScalar(rng.below(3) as u8, draw_expr(rng, 3)),
+            1 => S::AssignElem(rng.below(2) as u8, draw_expr(rng, 3), draw_expr(rng, 3)),
+            _ => S::Print(draw_expr(rng, 3)),
+        }
     } else {
-        prop_oneof![
-            assign,
-            (
-                0u8..3,
-                1i64..4,
-                1i64..8,
-                proptest::collection::vec(stmt(depth - 1), 1..3)
-            )
-                .prop_map(|(v, lo, hi, b)| S::Do(v, lo, hi, b)),
-            (expr(), proptest::collection::vec(stmt(depth - 1), 1..3))
-                .prop_map(|(c, b)| S::While(c, b)),
-            (
-                expr(),
-                proptest::collection::vec(stmt(depth - 1), 1..3),
-                proptest::collection::vec(stmt(depth - 1), 0..2)
-            )
-                .prop_map(|(c, t, e)| S::If(c, t, e)),
-        ]
-        .boxed()
+        let d = depth - 1;
+        match rng.below(3) {
+            0 => S::Do(
+                rng.below(3) as u8,
+                rng.range_i64(1, 3),
+                rng.range_i64(1, 7),
+                draw_stmts(rng, d, 1, 2),
+            ),
+            1 => S::While(draw_expr(rng, 3), draw_stmts(rng, d, 1, 2)),
+            _ => S::If(
+                draw_expr(rng, 3),
+                draw_stmts(rng, d, 1, 2),
+                draw_stmts(rng, d, 0, 1),
+            ),
+        }
     }
 }
 
@@ -206,18 +213,16 @@ fn render_program(stmts: &[S]) -> String {
     for g in 1..=guard {
         decls.push_str(&format!("  integer nw{g}\n"));
     }
-    format!(
-        "program gen\n  integer n1, n2\n  real xs, arr(9), brr(9)\n{decls}{body}end\n"
-    )
+    format!("program gen\n  integer n1, n2\n  real xs, arr(9), brr(9)\n{decls}{body}end\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// print(parse(print(parse(src)))) == print(parse(src)) and the
-    /// statement shapes survive.
-    #[test]
-    fn print_parse_roundtrip(stmts in proptest::collection::vec(stmt(2), 1..6)) {
+/// print(parse(print(parse(src)))) == print(parse(src)) and the
+/// statement shapes survive.
+#[test]
+fn print_parse_roundtrip() {
+    let mut rng = SplitMix64::new(0x6001);
+    for _ in 0..128 {
+        let stmts = draw_stmts(&mut rng, 2, 1, 5);
         let src = render_program(&stmts);
         let p1 = parse_program(&src)
             .unwrap_or_else(|e| panic!("generated source must parse: {e}\n{src}"));
@@ -225,7 +230,7 @@ proptest! {
         let p2 = parse_program(&printed1)
             .unwrap_or_else(|e| panic!("printed source must reparse: {e}\n{printed1}"));
         let printed2 = print_program(&p2);
-        prop_assert_eq!(&printed1, &printed2, "printer not a fixpoint\nsrc:\n{}", src);
+        assert_eq!(&printed1, &printed2, "printer not a fixpoint\nsrc:\n{src}");
         // Same number of statements of each kind.
         let count = |p: &irr_frontend::Program| {
             let mut c = [0usize; 6];
@@ -244,14 +249,18 @@ proptest! {
             }
             c
         };
-        prop_assert_eq!(count(&p1), count(&p2));
+        assert_eq!(count(&p1), count(&p2));
     }
+}
 
-    /// Generated programs interpret identically before and after a
-    /// print/parse round trip (the printer preserves semantics, not just
-    /// shape).
-    #[test]
-    fn roundtrip_preserves_execution(stmts in proptest::collection::vec(stmt(2), 1..5)) {
+/// Generated programs interpret identically before and after a
+/// print/parse round trip (the printer preserves semantics, not just
+/// shape).
+#[test]
+fn roundtrip_preserves_execution() {
+    let mut rng = SplitMix64::new(0x6002);
+    for _ in 0..128 {
+        let stmts = draw_stmts(&mut rng, 2, 1, 4);
         let src = render_program(&stmts);
         let p1 = parse_program(&src).unwrap();
         let p2 = parse_program(&print_program(&p1)).unwrap();
@@ -261,9 +270,9 @@ proptest! {
             it.run().map(|o| o.output)
         };
         match (run(&p1), run(&p2)) {
-            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "outputs differ\n{}", src),
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "outputs differ\n{src}"),
             (Err(_), Err(_)) => {} // same failure class is acceptable
-            (a, b) => prop_assert!(false, "one run failed: {a:?} vs {b:?}\n{src}"),
+            (a, b) => panic!("one run failed: {a:?} vs {b:?}\n{src}"),
         }
     }
 }

@@ -243,9 +243,8 @@ mod tests {
 
     #[test]
     fn if_has_diamond() {
-        let (_, cfg) = cfg_of(
-            "program t\ninteger a\nif (a > 0) then\nx = 1\nelse\nx = 2\nendif\nend\n",
-        );
+        let (_, cfg) =
+            cfg_of("program t\ninteger a\nif (a > 0) then\nx = 1\nelse\nx = 2\nendif\nend\n");
         let branches = cfg.nodes_where(|k| matches!(k, CfgNodeKind::Branch(_)));
         let joins = cfg.nodes_where(|k| matches!(k, CfgNodeKind::Join(_)));
         assert_eq!(branches.len(), 1);
@@ -264,9 +263,7 @@ mod tests {
 
     #[test]
     fn while_loop_wraps_around() {
-        let (p, cfg) = cfg_of(
-            "program t\ninteger p\nwhile (p < 5)\np = p + 1\nendwhile\nend\n",
-        );
+        let (p, cfg) = cfg_of("program t\ninteger p\nwhile (p < 5)\np = p + 1\nendwhile\nend\n");
         let heads = cfg.nodes_where(|k| matches!(k, CfgNodeKind::LoopHead(_)));
         // The increment should be reachable from itself via the back edge.
         let stmts = cfg.nodes_where(|k| matches!(k, CfgNodeKind::Stmt(_)));

@@ -54,15 +54,9 @@ pub enum HcgNodeKind {
     /// The join after an `if`.
     Join(StmtId),
     /// A whole loop (cases 1 and 2); the body is `body`.
-    Loop {
-        stmt: StmtId,
-        body: SectionId,
-    },
+    Loop { stmt: StmtId, body: SectionId },
     /// A `call` statement (case 3).
-    Call {
-        stmt: StmtId,
-        callee: ProcId,
-    },
+    Call { stmt: StmtId, callee: ProcId },
 }
 
 impl HcgNodeKind {

@@ -1,7 +1,9 @@
 //! Flow-sensitive scalar constant propagation, with a simple
 //! interprocedural fixpoint across call sites.
 
-use irr_frontend::{BinOp, Expr, Intrinsic, LValue, ProcId, Program, StmtId, StmtKind, UnOp, VarId};
+use irr_frontend::{
+    BinOp, Expr, Intrinsic, LValue, ProcId, Program, StmtId, StmtKind, UnOp, VarId,
+};
 use std::collections::HashMap;
 
 /// The abstract value of a scalar.
@@ -50,7 +52,7 @@ fn join_states(a: &State, b: &State) -> State {
 pub fn propagate_constants(program: &mut Program) -> usize {
     // Fixpoint over procedure entry states.
     let nprocs = program.procedures.len();
-    let mut entry_states: Vec<State> = vec![State::new(), ]
+    let mut entry_states: Vec<State> = vec![State::new()]
         .into_iter()
         .cycle()
         .take(nprocs)
@@ -296,7 +298,10 @@ fn walk_rewrite(program: &mut Program, body: &[StmtId], state: &mut State) -> us
                 rewrites += walk_rewrite(program, &inner, state);
                 kill_assigned(program, &inner, state);
             }
-            StmtKind::While { mut cond, body: inner } => {
+            StmtKind::While {
+                mut cond,
+                body: inner,
+            } => {
                 // The condition is evaluated after body effects too.
                 kill_assigned(program, &inner, state);
                 rewrites += rewrite_expr(&mut cond, state);

@@ -45,7 +45,9 @@ fn collect_read_vars(program: &Program) -> HashSet<VarId> {
                         record(&mut live, e);
                     }
                 }
-                StmtKind::Do { var, lo, hi, step, .. } => {
+                StmtKind::Do {
+                    var, lo, hi, step, ..
+                } => {
                     live.insert(*var);
                     record(&mut live, lo);
                     record(&mut live, hi);

@@ -22,7 +22,10 @@ pub fn forward_substitute(program: &mut Program) -> usize {
         let mut counts: HashMap<VarId, usize> = HashMap::new();
         for s in program.stmts_in(&body) {
             match &program.stmt(s).kind {
-                StmtKind::Assign { lhs: LValue::Scalar(v), .. } => {
+                StmtKind::Assign {
+                    lhs: LValue::Scalar(v),
+                    ..
+                } => {
                     *counts.entry(*v).or_insert(0) += 1;
                 }
                 StmtKind::Do { var, .. } => {
@@ -127,7 +130,10 @@ fn walk(
                 rewrites += walk(program, &inner, defs, single_def);
                 kill_region(program, &inner, defs);
             }
-            StmtKind::While { mut cond, body: inner } => {
+            StmtKind::While {
+                mut cond,
+                body: inner,
+            } => {
                 kill_region(program, &inner, defs);
                 rewrites += subst_expr(&mut cond, defs);
                 program.stmt_mut(s).kind = StmtKind::While {
@@ -282,9 +288,6 @@ mod tests {
         .unwrap();
         forward_substitute(&mut p);
         let printed = irr_frontend::print_program(&p);
-        assert!(
-            printed.contains("x(((n + 1) + 1))"),
-            "printed:\n{printed}"
-        );
+        assert!(printed.contains("x(((n + 1) + 1))"), "printed:\n{printed}");
     }
 }

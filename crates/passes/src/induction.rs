@@ -13,8 +13,8 @@
 //! *not* substituted — those are exactly the cases the paper's irregular
 //! analyses exist for.
 
-use irr_frontend::{BinOp, Expr, Intrinsic, LValue, Program, Stmt, StmtId, StmtKind, VarId};
 use irr_frontend::diag::SourceLoc;
+use irr_frontend::{BinOp, Expr, Intrinsic, LValue, Program, Stmt, StmtId, StmtKind, VarId};
 
 /// Applies induction variable substitution to every `do` loop in the
 /// program. Returns the number of variables substituted.
@@ -143,9 +143,7 @@ fn substitute_in_loop(program: &mut Program, loop_stmt: StmtId, count: &mut usiz
     // The adjustment uses lo/hi after the loop, so the body must not
     // assign anything they mention.
     let assigned = irr_frontend::visit::scalars_assigned_in(program, &body);
-    let bounds_stable = !assigned
-        .iter()
-        .any(|v| lo.mentions(*v) || hi.mentions(*v));
+    let bounds_stable = !assigned.iter().any(|v| lo.mentions(*v) || hi.mentions(*v));
     if !bounds_stable {
         return Vec::new();
     }
@@ -175,10 +173,7 @@ fn substitute_in_loop(program: &mut Program, loop_stmt: StmtId, count: &mut usiz
         // itself, which is removed): before the increment the value is
         // q + c*(i - lo), after it q + c*(i - lo + 1).
         let make = |extra: i64| {
-            let delta = Expr::add(
-                Expr::sub(Expr::Var(var), lo.clone()),
-                Expr::int(extra),
-            );
+            let delta = Expr::add(Expr::sub(Expr::Var(var), lo.clone()), Expr::int(extra));
             Expr::add(Expr::Var(q), Expr::mul(Expr::int(c), delta))
         };
         let before = make(0);

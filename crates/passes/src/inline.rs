@@ -220,9 +220,7 @@ mod tests {
         for i in 0..60 {
             body.push_str(&format!("k = {i}\n"));
         }
-        let src = format!(
-            "program t\ninteger k\ncall big\nend\nsubroutine big\n{body}end\n"
-        );
+        let src = format!("program t\ninteger k\ncall big\nend\nsubroutine big\n{body}end\n");
         let mut p = parse_program(&src).unwrap();
         assert_eq!(inline_small_procedures(&mut p, 50), 0);
     }

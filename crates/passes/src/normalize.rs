@@ -60,10 +60,7 @@ pub fn normalize_loops(program: &mut Program) -> usize {
                 lhs: LValue::Scalar(var),
                 rhs: Expr::add(
                     lo.clone(),
-                    Expr::mul(
-                        Expr::sub(Expr::Var(fresh), Expr::int(1)),
-                        Expr::int(c),
-                    ),
+                    Expr::mul(Expr::sub(Expr::Var(fresh), Expr::int(1)), Expr::int(c)),
                 ),
             };
             let derive_id = StmtId(program.stmts.len() as u32);

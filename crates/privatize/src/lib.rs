@@ -228,9 +228,7 @@ impl<'a, 'c, 'p> Privatizer<'a, 'c, 'p> {
     /// the loop `s`.
     fn cw_index_of(&self, s: StmtId, array: VarId) -> Option<VarId> {
         for si in irr_core::single_indexed_arrays(self.ctx, s) {
-            if si.array == array
-                && consecutively_written(self.ctx, s, array, si.index).is_some()
-            {
+            if si.array == array && consecutively_written(self.ctx, s, array, si.index).is_some() {
                 return Some(si.index);
             }
         }
@@ -288,7 +286,13 @@ impl<'a, 'c, 'p> Privatizer<'a, 'c, 'p> {
 
     // ----- the scan ---------------------------------------------------------
 
-    fn scan_body(&mut self, body: &[StmtId], array: VarId, scan: &mut Scan, env: &RangeEnv) -> bool {
+    fn scan_body(
+        &mut self,
+        body: &[StmtId],
+        array: VarId,
+        scan: &mut Scan,
+        env: &RangeEnv,
+    ) -> bool {
         for &s in body {
             if !self.scan_stmt(s, array, scan, env) {
                 return false;
@@ -323,9 +327,14 @@ impl<'a, 'c, 'p> Privatizer<'a, 'c, 'p> {
     }
 
     /// Checks that reading `array(subs...)` at `stmt` is covered by `W`.
-    fn read_covered(&mut self, stmt: StmtId, subs: &[Expr], scan: &mut Scan, env: &RangeEnv) -> bool {
-        let vals: Option<Vec<SymExpr>> =
-            subs.iter().map(|e| self.to_value(e, scan)).collect();
+    fn read_covered(
+        &mut self,
+        stmt: StmtId,
+        subs: &[Expr],
+        scan: &mut Scan,
+        env: &RangeEnv,
+    ) -> bool {
+        let vals: Option<Vec<SymExpr>> = subs.iter().map(|e| self.to_value(e, scan)).collect();
         let Some(vals) = vals else {
             return false;
         };
@@ -399,9 +408,10 @@ impl<'a, 'c, 'p> Privatizer<'a, 'c, 'p> {
                 let (Bound::Finite(l), Bound::Finite(h)) = (&d[0].lo, &d[0].hi) else {
                     return false;
                 };
-                let (Some(l), Some(h)) =
-                    (self.value_to_program(l, scan), self.value_to_program(h, scan))
-                else {
+                let (Some(l), Some(h)) = (
+                    self.value_to_program(l, scan),
+                    self.value_to_program(h, scan),
+                ) else {
                     return false;
                 };
                 Section::range1(l, h)
@@ -437,16 +447,14 @@ impl<'a, 'c, 'p> Privatizer<'a, 'c, 'p> {
                     return false;
                 }
                 match lhs {
-                    LValue::Scalar(v) => {
-                        match self.to_value(&rhs, scan) {
-                            Some(val) => {
-                                scan.vals.insert(v, val);
-                            }
-                            None => {
-                                self.freshen(scan, v);
-                            }
+                    LValue::Scalar(v) => match self.to_value(&rhs, scan) {
+                        Some(val) => {
+                            scan.vals.insert(v, val);
                         }
-                    }
+                        None => {
+                            self.freshen(scan, v);
+                        }
+                    },
                     LValue::Element(a, subs) => {
                         if a == array {
                             let vals: Option<Vec<SymExpr>> =
@@ -501,7 +509,9 @@ impl<'a, 'c, 'p> Privatizer<'a, 'c, 'p> {
                 scan.properties.extend(scan_e.properties);
                 true
             }
-            StmtKind::Do { var, lo, hi, body, .. } => {
+            StmtKind::Do {
+                var, lo, hi, body, ..
+            } => {
                 if !self.check_reads(s, array, scan, env) {
                     return false;
                 }
@@ -519,8 +529,7 @@ impl<'a, 'c, 'p> Privatizer<'a, 'c, 'p> {
                         if let Some(fv) = p_exit.as_var() {
                             scan.fresh_names.insert(fv, cw_index);
                         }
-                        let delta =
-                            Section::range1(p_entry.add(&SymExpr::int(1)), p_exit.clone());
+                        let delta = Section::range1(p_entry.add(&SymExpr::int(1)), p_exit.clone());
                         scan.w = delta.union_must(&scan.w, env);
                         scan.used_cw = true;
                         for v in irr_frontend::visit::scalars_assigned_in(program, &body) {

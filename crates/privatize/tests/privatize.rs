@@ -116,16 +116,16 @@ fn fig1c_indirect_read_with_bounds() {
     let ctx = AnalysisCtx::new(&p);
     let mut apa = ArrayPropertyAnalysis::new(&ctx);
     let mut pv = Privatizer::new(&ctx, &mut apa);
-    let outer = loops_of(&p)
-        .into_iter()
-        .nth(1)
-        .unwrap(); // the i loop (after the gather loop)
+    let outer = loops_of(&p).into_iter().nth(1).unwrap(); // the i loop (after the gather loop)
     let x = p.symbols.lookup("x").unwrap();
     let r = pv.analyze_array(outer, x);
     assert!(r.privatizable, "{r:?}");
     assert_eq!(r.evidence, Some(PrivatizeEvidence::IndirectBounded));
     let pos = p.symbols.lookup("pos").unwrap();
-    assert!(r.properties_used.iter().any(|(a, t)| *a == pos && *t == "CFB"));
+    assert!(r
+        .properties_used
+        .iter()
+        .any(|(a, t)| *a == pos && *t == "CFB"));
     // Without IAA: not privatizable.
     let mut apa2 = ArrayPropertyAnalysis::new(&ctx);
     let mut pv2 = Privatizer::new(&ctx, &mut apa2);

@@ -66,12 +66,10 @@ mod tests {
     #[test]
     fn all_benchmarks_parse() {
         for b in all(Scale::Test) {
-            parse_program(&b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{}", b.name, b.source));
+            parse_program(&b.source).unwrap_or_else(|e| panic!("{}: {e}\n{}", b.name, b.source));
         }
         for b in all(Scale::Paper) {
-            parse_program(&b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            parse_program(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         }
     }
 

@@ -1,0 +1,110 @@
+//! The versioned schedule cache.
+//!
+//! A guarded loop's inspection result is a function of (a) the values of
+//! the index arrays the guard reads and (b) the loop's evaluated bounds.
+//! The interpreter's [`Store`](irr_exec::Store) bumps a per-array write
+//! version on every mutation, so "(a) unchanged" reduces to comparing a
+//! few `u64`s instead of re-scanning the arrays. The cache therefore
+//! turns the paper's per-execution `O(section)` inspector cost into
+//! `O(section)`-per-*mutation*: re-entering an unmutated loop costs a
+//! handful of integer compares.
+
+use irr_frontend::{StmtId, VarId};
+use std::collections::HashMap;
+
+/// What must be unchanged for a cached schedule to be reusable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScheduleKey {
+    /// The loop's evaluated `(lo, hi)` bounds at inspection time.
+    pub bounds: (i64, i64),
+    /// Write-version of every array the guard's inspectors read,
+    /// in a canonical (sorted, deduplicated) order.
+    pub versions: Vec<(VarId, u64)>,
+}
+
+impl ScheduleKey {
+    /// Builds a key, canonicalizing the version list.
+    pub fn new(bounds: (i64, i64), mut versions: Vec<(VarId, u64)>) -> ScheduleKey {
+        versions.sort_unstable_by_key(|(v, _)| *v);
+        versions.dedup();
+        ScheduleKey { bounds, versions }
+    }
+}
+
+/// Outcome of a cache probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheProbe {
+    /// A schedule for this loop exists and its key matches: reuse the
+    /// stored verdict.
+    Hit(bool),
+    /// A schedule exists but an index array was written (or the bounds
+    /// changed) since it was inspected.
+    Stale,
+    /// No schedule cached for this loop yet.
+    Miss,
+}
+
+/// Per-loop cache of inspection verdicts keyed by store versions.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleCache {
+    entries: HashMap<StmtId, (ScheduleKey, bool)>,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> ScheduleCache {
+        ScheduleCache::default()
+    }
+
+    /// Probes for a reusable schedule for `loop_stmt` under `key`.
+    pub fn probe(&self, loop_stmt: StmtId, key: &ScheduleKey) -> CacheProbe {
+        match self.entries.get(&loop_stmt) {
+            None => CacheProbe::Miss,
+            Some((cached, verdict)) if cached == key => CacheProbe::Hit(*verdict),
+            Some(_) => CacheProbe::Stale,
+        }
+    }
+
+    /// Stores (or replaces) the schedule for `loop_stmt`.
+    pub fn insert(&mut self, loop_stmt: StmtId, key: ScheduleKey, parallel_ok: bool) {
+        self.entries.insert(loop_stmt, (key, parallel_ok));
+    }
+
+    /// Number of loops with a cached schedule.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_distinguishes_hit_stale_miss() {
+        let mut c = ScheduleCache::new();
+        let s = StmtId(7);
+        let k1 = ScheduleKey::new((1, 8), vec![(VarId(2), 3)]);
+        assert_eq!(c.probe(s, &k1), CacheProbe::Miss);
+        c.insert(s, k1.clone(), true);
+        assert_eq!(c.probe(s, &k1), CacheProbe::Hit(true));
+        // Same arrays, newer version: stale.
+        let k2 = ScheduleKey::new((1, 8), vec![(VarId(2), 4)]);
+        assert_eq!(c.probe(s, &k2), CacheProbe::Stale);
+        // Same versions, different bounds: also stale.
+        let k3 = ScheduleKey::new((1, 9), vec![(VarId(2), 3)]);
+        assert_eq!(c.probe(s, &k3), CacheProbe::Stale);
+    }
+
+    #[test]
+    fn key_canonicalizes_version_order() {
+        let a = ScheduleKey::new((1, 4), vec![(VarId(5), 1), (VarId(2), 9)]);
+        let b = ScheduleKey::new((1, 4), vec![(VarId(2), 9), (VarId(5), 1)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,386 @@
+//! Hybrid inspector–executor runtime (§1 revisited).
+//!
+//! The paper argues that compile-time analysis beats run-time
+//! inspection because "the inspector pays on every execution". This
+//! crate implements the *hybrid* middle ground the comparison implies:
+//!
+//! - loops the compile-time analysis **proved** parallel dispatch
+//!   straight to the chunked executor ([`DispatchTier::CompileTimeParallel`]);
+//! - loops it **disproved** (or cannot pattern-match) stay sequential;
+//! - loops left **Unknown** — where the dependence tester matched a
+//!   parallelizable shape but one property didn't prove — carry a
+//!   [`GuardPlan`] naming the residual checks. At each dynamic entry a
+//!   run-time inspector evaluates exactly those checks against the live
+//!   store and dispatches parallel or sequential *for that execution*.
+//!
+//! The inspection cost is then amortized with a [`ScheduleCache`]: the
+//! interpreter's [`Store`] bumps a write-version counter per array, and
+//! a cached verdict is reused as long as the guard's index arrays (and
+//! the loop's evaluated bounds) are unchanged — re-inspection happens
+//! per *mutation*, not per execution. [`Telemetry`] counts inspections,
+//! cache hits/invalidations, and per-tier dispatches so the trade-off
+//! stays measurable (see the `runtime-vs-compile-time` bench group and
+//! `examples/hybrid_fallback.rs`).
+
+pub mod cache;
+pub mod telemetry;
+
+pub use cache::{CacheProbe, ScheduleCache, ScheduleKey};
+pub use telemetry::Telemetry;
+
+use irr_driver::{CompilationReport, DispatchTier, GuardPlan, ReductionOp, ResidualCheck};
+use irr_exec::{
+    inspect_injective, inspect_offset_length, ExecError, ExecOutcome, Inspection, Interp,
+    LoopDecision, LoopDispatcher, ParallelPlan, ReduceOp, Store,
+};
+use irr_frontend::{StmtId, VarId};
+use std::collections::HashMap;
+
+/// Configuration of the hybrid runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Worker threads for parallel loop execution.
+    pub threads: usize,
+    /// Reuse inspection verdicts across executions via the versioned
+    /// schedule cache (`false` re-inspects on every guarded entry, the
+    /// pure inspector–executor model the paper argues against).
+    pub cache_schedules: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            threads: 4,
+            cache_schedules: true,
+        }
+    }
+}
+
+/// Everything the dispatcher needs to know about one compiled loop.
+#[derive(Clone, Debug)]
+struct LoopEntry {
+    tier: DispatchTier,
+    privatized: Vec<VarId>,
+    reductions: Vec<(VarId, ReduceOp)>,
+}
+
+/// The hybrid dispatcher: consulted by the interpreter at every dynamic
+/// `do`-loop entry (with evaluated bounds); decides the tier, runs
+/// inspectors for guarded loops, and maintains the schedule cache.
+pub struct HybridDispatcher {
+    loops: HashMap<StmtId, LoopEntry>,
+    config: HybridConfig,
+    cache: ScheduleCache,
+    /// Counters for this dispatcher's lifetime.
+    pub telemetry: Telemetry,
+}
+
+impl HybridDispatcher {
+    /// Builds a dispatcher from a compilation report's verdicts.
+    pub fn new(report: &CompilationReport, config: HybridConfig) -> HybridDispatcher {
+        let mut loops = HashMap::new();
+        for v in &report.verdicts {
+            let privatized: Vec<VarId> = v
+                .privatized_scalars
+                .iter()
+                .copied()
+                .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
+                .collect();
+            let reductions: Vec<(VarId, ReduceOp)> = v
+                .reductions
+                .iter()
+                .filter_map(|(var, op)| {
+                    let op = match op {
+                        ReductionOp::Sum => ReduceOp::Sum,
+                        ReductionOp::Min => ReduceOp::Min,
+                        ReductionOp::Max => ReduceOp::Max,
+                        // Tiering already forced Sequential for products.
+                        ReductionOp::Product => return None,
+                    };
+                    Some((*var, op))
+                })
+                .collect();
+            loops.insert(
+                v.loop_stmt,
+                LoopEntry {
+                    tier: v.tier.clone(),
+                    privatized,
+                    reductions,
+                },
+            );
+        }
+        HybridDispatcher {
+            loops,
+            config,
+            cache: ScheduleCache::new(),
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// The schedule cache (for inspection in tests and examples).
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    fn plan_for(&self, entry: &LoopEntry) -> ParallelPlan {
+        ParallelPlan {
+            threads: self.config.threads.max(1),
+            privatized: entry.privatized.clone(),
+            reductions: entry.reductions.clone(),
+        }
+    }
+
+    /// Evaluates every residual check of `guard` against the live store;
+    /// all must pass.
+    fn inspect(&mut self, store: &Store, guard: &GuardPlan, lo: i64, hi: i64) -> bool {
+        for check in &guard.checks {
+            self.telemetry.inspections_run += 1;
+            let verdict = match check {
+                ResidualCheck::Injective { array } => inspect_injective(store, *array, lo, hi),
+                ResidualCheck::OffsetLength { ptr, len } => {
+                    inspect_offset_length(store, *ptr, *len, lo, hi)
+                }
+            };
+            if verdict != Inspection::ParallelOk {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Arrays a guard's inspectors read, for version keying.
+fn guard_arrays(guard: &GuardPlan) -> Vec<VarId> {
+    let mut out = Vec::new();
+    for check in &guard.checks {
+        match check {
+            ResidualCheck::Injective { array } => out.push(*array),
+            ResidualCheck::OffsetLength { ptr, len } => {
+                out.push(*ptr);
+                out.push(*len);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl LoopDispatcher for HybridDispatcher {
+    fn dispatch(
+        &mut self,
+        store: &Store,
+        loop_stmt: StmtId,
+        lo: i64,
+        hi: i64,
+        step: i64,
+    ) -> LoopDecision {
+        let Some(entry) = self.loops.get(&loop_stmt).cloned() else {
+            self.telemetry.sequential += 1;
+            return LoopDecision::Sequential;
+        };
+        // The chunked executor only handles unit-step loops.
+        if step != 1 {
+            self.telemetry.sequential += 1;
+            return LoopDecision::Sequential;
+        }
+        match &entry.tier {
+            DispatchTier::Sequential => {
+                self.telemetry.sequential += 1;
+                LoopDecision::Sequential
+            }
+            DispatchTier::CompileTimeParallel => {
+                self.telemetry.compile_time_parallel += 1;
+                LoopDecision::Parallel(self.plan_for(&entry))
+            }
+            DispatchTier::RuntimeGuarded(guard) => {
+                let key = ScheduleKey::new(
+                    (lo, hi),
+                    guard_arrays(guard)
+                        .into_iter()
+                        .map(|a| (a, store.array_version(a)))
+                        .collect(),
+                );
+                let parallel_ok = if self.config.cache_schedules {
+                    match self.cache.probe(loop_stmt, &key) {
+                        CacheProbe::Hit(v) => {
+                            self.telemetry.cache_hits += 1;
+                            v
+                        }
+                        probe => {
+                            if probe == CacheProbe::Stale {
+                                self.telemetry.cache_invalidations += 1;
+                            }
+                            let v = self.inspect(store, guard, lo, hi);
+                            self.cache.insert(loop_stmt, key, v);
+                            v
+                        }
+                    }
+                } else {
+                    self.inspect(store, guard, lo, hi)
+                };
+                if parallel_ok {
+                    self.telemetry.guarded_parallel += 1;
+                    LoopDecision::Parallel(self.plan_for(&entry))
+                } else {
+                    self.telemetry.guarded_sequential += 1;
+                    LoopDecision::Sequential
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a hybrid execution.
+#[derive(Clone, Debug)]
+pub struct HybridOutcome {
+    /// The interpreter outcome (printed output, final store, stats).
+    pub outcome: ExecOutcome,
+    /// What the runtime did to get there.
+    pub telemetry: Telemetry,
+}
+
+/// Compiles-and-runs glue: executes a compiled program under the hybrid
+/// dispatcher and returns the outcome together with the telemetry.
+///
+/// # Errors
+///
+/// Propagates interpreter errors, including
+/// [`ExecError::ParallelFailure`] if a dispatched parallel execution
+/// fails to merge (which a passing inspection rules out).
+pub fn run_hybrid(
+    report: &CompilationReport,
+    config: HybridConfig,
+) -> Result<HybridOutcome, ExecError> {
+    let mut dispatcher = HybridDispatcher::new(report, config);
+    let outcome = Interp::new(&report.program).run_dispatched(&mut dispatcher)?;
+    Ok(HybridOutcome {
+        outcome,
+        telemetry: dispatcher.telemetry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_driver::{compile_source, DriverOptions};
+
+    /// `p(i) = mod(i*3, n) + 1` is a permutation of `1..=n` whenever
+    /// `gcd(3, n) = 1` — true at run time for n = 8, but not provable by
+    /// the compile-time injectivity checkers (which only recognize
+    /// identity and gather shapes).
+    const GUARDED_SRC: &str = "program t
+         integer i, n, p(8)
+         real z(8), x(8)
+         n = 8
+         do i = 1, n
+           p(i) = mod(i * 3, n) + 1
+           x(i) = i * 1.0
+         enddo
+         do 20 i = 1, n
+           z(p(i)) = x(i) * 2.0
+ 20      continue
+         print z(1), z(8)
+         end";
+
+    #[test]
+    fn guarded_loop_parallelizes_at_runtime() {
+        let rep = compile_source(GUARDED_SRC, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do20").expect("verdict for do20");
+        assert!(!v.parallel, "solver must not prove mod-permutation: {v:?}");
+        assert!(
+            matches!(v.tier, DispatchTier::RuntimeGuarded(_)),
+            "expected guarded tier: {v:?}"
+        );
+        let seq = Interp::new(&rep.program).run().unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(hybrid.outcome.output, seq.output);
+        assert_eq!(hybrid.telemetry.guarded_parallel, 1);
+        assert_eq!(hybrid.telemetry.inspections_run, 1);
+    }
+
+    #[test]
+    fn non_injective_index_falls_back_sequential() {
+        // p(i) = mod(i, 4) + 1 collides for n = 8: inspection must fail
+        // and the loop must still produce sequential semantics.
+        let src = "program t
+             integer i, n, p(8)
+             real z(8), x(8)
+             n = 8
+             do i = 1, n
+               p(i) = mod(i, 4) + 1
+               x(i) = i * 1.0
+             enddo
+             do 20 i = 1, n
+               z(p(i)) = x(i) * 2.0
+ 20          continue
+             print z(1), z(4)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do20").unwrap();
+        assert!(matches!(v.tier, DispatchTier::RuntimeGuarded(_)), "{v:?}");
+        let seq = Interp::new(&rep.program).run().unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(hybrid.outcome.output, seq.output);
+        assert_eq!(hybrid.telemetry.guarded_sequential, 1);
+        assert_eq!(hybrid.telemetry.guarded_parallel, 0);
+    }
+
+    #[test]
+    fn compile_time_parallel_skips_inspection() {
+        let src = "program t
+             integer i, n
+             real x(100), y(100)
+             n = 100
+             do i = 1, n
+               y(i) = 1.0
+             enddo
+             do i = 1, n
+               x(i) = y(i) * 2.0
+             enddo
+             print x(1)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert!(hybrid.telemetry.compile_time_parallel >= 1);
+        assert_eq!(hybrid.telemetry.inspections_run, 0);
+        assert_eq!(hybrid.telemetry.guarded_dispatches(), 0);
+    }
+
+    #[test]
+    fn disabling_cache_reinspects_every_entry() {
+        let src = "program t
+             integer i, r, n, p(8)
+             real z(8), x(8)
+             n = 8
+             do i = 1, n
+               p(i) = mod(i * 3, n) + 1
+               x(i) = i * 1.0
+             enddo
+             do r = 1, 3
+               do 20 i = 1, n
+                 z(p(i)) = x(i) + r
+ 20            continue
+             enddo
+             print z(1)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let cached = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(
+            cached.telemetry.inspections_run, 1,
+            "{:?}",
+            cached.telemetry
+        );
+        assert_eq!(cached.telemetry.cache_hits, 2);
+        let uncached = run_hybrid(
+            &rep,
+            HybridConfig {
+                cache_schedules: false,
+                ..HybridConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(uncached.telemetry.inspections_run, 3);
+        assert_eq!(uncached.telemetry.cache_hits, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Counters describing what the hybrid runtime actually did: how often
+//! inspectors ran, how often the versioned schedule cache saved a
+//! re-inspection, and which tier every dynamic loop entry dispatched
+//! through. The `runtime-vs-compile-time` bench group and the
+//! `hybrid_fallback` example read these to quantify the §1 trade-off.
+
+/// Counters accumulated over one hybrid execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Telemetry {
+    /// Inspector executions: one per residual check actually evaluated
+    /// against the live store (cache hits do not inspect).
+    pub inspections_run: u64,
+    /// Guarded loop entries answered from the schedule cache without
+    /// re-inspection.
+    pub cache_hits: u64,
+    /// Cached schedules discarded because an index array's version (or
+    /// the loop's bounds) changed since the inspection.
+    pub cache_invalidations: u64,
+    /// Loop entries dispatched parallel on compile-time evidence alone.
+    pub compile_time_parallel: u64,
+    /// Guarded loop entries whose inspection (or cached verdict) cleared
+    /// parallel execution.
+    pub guarded_parallel: u64,
+    /// Guarded loop entries whose inspection (or cached verdict) forced
+    /// the sequential fallback.
+    pub guarded_sequential: u64,
+    /// Loop entries dispatched sequential without any guard (proven
+    /// sequential, unknown loop, or non-unit step).
+    pub sequential: u64,
+}
+
+impl Telemetry {
+    /// Total loop entries dispatched parallel.
+    pub fn parallel_dispatches(&self) -> u64 {
+        self.compile_time_parallel + self.guarded_parallel
+    }
+
+    /// Total loop entries dispatched sequential.
+    pub fn sequential_dispatches(&self) -> u64 {
+        self.guarded_sequential + self.sequential
+    }
+
+    /// Total guarded loop entries (inspected or cache-answered).
+    pub fn guarded_dispatches(&self) -> u64 {
+        self.guarded_parallel + self.guarded_sequential
+    }
+}

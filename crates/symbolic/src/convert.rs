@@ -81,8 +81,7 @@ mod tests {
 
     #[test]
     fn triangular_index_converts_with_division() {
-        let (_, rhs) =
-            rhs_of_first_assign("program t\ninteger k, i\nk = i*(i-1)/2\nend\n");
+        let (_, rhs) = rhs_of_first_assign("program t\ninteger k, i\nk = i*(i-1)/2\nend\n");
         let s = expr_to_sym(&rhs).unwrap();
         // Not exactly divisible coefficient-wise, so an opaque div atom.
         assert!(s.as_single_atom().is_some());
@@ -90,9 +89,8 @@ mod tests {
 
     #[test]
     fn indirect_subscript_converts_to_elem_atom() {
-        let (p, rhs) = rhs_of_first_assign(
-            "program t\ninteger k, pos(10), i\nk = pos(i) + 1\nend\n",
-        );
+        let (p, rhs) =
+            rhs_of_first_assign("program t\ninteger k, pos(10), i\nk = pos(i) + 1\nend\n");
         let s = expr_to_sym(&rhs).unwrap();
         let pos = p.symbols.lookup("pos").unwrap();
         assert!(s.mentions_array(pos));
@@ -106,8 +104,8 @@ mod tests {
 
     #[test]
     fn comparisons_do_not_convert() {
-        let p = parse_program("program t\ninteger a, b\nif (a < b) then\na = 1\nendif\nend\n")
-            .unwrap();
+        let p =
+            parse_program("program t\ninteger a, b\nif (a < b) then\na = 1\nendif\nend\n").unwrap();
         let body = &p.procedure(p.main()).body;
         if let StmtKind::If { cond, .. } = &p.stmt(body[0]).kind {
             assert!(expr_to_sym(cond).is_none());

@@ -616,10 +616,7 @@ mod tests {
         // (i^2 + i) [i := n+1] == n^2 + 3n + 2
         let e = v(0).mul(&v(0)).add(&v(0));
         let r = e.subst(i, &n.add(&SymExpr::int(1)));
-        let expect = n
-            .mul(&n)
-            .add(&n.scale(3))
-            .add(&SymExpr::int(2));
+        let expect = n.mul(&n).add(&n.scale(3)).add(&SymExpr::int(2));
         assert_eq!(r, expect);
     }
 

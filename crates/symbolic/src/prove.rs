@@ -332,7 +332,9 @@ fn canonicalize_once(e: &SymExpr, env: &RangeEnv) -> SymExpr {
         let Atom::Opaque(OpaqueOp::Div, args_a) = a else {
             continue;
         };
-        let Some(c) = args_a[1].as_int() else { continue };
+        let Some(c) = args_a[1].as_int() else {
+            continue;
+        };
         if c <= 0 {
             continue;
         }
@@ -413,7 +415,13 @@ mod tests {
         // iblen(k) >= 0 for all k  ==>  iblen(i) + 1 > 0.
         let mut env = RangeEnv::new();
         let iblen = VarId(3);
-        env.set_elem_range(iblen, SymRange { lo: Bound::Finite(SymExpr::int(0)), hi: Bound::PosInf });
+        env.set_elem_range(
+            iblen,
+            SymRange {
+                lo: Bound::Finite(SymExpr::int(0)),
+                hi: Bound::PosInf,
+            },
+        );
         let e = SymExpr::elem(iblen, vec![v(0)]).add(&SymExpr::int(1));
         assert!(prove_gt0(&e, &env));
         assert!(prove_ge0(&SymExpr::elem(iblen, vec![v(9)]), &env));
@@ -428,7 +436,13 @@ mod tests {
         let iblen = VarId(3);
         let k = VarId(7); // placeholder
         env.set_distance(pptr, k, SymExpr::elem(iblen, vec![SymExpr::var(k)]));
-        env.set_elem_range(iblen, SymRange { lo: Bound::Finite(SymExpr::int(0)), hi: Bound::PosInf });
+        env.set_elem_range(
+            iblen,
+            SymRange {
+                lo: Bound::Finite(SymExpr::int(0)),
+                hi: Bound::PosInf,
+            },
+        );
         let i = v(0);
         let p_next = SymExpr::elem(pptr, vec![i.add(&SymExpr::int(1))]);
         let p_cur = SymExpr::elem(pptr, vec![i.clone()]);
@@ -449,13 +463,18 @@ mod tests {
         let iblen = VarId(3);
         let k = VarId(7);
         env.set_distance(pptr, k, SymExpr::elem(iblen, vec![SymExpr::var(k)]));
-        env.set_elem_range(iblen, SymRange { lo: Bound::Finite(SymExpr::int(0)), hi: Bound::PosInf });
+        env.set_elem_range(
+            iblen,
+            SymRange {
+                lo: Bound::Finite(SymExpr::int(0)),
+                hi: Bound::PosInf,
+            },
+        );
         let i = v(0);
         let hi_i = SymExpr::elem(pptr, vec![i.clone()])
             .add(&SymExpr::elem(iblen, vec![i.clone()]))
             .sub(&SymExpr::int(1));
-        let lo_next = SymExpr::elem(pptr, vec![i.add(&SymExpr::int(1))])
-            .add(&SymExpr::int(1));
+        let lo_next = SymExpr::elem(pptr, vec![i.add(&SymExpr::int(1))]).add(&SymExpr::int(1));
         assert!(prove_lt(&hi_i, &lo_next, &env));
     }
 

@@ -252,6 +252,9 @@ mod tests {
         // Exact atom facts shadow per-array facts.
         let mut env2 = env.clone();
         env2.set_atom_range(elem.clone(), SymRange::point(SymExpr::int(5)));
-        assert_eq!(env2.lookup(&elem).unwrap(), SymRange::point(SymExpr::int(5)));
+        assert_eq!(
+            env2.lookup(&elem).unwrap(),
+            SymRange::point(SymExpr::int(5))
+        );
     }
 }

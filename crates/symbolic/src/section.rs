@@ -186,16 +186,17 @@ impl Section {
                     // Boxes that agree in every dimension but one can
                     // merge along that dimension when the two ranges
                     // provably overlap or meet.
-                    let same_range = |ra: &SymRange, rb: &SymRange| match (
-                        (&ra.lo, &ra.hi),
-                        (&rb.lo, &rb.hi),
-                    ) {
-                        ((Bound::Finite(la), Bound::Finite(ha)), (Bound::Finite(lb), Bound::Finite(hb))) => {
-                            use crate::prove::prove_eq;
-                            prove_eq(la, lb, env) && prove_eq(ha, hb, env)
-                        }
-                        _ => ra == rb,
-                    };
+                    let same_range =
+                        |ra: &SymRange, rb: &SymRange| match ((&ra.lo, &ra.hi), (&rb.lo, &rb.hi)) {
+                            (
+                                (Bound::Finite(la), Bound::Finite(ha)),
+                                (Bound::Finite(lb), Bound::Finite(hb)),
+                            ) => {
+                                use crate::prove::prove_eq;
+                                prove_eq(la, lb, env) && prove_eq(ha, hb, env)
+                            }
+                            _ => ra == rb,
+                        };
                     let differing: Vec<usize> = (0..a.len())
                         .filter(|&d| !same_range(&a[d], &b[d]))
                         .collect();
@@ -504,10 +505,9 @@ impl Section {
                 // `[lo(lo) : hi(hi)]` is itself provably empty whenever
                 // the loop runs zero times.
                 let runs_at_least_once = prove_le(lo, hi, env);
-                if mode == AggMode::Must && !runs_at_least_once
-                    && !self.chains_exactly(var, env) {
-                        return Section::Empty;
-                    }
+                if mode == AggMode::Must && !runs_at_least_once && !self.chains_exactly(var, env) {
+                    return Section::Empty;
+                }
                 if !self.mentions_var(var) {
                     if mode == AggMode::Must && !runs_at_least_once {
                         return Section::Empty;
@@ -795,10 +795,7 @@ mod tests {
         // [1,10] - [6,10] = [1,5].
         assert_eq!(sec(1, 10).subtract_under(&sec(6, 10), &env), sec(1, 5));
         // [1,10] - [1,10] = empty.
-        assert_eq!(
-            sec(1, 10).subtract_under(&sec(0, 12), &env),
-            Section::Empty
-        );
+        assert_eq!(sec(1, 10).subtract_under(&sec(0, 12), &env), Section::Empty);
         // Middle hole: conservative (whole section remains).
         assert_eq!(sec(1, 10).subtract_under(&sec(4, 6), &env), sec(1, 10));
     }
@@ -900,7 +897,9 @@ mod tests {
             },
         );
         let lo = SymExpr::elem(pptr, vec![SymExpr::var(i)]);
-        let hi = lo.add(&SymExpr::elem(iblen, vec![SymExpr::var(i)])).sub(&c(1));
+        let hi = lo
+            .add(&SymExpr::elem(iblen, vec![SymExpr::var(i)]))
+            .sub(&c(1));
         let s = Section::range1(lo, hi);
         let agg = s.aggregate(i, &c(1), &SymExpr::var(n), &env, AggMode::Must);
         let expect_lo = SymExpr::elem(pptr, vec![c(1)]);
@@ -951,10 +950,19 @@ mod tests {
     #[test]
     fn universal_and_empty_behave() {
         let env = RangeEnv::new();
-        assert_eq!(Section::Universal.union_may(&sec(1, 2), &env), Section::Universal);
+        assert_eq!(
+            Section::Universal.union_may(&sec(1, 2), &env),
+            Section::Universal
+        );
         assert_eq!(Section::Empty.union_may(&sec(1, 2), &env), sec(1, 2));
-        assert_eq!(Section::Universal.intersect_may(&sec(1, 2), &env), sec(1, 2));
-        assert_eq!(sec(1, 2).subtract_under(&Section::Universal, &env), Section::Empty);
+        assert_eq!(
+            Section::Universal.intersect_may(&sec(1, 2), &env),
+            sec(1, 2)
+        );
+        assert_eq!(
+            sec(1, 2).subtract_under(&Section::Universal, &env),
+            Section::Empty
+        );
         assert!(Section::Empty.provably_empty(&env));
         assert!(!Section::Universal.provably_empty(&env));
     }

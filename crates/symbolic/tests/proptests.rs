@@ -1,17 +1,43 @@
-//! Property-based tests of the symbolic layer.
+//! Property-based tests of the symbolic layer (deterministic, offline).
 //!
 //! The central soundness contract: whenever `prove_*` says a fact is
 //! provable under an environment, the fact must hold for **every**
 //! concrete valuation consistent with that environment. The tests
-//! generate random expressions and valuations and check the symbolic
-//! layer against direct evaluation.
+//! generate random expressions and valuations from a SplitMix64 stream
+//! and check the symbolic layer against direct evaluation.
 
 use irr_frontend::VarId;
-use irr_symbolic::{
-    prove_eq, prove_ge0, prove_le, AggMode, RangeEnv, Section, SymExpr,
-};
-use proptest::prelude::*;
+use irr_symbolic::{prove_eq, prove_ge0, prove_le, AggMode, RangeEnv, Section, SymExpr};
 use std::collections::HashMap;
+
+/// Local SplitMix64 copy (irr-symbolic sits below irr-exec in the crate
+/// graph, so it cannot borrow `irr_exec::SplitMix64` without a dev-dep
+/// cycle through the driver). Same constants, same stream.
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64 + 1) as i64
+    }
+}
 
 /// A random expression tree over three variables.
 #[derive(Clone, Debug)]
@@ -27,17 +53,23 @@ enum E {
     Mod(Box<E>, i64),
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![(-6i64..7).prop_map(E::Const), (0u8..3).prop_map(E::Var)];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), 1i64..5).prop_map(|(a, c)| E::Div(Box::new(a), c + 1)),
-            (inner, 1i64..5).prop_map(|(a, c)| E::Mod(Box::new(a), c + 1)),
-        ]
-    })
+fn draw_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.below(3) == 0 {
+        if rng.below(2) == 0 {
+            E::Const(rng.range(-6, 6))
+        } else {
+            E::Var(rng.below(3) as u8)
+        }
+    } else {
+        let d = depth - 1;
+        match rng.below(5) {
+            0 => E::Add(Box::new(draw_expr(rng, d)), Box::new(draw_expr(rng, d))),
+            1 => E::Sub(Box::new(draw_expr(rng, d)), Box::new(draw_expr(rng, d))),
+            2 => E::Mul(Box::new(draw_expr(rng, d)), Box::new(draw_expr(rng, d))),
+            3 => E::Div(Box::new(draw_expr(rng, d)), rng.range(2, 5)),
+            _ => E::Mod(Box::new(draw_expr(rng, d)), rng.range(2, 5)),
+        }
+    }
 }
 
 fn to_sym(e: &E) -> SymExpr {
@@ -115,14 +147,15 @@ fn eval_atom(a: &irr_symbolic::Atom, vals: &HashMap<VarId, i64>) -> Option<i64> 
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Normalization is value-preserving: the polynomial form evaluates
-    /// to exactly the tree's value (as a rational with denominator 1
-    /// after full evaluation).
-    #[test]
-    fn normalization_preserves_value(e in expr_strategy(), v0 in -8i64..9, v1 in -8i64..9, v2 in -8i64..9) {
+/// Normalization is value-preserving: the polynomial form evaluates
+/// to exactly the tree's value (as a rational with denominator 1
+/// after full evaluation).
+#[test]
+fn normalization_preserves_value() {
+    let mut rng = Rng::new(0x7001);
+    for _ in 0..512 {
+        let e = draw_expr(&mut rng, 3);
+        let (v0, v1, v2) = (rng.range(-8, 8), rng.range(-8, 8), rng.range(-8, 8));
         let sym = to_sym(&e);
         let direct = eval(&e, &[v0, v1, v2]);
         let mut vals = HashMap::new();
@@ -132,15 +165,26 @@ proptest! {
         if let Some((num, den)) = eval_sym(&sym, &vals) {
             // The polynomial may be an exact rational; the value must
             // still match the integer result exactly.
-            prop_assert_eq!(num, direct as i128 * den,
-                "tree {:?} -> {} but poly {} evaluates to {}/{}", e, direct, sym, num, den);
+            assert_eq!(
+                num,
+                direct as i128 * den,
+                "tree {e:?} -> {direct} but poly {sym} evaluates to {num}/{den}"
+            );
         }
     }
+}
 
-    /// Prover soundness: a proven `a >= 0` holds for every valuation in
-    /// the environment's ranges.
-    #[test]
-    fn prove_ge0_is_sound(e in expr_strategy(), lo0 in -4i64..2, w0 in 0i64..6, lo1 in -4i64..2, w1 in 0i64..6, s0 in 0..5i64, s1 in 0..5i64, v2 in -8i64..9) {
+/// Prover soundness: a proven `a >= 0` holds for every valuation in
+/// the environment's ranges.
+#[test]
+fn prove_ge0_is_sound() {
+    let mut rng = Rng::new(0x7002);
+    for _ in 0..512 {
+        let e = draw_expr(&mut rng, 3);
+        let (lo0, w0) = (rng.range(-4, 1), rng.range(0, 5));
+        let (lo1, w1) = (rng.range(-4, 1), rng.range(0, 5));
+        let (s0, s1) = (rng.range(0, 4), rng.range(0, 4));
+        let v2 = rng.range(-8, 8);
         let sym = to_sym(&e);
         let mut env = RangeEnv::new();
         env.set_var_range(VarId(0), SymExpr::int(lo0), SymExpr::int(lo0 + w0));
@@ -151,33 +195,56 @@ proptest! {
             let x0 = (lo0 + s0 % (w0 + 1)).min(lo0 + w0);
             let x1 = (lo1 + s1 % (w1 + 1)).min(lo1 + w1);
             let direct = eval(&e, &[x0, x1, v2]);
-            prop_assert!(direct >= 0,
+            assert!(
+                direct >= 0,
                 "proved {} >= 0 under v0 in [{},{}], v1 in [{},{}] but eval({:?}, [{x0},{x1},{v2}]) = {}",
-                sym, lo0, lo0 + w0, lo1, lo1 + w1, e, direct);
+                sym,
+                lo0,
+                lo0 + w0,
+                lo1,
+                lo1 + w1,
+                e,
+                direct
+            );
         }
     }
+}
 
-    /// prove_eq is sound.
-    #[test]
-    fn prove_eq_is_sound(a in expr_strategy(), b in expr_strategy(), v0 in -8i64..9, v1 in -8i64..9, v2 in -8i64..9) {
+/// prove_eq is sound.
+#[test]
+fn prove_eq_is_sound() {
+    let mut rng = Rng::new(0x7003);
+    for _ in 0..512 {
+        let a = draw_expr(&mut rng, 3);
+        let b = draw_expr(&mut rng, 3);
+        let (v0, v1, v2) = (rng.range(-8, 8), rng.range(-8, 8), rng.range(-8, 8));
         let (sa, sb) = (to_sym(&a), to_sym(&b));
         let env = RangeEnv::new();
         if prove_eq(&sa, &sb, &env) {
-            prop_assert_eq!(eval(&a, &[v0, v1, v2]), eval(&b, &[v0, v1, v2]),
-                "proved {} == {}", sa, sb);
+            assert_eq!(
+                eval(&a, &[v0, v1, v2]),
+                eval(&b, &[v0, v1, v2]),
+                "proved {sa} == {sb}"
+            );
         }
     }
+}
 
-    /// Substitution commutes with evaluation.
-    #[test]
-    fn subst_commutes_with_eval(e in expr_strategy(), r in -5i64..6, v1 in -8i64..9, v2 in -8i64..9) {
+/// Substitution commutes with evaluation.
+#[test]
+fn subst_commutes_with_eval() {
+    let mut rng = Rng::new(0x7004);
+    for _ in 0..512 {
+        let e = draw_expr(&mut rng, 3);
+        let r = rng.range(-5, 5);
+        let (v1, v2) = (rng.range(-8, 8), rng.range(-8, 8));
         let sym = to_sym(&e).subst(VarId(0), &SymExpr::int(r));
         let direct = eval(&e, &[r, v1, v2]);
         let mut vals = HashMap::new();
         vals.insert(VarId(1), v1);
         vals.insert(VarId(2), v2);
         if let Some((num, den)) = eval_sym(&sym, &vals) {
-            prop_assert_eq!(num, direct as i128 * den);
+            assert_eq!(num, direct as i128 * den);
         }
     }
 }
@@ -198,14 +265,15 @@ fn members(s: &Section, universe: std::ops::RangeInclusive<i64>) -> Vec<i64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// MAY union contains both operands; MUST intersection is contained
-    /// in both; subtract_under over-approximates the true difference;
-    /// subtract_may never keeps a killed element.
-    #[test]
-    fn section_ops_respect_directions(a_lo in 0i64..12, a_w in 0i64..8, b_lo in 0i64..12, b_w in 0i64..8) {
+/// MAY union contains both operands; MUST intersection is contained
+/// in both; subtract_under over-approximates the true difference;
+/// subtract_may never keeps a killed element.
+#[test]
+fn section_ops_respect_directions() {
+    let mut rng = Rng::new(0x7005);
+    for _ in 0..256 {
+        let (a_lo, a_w) = (rng.range(0, 11), rng.range(0, 7));
+        let (b_lo, b_w) = (rng.range(0, 11), rng.range(0, 7));
         let env = RangeEnv::new();
         let a = concrete(a_lo, a_lo + a_w);
         let b = concrete(b_lo, b_lo + b_w);
@@ -216,49 +284,57 @@ proptest! {
         let u = a.union_may(&b, &env);
         let mu = members(&u, uni.clone());
         for k in ma.iter().chain(mb.iter()) {
-            prop_assert!(mu.contains(k), "union_may lost {k}");
+            assert!(mu.contains(k), "union_may lost {k}");
         }
 
         let i = a.intersect_must(&b, &env);
         let mi = members(&i, uni.clone());
         for k in &mi {
-            prop_assert!(ma.contains(k) && mb.contains(k), "intersect_must invented {k}");
+            assert!(
+                ma.contains(k) && mb.contains(k),
+                "intersect_must invented {k}"
+            );
         }
 
         let d = a.subtract_under(&b, &env);
         let md = members(&d, uni.clone());
         for k in &ma {
             if !mb.contains(k) {
-                prop_assert!(md.contains(k), "subtract_under lost live element {k}");
+                assert!(md.contains(k), "subtract_under lost live element {k}");
             }
         }
 
         let dm = a.subtract_may(&b, &env);
         let mdm = members(&dm, uni.clone());
         for k in &mdm {
-            prop_assert!(!mb.contains(k), "subtract_may kept killed element {k}");
-            prop_assert!(ma.contains(k), "subtract_may invented {k}");
+            assert!(!mb.contains(k), "subtract_may kept killed element {k}");
+            assert!(ma.contains(k), "subtract_may invented {k}");
         }
 
         let um = a.union_must(&b, &env);
         let mum = members(&um, uni.clone());
         for k in &mum {
-            prop_assert!(ma.contains(k) || mb.contains(k), "union_must invented {k}");
+            assert!(ma.contains(k) || mb.contains(k), "union_must invented {k}");
         }
     }
+}
 
-    /// Aggregation directions: MAY over-approximates and MUST
-    /// under-approximates the true union over iterations of a section
-    /// `[i + c : i + c + w]`.
-    #[test]
-    fn aggregation_respects_directions(c in -3i64..4, w in 0i64..3, lo in 1i64..4, span in 0i64..5, stride in 1i64..3) {
+/// Aggregation directions: MAY over-approximates and MUST
+/// under-approximates the true union over iterations of a section
+/// `[i + c : i + c + w]`.
+#[test]
+fn aggregation_respects_directions() {
+    let mut rng = Rng::new(0x7006);
+    for _ in 0..256 {
+        let c = rng.range(-3, 3);
+        let w = rng.range(0, 2);
+        let lo = rng.range(1, 3);
+        let span = rng.range(0, 4);
+        let stride = rng.range(1, 2);
         let env = RangeEnv::new();
         let var = VarId(9);
         let i = SymExpr::var(var).scale(stride);
-        let sec = Section::range1(
-            i.add(&SymExpr::int(c)),
-            i.add(&SymExpr::int(c + w)),
-        );
+        let sec = Section::range1(i.add(&SymExpr::int(c)), i.add(&SymExpr::int(c + w)));
         let hi = lo + span;
         // True union.
         let mut truth: Vec<i64> = Vec::new();
@@ -270,36 +346,58 @@ proptest! {
             }
         }
         let uni = -20i64..=40;
-        let may = sec.aggregate(var, &SymExpr::int(lo), &SymExpr::int(hi), &env, AggMode::May);
+        let may = sec.aggregate(
+            var,
+            &SymExpr::int(lo),
+            &SymExpr::int(hi),
+            &env,
+            AggMode::May,
+        );
         let m_may = members(&may, uni.clone());
         for k in &truth {
-            prop_assert!(m_may.contains(k), "May aggregation lost {k}");
+            assert!(m_may.contains(k), "May aggregation lost {k}");
         }
-        let must = sec.aggregate(var, &SymExpr::int(lo), &SymExpr::int(hi), &env, AggMode::Must);
+        let must = sec.aggregate(
+            var,
+            &SymExpr::int(lo),
+            &SymExpr::int(hi),
+            &env,
+            AggMode::Must,
+        );
         let m_must = members(&must, uni.clone());
         for k in &m_must {
-            prop_assert!(truth.contains(k), "Must aggregation invented {k} (truth {truth:?}, stride {stride})");
+            assert!(
+                truth.contains(k),
+                "Must aggregation invented {k} (truth {truth:?}, stride {stride})"
+            );
         }
     }
+}
 
-    /// `extremes_over` brackets the true extremes of a monotone
-    /// expression.
-    #[test]
-    fn extremes_bracket_truth(a in -4i64..5, b in -6i64..7, lo in -3i64..3, span in 0i64..6) {
+/// `extremes_over` brackets the true extremes of a monotone
+/// expression.
+#[test]
+fn extremes_bracket_truth() {
+    let mut rng = Rng::new(0x7007);
+    for _ in 0..256 {
+        let a = rng.range(-4, 4);
+        let b = rng.range(-6, 6);
+        let lo = rng.range(-3, 2);
+        let span = rng.range(0, 5);
         let var = VarId(3);
         let e = SymExpr::var(var).scale(a).add(&SymExpr::int(b));
         let env = RangeEnv::new();
         let hi = lo + span;
-        if let Some((emin, emax)) = irr_symbolic::extremes_over(
-            &e, var, &SymExpr::int(lo), &SymExpr::int(hi), &env,
-        ) {
+        if let Some((emin, emax)) =
+            irr_symbolic::extremes_over(&e, var, &SymExpr::int(lo), &SymExpr::int(hi), &env)
+        {
             let (emin, emax) = (emin.as_int().unwrap(), emax.as_int().unwrap());
             for it in lo..=hi {
                 let v = a * it + b;
-                prop_assert!(emin <= v && v <= emax);
+                assert!(emin <= v && v <= emax);
             }
             // And they are attained.
-            prop_assert!(prove_le(&SymExpr::int(emin), &SymExpr::int(emax), &env));
+            assert!(prove_le(&SymExpr::int(emin), &SymExpr::int(emax), &env));
         }
     }
 }

@@ -1,0 +1,106 @@
+//! The hybrid inspector–executor runtime: three dispatch tiers in one
+//! program.
+//!
+//! The compiler's verdict for each loop lands in one of three tiers:
+//!
+//! 1. `CompileTimeParallel` — independence proven statically; no
+//!    run-time checks at all.
+//! 2. `RuntimeGuarded` — the dependence tester matched a parallelizable
+//!    shape but one property (here: injectivity of the index array `p`)
+//!    stayed unproven. The compiler emits a guard naming exactly that
+//!    residual check; the runtime inspects the live store at loop entry
+//!    and dispatches parallel or sequential per execution, caching the
+//!    verdict against the store's write-version counters.
+//! 3. `Sequential` — a real dependence (or an uncheckable blocker).
+//!
+//! ```sh
+//! cargo run --release --example hybrid_fallback
+//! ```
+
+use irr_repro::driver::{compile_source, DispatchTier, DriverOptions};
+use irr_repro::exec::Interp;
+use irr_repro::runtime::{run_hybrid, HybridConfig};
+
+/// One program, three loops, three tiers. `p(i) = mod(i*3, n) + 1` is a
+/// permutation of `1..=n` for `n = 64` (gcd(3, 64) = 1) — true at run
+/// time, but outside what the static injectivity checkers prove. The
+/// `r` loop re-enters the guarded loop four times and overwrites `p(1)`
+/// before the last entry, breaking injectivity mid-run.
+const SRC: &str = "program hybrid
+     integer i, r, n, p(64)
+     real a(64), z(64), x(64)
+     n = 64
+     do i = 1, n
+       p(i) = mod(i * 3, n) + 1
+       x(i) = i * 1.0
+       a(i) = 0.0
+       z(i) = 0.0
+     enddo
+     do i = 1, n
+       a(i) = x(i) * 2.0
+     enddo
+     do r = 1, 4
+       if (r == 4) then
+         p(1) = 1
+       endif
+       do 20 i = 1, n
+         z(p(i)) = x(i) + r
+ 20    continue
+     enddo
+     print a(1), z(1), z(64)
+     end";
+
+fn tier_name(tier: &DispatchTier) -> String {
+    match tier {
+        DispatchTier::CompileTimeParallel => "compile-time parallel".into(),
+        DispatchTier::RuntimeGuarded(g) => format!("runtime-guarded ({} check(s))", g.checks.len()),
+        DispatchTier::Sequential => "sequential".into(),
+    }
+}
+
+fn main() {
+    let rep = compile_source(SRC, DriverOptions::with_iaa()).expect("compiles");
+
+    println!("== compile-time verdicts ==");
+    for v in &rep.verdicts {
+        println!("  {:28} -> {}", v.label, tier_name(&v.tier));
+        for b in &v.blockers {
+            println!("       blocker: {b}");
+        }
+    }
+
+    let seq = Interp::new(&rep.program).run().expect("sequential run");
+    let hybrid = run_hybrid(&rep, HybridConfig::default()).expect("hybrid run");
+    assert_eq!(hybrid.outcome.output, seq.output, "semantics preserved");
+
+    let t = hybrid.telemetry;
+    println!("\n== hybrid execution telemetry ==");
+    println!(
+        "  compile-time parallel dispatches: {}",
+        t.compile_time_parallel
+    );
+    println!("  guarded parallel dispatches:      {}", t.guarded_parallel);
+    println!(
+        "  guarded sequential fallbacks:     {}",
+        t.guarded_sequential
+    );
+    println!("  sequential dispatches:            {}", t.sequential);
+    println!("  inspections run:                  {}", t.inspections_run);
+    println!("  schedule-cache hits:              {}", t.cache_hits);
+    println!(
+        "  schedule-cache invalidations:     {}",
+        t.cache_invalidations
+    );
+
+    println!(
+        "\nThe guarded loop entered {} times but the inspector ran only {} \
+         time(s):\nre-entries with unchanged index arrays hit the versioned \
+         schedule cache,\nand the single store to p(1) forced exactly {} \
+         re-inspection (which failed,\nso the final entry fell back to the \
+         sequential loop version).",
+        t.guarded_dispatches(),
+        t.inspections_run,
+        t.cache_invalidations,
+    );
+    println!("\noutput: {:?}", hybrid.outcome.output);
+}

@@ -73,7 +73,10 @@ end
             section: section.clone(),
             at_stmt: gather_loop,
         });
-        println!("ind(1:q) {property}: {}", if verified { "VERIFIED" } else { "unknown" });
+        println!(
+            "ind(1:q) {property}: {}",
+            if verified { "VERIFIED" } else { "unknown" }
+        );
         assert!(verified);
     }
     println!(
@@ -85,7 +88,10 @@ end
     //    injective test.
     let rep = compile_source(source, DriverOptions::with_iaa()).expect("parses");
     let v = rep.verdict("GATHER/do200").expect("loop exists");
-    println!("\nGATHER/do200 parallel: {} (via {:?})", v.parallel, v.independent_arrays);
+    println!(
+        "\nGATHER/do200 parallel: {} (via {:?})",
+        v.parallel, v.independent_arrays
+    );
     assert!(v.parallel);
     let without = compile_source(source, DriverOptions::without_iaa()).expect("parses");
     assert!(!without.verdict("GATHER/do200").unwrap().parallel);

@@ -60,9 +60,7 @@ end
     // parallel directives.
     println!("\n=== Annotated output (directives on cleared loops) ===");
     for line in irr_repro::driver::emit_annotated(&with).lines() {
-        if line.trim_start().starts_with("!$omp")
-            || line.trim_start().starts_with("do ")
-        {
+        if line.trim_start().starts_with("!$omp") || line.trim_start().starts_with("do ") {
             println!("{line}");
         }
     }

@@ -51,7 +51,10 @@ end
         .find(|s| {
             matches!(
                 program.stmt(*s).kind,
-                irr_repro::frontend::StmtKind::Do { label: Some(10), .. }
+                irr_repro::frontend::StmtKind::Do {
+                    label: Some(10),
+                    ..
+                }
             )
         })
         .unwrap();

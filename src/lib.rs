@@ -15,6 +15,8 @@
 //! - [`privatize`] — the extended privatization test,
 //! - [`driver`] — the parallelizing pipeline,
 //! - [`exec`] — the interpreter and machine models,
+//! - [`runtime`] — the hybrid inspector–executor runtime with versioned
+//!   schedule caching,
 //! - [`programs`] — the five benchmark kernels.
 
 pub use irr_core as core;
@@ -26,4 +28,5 @@ pub use irr_graph as graph;
 pub use irr_passes as passes;
 pub use irr_privatize as privatize;
 pub use irr_programs as programs;
+pub use irr_runtime as runtime;
 pub use irr_symbolic as symbolic;

@@ -15,10 +15,13 @@ fn irregular_loops_parallel_only_with_iaa() {
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let without = compile_source(&b.source, DriverOptions::without_iaa()).unwrap();
         for label in &b.irregular_labels {
-            let vw = with
-                .verdict(label)
-                .unwrap_or_else(|| panic!("{}: loop {label} missing; have {:?}",
-                    b.name, with.verdicts.iter().map(|v| &v.label).collect::<Vec<_>>()));
+            let vw = with.verdict(label).unwrap_or_else(|| {
+                panic!(
+                    "{}: loop {label} missing; have {:?}",
+                    b.name,
+                    with.verdicts.iter().map(|v| &v.label).collect::<Vec<_>>()
+                )
+            });
             assert!(
                 vw.parallel,
                 "{}: {label} should be parallel with IAA: {vw:#?}",
@@ -105,7 +108,10 @@ fn benchmark_checksums_are_stable() {
         ("TREE", 1),
     ];
     for (name, lines) in expected {
-        let b = all(Scale::Test).into_iter().find(|b| b.name == name).unwrap();
+        let b = all(Scale::Test)
+            .into_iter()
+            .find(|b| b.name == name)
+            .unwrap();
         let p = irr_frontend::parse_program(&b.source).unwrap();
         let out = Interp::new(&p).run().unwrap();
         assert_eq!(out.output.len(), lines, "{name}");

@@ -1,0 +1,258 @@
+//! End-to-end acceptance tests for the hybrid inspector–executor
+//! runtime: a loop the compile-time solver cannot prove independent is
+//! parallelized through a run-time guard, the versioned schedule cache
+//! amortizes inspections across executions, and writes to the index
+//! array force exactly one re-inspection.
+
+use irr_driver::{compile_source, DispatchTier, DriverOptions, ResidualCheck};
+use irr_exec::{inspect_bounded, inspect_injective, inspect_offset_length, Inspection, Interp};
+use irr_runtime::{run_hybrid, HybridConfig};
+
+/// The flagship scenario: `p(i) = mod(i*3, n) + 1` is a permutation of
+/// `1..=n` for `n = 8` (since `gcd(3, 8) = 1`) — a fact the static
+/// injectivity checkers cannot derive. The guarded loop executes four
+/// times inside the `r` loop; on the fourth pass the program first
+/// overwrites `p(1)`, making `p` non-injective.
+const HYBRID_SRC: &str = "program t
+     integer i, r, n, p(8)
+     real z(8), x(8)
+     n = 8
+     do i = 1, n
+       p(i) = mod(i * 3, n) + 1
+       x(i) = i * 1.0
+     enddo
+     do r = 1, 4
+       if (r == 4) then
+         p(1) = 1
+       endif
+       do 20 i = 1, n
+         z(p(i)) = x(i) + r
+ 20    continue
+     enddo
+     print z(1), z(2), z(8)
+     end";
+
+#[test]
+fn unknown_injectivity_is_guarded_not_parallel() {
+    let rep = compile_source(HYBRID_SRC, DriverOptions::with_iaa()).unwrap();
+    let v = rep.verdict("T/do20").expect("verdict for the guarded loop");
+    assert!(
+        !v.parallel,
+        "the solver must not prove the mod-permutation injective: {v:?}"
+    );
+    let DispatchTier::RuntimeGuarded(guard) = &v.tier else {
+        panic!("expected a runtime guard, got {:?}", v.tier);
+    };
+    let program = &rep.program;
+    let p = program.symbols.lookup("p").unwrap();
+    assert_eq!(guard.checks, vec![ResidualCheck::Injective { array: p }]);
+    // The verdict's blockers name the missing fact, not just "maybe".
+    assert!(
+        v.blockers.iter().any(|b| b.contains("runtime-checkable")),
+        "{:?}",
+        v.blockers
+    );
+}
+
+#[test]
+fn schedule_cache_amortizes_inspections_and_invalidates_on_write() {
+    let rep = compile_source(HYBRID_SRC, DriverOptions::with_iaa()).unwrap();
+    let seq = Interp::new(&rep.program).run().unwrap();
+    let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+    // Semantics preserved (the 4th, non-injective pass runs sequentially).
+    assert_eq!(hybrid.outcome.output, seq.output);
+    let t = hybrid.telemetry;
+    // Four dynamic entries: inspect once, reuse twice, re-inspect once
+    // after the single store to `p`.
+    assert_eq!(t.inspections_run, 2, "{t:?}");
+    assert_eq!(t.cache_hits, 2, "{t:?}");
+    assert_eq!(t.cache_invalidations, 1, "{t:?}");
+    assert_eq!(t.guarded_parallel, 3, "{t:?}");
+    assert_eq!(t.guarded_sequential, 1, "{t:?}");
+}
+
+#[test]
+fn without_cache_every_entry_pays_the_inspector() {
+    let rep = compile_source(HYBRID_SRC, DriverOptions::with_iaa()).unwrap();
+    let hybrid = run_hybrid(
+        &rep,
+        HybridConfig {
+            cache_schedules: false,
+            ..HybridConfig::default()
+        },
+    )
+    .unwrap();
+    let t = hybrid.telemetry;
+    assert_eq!(t.inspections_run, 4, "{t:?}");
+    assert_eq!(t.cache_hits, 0, "{t:?}");
+}
+
+#[test]
+fn guarded_zero_trip_loop_is_vacuously_parallel() {
+    // The guarded loop's bound is 0 at run time but opaque to the solver
+    // (`mod` is uninterpreted symbolically, so it cannot prove the
+    // section `[1:m]` empty): the loop stays guarded, the inspection
+    // section is empty at run time, the guard passes vacuously, and the
+    // zero-trip parallel path preserves sequential semantics (induction
+    // var left at lo).
+    let src = "program t
+         integer i, n, m, p(8)
+         real z(8), x(8)
+         n = 8
+         m = mod(n, 2)
+         do i = 1, n
+           p(i) = mod(i * 3, n) + 1
+           x(i) = i * 1.0
+           z(i) = 0.0
+         enddo
+         do 20 i = 1, m
+           z(p(i)) = x(i) * 2.0
+ 20      continue
+         print z(1), i
+         end";
+    let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+    let v = rep.verdict("T/do20").unwrap();
+    assert!(matches!(v.tier, DispatchTier::RuntimeGuarded(_)), "{v:?}");
+    let seq = Interp::new(&rep.program).run().unwrap();
+    let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+    assert_eq!(hybrid.outcome.output, seq.output);
+    assert_eq!(
+        hybrid.telemetry.guarded_parallel, 1,
+        "{:?}",
+        hybrid.telemetry
+    );
+}
+
+#[test]
+fn mutation_can_also_clear_a_previously_failing_guard() {
+    // First entry: p collides (mod 4) -> sequential fallback. The fix-up
+    // pass rewrites p into a permutation; second entry re-inspects (the
+    // version moved) and dispatches parallel.
+    let src = "program t
+         integer i, r, n, p(8)
+         real z(8), x(8)
+         n = 8
+         do i = 1, n
+           p(i) = mod(i, 4) + 1
+           x(i) = i * 1.0
+         enddo
+         do r = 1, 2
+           do 20 i = 1, n
+             z(p(i)) = x(i) + r
+ 20        continue
+           if (r == 1) then
+             do i = 1, n
+               p(i) = i
+             enddo
+           endif
+         enddo
+         print z(1), z(8)
+         end";
+    let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+    let seq = Interp::new(&rep.program).run().unwrap();
+    let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+    assert_eq!(hybrid.outcome.output, seq.output);
+    let t = hybrid.telemetry;
+    assert_eq!(t.guarded_sequential, 1, "{t:?}");
+    assert_eq!(t.guarded_parallel, 1, "{t:?}");
+    assert_eq!(t.inspections_run, 2, "{t:?}");
+    assert_eq!(t.cache_invalidations, 1, "{t:?}");
+}
+
+// ---- inspector edge cases (empty / unmaterialized / out-of-bounds) ----
+
+fn empty_store() -> (irr_frontend::Program, irr_exec::Store) {
+    let p = irr_frontend::parse_program(
+        "program t
+         integer idx(10), ptr(11), len(10)
+         end",
+    )
+    .unwrap();
+    let out = Interp::new(&p).run().unwrap();
+    (p, out.store)
+}
+
+#[test]
+fn empty_sections_are_parallel_ok_in_all_inspectors() {
+    // hi < lo is vacuously fine even when the arrays were never
+    // materialized: a zero-trip loop reads nothing.
+    let (p, store) = empty_store();
+    let idx = p.symbols.lookup("idx").unwrap();
+    let ptr = p.symbols.lookup("ptr").unwrap();
+    let len = p.symbols.lookup("len").unwrap();
+    assert_eq!(inspect_injective(&store, idx, 5, 4), Inspection::ParallelOk);
+    assert_eq!(inspect_injective(&store, idx, 1, 0), Inspection::ParallelOk);
+    assert_eq!(
+        inspect_bounded(&store, idx, 5, 4, 0, 0),
+        Inspection::ParallelOk
+    );
+    assert_eq!(
+        inspect_offset_length(&store, ptr, len, 5, 4),
+        Inspection::ParallelOk
+    );
+}
+
+#[test]
+fn unmaterialized_arrays_fail_nonempty_inspections() {
+    let (p, store) = empty_store();
+    let idx = p.symbols.lookup("idx").unwrap();
+    let ptr = p.symbols.lookup("ptr").unwrap();
+    let len = p.symbols.lookup("len").unwrap();
+    assert_eq!(inspect_injective(&store, idx, 1, 3), Inspection::Sequential);
+    assert_eq!(
+        inspect_bounded(&store, idx, 1, 3, 0, 100),
+        Inspection::Sequential
+    );
+    assert_eq!(
+        inspect_offset_length(&store, ptr, len, 1, 3),
+        Inspection::Sequential
+    );
+}
+
+#[test]
+fn out_of_bounds_sections_fail_inspections() {
+    let p = irr_frontend::parse_program(
+        "program t
+         integer idx(10), i
+         do i = 1, 10
+           idx(i) = i
+         enddo
+         end",
+    )
+    .unwrap();
+    let store = Interp::new(&p).run().unwrap().store;
+    let idx = p.symbols.lookup("idx").unwrap();
+    assert_eq!(inspect_injective(&store, idx, 0, 5), Inspection::Sequential);
+    assert_eq!(
+        inspect_injective(&store, idx, 1, 11),
+        Inspection::Sequential
+    );
+    assert_eq!(
+        inspect_bounded(&store, idx, 1, 11, 1, 10),
+        Inspection::Sequential
+    );
+}
+
+#[test]
+fn store_versions_track_writes_not_reads() {
+    let p = irr_frontend::parse_program(
+        "program t
+         integer idx(10), i
+         real s
+         do i = 1, 10
+           idx(i) = i
+         enddo
+         s = idx(3) * 1.0
+         print s
+         end",
+    )
+    .unwrap();
+    let idx = p.symbols.lookup("idx").unwrap();
+    let out = Interp::new(&p).run().unwrap();
+    let v0 = out.store.array_version(idx);
+    assert!(v0 > 0, "writes must bump the version");
+    // Reads (the `s = idx(3)` line already ran) leave no further trace:
+    // re-running an identical program yields the same version.
+    let out2 = Interp::new(&p).run().unwrap();
+    assert_eq!(out2.store.array_version(idx), v0);
+}

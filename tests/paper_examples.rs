@@ -100,11 +100,13 @@ fn fig1c_indirect_privatization() {
     let v = rep.verdict("FIG1C/do100").expect("loop exists");
     assert!(v.parallel, "{v:?}");
     assert!(v.privatized_arrays.iter().any(|(_, tag)| *tag == "CFB"));
-    assert!(!compile_source(src, DriverOptions::without_iaa())
-        .unwrap()
-        .verdict("FIG1C/do100")
-        .unwrap()
-        .parallel);
+    assert!(
+        !compile_source(src, DriverOptions::without_iaa())
+            .unwrap()
+            .verdict("FIG1C/do100")
+            .unwrap()
+            .parallel
+    );
 }
 
 /// The Fig. 15 phase-order ablation on a real benchmark: DYFESM's
@@ -208,7 +210,11 @@ fn property_analysis_time_is_bounded() {
         // TREE needs no property queries (the stack analysis is pure
         // bDFS); every other benchmark issues them.
         if b.name != "TREE" {
-            assert!(rep.stats.property_queries > 0, "{}: IAA ran queries", b.name);
+            assert!(
+                rep.stats.property_queries > 0,
+                "{}: IAA ran queries",
+                b.name
+            );
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Property-based soundness tests.
+//! Property-based soundness tests (deterministic, offline).
 //!
 //! Two invariants over *randomly generated* programs:
 //!
@@ -13,10 +13,11 @@
 //! The generator is deliberately adversarial for these analyses: it
 //! mixes regular sweeps, shifted accesses, consecutively-written fills,
 //! conditional gather loops, indirect uses, scalar temporaries, and
-//! reductions.
+//! reductions. Cases are drawn from an in-tree [`SplitMix64`] stream so
+//! the suite is reproducible without a property-testing framework.
 
 use irr_driver::{compile_source, DriverOptions, ReductionOp};
-use irr_exec::{run_loop_parallel, Interp, ParallelPlan, ReduceOp, Value};
+use irr_exec::{run_loop_parallel, Interp, ParallelPlan, ReduceOp, SplitMix64, Value};
 use irr_frontend::VarId;
 
 /// Maps the driver's recognized reduction operators onto the executor's
@@ -36,10 +37,9 @@ fn map_reductions(rs: &[(VarId, ReductionOp)]) -> Vec<(VarId, ReduceOp)> {
         .collect()
 }
 use irr_frontend::StmtKind;
-use proptest::prelude::*;
 
 /// One candidate loop-body shape for the generated outer loop.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum BodyShape {
     /// a(i) = b(i) * k + i
     Regular,
@@ -61,18 +61,22 @@ enum BodyShape {
     ConsecutiveFill,
 }
 
-fn body_shape() -> impl Strategy<Value = BodyShape> {
-    prop_oneof![
-        Just(BodyShape::Regular),
-        Just(BodyShape::ShiftedRead),
-        Just(BodyShape::ConstantTarget),
-        Just(BodyShape::ScratchFill),
-        Just(BodyShape::GatherUse),
-        Just(BodyShape::Reduction),
-        Just(BodyShape::MaxReduction),
-        Just(BodyShape::ScalarTemp),
-        Just(BodyShape::ConsecutiveFill),
-    ]
+const ALL_SHAPES: [BodyShape; 9] = [
+    BodyShape::Regular,
+    BodyShape::ShiftedRead,
+    BodyShape::ConstantTarget,
+    BodyShape::ScratchFill,
+    BodyShape::GatherUse,
+    BodyShape::Reduction,
+    BodyShape::MaxReduction,
+    BodyShape::ScalarTemp,
+    BodyShape::ConsecutiveFill,
+];
+
+/// Draws 1–3 body shapes from the random stream.
+fn draw_shapes(rng: &mut SplitMix64) -> Vec<BodyShape> {
+    let count = rng.range_usize(1, 3);
+    (0..count).map(|_| *rng.choose(&ALL_SHAPES)).collect()
 }
 
 /// Generates a whole program from a list of loop shapes.
@@ -132,30 +136,30 @@ end
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Invariant 1: the pass pipeline preserves printed output.
-    #[test]
-    fn passes_preserve_semantics(
-        shapes in proptest::collection::vec(body_shape(), 1..4),
-        seed in 1i64..50,
-    ) {
+/// Invariant 1: the pass pipeline preserves printed output.
+#[test]
+fn passes_preserve_semantics() {
+    let mut rng = SplitMix64::new(0x5001);
+    for _ in 0..48 {
+        let shapes = draw_shapes(&mut rng);
+        let seed = rng.range_i64(1, 49);
         let src = render_program(&shapes, 24, seed);
         let original = irr_frontend::parse_program(&src).unwrap();
         let before = Interp::new(&original).run().unwrap();
         let rep = compile_source(&src, DriverOptions::with_iaa()).unwrap();
         let after = Interp::new(&rep.program).run().unwrap();
-        prop_assert_eq!(before.output, after.output);
+        assert_eq!(before.output, after.output, "output diverged for\n{src}");
     }
+}
 
-    /// Invariant 2: loops judged parallel execute correctly in chunks.
-    #[test]
-    fn parallel_verdicts_are_sound(
-        shapes in proptest::collection::vec(body_shape(), 1..4),
-        seed in 1i64..50,
-        threads in 2usize..5,
-    ) {
+/// Invariant 2: loops judged parallel execute correctly in chunks.
+#[test]
+fn parallel_verdicts_are_sound() {
+    let mut rng = SplitMix64::new(0x5002);
+    for _ in 0..48 {
+        let shapes = draw_shapes(&mut rng);
+        let seed = rng.range_i64(1, 49);
+        let threads = rng.range_usize(2, 4);
         let src = render_program(&shapes, 24, seed);
         let rep = compile_source(&src, DriverOptions::with_iaa()).unwrap();
         let seq = Interp::new(&rep.program).run().unwrap();
@@ -179,9 +183,7 @@ proptest! {
                 reductions: map_reductions(&v.reductions),
             };
             let par = run_loop_parallel(&rep.program, v.loop_stmt, &plan)
-                .map_err(|e| {
-                    TestCaseError::fail(format!("{}: {e}\n{src}", v.label))
-                })?;
+                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", v.label));
             // Compare non-privatized state. Reductions compare with a
             // floating-point tolerance (chunked summation reassociates).
             for (vid, info) in rep.program.symbols.iter() {
@@ -191,10 +193,10 @@ proptest! {
                 if info.is_array() {
                     let a = seq.store.array_as_reals(vid);
                     let b = par.array_as_reals(vid);
-                    prop_assert_eq!(a, b, "array {} differs\n{}", info.name, src);
+                    assert_eq!(a, b, "array {} differs\n{}", info.name, src);
                 } else if plan.reductions.iter().any(|(r, _)| *r == vid) {
                     let (x, y) = (seq.store.scalar(vid).as_real(), par.scalar(vid).as_real());
-                    prop_assert!(
+                    assert!(
                         (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
                         "reduction {} differs: {x} vs {y}",
                         info.name
@@ -207,22 +209,24 @@ proptest! {
                         (Value::Int(p), Value::Int(r)) => p == r,
                         (p, r) => p.as_real() == r.as_real(),
                     };
-                    prop_assert!(same, "scalar {} differs: {x:?} vs {y:?}\n{src}", info.name);
+                    assert!(same, "scalar {} differs: {x:?} vs {y:?}\n{src}", info.name);
                 }
             }
         }
     }
+}
 
-    /// The analyses never claim independence for the loops the generator
-    /// makes deliberately dependent.
-    #[test]
-    fn dependent_shapes_stay_serial(seed in 1i64..50) {
+/// The analyses never claim independence for the loops the generator
+/// makes deliberately dependent.
+#[test]
+fn dependent_shapes_stay_serial() {
+    for seed in 1i64..50 {
         for shape in [BodyShape::ShiftedRead, BodyShape::ConstantTarget] {
             let src = render_program(std::slice::from_ref(&shape), 24, seed);
             let rep = compile_source(&src, DriverOptions::with_iaa()).unwrap();
             for v in &rep.verdicts {
                 if v.label.starts_with("GEN/do1") {
-                    prop_assert!(!v.parallel, "{:?} must stay serial ({shape:?})", v.label);
+                    assert!(!v.parallel, "{:?} must stay serial ({shape:?})", v.label);
                 }
             }
         }
