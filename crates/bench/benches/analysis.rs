@@ -17,7 +17,7 @@ use irr_core::{
     AnalysisCtx, DistanceSpec, Property, PropertyQuery,
 };
 use irr_driver::{DispatchTier, DriverOptions};
-use irr_exec::{inspect_offset_length, Interp, LoopDispatcher};
+use irr_exec::{exec_do_parallel, inspect_offset_length, Interp, LoopDispatcher, ParallelPlan};
 use irr_frontend::{parse_program, Program, StmtId, StmtKind};
 use irr_programs::{all, Scale};
 use irr_runtime::{HybridConfig, HybridDispatcher};
@@ -298,6 +298,47 @@ fn runtime_vs_compile_time(r: &Runner) {
     g.bench_function("hybrid-guarded-cached-reentry", || {
         cached.dispatch(&guarded_store, loop_stmt, 1, 512, 1)
     });
+
+    // Write-log merge scaling: the same 16-element write set executed in
+    // parallel against a small and a 16×-larger store. Worker clones are
+    // copy-on-write and the merge replays write logs, so the cost tracks
+    // the write volume, not the store size — `store-8192` must land
+    // within ~2× of `store-512` (the old snapshot-diff merge cloned and
+    // diffed every element, scaling with the store instead).
+    for n in [512usize, 8192] {
+        let src = format!(
+            "program t
+             integer i
+             real big({n}), y({n})
+             do i = 1, {n}
+               big(i) = i * 0.5
+             enddo
+             do i = 1, 16
+               y(i) = big(i) + i
+             enddo
+             end"
+        );
+        let program = parse_program(&src).unwrap();
+        let loops: Vec<StmtId> = program
+            .stmts_in(&program.procedure(program.main()).body)
+            .into_iter()
+            .filter(|s| matches!(program.stmt(*s).kind, StmtKind::Do { .. }))
+            .collect();
+        let (fill, target) = (loops[0], loops[1]);
+        g.bench_with_setup(
+            &format!("parallel-exec-16-writes/store-{n}"),
+            || {
+                // Fill the big array sequentially so the workers fork
+                // from a store that really holds `n` live elements.
+                let mut it = Interp::new(&program);
+                it.exec_stmt(fill).unwrap();
+                it
+            },
+            |mut it| {
+                exec_do_parallel(&mut it, target, &ParallelPlan::with_threads(4), 1, 16, 1).unwrap()
+            },
+        );
+    }
     g.finish();
 }
 

@@ -6,6 +6,7 @@ use irr_frontend::{
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime scalar value.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -49,17 +50,72 @@ pub enum ArrayData {
 }
 
 impl ArrayData {
-    fn len(&self) -> usize {
+    /// Flat element count.
+    pub fn len(&self) -> usize {
         match self {
             ArrayData::Int { data, .. } => data.len(),
             ArrayData::Real { data, .. } => data.len(),
         }
     }
 
-    fn dims(&self) -> &[usize] {
+    /// Whether the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Declared extents.
+    pub fn dims(&self) -> &[usize] {
         match self {
             ArrayData::Int { dims, .. } | ArrayData::Real { dims, .. } => dims,
         }
+    }
+
+    /// A zero-filled array of `ty` with the given extents.
+    pub fn zeroed(ty: ScalarType, dims: Vec<usize>) -> ArrayData {
+        let total: usize = dims.iter().product();
+        match ty {
+            ScalarType::Int => ArrayData::Int {
+                data: vec![0; total],
+                dims,
+            },
+            ScalarType::Real => ArrayData::Real {
+                data: vec![0.0; total],
+                dims,
+            },
+        }
+    }
+}
+
+/// A captured write set: every store mutation performed while a
+/// [`Store`]'s write-recording mode was on, in program order.
+///
+/// The parallel verification executor turns recording on in each
+/// worker's store; the workers hand back only their logs, and the merge
+/// replays them against the master store in `O(total writes)` —
+/// independent of how large the store itself is. Conflicts are detected
+/// *positionally* (two workers touching the same location), so a write
+/// whose value happens to equal the pre-loop value is still a conflict.
+#[derive(Clone, Debug, Default)]
+pub struct WriteLog {
+    /// Scalar writes `(var, coerced value)` in program order.
+    pub scalars: Vec<(VarId, Value)>,
+    /// Array element writes `(var, flat index, coerced value)` in
+    /// program order.
+    pub elements: Vec<(VarId, usize, Value)>,
+    /// Arrays materialized while recording, with their extents (reads
+    /// materialize too, so this is a superset of the written arrays).
+    pub materialized: Vec<(VarId, Vec<usize>)>,
+}
+
+impl WriteLog {
+    /// Total number of recorded writes (scalar + element).
+    pub fn len(&self) -> usize {
+        self.scalars.len() + self.elements.len()
+    }
+
+    /// Whether nothing was written while recording.
+    pub fn is_empty(&self) -> bool {
+        self.scalars.is_empty() && self.elements.is_empty()
     }
 }
 
@@ -72,17 +128,29 @@ impl ArrayData {
 /// when an index array has actually been mutated since the last loop
 /// entry — O(n)-per-mutation instead of O(n)-per-execution. Versions
 /// are bookkeeping metadata: they do not participate in store equality.
+///
+/// Array payloads are reference-counted ([`Arc`]) with copy-on-write on
+/// the first mutation: cloning a store is O(#variables) regardless of
+/// how many elements the arrays hold, which is what lets the parallel
+/// verification executor hand every worker its own store for the price
+/// of a scalar-table copy.
+///
+/// A store can additionally record every write into a [`WriteLog`]
+/// (see [`Store::start_write_log`]); recording state is carried by
+/// clones but excluded from equality.
 #[derive(Clone, Debug)]
 pub struct Store {
     scalars: Vec<Value>,
-    arrays: Vec<Option<ArrayData>>,
+    arrays: Vec<Option<Arc<ArrayData>>>,
     versions: Vec<u64>,
+    log: Option<Box<WriteLog>>,
 }
 
 impl PartialEq for Store {
     fn eq(&self, other: &Store) -> bool {
-        // Versions are deliberately excluded: two stores holding the
-        // same values are equal regardless of their write histories.
+        // Versions and any active write log are deliberately excluded:
+        // two stores holding the same values are equal regardless of
+        // their write histories.
         self.scalars == other.scalars && self.arrays == other.arrays
     }
 }
@@ -105,7 +173,21 @@ impl Store {
             scalars,
             arrays: vec![None; n],
             versions: vec![0; n],
+            log: None,
         }
+    }
+
+    /// Turns on write recording: every subsequent scalar write, element
+    /// write, and array materialization is appended to a fresh
+    /// [`WriteLog`] until [`Store::take_write_log`] collects it.
+    pub fn start_write_log(&mut self) {
+        self.log = Some(Box::default());
+    }
+
+    /// Stops recording and returns the captured log (`None` when
+    /// recording was never started).
+    pub fn take_write_log(&mut self) -> Option<WriteLog> {
+        self.log.take().map(|b| *b)
     }
 
     /// The write-version counter of `arr`: bumped on materialization and
@@ -122,7 +204,7 @@ impl Store {
 
     /// The flat element count of `arr`, if materialized.
     pub fn array_len(&self, arr: VarId) -> Option<usize> {
-        self.arrays[arr.index()].as_ref().map(ArrayData::len)
+        self.arrays[arr.index()].as_deref().map(ArrayData::len)
     }
 
     /// Reads a scalar.
@@ -132,6 +214,21 @@ impl Store {
 
     /// Writes a scalar (coercing to the declared type).
     pub fn set_scalar(&mut self, v: VarId, ty: ScalarType, val: Value) {
+        let coerced = match ty {
+            ScalarType::Int => Value::Int(val.as_int()),
+            ScalarType::Real => Value::Real(val.as_real()),
+        };
+        self.scalars[v.index()] = coerced;
+        if let Some(log) = &mut self.log {
+            log.scalars.push((v, coerced));
+        }
+    }
+
+    /// Writes a scalar without recording it in the write log. The
+    /// parallel executor uses this for the loop induction variable: it
+    /// is restored by the master after the merge, so logging one entry
+    /// per iteration would bloat the log past the real write set.
+    pub(crate) fn set_scalar_untracked(&mut self, v: VarId, ty: ScalarType, val: Value) {
         self.scalars[v.index()] = match ty {
             ScalarType::Int => Value::Int(val.as_int()),
             ScalarType::Real => Value::Real(val.as_real()),
@@ -140,29 +237,54 @@ impl Store {
 
     /// Reads `arr` as a flat `f64` vector (for checksums in tests).
     pub fn array_as_reals(&self, arr: VarId) -> Option<Vec<f64>> {
-        match self.arrays[arr.index()].as_ref()? {
+        match self.arrays[arr.index()].as_deref()? {
             ArrayData::Int { data, .. } => Some(data.iter().map(|v| *v as f64).collect()),
             ArrayData::Real { data, .. } => Some(data.clone()),
         }
     }
 
-    /// Raw array access for the parallel merger.
-    pub(crate) fn array(&self, arr: VarId) -> Option<&ArrayData> {
-        self.arrays[arr.index()].as_ref()
+    /// The declared extents of `arr`, if materialized.
+    pub fn array_dims(&self, arr: VarId) -> Option<&[usize]> {
+        self.arrays[arr.index()].as_deref().map(ArrayData::dims)
     }
 
-    pub(crate) fn array_mut(&mut self, arr: VarId) -> &mut Option<ArrayData> {
-        // Raw mutable access (the parallel merger): assume a write.
+    /// Installs `data` as the storage of `arr`, recording the
+    /// materialization when a write log is active.
+    pub(crate) fn materialize(&mut self, arr: VarId, data: ArrayData) {
+        if let Some(log) = &mut self.log {
+            log.materialized.push((arr, data.dims().to_vec()));
+        }
+        self.arrays[arr.index()] = Some(Arc::new(data));
         self.bump_version(arr);
-        &mut self.arrays[arr.index()]
     }
 
-    pub(crate) fn scalars(&self) -> &[Value] {
-        &self.scalars
-    }
-
-    pub(crate) fn scalars_mut(&mut self) -> &mut [Value] {
-        &mut self.scalars
+    /// Writes one element of a materialized array (copy-on-write:
+    /// shared payloads are cloned on the first mutation), coercing to
+    /// the array's element type, bumping the write version, and
+    /// recording the write when a log is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr` is not materialized or `idx` is out of range —
+    /// callers bounds-check through [`Interp`] or the merge.
+    pub(crate) fn write_element(&mut self, arr: VarId, idx: usize, val: Value) {
+        let data = Arc::make_mut(self.arrays[arr.index()].as_mut().expect("ensured"));
+        let coerced = match data {
+            ArrayData::Int { data, .. } => {
+                let v = val.as_int();
+                data[idx] = v;
+                Value::Int(v)
+            }
+            ArrayData::Real { data, .. } => {
+                let v = val.as_real();
+                data[idx] = v;
+                Value::Real(v)
+            }
+        };
+        self.bump_version(arr);
+        if let Some(log) = &mut self.log {
+            log.elements.push((arr, idx, coerced));
+        }
     }
 }
 
@@ -338,7 +460,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn charge(&mut self, n: u64) -> Result<(), ExecError> {
+    pub(crate) fn charge(&mut self, n: u64) -> Result<(), ExecError> {
         self.stats.total_cost += n;
         if self.fuel < n {
             return Err(ExecError::OutOfFuel);
@@ -552,19 +674,7 @@ impl<'p> Interp<'p> {
             }
             dims.push(v as usize);
         }
-        let total: usize = dims.iter().product();
-        let data = match info.ty {
-            ScalarType::Int => ArrayData::Int {
-                data: vec![0; total],
-                dims,
-            },
-            ScalarType::Real => ArrayData::Real {
-                data: vec![0.0; total],
-                dims,
-            },
-        };
-        self.store.arrays[a.index()] = Some(data);
-        self.store.bump_version(a);
+        self.store.materialize(a, ArrayData::zeroed(info.ty, dims));
         Ok(())
     }
 
@@ -574,7 +684,7 @@ impl<'p> Interp<'p> {
         for s in subs {
             vals.push(self.eval(s)?.as_int());
         }
-        let arr = self.store.arrays[a.index()].as_ref().expect("ensured");
+        let arr = self.store.arrays[a.index()].as_deref().expect("ensured");
         let dims = arr.dims();
         // Fortran column-major, 1-based.
         let mut idx: usize = 0;
@@ -596,18 +706,14 @@ impl<'p> Interp<'p> {
     }
 
     fn read_element(&self, a: VarId, idx: usize) -> Value {
-        match self.store.arrays[a.index()].as_ref().expect("ensured") {
+        match self.store.arrays[a.index()].as_deref().expect("ensured") {
             ArrayData::Int { data, .. } => Value::Int(data[idx]),
             ArrayData::Real { data, .. } => Value::Real(data[idx]),
         }
     }
 
     fn write_element(&mut self, a: VarId, idx: usize, val: Value) {
-        match self.store.arrays[a.index()].as_mut().expect("ensured") {
-            ArrayData::Int { data, .. } => data[idx] = val.as_int(),
-            ArrayData::Real { data, .. } => data[idx] = val.as_real(),
-        }
-        self.store.bump_version(a);
+        self.store.write_element(a, idx, val);
     }
 }
 

@@ -1,7 +1,9 @@
 //! Execution substrate: an instrumenting interpreter for the
 //! mini-Fortran language, a thread-based parallel executor used to
-//! *verify* parallelization decisions, and a machine-model simulator
-//! that reproduces the paper's speedup experiments (Fig. 16).
+//! *verify* parallelization decisions (workers on copy-on-write store
+//! clones hand back [`WriteLog`]s, merged in `O(total writes)` with
+//! positional conflict detection), and a machine-model simulator that
+//! reproduces the paper's speedup experiments (Fig. 16).
 //!
 //! The original evaluation ran on an SGI Origin 2000 (up to 32 of 56
 //! R10k processors) and a 4-processor SGI Challenge. Neither machine is
@@ -26,7 +28,7 @@ pub mod rng;
 pub mod runtime_test;
 
 pub use dispatch::{LoopDecision, LoopDispatcher, SequentialDispatch};
-pub use interp::{ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Value};
+pub use interp::{ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Value, WriteLog};
 pub use machine::{
     simulate_program_time, simulate_speedup, LoopProfile, MachineModel, ProgramProfile,
 };

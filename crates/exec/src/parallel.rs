@@ -2,14 +2,29 @@
 //! parallelization decisions.
 //!
 //! A loop the driver declared parallel is executed by splitting its
-//! iteration space into contiguous chunks, running each chunk in its own
-//! thread on a **clone of the global store**, and merging the chunks'
-//! write sets. The merge detects write conflicts, so the property-based
-//! soundness tests can assert: *loops judged parallel produce exactly
-//! the sequential result, with no conflicting writes*.
+//! iteration space into contiguous chunks. Each chunk runs in its own
+//! thread on a cheap clone of the live store (array payloads are
+//! Arc-shared and copy-on-write, so the clone is O(#variables), not
+//! O(store size)) with **write recording** turned on, and hands back
+//! only its [`WriteLog`]. The merge replays the logs against the master
+//! store in `O(total writes)`:
+//!
+//! - conflicts are detected *positionally* — two chunks writing the
+//!   same location conflict regardless of the values written, so a
+//!   write whose value happens to equal the pre-loop value (invisible
+//!   to the old snapshot-diff merge) is still caught;
+//! - scalar reductions combine per-chunk final values under the plan's
+//!   [`ReduceOp`];
+//! - worker execution statistics, printed output, and fuel consumption
+//!   are aggregated into the master interpreter instead of dropped.
+//!
+//! The property-based soundness tests use this to assert: *loops judged
+//! parallel produce exactly the sequential result, with no conflicting
+//! writes*.
 
-use crate::interp::{ArrayData, ExecError, Interp, Store, Value};
+use crate::interp::{ArrayData, ExecError, ExecStats, Interp, Store, Value, WriteLog};
 use irr_frontend::{Program, StmtId, StmtKind, VarId};
+use std::collections::HashMap;
 
 /// How a chunk-merged scalar reduction combines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,10 +65,22 @@ impl ParallelPlan {
 pub enum ParallelError {
     /// A runtime error inside a worker.
     Exec(ExecError),
-    /// Two chunks wrote different values to the same location.
+    /// Two chunks wrote the same location (a write-write conflict —
+    /// the loop was not actually parallel).
     WriteConflict { var: String },
+    /// Chunks disagree about an array's shape, or a logged write lands
+    /// past the master array's extent. Always a hard error: silently
+    /// truncating the merge would drop writes.
+    ShapeMismatch { var: String, detail: String },
+    /// A worker thread panicked; the panic payload is preserved so the
+    /// verification fails with a diagnosis instead of aborting the
+    /// process.
+    WorkerPanic { detail: String },
     /// The designated statement is not a `do` loop.
     NotADoLoop,
+    /// The loop has a non-unit step, which the chunked executor does
+    /// not support.
+    UnsupportedStep { step: i64 },
 }
 
 impl std::fmt::Display for ParallelError {
@@ -63,7 +90,22 @@ impl std::fmt::Display for ParallelError {
             ParallelError::WriteConflict { var } => {
                 write!(f, "conflicting parallel writes to `{var}`")
             }
+            ParallelError::ShapeMismatch { var, detail } => {
+                write!(
+                    f,
+                    "parallel chunks disagree on the shape of `{var}`: {detail}"
+                )
+            }
+            ParallelError::WorkerPanic { detail } => {
+                write!(f, "parallel worker panicked: {detail}")
+            }
             ParallelError::NotADoLoop => write!(f, "parallel target is not a do loop"),
+            ParallelError::UnsupportedStep { step } => {
+                write!(
+                    f,
+                    "do-loop step {step} is unsupported by the chunked executor (unit step only)"
+                )
+            }
         }
     }
 }
@@ -84,7 +126,7 @@ impl From<ExecError> for ParallelError {
 ///
 /// # Errors
 ///
-/// Returns [`ParallelError::WriteConflict`] when chunks disagree — i.e.
+/// Returns [`ParallelError::WriteConflict`] when chunks overlap — i.e.
 /// the loop was *not* actually parallel.
 pub fn run_loop_parallel(
     program: &Program,
@@ -161,22 +203,35 @@ fn run_chunked(
     exec_do_parallel(interp, loop_stmt, plan, lo, hi, step)
 }
 
+/// What one worker hands back: its write log plus the execution effects
+/// the master aggregates (statistics, printed output).
+struct ChunkOutcome {
+    log: WriteLog,
+    stats: ExecStats,
+    output: Vec<String>,
+}
+
 /// Executes one `do` loop in parallel chunks per `plan`, with the bounds
 /// already evaluated. This is the dispatch hook the hybrid runtime uses
 /// after a guard (or a compile-time verdict) clears the loop: the
 /// iteration space `lo..=hi` is split into contiguous chunks, each chunk
-/// runs in its own thread on a clone of the live store, and the chunks'
-/// write sets are merged back (detecting conflicts).
+/// runs in its own thread on a copy-on-write clone of the live store
+/// with write recording on, and the chunks' write logs are merged back
+/// in `O(total writes)` (detecting conflicts positionally).
 ///
-/// Loop statistics record the invocation; the induction variable is left
-/// at `hi + 1` (or `lo` for a zero-trip loop), matching sequential
+/// Worker statistics, printed output, and fuel consumption are
+/// aggregated into the master interpreter; the induction variable is
+/// left at `hi + 1` (or `lo` for a zero-trip loop), matching sequential
 /// semantics.
 ///
 /// # Errors
 ///
-/// [`ParallelError::NotADoLoop`] when the statement is not a `do` loop
-/// or `step != 1`; [`ParallelError::WriteConflict`] when chunks disagree;
-/// worker [`ExecError`]s are propagated.
+/// [`ParallelError::NotADoLoop`] when the statement is not a `do` loop;
+/// [`ParallelError::UnsupportedStep`] when `step != 1`;
+/// [`ParallelError::WriteConflict`] when chunks write the same
+/// location; [`ParallelError::ShapeMismatch`] when chunks disagree on
+/// an array's shape; [`ParallelError::WorkerPanic`] when a worker
+/// thread panics; worker [`ExecError`]s are propagated.
 pub fn exec_do_parallel(
     interp: &mut Interp<'_>,
     loop_stmt: StmtId,
@@ -190,7 +245,7 @@ pub fn exec_do_parallel(
         return Err(ParallelError::NotADoLoop);
     };
     if step != 1 {
-        return Err(ParallelError::NotADoLoop);
+        return Err(ParallelError::UnsupportedStep { step });
     }
     interp.stats.loops.entry(loop_stmt).or_default().invocations += 1;
     let ty = program.symbols.var(var).ty;
@@ -202,7 +257,6 @@ pub fn exec_do_parallel(
     }
     let n = (hi - lo + 1) as usize;
     let threads = plan.threads.clamp(1, n);
-    let snapshot = interp.store.clone();
     // Chunk boundaries.
     let mut chunks: Vec<(i64, i64)> = Vec::with_capacity(threads);
     let base = n / threads;
@@ -216,171 +270,216 @@ pub fn exec_do_parallel(
         chunks.push((start, start + len as i64 - 1));
         start += len as i64;
     }
-    // Run each chunk on a cloned store.
-    let results: Vec<Result<Store, ExecError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &(clo, chi) in &chunks {
-            let snapshot = snapshot.clone();
-            let body = body.clone();
-            handles.push(scope.spawn(move || {
-                let mut worker = Interp::new(program);
-                worker.store = snapshot;
-                let ty = program.symbols.var(var).ty;
-                let mut i = clo;
-                while i <= chi {
-                    worker.store.set_scalar(var, ty, Value::Int(i));
-                    worker.exec_body(&body)?;
-                    i += 1;
-                }
-                Ok(worker.store)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut stores = Vec::with_capacity(results.len());
+    // Run each chunk on a copy-on-write clone of the live store with
+    // write recording on; workers return only their logs and stats.
+    let fuel = interp.fuel;
+    let results: Vec<std::thread::Result<Result<ChunkOutcome, ExecError>>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &(clo, chi) in &chunks {
+                let snapshot = interp.store.clone();
+                let body = body.clone();
+                handles.push(scope.spawn(move || {
+                    let mut worker = Interp::new(program);
+                    worker.store = snapshot;
+                    worker.fuel = fuel;
+                    worker.store.start_write_log();
+                    let ty = program.symbols.var(var).ty;
+                    let mut i = clo;
+                    while i <= chi {
+                        worker.store.set_scalar_untracked(var, ty, Value::Int(i));
+                        worker.exec_body(&body)?;
+                        worker.charge(1)?; // loop bookkeeping, as sequential
+                        i += 1;
+                    }
+                    Ok(ChunkOutcome {
+                        log: worker.store.take_write_log().unwrap_or_default(),
+                        stats: worker.stats,
+                        output: worker.output,
+                    })
+                }));
+            }
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+    let mut outcomes = Vec::with_capacity(results.len());
     for r in results {
-        stores.push(r?);
+        match r {
+            Err(payload) => {
+                return Err(ParallelError::WorkerPanic {
+                    detail: panic_message(&payload),
+                })
+            }
+            Ok(res) => outcomes.push(res?),
+        }
     }
-    // Merge into the master store.
-    merge(program, interp, &snapshot, &stores, plan, var)?;
+    // Merge the write logs into the master store: O(total writes).
+    let logs: Vec<&WriteLog> = outcomes.iter().map(|c| &c.log).collect();
+    merge_write_logs(program, interp, &logs, plan, var)?;
+    // Aggregate worker effects: the master pays the chunks' execution
+    // cost (statements + fuel), absorbs their per-loop statistics, and
+    // keeps their printed output in chunk order.
+    let body_cost: u64 = outcomes.iter().map(|c| c.stats.total_cost).sum();
+    interp.charge(body_cost)?;
+    let entry = interp.stats.loops.entry(loop_stmt).or_default();
+    entry.total_cost += body_cost;
+    for c in outcomes {
+        for (s, ls) in c.stats.loops {
+            let e = interp.stats.loops.entry(s).or_default();
+            e.invocations += ls.invocations;
+            e.total_cost += ls.total_cost;
+            e.iteration_costs.extend(ls.iteration_costs);
+        }
+        interp.output.extend(c.output);
+    }
     // Sequential semantics: the induction variable ends one past `hi`.
     interp.store.set_scalar(var, ty, Value::Int(hi + 1));
     Ok(())
 }
 
-fn merge(
+/// Renders a worker thread's panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Replays the workers' write logs against the master store.
+///
+/// Cost is `O(total writes)`. Conflict detection is positional: after
+/// collapsing each worker's log to its final write per location, any
+/// location claimed by two workers is a [`ParallelError::WriteConflict`]
+/// — values are never compared, so writes that happen to restore the
+/// pre-loop value cannot mask a conflict.
+fn merge_write_logs(
     program: &Program,
     interp: &mut Interp<'_>,
-    snapshot: &Store,
-    stores: &[Store],
+    logs: &[&WriteLog],
     plan: &ParallelPlan,
     loop_var: VarId,
 ) -> Result<(), ParallelError> {
-    // Scalars.
-    for (idx, _) in snapshot.scalars().iter().enumerate() {
-        let v = VarId(idx as u32);
-        if v == loop_var || plan.privatized.contains(&v) {
-            continue;
-        }
-        if let Some((_, op)) = plan.reductions.iter().find(|(r, _)| *r == v) {
-            let base = snapshot.scalars()[idx];
-            let mut acc = base;
-            for st in stores {
-                let d = st.scalars()[idx];
-                acc = match op {
-                    ReduceOp::Sum => match (acc, d, base) {
-                        (Value::Int(a), Value::Int(x), Value::Int(b)) => Value::Int(a + (x - b)),
-                        (a, x, b) => Value::Real(a.as_real() + (x.as_real() - b.as_real())),
-                    },
-                    ReduceOp::Min => match (acc, d) {
-                        (Value::Int(a), Value::Int(x)) => Value::Int(a.min(x)),
-                        (a, x) => Value::Real(a.as_real().min(x.as_real())),
-                    },
-                    ReduceOp::Max => match (acc, d) {
-                        (Value::Int(a), Value::Int(x)) => Value::Int(a.max(x)),
-                        (a, x) => Value::Real(a.as_real().max(x.as_real())),
-                    },
-                };
+    let conflict = |v: VarId| ParallelError::WriteConflict {
+        var: program.symbols.name(v).to_string(),
+    };
+    let is_reduction = |v: VarId| plan.reductions.iter().any(|(r, _)| *r == v);
+
+    // Materializations first: arrays a worker touched (read or write)
+    // that the master has not materialized come into existence
+    // zero-filled, as they would have sequentially. Chunks must agree
+    // on every array's shape — a mismatch is a hard error, never a
+    // truncated merge.
+    for log in logs {
+        for (v, dims) in &log.materialized {
+            if plan.privatized.contains(v) {
+                continue;
             }
-            interp.store.scalars_mut()[idx] = acc;
-            continue;
-        }
-        let mut merged = snapshot.scalars()[idx];
-        let mut writer_seen = false;
-        for st in stores {
-            let val = st.scalars()[idx];
-            if val != snapshot.scalars()[idx] {
-                if writer_seen && val != merged {
-                    return Err(ParallelError::WriteConflict {
-                        var: program.symbols.name(v).to_string(),
+            match interp.store.array_dims(*v) {
+                Some(existing) if existing == dims.as_slice() => {}
+                Some(existing) => {
+                    return Err(ParallelError::ShapeMismatch {
+                        var: program.symbols.name(*v).to_string(),
+                        detail: format!("extents {existing:?} vs {dims:?}"),
                     });
                 }
-                merged = val;
-                writer_seen = true;
-            }
-        }
-        interp.store.scalars_mut()[idx] = merged;
-    }
-    // Arrays.
-    for idx in 0..snapshot.scalars().len() {
-        let v = VarId(idx as u32);
-        let base = snapshot.array(v).cloned();
-        if plan.privatized.contains(&v) {
-            // Scratch: keep the snapshot contents.
-            if interp.store.array(v) != base.as_ref() {
-                *interp.store.array_mut(v) = base;
-            }
-            continue;
-        }
-        // Some workers may have materialized an array the snapshot had
-        // not touched; treat missing as zero-filled by materializing the
-        // largest version.
-        let mut merged: Option<ArrayData> = base.clone();
-        for st in stores {
-            let Some(theirs) = st.array(v) else { continue };
-            match &mut merged {
-                None => merged = Some(theirs.clone()),
-                Some(m) => {
-                    merge_array(program, v, m, base.as_ref(), theirs)?;
+                None => {
+                    let ty = program.symbols.var(*v).ty;
+                    interp
+                        .store
+                        .materialize(*v, ArrayData::zeroed(ty, dims.clone()));
                 }
             }
         }
-        // Write back (and bump the array's version) only on a real
-        // change: schedule-cache keys depend on versions staying put for
-        // arrays the loop never touched.
-        if interp.store.array(v) != merged.as_ref() {
-            *interp.store.array_mut(v) = merged;
+    }
+
+    // Scalars: collapse each worker's log to final values, then claim
+    // each variable for at most one worker. Reduction scalars are
+    // exempt from claiming; their per-worker finals combine below.
+    let mut claimed_scalars: HashMap<VarId, Value> = HashMap::new();
+    let mut reduction_finals: HashMap<VarId, Vec<Value>> = HashMap::new();
+    for log in logs {
+        let mut finals: HashMap<VarId, Value> = HashMap::new();
+        for &(v, val) in &log.scalars {
+            if v == loop_var || plan.privatized.contains(&v) {
+                continue;
+            }
+            finals.insert(v, val);
+        }
+        for (v, val) in finals {
+            if is_reduction(v) {
+                reduction_finals.entry(v).or_default().push(val);
+            } else if claimed_scalars.insert(v, val).is_some() {
+                return Err(conflict(v));
+            }
+        }
+    }
+    for (v, val) in claimed_scalars {
+        let ty = program.symbols.var(v).ty;
+        interp.store.set_scalar(v, ty, val);
+    }
+    for (rv, op) in &plan.reductions {
+        let Some(finals) = reduction_finals.get(rv) else {
+            continue; // no worker touched the reduction variable
+        };
+        let base = interp.store.scalar(*rv);
+        let mut acc = base;
+        for &theirs in finals {
+            acc = combine_reduction(*op, acc, theirs, base);
+        }
+        let ty = program.symbols.var(*rv).ty;
+        interp.store.set_scalar(*rv, ty, acc);
+    }
+
+    // Array elements: same claiming scheme, keyed by (array, index).
+    let mut claimed_elems: HashMap<(VarId, usize), Value> = HashMap::new();
+    for log in logs {
+        let mut finals: HashMap<(VarId, usize), Value> = HashMap::new();
+        for &(v, idx, val) in &log.elements {
+            if plan.privatized.contains(&v) {
+                continue;
+            }
+            finals.insert((v, idx), val);
+        }
+        for (key, val) in finals {
+            if claimed_elems.insert(key, val).is_some() {
+                return Err(conflict(key.0));
+            }
+        }
+    }
+    for ((v, idx), val) in claimed_elems {
+        match interp.store.array_len(v) {
+            Some(len) if idx < len => interp.store.write_element(v, idx, val),
+            extent => {
+                return Err(ParallelError::ShapeMismatch {
+                    var: program.symbols.name(v).to_string(),
+                    detail: format!(
+                        "logged write at flat index {idx} exceeds extent {:?}",
+                        extent.unwrap_or(0)
+                    ),
+                });
+            }
         }
     }
     Ok(())
 }
 
-fn merge_array(
-    program: &Program,
-    v: VarId,
-    merged: &mut ArrayData,
-    base: Option<&ArrayData>,
-    theirs: &ArrayData,
-) -> Result<(), ParallelError> {
-    let conflict = || ParallelError::WriteConflict {
-        var: program.symbols.name(v).to_string(),
-    };
-    match (merged, theirs) {
-        (ArrayData::Int { data: m, .. }, ArrayData::Int { data: t, .. }) => {
-            for k in 0..m.len().min(t.len()) {
-                let b = match base {
-                    Some(ArrayData::Int { data, .. }) => data.get(k).copied().unwrap_or(0),
-                    _ => 0,
-                };
-                if t[k] != b {
-                    if m[k] != b && m[k] != t[k] {
-                        return Err(conflict());
-                    }
-                    m[k] = t[k];
-                }
-            }
-            Ok(())
-        }
-        (ArrayData::Real { data: m, .. }, ArrayData::Real { data: t, .. }) => {
-            for k in 0..m.len().min(t.len()) {
-                let b = match base {
-                    Some(ArrayData::Real { data, .. }) => data.get(k).copied().unwrap_or(0.0),
-                    _ => 0.0,
-                };
-                #[allow(clippy::float_cmp)]
-                if t[k] != b {
-                    if m[k] != b && m[k] != t[k] {
-                        return Err(conflict());
-                    }
-                    m[k] = t[k];
-                }
-            }
-            Ok(())
-        }
-        _ => Err(conflict()),
+/// Folds one worker's final reduction value into the accumulator.
+fn combine_reduction(op: ReduceOp, acc: Value, theirs: Value, base: Value) -> Value {
+    match op {
+        ReduceOp::Sum => match (acc, theirs, base) {
+            (Value::Int(a), Value::Int(x), Value::Int(b)) => Value::Int(a + (x - b)),
+            (a, x, b) => Value::Real(a.as_real() + (x.as_real() - b.as_real())),
+        },
+        ReduceOp::Min => match (acc, theirs) {
+            (Value::Int(a), Value::Int(x)) => Value::Int(a.min(x)),
+            (a, x) => Value::Real(a.as_real().min(x.as_real())),
+        },
+        ReduceOp::Max => match (acc, theirs) {
+            (Value::Int(a), Value::Int(x)) => Value::Int(a.max(x)),
+            (a, x) => Value::Real(a.as_real().max(x.as_real())),
+        },
     }
 }
 
@@ -393,6 +492,14 @@ mod tests {
         p.stmts_in(&p.procedure(p.main()).body)
             .into_iter()
             .find(|s| matches!(p.stmt(*s).kind, StmtKind::Do { .. }))
+            .unwrap()
+    }
+
+    fn nth_do(p: &Program, n: usize) -> StmtId {
+        p.stmts_in(&p.procedure(p.main()).body)
+            .into_iter()
+            .filter(|s| matches!(p.stmt(*s).kind, StmtKind::Do { .. }))
+            .nth(n)
             .unwrap()
     }
 
@@ -410,12 +517,7 @@ mod tests {
              end";
         let p = parse_program(src).unwrap();
         let seq = Interp::new(&p).run().unwrap();
-        let second = p
-            .stmts_in(&p.procedure(p.main()).body)
-            .into_iter()
-            .filter(|s| matches!(p.stmt(*s).kind, StmtKind::Do { .. }))
-            .nth(1)
-            .unwrap();
+        let second = nth_do(&p, 1);
         let plan = ParallelPlan::with_threads(4);
         let par = run_loop_parallel(&p, second, &plan).unwrap();
         let x = p.symbols.lookup("x").unwrap();
@@ -437,6 +539,52 @@ mod tests {
         assert!(matches!(err, ParallelError::WriteConflict { .. }));
     }
 
+    /// Regression for the snapshot-diff soundness hole: one chunk writes
+    /// `x(1) = i`, the other writes `x(1) = x(1)` — a write whose value
+    /// equals the pre-loop value and was therefore invisible to the old
+    /// value-diff merge. Positional detection must still flag the
+    /// overlap (there is a real flow dependence between the chunks).
+    #[test]
+    fn masked_same_value_write_is_a_conflict() {
+        let src = "program t
+             integer i
+             real x(10)
+             do i = 1, 100
+               if (i < 51) then
+                 x(1) = i
+               endif
+               if (i > 50) then
+                 x(1) = x(1)
+               endif
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan::with_threads(2);
+        let err = run_loop_parallel(&p, first_do(&p), &plan).unwrap_err();
+        assert!(
+            matches!(err, ParallelError::WriteConflict { ref var } if var == "x"),
+            "expected a write conflict on x, got {err:?}"
+        );
+    }
+
+    /// Every chunk writing the pre-loop value back is still an
+    /// overlapping write set — the loop carries an output dependence
+    /// even though the store never changes.
+    #[test]
+    fn snapshot_equal_overlapping_writes_conflict() {
+        let src = "program t
+             integer i
+             real x(10)
+             do i = 1, 100
+               x(1) = 0
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan::with_threads(4);
+        let err = run_loop_parallel(&p, first_do(&p), &plan).unwrap_err();
+        assert!(matches!(err, ParallelError::WriteConflict { .. }));
+    }
+
     #[test]
     fn sum_reduction_merges() {
         let src = "program t
@@ -450,19 +598,52 @@ mod tests {
              enddo
              end";
         let p = parse_program(src).unwrap();
-        let loops: Vec<StmtId> = p
-            .stmts_in(&p.procedure(p.main()).body)
-            .into_iter()
-            .filter(|s| matches!(p.stmt(*s).kind, StmtKind::Do { .. }))
-            .collect();
         let s = p.symbols.lookup("s").unwrap();
         let plan = ParallelPlan {
             threads: 3,
             privatized: vec![],
             reductions: vec![(s, ReduceOp::Sum)],
         };
-        let st = run_loop_parallel(&p, loops[1], &plan).unwrap();
+        let st = run_loop_parallel(&p, nth_do(&p, 1), &plan).unwrap();
         assert_eq!(st.scalar(s).as_real(), 5050.0);
+    }
+
+    #[test]
+    fn min_and_max_reductions_merge_from_write_logs() {
+        let src = "program t
+             integer i
+             real s, x(100)
+             s = 1000
+             do i = 1, 100
+               x(i) = abs(i - 37) + 2.0
+             enddo
+             do i = 1, 100
+               s = min(s, x(i))
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let s = p.symbols.lookup("s").unwrap();
+        let plan = ParallelPlan {
+            threads: 4,
+            privatized: vec![],
+            reductions: vec![(s, ReduceOp::Min)],
+        };
+        let st = run_loop_parallel(&p, nth_do(&p, 1), &plan).unwrap();
+        assert_eq!(st.scalar(s).as_real(), 2.0);
+
+        let src_max = src
+            .replace("min(s, x(i))", "max(s, x(i))")
+            .replace("s = 1000", "s = 0 - 1000");
+        let p = parse_program(&src_max).unwrap();
+        let s = p.symbols.lookup("s").unwrap();
+        let plan = ParallelPlan {
+            threads: 4,
+            privatized: vec![],
+            reductions: vec![(s, ReduceOp::Max)],
+        };
+        let st = run_loop_parallel(&p, nth_do(&p, 1), &plan).unwrap();
+        // max over abs(i - 37) + 2 on 1..=100 is abs(100 - 37) + 2.
+        assert_eq!(st.scalar(s).as_real(), 65.0);
     }
 
     #[test]
@@ -489,5 +670,192 @@ mod tests {
         let seq = Interp::new(&p).run().unwrap();
         let z = p.symbols.lookup("z").unwrap();
         assert_eq!(st.array_as_reals(z), seq.store.array_as_reals(z));
+    }
+
+    #[test]
+    fn zero_trip_loop_matches_sequential() {
+        let src = "program t
+             integer i, k
+             real x(10)
+             k = 7
+             do i = 5, 1
+               x(1) = 99
+               k = 0
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan::with_threads(4);
+        let st = run_loop_parallel(&p, first_do(&p), &plan).unwrap();
+        let seq = Interp::new(&p).run().unwrap();
+        let k = p.symbols.lookup("k").unwrap();
+        let i = p.symbols.lookup("i").unwrap();
+        assert_eq!(st.scalar(k), seq.store.scalar(k));
+        assert_eq!(st.scalar(i), Value::Int(5));
+    }
+
+    #[test]
+    fn single_iteration_loop_matches_sequential() {
+        let src = "program t
+             integer i
+             real x(10)
+             do i = 3, 3
+               x(i) = i * 2.0
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        // More threads than iterations: clamps to one chunk.
+        let plan = ParallelPlan::with_threads(8);
+        let st = run_loop_parallel(&p, first_do(&p), &plan).unwrap();
+        let seq = Interp::new(&p).run().unwrap();
+        let x = p.symbols.lookup("x").unwrap();
+        let i = p.symbols.lookup("i").unwrap();
+        assert_eq!(st.array_as_reals(x), seq.store.array_as_reals(x));
+        assert_eq!(st.scalar(i), Value::Int(4));
+    }
+
+    #[test]
+    fn zero_trip_reduction_leaves_scalar_untouched() {
+        let src = "program t
+             integer i
+             real s
+             s = 42
+             do i = 9, 2
+               s = s + 1
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let s = p.symbols.lookup("s").unwrap();
+        let plan = ParallelPlan {
+            threads: 4,
+            privatized: vec![],
+            reductions: vec![(s, ReduceOp::Sum)],
+        };
+        let st = run_loop_parallel(&p, first_do(&p), &plan).unwrap();
+        assert_eq!(st.scalar(s).as_real(), 42.0);
+    }
+
+    #[test]
+    fn non_unit_step_reports_unsupported_step() {
+        let src = "program t
+             integer i
+             real x(100)
+             do i = 1, 100, 2
+               x(i) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan::with_threads(4);
+        let err = run_loop_parallel(&p, first_do(&p), &plan).unwrap_err();
+        assert!(
+            matches!(err, ParallelError::UnsupportedStep { step: 2 }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("step 2"), "{err}");
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_not_process_aborting() {
+        // `min` with one argument panics inside `apply_intrinsic`; the
+        // parser admits it, so the panic fires inside a worker thread.
+        let src = "program t
+             integer i
+             real x(10)
+             do i = 1, 10
+               x(i) = min(i)
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan::with_threads(2);
+        let err = run_loop_parallel(&p, first_do(&p), &plan).unwrap_err();
+        assert!(
+            matches!(err, ParallelError::WorkerPanic { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn chunk_shape_disagreement_is_a_hard_error() {
+        // The extent of `x` reads the scalar `n`, which the loop body
+        // mutates before first touch — so different chunks materialize
+        // `x` with different extents. The merge must refuse instead of
+        // truncating at the shorter length.
+        let src = "program t
+             integer i, n
+             real x(n)
+             do i = 1, 4
+               n = i + 4
+               x(i) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan::with_threads(2);
+        let err = run_loop_parallel(&p, first_do(&p), &plan).unwrap_err();
+        assert!(
+            matches!(err, ParallelError::ShapeMismatch { ref var, .. } if var == "x"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn worker_stats_and_output_are_aggregated() {
+        let src = "program t
+             integer i, j
+             real z(8)
+             do i = 1, 8
+               do j = 1, 3
+                 z(i) = z(i) + 1.0
+               enddo
+               print z(i)
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let jv = p.symbols.lookup("j").unwrap();
+        let outer = first_do(&p);
+        let inner = p
+            .stmts_in(&p.procedure(p.main()).body)
+            .into_iter()
+            .filter(|s| matches!(p.stmt(*s).kind, StmtKind::Do { .. }))
+            .find(|s| *s != outer)
+            .unwrap();
+        let plan = ParallelPlan {
+            threads: 4,
+            privatized: vec![jv],
+            reductions: vec![],
+        };
+        let seq = Interp::new(&p).run().unwrap();
+        let mut interp = Interp::new(&p);
+        exec_do_parallel(&mut interp, outer, &plan, 1, 8, 1).unwrap();
+        // Every chunk's inner-loop invocations are absorbed, the loop's
+        // cost is charged to the master, and printed output arrives in
+        // chunk (= sequential) order.
+        assert_eq!(interp.stats.loops[&inner].invocations, 8);
+        assert_eq!(seq.output, interp.output);
+        assert!(interp.stats.total_cost > 0);
+        assert!(interp.stats.loops[&outer].total_cost > 0);
+    }
+
+    #[test]
+    fn merge_cost_tracks_writes_not_store_size() {
+        // Identical 16-element write sets against a small and a large
+        // store must produce identical write-log sizes — the structural
+        // guarantee behind the `parallel-merge` bench cases.
+        for n in [512usize, 8192] {
+            let src = format!(
+                "program t
+                 integer i
+                 real big({n}), y(16)
+                 do i = 1, 16
+                   y(i) = big(i) + i
+                 enddo
+                 end"
+            );
+            let p = parse_program(&src).unwrap();
+            let mut interp = Interp::new(&p);
+            interp.store.start_write_log();
+            Interp::exec_proc(&mut interp, p.main()).unwrap();
+            let log = interp.store.take_write_log().unwrap();
+            // 16 element writes on y; `i` scalar writes from the loop.
+            assert_eq!(log.elements.len(), 16, "store size n={n}");
+        }
     }
 }

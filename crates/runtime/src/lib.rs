@@ -21,6 +21,13 @@
 //! cache hits/invalidations, and per-tier dispatches so the trade-off
 //! stays measurable (see the `runtime-vs-compile-time` bench group and
 //! `examples/hybrid_fallback.rs`).
+//!
+//! Parallel dispatches go through the exec crate's write-log executor:
+//! each worker runs on a copy-on-write clone of the live store and
+//! returns a write log, merged in `O(total writes)` with positional
+//! conflict detection; worker statement costs and loop statistics are
+//! aggregated back into the dispatched interpreter, so a hybrid run's
+//! [`ExecOutcome`] stats match the sequential run's.
 
 pub mod cache;
 pub mod telemetry;
@@ -345,6 +352,24 @@ mod tests {
         assert!(hybrid.telemetry.compile_time_parallel >= 1);
         assert_eq!(hybrid.telemetry.inspections_run, 0);
         assert_eq!(hybrid.telemetry.guarded_dispatches(), 0);
+    }
+
+    /// The write-log executor aggregates worker costs and loop stats
+    /// into the dispatching interpreter, so a hybrid run's statistics
+    /// are identical to the sequential run's — parallel-dispatched
+    /// loops no longer drop their workers' accounting.
+    #[test]
+    fn parallel_dispatch_aggregates_worker_stats() {
+        let rep = compile_source(GUARDED_SRC, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do20").expect("verdict for do20");
+        let seq = Interp::new(&rep.program).run().unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(hybrid.telemetry.guarded_parallel, 1);
+        let par_stats = &hybrid.outcome.stats.loops[&v.loop_stmt];
+        let seq_stats = &seq.stats.loops[&v.loop_stmt];
+        assert_eq!(par_stats.invocations, seq_stats.invocations);
+        assert_eq!(par_stats.total_cost, seq_stats.total_cost);
+        assert_eq!(hybrid.outcome.stats.total_cost, seq.stats.total_cost);
     }
 
     #[test]

@@ -159,6 +159,35 @@ fn mutation_can_also_clear_a_previously_failing_guard() {
     assert_eq!(t.cache_invalidations, 1, "{t:?}");
 }
 
+#[test]
+fn hybrid_store_and_stats_match_sequential_end_to_end() {
+    // The write-log executor must leave the hybrid run observably
+    // identical to the sequential run: final store, loop statistics,
+    // and total statement cost — the workers' accounting is aggregated,
+    // not dropped, and the O(writes) merge reconstructs the exact
+    // sequential store from the chunks' write logs.
+    let rep = compile_source(HYBRID_SRC, DriverOptions::with_iaa()).unwrap();
+    let seq = Interp::new(&rep.program).run().unwrap();
+    let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+    assert!(
+        hybrid.telemetry.guarded_parallel > 0,
+        "{:?}",
+        hybrid.telemetry
+    );
+    assert_eq!(hybrid.outcome.store, seq.store);
+    assert_eq!(hybrid.outcome.stats.total_cost, seq.stats.total_cost);
+    for (stmt, seq_stats) in &seq.stats.loops {
+        let par_stats = hybrid
+            .outcome
+            .stats
+            .loops
+            .get(stmt)
+            .unwrap_or_else(|| panic!("loop stats dropped for {stmt:?}"));
+        assert_eq!(par_stats.invocations, seq_stats.invocations, "{stmt:?}");
+        assert_eq!(par_stats.total_cost, seq_stats.total_cost, "{stmt:?}");
+    }
+}
+
 // ---- inspector edge cases (empty / unmaterialized / out-of-bounds) ----
 
 fn empty_store() -> (irr_frontend::Program, irr_exec::Store) {
