@@ -21,6 +21,7 @@ use irr_exec::{exec_do_parallel, inspect_offset_length, Interp, LoopDispatcher, 
 use irr_frontend::{parse_program, Program, StmtId, StmtKind};
 use irr_programs::{all, Scale};
 use irr_runtime::{HybridConfig, HybridDispatcher};
+use irr_sanitizer::{audit_report, AuditConfig, AuditMode, DependenceTracer};
 use irr_symbolic::{Section, SymExpr};
 
 fn compile_benchmarks(r: &Runner) {
@@ -342,6 +343,43 @@ fn runtime_vs_compile_time(r: &Runner) {
     g.finish();
 }
 
+/// The dependence sanitizer's costs: the interpreter with no tracer
+/// attached (every hook site is one null check — the tracing-off
+/// overhead must stay within noise of the pre-sanitizer interpreter),
+/// the same run under full shadow-memory tracing, and a complete audit
+/// of the guarded mod-permutation kernel.
+fn sanitizer_overhead(r: &Runner) {
+    let trfd = all(Scale::Test)
+        .into_iter()
+        .find(|b| b.name == "TRFD")
+        .unwrap();
+    let rep = irr_driver::compile_source(&trfd.source, DriverOptions::with_iaa()).unwrap();
+    let mut g = r.group("sanitizer");
+    g.sample_size(20);
+    g.bench_function("interp-tracing-off", || {
+        Interp::new(&rep.program).run().unwrap()
+    });
+    g.bench_function("interp-tracing-on", || {
+        let (tracer, _handle) = DependenceTracer::from_report(&rep);
+        let mut it = Interp::new(&rep.program);
+        it.attach_tracer(irr_exec::TraceConfig::all(), Box::new(tracer));
+        it.run().unwrap()
+    });
+    let guarded = irr_driver::compile_source(GUARDED_SRC, DriverOptions::with_iaa()).unwrap();
+    g.sample_size(10);
+    g.bench_function("audit-soundness-modperm-4-inputs", || {
+        audit_report(
+            &guarded,
+            &AuditConfig {
+                seed: 42,
+                inputs: 4,
+                mode: AuditMode::Soundness,
+            },
+        )
+    });
+    g.finish();
+}
+
 fn main() {
     let r = Runner::from_env();
     compile_benchmarks(&r);
@@ -349,4 +387,5 @@ fn main() {
     demand_vs_exhaustive(&r);
     single_indexed_analyses(&r);
     runtime_vs_compile_time(&r);
+    sanitizer_overhead(&r);
 }

@@ -12,15 +12,32 @@
 //! - a bare argument is a substring filter on `group/name`;
 //! - `--test` (passed by `cargo test --benches`) runs every benchmark
 //!   exactly once, as a smoke test, without timing loops;
+//! - `--samples N` overrides every group's sample count (fast CI runs);
+//! - `--json PATH` additionally writes the timed results as a JSON
+//!   document when the runner is dropped, so the perf trajectory is
+//!   machine-readable across commits (see `BENCH_parallel.json`);
 //! - other flags (`--bench`, etc.) are ignored.
 
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// One timed benchmark result, recorded for `--json`.
+struct Record {
+    id: String,
+    median_ns: u128,
+    min_ns: u128,
+    mean_ns: u128,
+    samples: usize,
+}
 
 /// Top-level runner; parses the command line once per bench binary.
 pub struct Runner {
     filter: Option<String>,
     check_only: bool,
+    samples_override: Option<usize>,
+    json_path: Option<String>,
+    results: RefCell<Vec<Record>>,
 }
 
 impl Runner {
@@ -28,14 +45,30 @@ impl Runner {
     pub fn from_env() -> Runner {
         let mut filter = None;
         let mut check_only = false;
-        for a in std::env::args().skip(1) {
+        let mut samples_override = None;
+        let mut json_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
             if a == "--test" {
                 check_only = true;
+            } else if a == "--samples" {
+                samples_override = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(|n: usize| n.max(1));
+            } else if a == "--json" {
+                json_path = args.next();
             } else if !a.starts_with('-') && filter.is_none() {
                 filter = Some(a);
             }
         }
-        Runner { filter, check_only }
+        Runner {
+            filter,
+            check_only,
+            samples_override,
+            json_path,
+            results: RefCell::new(Vec::new()),
+        }
     }
 
     /// Starts a named benchmark group (default 50 samples per entry).
@@ -43,7 +76,44 @@ impl Runner {
         Group {
             runner: self,
             name: name.to_string(),
-            samples: 50,
+            samples: self.samples_override.unwrap_or(50),
+        }
+    }
+
+    fn record(&self, rec: Record) {
+        if self.json_path.is_some() {
+            self.results.borrow_mut().push(rec);
+        }
+    }
+
+    fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"irr-bench/1\",\n  \"benchmarks\": [\n");
+        let results = self.results.borrow();
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}, \
+                 \"samples\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.min_ns,
+                r.mean_ns,
+                r.samples,
+                if i + 1 < results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl Drop for Runner {
+    fn drop(&mut self) {
+        if let Some(path) = &self.json_path {
+            if let Err(e) = std::fs::write(path, self.render_json()) {
+                eprintln!("bench harness: cannot write {path}: {e}");
+            } else {
+                println!("bench results written to {path}");
+            }
         }
     }
 }
@@ -56,9 +126,10 @@ pub struct Group<'r> {
 }
 
 impl Group<'_> {
-    /// Sets the number of timed samples for subsequent entries.
+    /// Sets the number of timed samples for subsequent entries (a
+    /// `--samples` override on the command line wins).
     pub fn sample_size(&mut self, n: usize) {
-        self.samples = n.max(1);
+        self.samples = self.runner.samples_override.unwrap_or(n.max(1));
     }
 
     /// Times `f`, which receives a fresh value from `setup` on every
@@ -99,6 +170,13 @@ impl Group<'_> {
             "{full}: median {median} ns, min {min} ns, mean {mean} ns ({} samples)",
             ns.len()
         );
+        self.runner.record(Record {
+            id: full,
+            median_ns: median,
+            min_ns: min,
+            mean_ns: mean,
+            samples: ns.len(),
+        });
     }
 
     /// Times a closure with no per-call setup.
@@ -115,12 +193,19 @@ impl Group<'_> {
 mod tests {
     use super::*;
 
+    fn test_runner(filter: Option<&str>, check_only: bool) -> Runner {
+        Runner {
+            filter: filter.map(str::to_string),
+            check_only,
+            samples_override: None,
+            json_path: None,
+            results: RefCell::new(Vec::new()),
+        }
+    }
+
     #[test]
     fn bench_function_runs_closure() {
-        let runner = Runner {
-            filter: None,
-            check_only: true,
-        };
+        let runner = test_runner(None, true);
         let mut called = 0;
         let mut g = runner.group("g");
         g.bench_function("f", || called += 1);
@@ -130,13 +215,29 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let runner = Runner {
-            filter: Some("other".into()),
-            check_only: true,
-        };
+        let runner = test_runner(Some("other"), true);
         let mut called = 0;
         let mut g = runner.group("g");
         g.bench_function("f", || called += 1);
         assert_eq!(called, 0);
+    }
+
+    #[test]
+    fn json_records_timed_results() {
+        let mut runner = test_runner(None, false);
+        runner.samples_override = Some(2);
+        runner.json_path = Some("unused".into());
+        {
+            let mut g = runner.group("g");
+            g.sample_size(50); // the override wins
+            g.bench_function("f", || 1 + 1);
+            g.finish();
+        }
+        let json = runner.render_json();
+        assert!(json.contains("\"id\": \"g/f\""), "{json}");
+        assert!(json.contains("\"samples\": 2"), "{json}");
+        assert!(json.contains("\"schema\": \"irr-bench/1\""), "{json}");
+        // Don't let Drop write a stray file from the test.
+        runner.json_path = None;
     }
 }

@@ -15,6 +15,10 @@ use irr_frontend::{print_program, StmtKind};
 /// artifact records all three dispatch tiers without claiming static
 /// parallelism the analysis never proved.
 ///
+/// Sequential-tier loops get `!$irr serial reason(...)` naming the
+/// verdict's blockers, so the artifact also records *why* a loop was
+/// rejected — the input the sanitizer's precision audit starts from.
+///
 /// The directives are comments in the mini-Fortran language, so the
 /// annotated source still parses and executes identically.
 pub fn emit_annotated(report: &CompilationReport) -> String {
@@ -47,6 +51,11 @@ pub fn emit_annotated(report: &CompilationReport) -> String {
                     let indent = &line[..line.len() - trimmed.len()];
                     out.push_str(indent);
                     out.push_str(&guarded_directive_for(report, guard));
+                    out.push('\n');
+                } else {
+                    let indent = &line[..line.len() - trimmed.len()];
+                    out.push_str(indent);
+                    out.push_str(&serial_directive_for(v));
                     out.push('\n');
                 }
             }
@@ -110,6 +119,17 @@ fn guarded_directive_for(report: &CompilationReport, guard: &crate::GuardPlan) -
     format!("!$irr guarded do inspect({})", checks.join(", "))
 }
 
+fn serial_directive_for(v: &LoopVerdict) -> String {
+    let reason = if v.blockers.is_empty() {
+        // Parallel verdict forced sequential at run time (e.g. a
+        // product reduction the chunked executor cannot merge).
+        "not executable in parallel".to_string()
+    } else {
+        v.blockers.join("; ")
+    };
+    format!("!$irr serial reason({reason})")
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{compile_source, DriverOptions};
@@ -148,7 +168,16 @@ mod tests {
         let d30 = lines.iter().position(|l| l.starts_with("do 30")).unwrap();
         assert!(
             !lines[d30 - 1].starts_with("!$omp"),
-            "serial loop must not be annotated:\n{annotated}"
+            "serial loop must not claim parallelism:\n{annotated}"
+        );
+        // The serial loop carries its not-parallel reason instead.
+        assert!(
+            lines[d30 - 1].starts_with("!$irr serial reason("),
+            "{annotated}"
+        );
+        assert!(
+            lines[d30 - 1].contains("array `x`"),
+            "reason names the blocking array:\n{annotated}"
         );
         // The directives are comments: the annotated source reparses and
         // is the same program.

@@ -1,6 +1,8 @@
 //! The instrumenting tree-walking interpreter.
 
 use crate::dispatch::{LoopDecision, LoopDispatcher, SequentialDispatch};
+use crate::rng::SplitMix64;
+use crate::trace::{AccessTracer, TraceConfig, TracerSlot};
 use irr_frontend::{
     BinOp, Expr, Intrinsic, LValue, ProcId, Program, ScalarType, StmtId, StmtKind, UnOp, VarId,
 };
@@ -80,6 +82,26 @@ impl ArrayData {
             },
             ScalarType::Real => ArrayData::Real {
                 data: vec![0.0; total],
+                dims,
+            },
+        }
+    }
+
+    /// An array of `ty` filled with small deterministic pseudo-random
+    /// values: integers in `1..=4` (so values stay plausible as 1-based
+    /// subscripts into any array of extent ≥ 4) and reals in `[0, 1)`.
+    /// The dependence auditor uses this to vary the initial contents of
+    /// arrays a program reads before writing, perturbing data-dependent
+    /// access streams without touching extents or scalar state.
+    pub fn random(ty: ScalarType, dims: Vec<usize>, rng: &mut SplitMix64) -> ArrayData {
+        let total: usize = dims.iter().product();
+        match ty {
+            ScalarType::Int => ArrayData::Int {
+                data: (0..total).map(|_| rng.range_i64(1, 4)).collect(),
+                dims,
+            },
+            ScalarType::Real => ArrayData::Real {
+                data: (0..total).map(|_| rng.next_f64()).collect(),
                 dims,
             },
         }
@@ -297,6 +319,16 @@ pub struct LoopStats {
     pub total_cost: u64,
     /// Per-invocation iteration costs (only for recorded loops).
     pub iteration_costs: Vec<Vec<u64>>,
+    /// How many of the invocations went through the parallel executor.
+    pub parallel_invocations: u64,
+    /// Variables the parallel plan treated as privatized (scalars and
+    /// arrays), recorded on parallel dispatch so telemetry and the
+    /// dependence auditor can attribute effects per array instead of
+    /// per loop.
+    pub privatized: Vec<VarId>,
+    /// Reduction variables of the parallel plan, recorded on parallel
+    /// dispatch.
+    pub reductions: Vec<VarId>,
 }
 
 /// Whole-run statistics.
@@ -378,6 +410,12 @@ pub struct Interp<'p> {
     pub output: Vec<String>,
     /// Remaining execution fuel.
     pub fuel: u64,
+    /// The attached access tracer, if any (dependence sanitizer hook).
+    /// `None` in ordinary runs: every hook site is one null check.
+    tracer: Option<TracerSlot>,
+    /// When set, lazily materialized arrays fill with deterministic
+    /// pseudo-random values instead of zeros (randomized audit inputs).
+    random_fill: Option<SplitMix64>,
 }
 
 impl<'p> Interp<'p> {
@@ -395,7 +433,30 @@ impl<'p> Interp<'p> {
             record_loops: HashSet::new(),
             output: Vec::new(),
             fuel: 2_000_000_000,
+            tracer: None,
+            random_fill: None,
         }
+    }
+
+    /// Attaches an access tracer: `hook` receives loop events for the
+    /// loops `config` selects, plus every element/scalar access executed
+    /// from now on (see [`AccessTracer`]).
+    pub fn attach_tracer(&mut self, config: TraceConfig, hook: Box<dyn AccessTracer>) {
+        self.tracer = Some(TracerSlot { config, hook });
+    }
+
+    /// Detaches and returns the tracer hook, if one was attached.
+    pub fn detach_tracer(&mut self) -> Option<Box<dyn AccessTracer>> {
+        self.tracer.take().map(|slot| slot.hook)
+    }
+
+    /// Fills every array materialized from now on with deterministic
+    /// pseudo-random values drawn from a SplitMix64 stream seeded with
+    /// `seed`, instead of zeros. Extents and scalar initialization are
+    /// unaffected, so the program's shape is preserved while the data
+    /// an array holds before its first write varies per seed.
+    pub fn set_random_fill(&mut self, seed: u64) {
+        self.random_fill = Some(SplitMix64::new(seed));
     }
 
     /// Runs the whole program.
@@ -491,10 +552,16 @@ impl<'p> Interp<'p> {
                     LValue::Scalar(v) => {
                         let ty = self.program.symbols.var(v).ty;
                         self.store.set_scalar(v, ty, val);
+                        if let Some(t) = &mut self.tracer {
+                            t.hook.write_scalar(v);
+                        }
                     }
                     LValue::Element(a, subs) => {
                         let idx = self.flat_index(a, &subs)?;
                         self.write_element(a, idx, val);
+                        if let Some(t) = &mut self.tracer {
+                            t.hook.write_element(a, idx);
+                        }
                     }
                 }
                 Ok(())
@@ -527,6 +594,16 @@ impl<'p> Interp<'p> {
                             },
                         });
                 }
+                // Traced loops report entry (with the live store, for
+                // guard replay), every iteration, and exit. Parallel
+                // dispatches returned above: the sanitizer audits the
+                // sequential semantics of a loop.
+                let traced = self.tracer.as_ref().is_some_and(|t| t.config.traces(s));
+                if traced {
+                    if let Some(t) = &mut self.tracer {
+                        t.hook.loop_enter(&self.store, s, lo, hi, step);
+                    }
+                }
                 let record = self.record_loops.contains(&s);
                 let entry = self.stats.loops.entry(s).or_default();
                 entry.invocations += 1;
@@ -536,6 +613,11 @@ impl<'p> Interp<'p> {
                 let mut i = lo;
                 while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
                     self.store.set_scalar(var, ty, Value::Int(i));
+                    if traced {
+                        if let Some(t) = &mut self.tracer {
+                            t.hook.loop_iter(s, i);
+                        }
+                    }
                     let c0 = self.stats.total_cost;
                     self.exec_body_with(&body, dispatcher)?;
                     self.charge(1)?; // loop bookkeeping
@@ -543,6 +625,11 @@ impl<'p> Interp<'p> {
                         iter_costs.push(self.stats.total_cost - c0);
                     }
                     i += step;
+                }
+                if traced {
+                    if let Some(t) = &mut self.tracer {
+                        t.hook.loop_exit(s);
+                    }
                 }
                 // Fortran leaves the induction variable at the
                 // first out-of-range value.
@@ -596,9 +683,17 @@ impl<'p> Interp<'p> {
         match e {
             Expr::IntLit(v) => Ok(Value::Int(*v)),
             Expr::RealLit(v) => Ok(Value::Real(*v)),
-            Expr::Var(v) => Ok(self.store.scalar(*v)),
+            Expr::Var(v) => {
+                if let Some(t) = &mut self.tracer {
+                    t.hook.read_scalar(*v);
+                }
+                Ok(self.store.scalar(*v))
+            }
             Expr::Element(a, subs) => {
                 let idx = self.flat_index(*a, subs)?;
+                if let Some(t) = &mut self.tracer {
+                    t.hook.read_element(*a, idx);
+                }
                 Ok(self.read_element(*a, idx))
             }
             Expr::Bin(op, x, y) => {
@@ -674,7 +769,11 @@ impl<'p> Interp<'p> {
             }
             dims.push(v as usize);
         }
-        self.store.materialize(a, ArrayData::zeroed(info.ty, dims));
+        let data = match &mut self.random_fill {
+            Some(rng) => ArrayData::random(info.ty, dims, rng),
+            None => ArrayData::zeroed(info.ty, dims),
+        };
+        self.store.materialize(a, data);
         Ok(())
     }
 

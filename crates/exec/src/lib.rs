@@ -26,6 +26,7 @@ pub mod machine;
 pub mod parallel;
 pub mod rng;
 pub mod runtime_test;
+pub mod trace;
 
 pub use dispatch::{LoopDecision, LoopDispatcher, SequentialDispatch};
 pub use interp::{ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Value, WriteLog};
@@ -35,3 +36,4 @@ pub use machine::{
 pub use parallel::{exec_do_parallel, run_loop_parallel, ParallelError, ParallelPlan, ReduceOp};
 pub use rng::SplitMix64;
 pub use runtime_test::{inspect_bounded, inspect_injective, inspect_offset_length, Inspection};
+pub use trace::{AccessTracer, TraceConfig};

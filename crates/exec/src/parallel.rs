@@ -247,7 +247,16 @@ pub fn exec_do_parallel(
     if step != 1 {
         return Err(ParallelError::UnsupportedStep { step });
     }
-    interp.stats.loops.entry(loop_stmt).or_default().invocations += 1;
+    {
+        // Record the dispatch and the plan's per-array exoneration sets
+        // so telemetry and the dependence auditor can attribute parallel
+        // effects per array, not just per loop.
+        let entry = interp.stats.loops.entry(loop_stmt).or_default();
+        entry.invocations += 1;
+        entry.parallel_invocations += 1;
+        entry.privatized = plan.privatized.clone();
+        entry.reductions = plan.reductions.iter().map(|(v, _)| *v).collect();
+    }
     let ty = program.symbols.var(var).ty;
     if lo > hi {
         // Zero-trip: sequential semantics leave the induction variable

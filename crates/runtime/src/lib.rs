@@ -64,6 +64,10 @@ impl Default for HybridConfig {
 }
 
 /// Everything the dispatcher needs to know about one compiled loop.
+/// A loop verdict's parallel-plan attribution: the privatized variables
+/// and the reduction assignments (see [`HybridDispatcher::loop_attribution`]).
+pub type LoopAttribution<'a> = (&'a [VarId], &'a [(VarId, ReduceOp)]);
+
 #[derive(Clone, Debug)]
 struct LoopEntry {
     tier: DispatchTier,
@@ -127,6 +131,16 @@ impl HybridDispatcher {
     /// The schedule cache (for inspection in tests and examples).
     pub fn cache(&self) -> &ScheduleCache {
         &self.cache
+    }
+
+    /// Per-array attribution for `loop_stmt`'s verdict: the privatized
+    /// variables and the reduction assignments the dispatcher would hand
+    /// to a parallel plan. The dependence sanitizer uses these to decide
+    /// which observed dependences a parallel verdict already explains.
+    pub fn loop_attribution(&self, loop_stmt: StmtId) -> Option<LoopAttribution<'_>> {
+        self.loops
+            .get(&loop_stmt)
+            .map(|e| (e.privatized.as_slice(), e.reductions.as_slice()))
     }
 
     fn plan_for(&self, entry: &LoopEntry) -> ParallelPlan {

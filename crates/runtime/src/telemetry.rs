@@ -27,6 +27,17 @@ pub struct Telemetry {
     /// Loop entries dispatched sequential without any guard (proven
     /// sequential, unknown loop, or non-unit step).
     pub sequential: u64,
+    /// Dynamic loop executions analyzed under shadow-memory tracing by
+    /// the dependence sanitizer.
+    pub traced_executions: u64,
+    /// Loop verdicts cross-checked against observed dependences.
+    pub verdicts_audited: u64,
+    /// Verdicts contradicted by an observed loop-carried dependence
+    /// (parallel claim with an unexplained dependence).
+    pub audit_violations: u64,
+    /// Sequential verdicts that never exhibited a dependence on any
+    /// audited input (possible precision loss, not an error).
+    pub audit_precision_gaps: u64,
 }
 
 impl Telemetry {
@@ -43,5 +54,10 @@ impl Telemetry {
     /// Total guarded loop entries (inspected or cache-answered).
     pub fn guarded_dispatches(&self) -> u64 {
         self.guarded_parallel + self.guarded_sequential
+    }
+
+    /// Total sanitizer findings (violations plus precision gaps).
+    pub fn audit_findings(&self) -> u64 {
+        self.audit_violations + self.audit_precision_gaps
     }
 }

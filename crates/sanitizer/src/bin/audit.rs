@@ -1,0 +1,128 @@
+//! `sanitizer-audit`: replay the benchmark suite and the paper figures
+//! under shadow-memory tracing and cross-check every loop verdict.
+//!
+//! ```text
+//! sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N]
+//!                 [--scale test|paper] [--only SUBSTR]
+//! ```
+//!
+//! Exits nonzero iff any soundness violation is found, so the command
+//! doubles as a CI gate. Precision gaps (full mode) are informational.
+
+use irr_driver::{compile_source, DriverOptions};
+use irr_programs::{all, Scale};
+use irr_sanitizer::{audit_report, figures, AuditConfig, AuditMode, FindingKind};
+
+fn main() {
+    let mut config = AuditConfig {
+        mode: AuditMode::Soundness,
+        ..AuditConfig::default()
+    };
+    let mut scale = Scale::Test;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--mode" => {
+                config.mode = match value("--mode").as_str() {
+                    "soundness" => AuditMode::Soundness,
+                    "full" => AuditMode::Full,
+                    other => die(&format!("unknown mode `{other}`")),
+                }
+            }
+            "--seed" => {
+                config.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"))
+            }
+            "--inputs" => {
+                config.inputs = value("--inputs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--inputs needs an integer"))
+            }
+            "--scale" => {
+                scale = match value("--scale").as_str() {
+                    "test" => Scale::Test,
+                    "paper" => Scale::Paper,
+                    other => die(&format!("unknown scale `{other}`")),
+                }
+            }
+            "--only" => only = Some(value("--only")),
+            "--help" | "-h" => {
+                println!(
+                    "sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N] \
+                     [--scale test|paper] [--only SUBSTR]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut targets: Vec<(String, String)> = all(scale)
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.source))
+        .collect();
+    targets.extend(
+        figures()
+            .into_iter()
+            .map(|f| (f.name.to_string(), f.source.to_string())),
+    );
+    if let Some(filter) = &only {
+        targets.retain(|(name, _)| name.contains(filter.as_str()));
+    }
+
+    let mode = match config.mode {
+        AuditMode::Soundness => "soundness",
+        AuditMode::Full => "full",
+    };
+    println!(
+        "sanitizer-audit: mode {mode}, seed {}, 1 pristine + {} randomized input(s) per program",
+        config.seed, config.inputs
+    );
+    let mut total_violations = 0usize;
+    let mut total_gaps = 0usize;
+    for (name, src) in &targets {
+        let rep = match compile_source(src, DriverOptions::with_iaa()) {
+            Ok(r) => r,
+            Err(e) => die(&format!("{name}: parse error: {e}")),
+        };
+        let audit = audit_report(&rep, &config);
+        println!(
+            "{name}: {} loop(s) audited, {} traced execution(s), {} run(s) ok, {} failed, \
+             {} violation(s), {} precision gap(s)",
+            audit.loops_audited,
+            audit.executions_traced,
+            audit.runs_completed,
+            audit.runs_failed,
+            audit.violations(),
+            audit.precision_gaps(),
+        );
+        for f in &audit.findings {
+            let tag = match f.kind {
+                FindingKind::SoundnessViolation => "VIOLATION",
+                FindingKind::PrecisionGap => "precision-gap",
+            };
+            println!("  [{tag}] {}", f.detail);
+        }
+        total_violations += audit.violations();
+        total_gaps += audit.precision_gaps();
+    }
+    println!(
+        "sanitizer-audit: {} program(s), {total_violations} violation(s), {total_gaps} \
+         precision gap(s)",
+        targets.len()
+    );
+    if total_violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sanitizer-audit: {msg}");
+    std::process::exit(2);
+}

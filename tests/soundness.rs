@@ -216,6 +216,210 @@ fn parallel_verdicts_are_sound() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Adversarial audits: the dependence sanitizer cross-checks verdicts on
+// programs built to stress the exact seams where static reasoning and
+// dynamic behavior can disagree.
+// ---------------------------------------------------------------------
+
+use irr_driver::DispatchTier;
+use irr_exec::TraceConfig;
+use irr_sanitizer::{audit_report, AuditConfig, AuditMode, DepKind, DependenceTracer, FindingKind};
+
+fn audit_cfg() -> AuditConfig {
+    AuditConfig {
+        seed: 0x5A11,
+        inputs: 4,
+        mode: AuditMode::Full,
+    }
+}
+
+/// Stack discipline broken by popping below the iteration's own bottom:
+/// iteration `i` pops past its own pushes into an element iteration
+/// `i - 1` pushed — a real carried flow dependence. The verdict must be
+/// sequential, the tracer must exhibit the dependence, and the audit
+/// must report neither a violation nor a precision gap.
+#[test]
+fn stack_pop_below_bottom_is_carried_and_stays_serial() {
+    let src = "program t
+         integer i, p, n
+         real stk(64), out(64)
+         n = 16
+         p = 0
+         do 100 i = 1, n
+           p = p + 1
+           stk(p) = i * 1.0
+           out(i) = stk(p)
+           if (p >= 2) then
+             p = p - 1
+             out(i) = out(i) + stk(p)
+           endif
+ 100     continue
+         print out(1), out(16)
+         end";
+    let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+    let v = rep.verdict("T/do100").expect("verdict exists");
+    assert!(!v.parallel, "pop-below-bottom must stay serial: {v:?}");
+    assert!(matches!(v.tier, DispatchTier::Sequential), "{v:?}");
+    // The dynamic run really exhibits the carried flow dependence on the
+    // stack array.
+    let (tracer, handle) = DependenceTracer::from_report(&rep);
+    let mut it = Interp::new(&rep.program);
+    it.attach_tracer(TraceConfig::only([v.loop_stmt]), Box::new(tracer));
+    it.run().unwrap();
+    let log = handle.borrow().clone();
+    let stk = rep.program.symbols.lookup("stk").unwrap();
+    let ex = &log.executions_of(v.loop_stmt)[0];
+    let w = ex
+        .dep_on(stk, DepKind::Flow)
+        .expect("carried flow dependence on stk observed");
+    assert_eq!(w.distance(), 1, "{w:?}");
+    // And the audit agrees with the verdict: no finding of either kind.
+    let audit = audit_report(&rep, &audit_cfg());
+    assert!(audit.is_sound(), "{:?}", audit.findings);
+    assert!(
+        !audit.findings.iter().any(|f| f.label == "T/do100"),
+        "{:?}",
+        audit.findings
+    );
+}
+
+/// A runtime-guarded loop whose index array is smashed *through a
+/// procedure call* between two dynamic executions: the guard must be
+/// replayed at each entry, pass on the injective first execution, fail
+/// on the corrupted second — and because the dependent execution was
+/// never cleared, the audit stays sound.
+#[test]
+fn index_array_mutated_through_call_between_executions() {
+    // `smash` is padded past the inlining threshold (dead statements
+    // behind `r < 0`) so the call — and the mutation it hides from the
+    // analysis — survives the pass pipeline.
+    let mut filler = String::new();
+    for k in 0..60 {
+        filler.push_str(&format!("  dummy({}) = {k}\n", k + 1));
+    }
+    let src = format!(
+        "program t
+         integer i, r, n, p(8), dummy(64)
+         real z(8), x(8)
+         n = 8
+         do i = 1, n
+           p(i) = mod(i * 3, n) + 1
+           x(i) = i * 1.0
+         enddo
+         do 50 r = 1, 2
+           do 20 i = 1, n
+             z(p(i)) = x(i) + r
+ 20        continue
+           call smash
+ 50      continue
+         print z(1), z(8)
+         end
+         subroutine smash
+           p(2) = p(1)
+           if (r < 0) then
+{filler}           endif
+         end"
+    );
+    let rep = compile_source(&src, DriverOptions::with_iaa()).unwrap();
+    let v = rep.verdict("T/do20").expect("verdict exists");
+    assert!(
+        matches!(v.tier, DispatchTier::RuntimeGuarded(_)),
+        "inner loop must be runtime-guarded: {v:?}"
+    );
+    let (tracer, handle) = DependenceTracer::from_report(&rep);
+    let mut it = Interp::new(&rep.program);
+    it.attach_tracer(TraceConfig::only([v.loop_stmt]), Box::new(tracer));
+    it.run().unwrap();
+    let log = handle.borrow().clone();
+    let execs = log.executions_of(v.loop_stmt);
+    assert_eq!(execs.len(), 2);
+    // Execution 1: p is a mod-permutation, guard passes, no dependence.
+    assert_eq!(execs[0].guard_passed, Some(true));
+    assert!(!execs[0].has_deps(), "{:?}", execs[0]);
+    // Execution 2: the call collapsed p(2) onto p(1); the replayed guard
+    // fails, and the run exhibits the output dependence on z the guard
+    // protected against.
+    assert_eq!(execs[1].guard_passed, Some(false));
+    let z = rep.program.symbols.lookup("z").unwrap();
+    assert!(
+        execs[1].dep_on(z, DepKind::Output).is_some(),
+        "{:?}",
+        execs[1]
+    );
+    // The audit holds the loop to the parallel standard only on the
+    // execution the guard cleared — which was dependence-free.
+    let audit = audit_report(&rep, &audit_cfg());
+    assert!(audit.is_sound(), "{:?}", audit.findings);
+}
+
+/// A zero-trip loop under tracing: enters and exits without iterations,
+/// exhibits nothing, and is neither a violation nor flagged as a
+/// precision gap (a dependence never had a chance to manifest).
+#[test]
+fn zero_trip_loop_under_tracing_is_silent() {
+    let src = "program t
+         integer i, n
+         real x(8)
+         n = 0
+         do 10 i = 1, n
+           x(1) = x(1) + i
+ 10      continue
+         print x(1)
+         end";
+    let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+    let v = rep.verdict("T/do10").expect("verdict exists");
+    let (tracer, handle) = DependenceTracer::from_report(&rep);
+    let mut it = Interp::new(&rep.program);
+    it.attach_tracer(TraceConfig::only([v.loop_stmt]), Box::new(tracer));
+    it.run().unwrap();
+    let log = handle.borrow().clone();
+    let execs = log.executions_of(v.loop_stmt);
+    assert_eq!(execs.len(), 1);
+    assert_eq!(execs[0].iterations, 0);
+    assert!(!execs[0].has_deps());
+    let audit = audit_report(&rep, &audit_cfg());
+    assert!(audit.findings.is_empty(), "{:?}", audit.findings);
+}
+
+/// A deliberately broken verdict — a dependent loop promoted to
+/// `CompileTimeParallel` by hand — is caught by the auditor with a
+/// concrete, minimized witness naming the array, element, and the
+/// writer/reader iterations.
+#[test]
+fn injected_broken_verdict_is_caught() {
+    let src = "program t
+         integer i, n
+         real x(32)
+         n = 32
+         do 10 i = 2, n
+           x(i) = x(i - 1) * 1.5 + 1.0
+ 10      continue
+         print x(32)
+         end";
+    let mut rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+    let v = rep
+        .verdicts
+        .iter_mut()
+        .find(|v| v.label == "T/do10")
+        .expect("verdict exists");
+    assert!(!v.parallel, "the loop really is dependent");
+    v.parallel = true;
+    v.tier = DispatchTier::CompileTimeParallel;
+    let audit = audit_report(&rep, &audit_cfg());
+    assert_eq!(audit.violations(), 1, "{:?}", audit.findings);
+    let f = &audit.findings[0];
+    assert_eq!(f.kind, FindingKind::SoundnessViolation);
+    assert_eq!(f.label, "T/do10");
+    let w = f.witness.expect("concrete witness");
+    let x = rep.program.symbols.lookup("x").unwrap();
+    assert_eq!(w.var, x);
+    assert_eq!(w.kind, DepKind::Flow);
+    assert_eq!(w.distance(), 1, "witness is minimized: {w:?}");
+    assert!(w.element.is_some());
+    assert!(f.detail.contains("T/do10"), "{}", f.detail);
+}
+
 /// The analyses never claim independence for the loops the generator
 /// makes deliberately dependent.
 #[test]
