@@ -17,10 +17,13 @@ use irr_core::{
     AnalysisCtx, DistanceSpec, Property, PropertyQuery,
 };
 use irr_driver::{DispatchTier, DriverOptions};
-use irr_exec::{exec_do_parallel, inspect_offset_length, Interp, LoopDispatcher, ParallelPlan};
+use irr_exec::{
+    exec_do_parallel, inspect_offset_length, FallbackReason, FaultKind, FaultPlan, Interp,
+    LoopDispatcher, ParallelPlan,
+};
 use irr_frontend::{parse_program, Program, StmtId, StmtKind};
 use irr_programs::{all, Scale};
-use irr_runtime::{HybridConfig, HybridDispatcher};
+use irr_runtime::{run_hybrid, run_hybrid_with_faults, HybridConfig, HybridDispatcher};
 use irr_sanitizer::{audit_report, AuditConfig, AuditMode, DependenceTracer};
 use irr_symbolic::{Section, SymExpr};
 
@@ -307,25 +310,7 @@ fn runtime_vs_compile_time(r: &Runner) {
     // within ~2× of `store-512` (the old snapshot-diff merge cloned and
     // diffed every element, scaling with the store instead).
     for n in [512usize, 8192] {
-        let src = format!(
-            "program t
-             integer i
-             real big({n}), y({n})
-             do i = 1, {n}
-               big(i) = i * 0.5
-             enddo
-             do i = 1, 16
-               y(i) = big(i) + i
-             enddo
-             end"
-        );
-        let program = parse_program(&src).unwrap();
-        let loops: Vec<StmtId> = program
-            .stmts_in(&program.procedure(program.main()).body)
-            .into_iter()
-            .filter(|s| matches!(program.stmt(*s).kind, StmtKind::Do { .. }))
-            .collect();
-        let (fill, target) = (loops[0], loops[1]);
+        let (program, fill, target) = sixteen_writes_scenario(n);
         g.bench_with_setup(
             &format!("parallel-exec-16-writes/store-{n}"),
             || {
@@ -340,6 +325,120 @@ fn runtime_vs_compile_time(r: &Runner) {
             },
         );
     }
+    g.finish();
+}
+
+/// A loop writing 16 elements of a `y` array backed by an `n`-element
+/// store — the write-log merge scaling scenario, shared by the
+/// parallel-exec and fallback groups. Returns the program, the `big`
+/// fill loop, and the 16-write target loop.
+fn sixteen_writes_scenario(n: usize) -> (Program, StmtId, StmtId) {
+    let src = format!(
+        "program t
+         integer i
+         real big({n}), y({n})
+         do i = 1, {n}
+           big(i) = i * 0.5
+         enddo
+         do i = 1, 16
+           y(i) = big(i) + i
+         enddo
+         end"
+    );
+    let program = parse_program(&src).unwrap();
+    let loops: Vec<StmtId> = program
+        .stmts_in(&program.procedure(program.main()).body)
+        .into_iter()
+        .filter(|s| matches!(program.stmt(*s).kind, StmtKind::Do { .. }))
+        .collect();
+    let (fill, target) = (loops[0], loops[1]);
+    (program, fill, target)
+}
+
+/// The transactional-fallback costs:
+///
+/// - `parallel-hot-path-hooks-off` — the exact `parallel-exec-16-writes`
+///   scenario through a plan with no fault armed and no deadline; every
+///   fault hook is a `None` check, so this must land within noise of
+///   `runtime-vs-compile-time/parallel-exec-16-writes/store-512` (CI
+///   enforces a same-run ratio).
+/// - `hybrid-fault-free-run` / `hybrid-conflict-recovery-run` — a whole
+///   guarded-kernel hybrid execution without faults vs with a forged
+///   conflict, which pays one discarded parallel attempt plus the
+///   sequential re-execution of the loop.
+/// - `hybrid-quarantined-reentry-dispatch` — dispatching a poisoned
+///   schedule: a cache probe and a counter decrement, no inspection.
+fn fallback_overhead(r: &Runner) {
+    let mut g = r.group("fallback");
+    g.sample_size(20);
+    let (program, fill, target) = sixteen_writes_scenario(512);
+    g.bench_with_setup(
+        "parallel-hot-path-hooks-off/store-512",
+        || {
+            let mut it = Interp::new(&program);
+            it.exec_stmt(fill).unwrap();
+            it
+        },
+        |mut it| {
+            let plan = ParallelPlan {
+                deadline_ms: None,
+                fault: None,
+                ..ParallelPlan::with_threads(4)
+            };
+            exec_do_parallel(&mut it, target, &plan, 1, 16, 1).unwrap()
+        },
+    );
+
+    let rep = irr_driver::compile_source(GUARDED_SRC, DriverOptions::with_iaa()).unwrap();
+    g.bench_function("hybrid-fault-free-run", || {
+        run_hybrid(&rep, HybridConfig::default()).unwrap()
+    });
+    g.bench_function("hybrid-conflict-recovery-run", || {
+        // Site 0 is the compile-time-parallel fill loop; site 1 is the
+        // guarded `do 20`, which the forged conflict rolls back.
+        let plan = FaultPlan::scripted([(1, FaultKind::ForgeConflict)]);
+        let (out, plan) = run_hybrid_with_faults(&rep, HybridConfig::default(), plan).unwrap();
+        assert_eq!(out.telemetry.fallbacks(), 1, "{:?}", plan.fired());
+        out
+    });
+    // The reason-coded dispatch counters behind the recovery scenario,
+    // recorded into the JSON report next to its timing.
+    {
+        let plan = FaultPlan::scripted([(1, FaultKind::ForgeConflict)]);
+        let (out, _) = run_hybrid_with_faults(&rep, HybridConfig::default(), plan).unwrap();
+        let t = out.telemetry;
+        for (key, v) in [
+            ("fallback-conflict", t.fallback_conflict),
+            ("quarantine-poisonings", t.quarantine_poisonings),
+            ("sequential-proven", t.sequential_proven),
+            ("sequential-unknown-loop", t.sequential_unknown_loop),
+            ("sequential-non-unit-step", t.sequential_non_unit_step),
+        ] {
+            r.annotate(&format!("fallback/hybrid-conflict-recovery-run/{key}"), v);
+        }
+    }
+
+    // A dispatcher whose guarded schedule is pinned sequential: the
+    // re-entry cost of a quarantined loop.
+    let v = rep.verdict("T/do20").expect("verdict for do20");
+    let store = Interp::new(&rep.program).run().unwrap().store;
+    let mut quarantined = HybridDispatcher::new(
+        &rep,
+        HybridConfig {
+            quarantine_retries: u32::MAX,
+            ..HybridConfig::default()
+        },
+    );
+    quarantined.dispatch(&store, v.loop_stmt, 1, 512, 1);
+    quarantined.parallel_failed(v.loop_stmt, FallbackReason::Conflict);
+    g.bench_function("hybrid-quarantined-reentry-dispatch", || {
+        quarantined.dispatch(&store, v.loop_stmt, 1, 512, 1)
+    });
+    assert!(
+        quarantined.telemetry.quarantined > 0,
+        "{:?}",
+        quarantined.telemetry
+    );
     g.finish();
 }
 
@@ -387,5 +486,6 @@ fn main() {
     demand_vs_exhaustive(&r);
     single_indexed_analyses(&r);
     runtime_vs_compile_time(&r);
+    fallback_overhead(&r);
     sanitizer_overhead(&r);
 }

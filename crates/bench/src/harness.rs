@@ -38,6 +38,7 @@ pub struct Runner {
     samples_override: Option<usize>,
     json_path: Option<String>,
     results: RefCell<Vec<Record>>,
+    annotations: RefCell<Vec<(String, u64)>>,
 }
 
 impl Runner {
@@ -68,6 +69,16 @@ impl Runner {
             samples_override,
             json_path,
             results: RefCell::new(Vec::new()),
+            annotations: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Records a non-timing fact (e.g. a telemetry counter behind a
+    /// benchmark scenario) for the `--json` report's `annotations`
+    /// object.
+    pub fn annotate(&self, key: &str, value: u64) {
+        if self.json_path.is_some() {
+            self.annotations.borrow_mut().push((key.to_string(), value));
         }
     }
 
@@ -101,7 +112,17 @@ impl Runner {
                 if i + 1 < results.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n  \"annotations\": {\n");
+        let annotations = self.annotations.borrow();
+        for (i, (k, v)) in annotations.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                k.replace('"', "'"),
+                v,
+                if i + 1 < annotations.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  }\n}\n");
         out
     }
 }
@@ -200,6 +221,7 @@ mod tests {
             samples_override: None,
             json_path: None,
             results: RefCell::new(Vec::new()),
+            annotations: RefCell::new(Vec::new()),
         }
     }
 
@@ -233,10 +255,12 @@ mod tests {
             g.bench_function("f", || 1 + 1);
             g.finish();
         }
+        runner.annotate("g/telemetry/fallbacks", 3);
         let json = runner.render_json();
         assert!(json.contains("\"id\": \"g/f\""), "{json}");
         assert!(json.contains("\"samples\": 2"), "{json}");
         assert!(json.contains("\"schema\": \"irr-bench/1\""), "{json}");
+        assert!(json.contains("\"g/telemetry/fallbacks\": 3"), "{json}");
         // Don't let Drop write a stray file from the test.
         runner.json_path = None;
     }

@@ -24,6 +24,40 @@ pub enum LoopDecision {
     Parallel(ParallelPlan),
 }
 
+/// Why a parallel dispatch was abandoned in favor of sequential
+/// re-execution. One variant per recoverable
+/// [`ParallelError`](crate::ParallelError) class; a genuine worker
+/// `ExecError` has no reason code because it propagates instead of
+/// falling back.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FallbackReason {
+    /// Two workers wrote the same location — the schedule was wrong.
+    Conflict,
+    /// A worker thread panicked.
+    Panic,
+    /// Workers disagreed on an array shape, or a logged write landed
+    /// past an extent.
+    Shape,
+    /// The executor cannot run this loop shape (non-unit step, not a
+    /// `do` loop).
+    Unsupported,
+    /// A worker overran the per-worker deadline (watchdog).
+    Timeout,
+}
+
+impl FallbackReason {
+    /// Short stable name, used in telemetry dumps and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FallbackReason::Conflict => "conflict",
+            FallbackReason::Panic => "panic",
+            FallbackReason::Shape => "shape",
+            FallbackReason::Unsupported => "unsupported",
+            FallbackReason::Timeout => "timeout",
+        }
+    }
+}
+
 /// Per-execution loop dispatch. Implementations may inspect the live
 /// store (e.g. run an inspector over an index array) before deciding.
 pub trait LoopDispatcher {
@@ -40,6 +74,14 @@ pub trait LoopDispatcher {
         hi: i64,
         step: i64,
     ) -> LoopDecision;
+
+    /// Notifies the dispatcher that its most recent
+    /// [`Parallel`](LoopDecision::Parallel) decision for `loop_stmt`
+    /// failed at runtime for `reason`, and the interpreter is
+    /// re-executing the loop sequentially on the untouched master
+    /// store. Implementations use this to record telemetry and
+    /// quarantine the failing schedule; the default is a no-op.
+    fn parallel_failed(&mut self, _loop_stmt: StmtId, _reason: FallbackReason) {}
 }
 
 /// The trivial dispatcher: every loop runs sequentially. Using it with

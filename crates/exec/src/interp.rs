@@ -586,13 +586,24 @@ impl<'p> Interp<'p> {
                 if let LoopDecision::Parallel(plan) =
                     dispatcher.dispatch(&self.store, s, lo, hi, step)
                 {
-                    return crate::parallel::exec_do_parallel(self, s, &plan, lo, hi, step)
-                        .map_err(|e| match e {
-                            crate::parallel::ParallelError::Exec(x) => x,
-                            other => ExecError::ParallelFailure {
-                                reason: other.to_string(),
-                            },
-                        });
+                    match crate::parallel::exec_do_parallel(self, s, &plan, lo, hi, step) {
+                        Ok(()) => return Ok(()),
+                        // Genuine runtime errors inside a worker are the
+                        // program's fault and propagate.
+                        Err(crate::parallel::ParallelError::Exec(x)) => return Err(x),
+                        // Everything else is the dispatch's fault
+                        // (conflict, panic, shape, timeout, unsupported
+                        // shape). The transaction left the master store,
+                        // stats, and output untouched, so fall through
+                        // to the sequential loop below — the recorded
+                        // run is then exactly the sequential one.
+                        Err(other) => {
+                            let reason = other.fallback_reason().unwrap_or_else(|| {
+                                unreachable!("non-Exec ParallelError always has a reason")
+                            });
+                            dispatcher.parallel_failed(s, reason);
+                        }
+                    }
                 }
                 // Traced loops report entry (with the live store, for
                 // guard replay), every iteration, and exit. Parallel

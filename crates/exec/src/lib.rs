@@ -21,6 +21,7 @@
 //! assumptions of the symbolic layer.
 
 pub mod dispatch;
+pub mod fault;
 pub mod interp;
 pub mod machine;
 pub mod parallel;
@@ -28,7 +29,8 @@ pub mod rng;
 pub mod runtime_test;
 pub mod trace;
 
-pub use dispatch::{LoopDecision, LoopDispatcher, SequentialDispatch};
+pub use dispatch::{FallbackReason, LoopDecision, LoopDispatcher, SequentialDispatch};
+pub use fault::{FaultKind, FaultPlan, FaultShot};
 pub use interp::{ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Value, WriteLog};
 pub use machine::{
     simulate_program_time, simulate_speedup, LoopProfile, MachineModel, ProgramProfile,

@@ -22,9 +22,11 @@
 //! parallel produce exactly the sequential result, with no conflicting
 //! writes*.
 
+use crate::fault::FaultKind;
 use crate::interp::{ArrayData, ExecError, ExecStats, Interp, Store, Value, WriteLog};
 use irr_frontend::{Program, StmtId, StmtKind, VarId};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// How a chunk-merged scalar reduction combines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,6 +49,27 @@ pub struct ParallelPlan {
     pub privatized: Vec<VarId>,
     /// Scalar reductions and their combining operators.
     pub reductions: Vec<(VarId, ReduceOp)>,
+    /// Per-worker wall-clock deadline in milliseconds: a worker still
+    /// running past it aborts its chunk and the dispatch fails with
+    /// [`ParallelError::Timeout`] (so a runaway worker becomes a
+    /// sequential fallback instead of a wedged run). `None` disables
+    /// the watchdog — the hot path then never reads a clock.
+    pub deadline_ms: Option<u64>,
+    /// An injected fault for this dispatch (chaos testing); `None` in
+    /// ordinary runs, checked once per dispatch.
+    pub fault: Option<FaultKind>,
+}
+
+impl Default for ParallelPlan {
+    fn default() -> Self {
+        ParallelPlan {
+            threads: 4,
+            privatized: Vec::new(),
+            reductions: Vec::new(),
+            deadline_ms: None,
+            fault: None,
+        }
+    }
 }
 
 impl ParallelPlan {
@@ -54,8 +77,7 @@ impl ParallelPlan {
     pub fn with_threads(threads: usize) -> ParallelPlan {
         ParallelPlan {
             threads,
-            privatized: Vec::new(),
-            reductions: Vec::new(),
+            ..ParallelPlan::default()
         }
     }
 }
@@ -81,6 +103,9 @@ pub enum ParallelError {
     /// The loop has a non-unit step, which the chunked executor does
     /// not support.
     UnsupportedStep { step: i64 },
+    /// A worker exceeded the plan's per-worker deadline (watchdog): the
+    /// chunk was abandoned and the whole dispatch must fall back.
+    Timeout { worker: usize, deadline_ms: u64 },
 }
 
 impl std::fmt::Display for ParallelError {
@@ -106,6 +131,15 @@ impl std::fmt::Display for ParallelError {
                     "do-loop step {step} is unsupported by the chunked executor (unit step only)"
                 )
             }
+            ParallelError::Timeout {
+                worker,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "parallel worker {worker} exceeded its {deadline_ms} ms deadline"
+                )
+            }
         }
     }
 }
@@ -115,6 +149,25 @@ impl std::error::Error for ParallelError {}
 impl From<ExecError> for ParallelError {
     fn from(e: ExecError) -> Self {
         ParallelError::Exec(e)
+    }
+}
+
+impl ParallelError {
+    /// The reason code the sequential fallback records for this error.
+    /// `None` for [`ParallelError::Exec`]: a genuine runtime error is
+    /// the program's fault, not the dispatch's, and must propagate.
+    pub fn fallback_reason(&self) -> Option<crate::dispatch::FallbackReason> {
+        use crate::dispatch::FallbackReason;
+        match self {
+            ParallelError::Exec(_) => None,
+            ParallelError::WriteConflict { .. } => Some(FallbackReason::Conflict),
+            ParallelError::ShapeMismatch { .. } => Some(FallbackReason::Shape),
+            ParallelError::WorkerPanic { .. } => Some(FallbackReason::Panic),
+            ParallelError::NotADoLoop | ParallelError::UnsupportedStep { .. } => {
+                Some(FallbackReason::Unsupported)
+            }
+            ParallelError::Timeout { .. } => Some(FallbackReason::Timeout),
+        }
     }
 }
 
@@ -211,6 +264,20 @@ struct ChunkOutcome {
     output: Vec<String>,
 }
 
+/// Why one worker's chunk did not complete.
+enum WorkerFailure {
+    /// A genuine runtime error inside the chunk.
+    Exec(ExecError),
+    /// The watchdog deadline expired before the chunk finished.
+    TimedOut,
+}
+
+impl From<ExecError> for WorkerFailure {
+    fn from(e: ExecError) -> Self {
+        WorkerFailure::Exec(e)
+    }
+}
+
 /// Executes one `do` loop in parallel chunks per `plan`, with the bounds
 /// already evaluated. This is the dispatch hook the hybrid runtime uses
 /// after a guard (or a compile-time verdict) clears the loop: the
@@ -219,10 +286,20 @@ struct ChunkOutcome {
 /// with write recording on, and the chunks' write logs are merged back
 /// in `O(total writes)` (detecting conflicts positionally).
 ///
+/// **The dispatch is a transaction.** The master interpreter — store,
+/// statistics, output, fuel — is mutated only after every worker
+/// completed and the merged write set validated conflict- and
+/// shape-clean. On any [`ParallelError`] the master is exactly as it
+/// was at entry, so the caller can re-execute the loop sequentially
+/// (the interpreter's dispatch site does precisely that; see
+/// `Interp::exec_stmt_with`).
+///
 /// Worker statistics, printed output, and fuel consumption are
 /// aggregated into the master interpreter; the induction variable is
 /// left at `hi + 1` (or `lo` for a zero-trip loop), matching sequential
-/// semantics.
+/// semantics. A `plan.deadline_ms` arms a cooperative per-worker
+/// watchdog (checked between iterations); `plan.fault` injects one
+/// failure for chaos testing.
 ///
 /// # Errors
 ///
@@ -231,7 +308,8 @@ struct ChunkOutcome {
 /// [`ParallelError::WriteConflict`] when chunks write the same
 /// location; [`ParallelError::ShapeMismatch`] when chunks disagree on
 /// an array's shape; [`ParallelError::WorkerPanic`] when a worker
-/// thread panics; worker [`ExecError`]s are propagated.
+/// thread panics; [`ParallelError::Timeout`] when a worker overruns the
+/// deadline; worker [`ExecError`]s are propagated.
 pub fn exec_do_parallel(
     interp: &mut Interp<'_>,
     loop_stmt: StmtId,
@@ -247,20 +325,12 @@ pub fn exec_do_parallel(
     if step != 1 {
         return Err(ParallelError::UnsupportedStep { step });
     }
-    {
-        // Record the dispatch and the plan's per-array exoneration sets
-        // so telemetry and the dependence auditor can attribute parallel
-        // effects per array, not just per loop.
-        let entry = interp.stats.loops.entry(loop_stmt).or_default();
-        entry.invocations += 1;
-        entry.parallel_invocations += 1;
-        entry.privatized = plan.privatized.clone();
-        entry.reductions = plan.reductions.iter().map(|(v, _)| *v).collect();
-    }
     let ty = program.symbols.var(var).ty;
     if lo > hi {
-        // Zero-trip: sequential semantics leave the induction variable
-        // at `lo`.
+        // Zero-trip: no workers, nothing can fail. Record the dispatch
+        // and leave the induction variable at `lo` (sequential
+        // semantics).
+        record_dispatch(interp, loop_stmt, plan);
         interp.store.set_scalar(var, ty, Value::Int(lo));
         return Ok(());
     }
@@ -279,16 +349,37 @@ pub fn exec_do_parallel(
         chunks.push((start, start + len as i64 - 1));
         start += len as i64;
     }
+    // Injected worker faults address a chunk modulo the spawn count, so
+    // a randomly drawn worker index always lands on a live worker.
+    let (panic_chunk, stall_chunk, stall_ms) = match plan.fault {
+        Some(FaultKind::PanicWorker { worker }) => (Some(worker % chunks.len()), None, 0),
+        Some(FaultKind::StallWorker { worker, stall_ms }) => {
+            (None, Some(worker % chunks.len()), stall_ms)
+        }
+        _ => (None, None, 0),
+    };
+    let deadline = plan.deadline_ms.map(Duration::from_millis);
     // Run each chunk on a copy-on-write clone of the live store with
     // write recording on; workers return only their logs and stats.
     let fuel = interp.fuel;
-    let results: Vec<std::thread::Result<Result<ChunkOutcome, ExecError>>> =
+    let results: Vec<std::thread::Result<Result<ChunkOutcome, WorkerFailure>>> =
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for &(clo, chi) in &chunks {
+            for (widx, &(clo, chi)) in chunks.iter().enumerate() {
                 let snapshot = interp.store.clone();
                 let body = body.clone();
                 handles.push(scope.spawn(move || {
+                    if panic_chunk == Some(widx) {
+                        panic!("injected fault: worker {widx} panic");
+                    }
+                    // The watchdog clock starts only when a deadline is
+                    // armed (the hot path never reads wall time), and
+                    // before any injected stall — so a stalled worker
+                    // trips the deadline on its first iteration check.
+                    let started = deadline.map(|_| Instant::now());
+                    if stall_chunk == Some(widx) {
+                        std::thread::sleep(Duration::from_millis(stall_ms));
+                    }
                     let mut worker = Interp::new(program);
                     worker.store = snapshot;
                     worker.fuel = fuel;
@@ -296,6 +387,11 @@ pub fn exec_do_parallel(
                     let ty = program.symbols.var(var).ty;
                     let mut i = clo;
                     while i <= chi {
+                        if let (Some(limit), Some(t0)) = (deadline, started) {
+                            if t0.elapsed() >= limit {
+                                return Err(WorkerFailure::TimedOut);
+                            }
+                        }
                         worker.store.set_scalar_untracked(var, ty, Value::Int(i));
                         worker.exec_body(&body)?;
                         worker.charge(1)?; // loop bookkeeping, as sequential
@@ -311,22 +407,40 @@ pub fn exec_do_parallel(
             handles.into_iter().map(|h| h.join()).collect()
         });
     let mut outcomes = Vec::with_capacity(results.len());
-    for r in results {
+    for (widx, r) in results.into_iter().enumerate() {
         match r {
             Err(payload) => {
                 return Err(ParallelError::WorkerPanic {
                     detail: panic_message(&payload),
                 })
             }
-            Ok(res) => outcomes.push(res?),
+            Ok(Err(WorkerFailure::TimedOut)) => {
+                return Err(ParallelError::Timeout {
+                    worker: widx,
+                    deadline_ms: plan.deadline_ms.unwrap_or(0),
+                })
+            }
+            Ok(Err(WorkerFailure::Exec(e))) => return Err(ParallelError::Exec(e)),
+            Ok(Ok(out)) => outcomes.push(out),
         }
     }
-    // Merge the write logs into the master store: O(total writes).
+    if matches!(plan.fault, Some(FaultKind::ForgeConflict)) {
+        // Chaos hook: report a conflict that never happened, exactly at
+        // the point the merge would — the workers' logs are discarded
+        // and the untouched master falls back sequentially.
+        return Err(ParallelError::WriteConflict {
+            var: "<injected-fault>".to_string(),
+        });
+    }
+    // Merge the write logs into the master store: O(total writes),
+    // fully validated before the first master mutation.
     let logs: Vec<&WriteLog> = outcomes.iter().map(|c| &c.log).collect();
     merge_write_logs(program, interp, &logs, plan, var)?;
-    // Aggregate worker effects: the master pays the chunks' execution
-    // cost (statements + fuel), absorbs their per-loop statistics, and
-    // keeps their printed output in chunk order.
+    // The transaction commits: record the dispatch, then aggregate
+    // worker effects — the master pays the chunks' execution cost
+    // (statements + fuel), absorbs their per-loop statistics, and keeps
+    // their printed output in chunk order.
+    record_dispatch(interp, loop_stmt, plan);
     let body_cost: u64 = outcomes.iter().map(|c| c.stats.total_cost).sum();
     interp.charge(body_cost)?;
     let entry = interp.stats.loops.entry(loop_stmt).or_default();
@@ -343,6 +457,19 @@ pub fn exec_do_parallel(
     // Sequential semantics: the induction variable ends one past `hi`.
     interp.store.set_scalar(var, ty, Value::Int(hi + 1));
     Ok(())
+}
+
+/// Records a committed (or zero-trip) parallel dispatch and the plan's
+/// per-array exoneration sets, so telemetry and the dependence auditor
+/// can attribute parallel effects per array, not just per loop. Called
+/// only on success: an aborted dispatch leaves the stats untouched and
+/// the sequential re-execution accounts for the loop instead.
+fn record_dispatch(interp: &mut Interp<'_>, loop_stmt: StmtId, plan: &ParallelPlan) {
+    let entry = interp.stats.loops.entry(loop_stmt).or_default();
+    entry.invocations += 1;
+    entry.parallel_invocations += 1;
+    entry.privatized = plan.privatized.clone();
+    entry.reductions = plan.reductions.iter().map(|(v, _)| *v).collect();
 }
 
 /// Renders a worker thread's panic payload.
@@ -363,6 +490,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// location claimed by two workers is a [`ParallelError::WriteConflict`]
 /// — values are never compared, so writes that happen to restore the
 /// pre-loop value cannot mask a conflict.
+///
+/// The merge is two-phase: every log is validated (shapes agree,
+/// no location double-claimed, no write past an extent) before the
+/// first master-store mutation, so a merge that errors leaves the
+/// master byte-identical to its pre-dispatch state and the caller can
+/// fall back to sequential re-execution.
 fn merge_write_logs(
     program: &Program,
     interp: &mut Interp<'_>,
@@ -375,18 +508,26 @@ fn merge_write_logs(
     };
     let is_reduction = |v: VarId| plan.reductions.iter().any(|(r, _)| *r == v);
 
-    // Materializations first: arrays a worker touched (read or write)
-    // that the master has not materialized come into existence
-    // zero-filled, as they would have sequentially. Chunks must agree
-    // on every array's shape — a mismatch is a hard error, never a
-    // truncated merge.
+    // ---- Phase 1: validate (no master mutation) ----
+
+    // Materializations: arrays a worker touched (read or write) that
+    // the master has not materialized come into existence zero-filled,
+    // as they would have sequentially. Chunks must agree on every
+    // array's shape — a mismatch is a hard error, never a truncated
+    // merge. The materializations themselves are only planned here.
+    let mut planned_arrays: HashMap<VarId, Vec<usize>> = HashMap::new();
     for log in logs {
         for (v, dims) in &log.materialized {
             if plan.privatized.contains(v) {
                 continue;
             }
-            match interp.store.array_dims(*v) {
-                Some(existing) if existing == dims.as_slice() => {}
+            let existing = interp
+                .store
+                .array_dims(*v)
+                .map(<[usize]>::to_vec)
+                .or_else(|| planned_arrays.get(v).cloned());
+            match existing {
+                Some(existing) if existing == *dims => {}
                 Some(existing) => {
                     return Err(ParallelError::ShapeMismatch {
                         var: program.symbols.name(*v).to_string(),
@@ -394,10 +535,7 @@ fn merge_write_logs(
                     });
                 }
                 None => {
-                    let ty = program.symbols.var(*v).ty;
-                    interp
-                        .store
-                        .materialize(*v, ArrayData::zeroed(ty, dims.clone()));
+                    planned_arrays.insert(*v, dims.clone());
                 }
             }
         }
@@ -405,7 +543,7 @@ fn merge_write_logs(
 
     // Scalars: collapse each worker's log to final values, then claim
     // each variable for at most one worker. Reduction scalars are
-    // exempt from claiming; their per-worker finals combine below.
+    // exempt from claiming; their per-worker finals combine in phase 2.
     let mut claimed_scalars: HashMap<VarId, Value> = HashMap::new();
     let mut reduction_finals: HashMap<VarId, Vec<Value>> = HashMap::new();
     for log in logs {
@@ -424,6 +562,50 @@ fn merge_write_logs(
             }
         }
     }
+
+    // Array elements: same claiming scheme, keyed by (array, index),
+    // with the extent check against the master's arrays or the planned
+    // materializations.
+    let mut claimed_elems: HashMap<(VarId, usize), Value> = HashMap::new();
+    for log in logs {
+        let mut finals: HashMap<(VarId, usize), Value> = HashMap::new();
+        for &(v, idx, val) in &log.elements {
+            if plan.privatized.contains(&v) {
+                continue;
+            }
+            finals.insert((v, idx), val);
+        }
+        for (key, val) in finals {
+            if claimed_elems.insert(key, val).is_some() {
+                return Err(conflict(key.0));
+            }
+        }
+    }
+    for &(v, idx) in claimed_elems.keys() {
+        let len = interp
+            .store
+            .array_len(v)
+            .or_else(|| planned_arrays.get(&v).map(|dims| dims.iter().product()));
+        match len {
+            Some(len) if idx < len => {}
+            extent => {
+                return Err(ParallelError::ShapeMismatch {
+                    var: program.symbols.name(v).to_string(),
+                    detail: format!(
+                        "logged write at flat index {idx} exceeds extent {:?}",
+                        extent.unwrap_or(0)
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- Phase 2: apply (cannot fail) ----
+
+    for (v, dims) in planned_arrays {
+        let ty = program.symbols.var(v).ty;
+        interp.store.materialize(v, ArrayData::zeroed(ty, dims));
+    }
     for (v, val) in claimed_scalars {
         let ty = program.symbols.var(v).ty;
         interp.store.set_scalar(v, ty, val);
@@ -440,36 +622,8 @@ fn merge_write_logs(
         let ty = program.symbols.var(*rv).ty;
         interp.store.set_scalar(*rv, ty, acc);
     }
-
-    // Array elements: same claiming scheme, keyed by (array, index).
-    let mut claimed_elems: HashMap<(VarId, usize), Value> = HashMap::new();
-    for log in logs {
-        let mut finals: HashMap<(VarId, usize), Value> = HashMap::new();
-        for &(v, idx, val) in &log.elements {
-            if plan.privatized.contains(&v) {
-                continue;
-            }
-            finals.insert((v, idx), val);
-        }
-        for (key, val) in finals {
-            if claimed_elems.insert(key, val).is_some() {
-                return Err(conflict(key.0));
-            }
-        }
-    }
     for ((v, idx), val) in claimed_elems {
-        match interp.store.array_len(v) {
-            Some(len) if idx < len => interp.store.write_element(v, idx, val),
-            extent => {
-                return Err(ParallelError::ShapeMismatch {
-                    var: program.symbols.name(v).to_string(),
-                    detail: format!(
-                        "logged write at flat index {idx} exceeds extent {:?}",
-                        extent.unwrap_or(0)
-                    ),
-                });
-            }
-        }
+        interp.store.write_element(v, idx, val);
     }
     Ok(())
 }
@@ -612,6 +766,7 @@ mod tests {
             threads: 3,
             privatized: vec![],
             reductions: vec![(s, ReduceOp::Sum)],
+            ..ParallelPlan::default()
         };
         let st = run_loop_parallel(&p, nth_do(&p, 1), &plan).unwrap();
         assert_eq!(st.scalar(s).as_real(), 5050.0);
@@ -636,6 +791,7 @@ mod tests {
             threads: 4,
             privatized: vec![],
             reductions: vec![(s, ReduceOp::Min)],
+            ..ParallelPlan::default()
         };
         let st = run_loop_parallel(&p, nth_do(&p, 1), &plan).unwrap();
         assert_eq!(st.scalar(s).as_real(), 2.0);
@@ -649,6 +805,7 @@ mod tests {
             threads: 4,
             privatized: vec![],
             reductions: vec![(s, ReduceOp::Max)],
+            ..ParallelPlan::default()
         };
         let st = run_loop_parallel(&p, nth_do(&p, 1), &plan).unwrap();
         // max over abs(i - 37) + 2 on 1..=100 is abs(100 - 37) + 2.
@@ -674,6 +831,7 @@ mod tests {
             threads: 4,
             privatized: vec![tmp, jv],
             reductions: vec![],
+            ..ParallelPlan::default()
         };
         let st = run_loop_parallel(&p, first_do(&p), &plan).unwrap();
         let seq = Interp::new(&p).run().unwrap();
@@ -738,6 +896,7 @@ mod tests {
             threads: 4,
             privatized: vec![],
             reductions: vec![(s, ReduceOp::Sum)],
+            ..ParallelPlan::default()
         };
         let st = run_loop_parallel(&p, first_do(&p), &plan).unwrap();
         assert_eq!(st.scalar(s).as_real(), 42.0);
@@ -830,6 +989,7 @@ mod tests {
             threads: 4,
             privatized: vec![jv],
             reductions: vec![],
+            ..ParallelPlan::default()
         };
         let seq = Interp::new(&p).run().unwrap();
         let mut interp = Interp::new(&p);

@@ -37,8 +37,8 @@ pub use telemetry::Telemetry;
 
 use irr_driver::{CompilationReport, DispatchTier, GuardPlan, ReductionOp, ResidualCheck};
 use irr_exec::{
-    inspect_injective, inspect_offset_length, ExecError, ExecOutcome, Inspection, Interp,
-    LoopDecision, LoopDispatcher, ParallelPlan, ReduceOp, Store,
+    inspect_injective, inspect_offset_length, ExecError, ExecOutcome, FallbackReason, FaultKind,
+    FaultPlan, Inspection, Interp, LoopDecision, LoopDispatcher, ParallelPlan, ReduceOp, Store,
 };
 use irr_frontend::{StmtId, VarId};
 use std::collections::HashMap;
@@ -52,6 +52,21 @@ pub struct HybridConfig {
     /// schedule cache (`false` re-inspects on every guarded entry, the
     /// pure inspector–executor model the paper argues against).
     pub cache_schedules: bool,
+    /// After a parallel dispatch fails at runtime, how many subsequent
+    /// entries of the same `(loop, key)` schedule are pinned sequential
+    /// before the verdict is dropped and re-inspected. `0` retries
+    /// immediately (the pre-quarantine behavior).
+    pub quarantine_retries: u32,
+    /// Maximum cached schedules across all loops (LRU-evicted).
+    pub cache_capacity: usize,
+    /// Maximum cached schedules per loop, so a loop alternating between
+    /// a few bound shapes keeps them all (LRU-evicted within the loop).
+    pub cache_keys_per_loop: usize,
+    /// Per-worker wall-clock deadline for parallel dispatches, in
+    /// milliseconds: a worker still running past it turns the dispatch
+    /// into a timeout fallback. `None` (the default) disables the
+    /// watchdog and keeps the worker hot path clock-free.
+    pub worker_deadline_ms: Option<u64>,
 }
 
 impl Default for HybridConfig {
@@ -59,6 +74,10 @@ impl Default for HybridConfig {
         HybridConfig {
             threads: 4,
             cache_schedules: true,
+            quarantine_retries: 2,
+            cache_capacity: 128,
+            cache_keys_per_loop: 4,
+            worker_deadline_ms: None,
         }
     }
 }
@@ -82,6 +101,14 @@ pub struct HybridDispatcher {
     loops: HashMap<StmtId, LoopEntry>,
     config: HybridConfig,
     cache: ScheduleCache,
+    /// Injected fault schedule for chaos testing; `None` (the default)
+    /// keeps every dispatch on the ordinary path at the cost of a
+    /// single `Option` check.
+    fault: Option<FaultPlan>,
+    /// The `(loop, key)` of the most recent parallel decision, kept so
+    /// a runtime failure can quarantine exactly the schedule that
+    /// failed.
+    last_parallel: Option<(StmtId, ScheduleKey)>,
     /// Counters for this dispatcher's lifetime.
     pub telemetry: Telemetry,
 }
@@ -123,9 +150,24 @@ impl HybridDispatcher {
         HybridDispatcher {
             loops,
             config,
-            cache: ScheduleCache::new(),
+            cache: ScheduleCache::with_limits(config.cache_capacity, config.cache_keys_per_loop),
+            fault: None,
+            last_parallel: None,
             telemetry: Telemetry::default(),
         }
+    }
+
+    /// Attaches a fault-injection schedule for chaos testing. Every
+    /// parallel dispatch attempt with at least one iteration consumes
+    /// one site of the plan; decided faults that go live are recorded
+    /// in it (retrieve with [`HybridDispatcher::take_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Detaches the fault plan (with its fired-fault record), if any.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
     }
 
     /// The schedule cache (for inspection in tests and examples).
@@ -143,12 +185,35 @@ impl HybridDispatcher {
             .map(|e| (e.privatized.as_slice(), e.reductions.as_slice()))
     }
 
-    fn plan_for(&self, entry: &LoopEntry) -> ParallelPlan {
+    fn plan_for(&self, entry: &LoopEntry, fault: Option<FaultKind>) -> ParallelPlan {
         ParallelPlan {
             threads: self.config.threads.max(1),
             privatized: entry.privatized.clone(),
             reductions: entry.reductions.clone(),
+            deadline_ms: self.config.worker_deadline_ms,
+            fault,
         }
+    }
+
+    /// Draws the injected fault (if any) for the next parallel dispatch
+    /// site. Zero-trip dispatches never call this: no workers spawn, so
+    /// no fault could fire and the site numbering stays aligned with
+    /// dispatches where injection is observable.
+    fn decide_fault(&mut self) -> Option<FaultKind> {
+        let threads = self.config.threads.max(1);
+        self.fault.as_mut()?.decide(threads)
+    }
+
+    /// Stamps a decided executor-level fault (conflict forge, worker
+    /// panic/stall) into a plan that is definitely dispatching, and
+    /// records it as fired. [`FaultKind::LieInspector`] is handled at
+    /// decision time and never reaches here.
+    fn arm_fault(&mut self, kind: Option<FaultKind>) -> Option<FaultKind> {
+        let kind = kind?;
+        if let Some(plan) = self.fault.as_mut() {
+            plan.record_fired(kind);
+        }
+        Some(kind)
     }
 
     /// Evaluates every residual check of `guard` against the live store;
@@ -197,22 +262,35 @@ impl LoopDispatcher for HybridDispatcher {
         step: i64,
     ) -> LoopDecision {
         let Some(entry) = self.loops.get(&loop_stmt).cloned() else {
-            self.telemetry.sequential += 1;
+            self.telemetry.sequential_unknown_loop += 1;
             return LoopDecision::Sequential;
         };
         // The chunked executor only handles unit-step loops.
         if step != 1 {
-            self.telemetry.sequential += 1;
+            self.telemetry.sequential_non_unit_step += 1;
             return LoopDecision::Sequential;
         }
         match &entry.tier {
             DispatchTier::Sequential => {
-                self.telemetry.sequential += 1;
+                self.telemetry.sequential_proven += 1;
                 LoopDecision::Sequential
             }
             DispatchTier::CompileTimeParallel => {
+                // Compile-time verdicts carry no inspected arrays, so
+                // the schedule key is bounds-only — enough for the
+                // quarantine to pin the shape that failed.
+                let key = ScheduleKey::new((lo, hi), Vec::new());
+                if self.cache.consume_quarantine(loop_stmt, &key) {
+                    self.telemetry.quarantined += 1;
+                    return LoopDecision::Sequential;
+                }
+                // A lie fault is meaningless without an inspector;
+                // worker/merge faults are armed into the plan.
+                let fault = if lo <= hi { self.decide_fault() } else { None };
+                let fault = self.arm_fault(fault.filter(|k| *k != FaultKind::LieInspector));
                 self.telemetry.compile_time_parallel += 1;
-                LoopDecision::Parallel(self.plan_for(&entry))
+                self.last_parallel = Some((loop_stmt, key));
+                LoopDecision::Parallel(self.plan_for(&entry, fault))
             }
             DispatchTier::RuntimeGuarded(guard) => {
                 let key = ScheduleKey::new(
@@ -222,7 +300,21 @@ impl LoopDispatcher for HybridDispatcher {
                         .map(|a| (a, store.array_version(a)))
                         .collect(),
                 );
-                let parallel_ok = if self.config.cache_schedules {
+                if self.cache.consume_quarantine(loop_stmt, &key) {
+                    self.telemetry.quarantined += 1;
+                    return LoopDecision::Sequential;
+                }
+                let fault = if lo <= hi { self.decide_fault() } else { None };
+                let lie = fault == Some(FaultKind::LieInspector);
+                let parallel_ok = if lie {
+                    // The inspector "passes" a guard it never ran. The
+                    // forged verdict is deliberately not cached: the
+                    // lie corrupts one dispatch, not the cache.
+                    if let Some(plan) = self.fault.as_mut() {
+                        plan.record_fired(FaultKind::LieInspector);
+                    }
+                    true
+                } else if self.config.cache_schedules {
                     match self.cache.probe(loop_stmt, &key) {
                         CacheProbe::Hit(v) => {
                             self.telemetry.cache_hits += 1;
@@ -233,7 +325,8 @@ impl LoopDispatcher for HybridDispatcher {
                                 self.telemetry.cache_invalidations += 1;
                             }
                             let v = self.inspect(store, guard, lo, hi);
-                            self.cache.insert(loop_stmt, key, v);
+                            self.cache.insert(loop_stmt, key.clone(), v);
+                            self.telemetry.cache_evictions = self.cache.evictions();
                             v
                         }
                     }
@@ -241,12 +334,33 @@ impl LoopDispatcher for HybridDispatcher {
                     self.inspect(store, guard, lo, hi)
                 };
                 if parallel_ok {
+                    // Executor-level faults go live only on a dispatch
+                    // that actually happens; a fault decided for a
+                    // guard that honestly failed is silently dropped.
+                    let fault = self.arm_fault(if lie { None } else { fault });
                     self.telemetry.guarded_parallel += 1;
-                    LoopDecision::Parallel(self.plan_for(&entry))
+                    self.last_parallel = Some((loop_stmt, key));
+                    LoopDecision::Parallel(self.plan_for(&entry, fault))
                 } else {
                     self.telemetry.guarded_sequential += 1;
                     LoopDecision::Sequential
                 }
+            }
+        }
+    }
+
+    fn parallel_failed(&mut self, loop_stmt: StmtId, reason: FallbackReason) {
+        self.telemetry.record_fallback(reason);
+        // Quarantine exactly the schedule that failed: pinned
+        // sequential for `quarantine_retries` entries, then dropped so
+        // the loop re-inspects from scratch. With a zero budget the
+        // poisoning still drops any cached parallel verdict for the
+        // key, so a failed schedule is never answered from cache again.
+        if let Some((stmt, key)) = self.last_parallel.take() {
+            if stmt == loop_stmt {
+                self.cache.poison(stmt, key, self.config.quarantine_retries);
+                self.telemetry.quarantine_poisonings += 1;
+                self.telemetry.cache_evictions = self.cache.evictions();
             }
         }
     }
@@ -264,21 +378,59 @@ pub struct HybridOutcome {
 /// Compiles-and-runs glue: executes a compiled program under the hybrid
 /// dispatcher and returns the outcome together with the telemetry.
 ///
+/// Parallel dispatch is transactional: a dispatch that fails at runtime
+/// (conflict, panic, shape mismatch, timeout) re-executes sequentially
+/// on the untouched master store, is counted under a reason-coded
+/// fallback counter in [`Telemetry`], and quarantines the failing
+/// schedule — it never surfaces as an error.
+///
 /// # Errors
 ///
-/// Propagates interpreter errors, including
-/// [`ExecError::ParallelFailure`] if a dispatched parallel execution
-/// fails to merge (which a passing inspection rules out).
+/// Propagates genuine interpreter errors (out-of-bounds access, fuel
+/// exhaustion, …), whether they occur sequentially or inside a parallel
+/// worker.
 pub fn run_hybrid(
     report: &CompilationReport,
     config: HybridConfig,
 ) -> Result<HybridOutcome, ExecError> {
     let mut dispatcher = HybridDispatcher::new(report, config);
     let outcome = Interp::new(&report.program).run_dispatched(&mut dispatcher)?;
+    dispatcher.telemetry.cache_evictions = dispatcher.cache.evictions();
     Ok(HybridOutcome {
         outcome,
         telemetry: dispatcher.telemetry,
     })
+}
+
+/// Runs a compiled program under the hybrid dispatcher with an injected
+/// fault schedule (chaos testing). Returns the outcome together with
+/// the consumed [`FaultPlan`], whose [`fired`](FaultPlan::fired) record
+/// says exactly which faults went live at which dispatch sites — the
+/// chaos suite checks it against the telemetry's fallback counters.
+///
+/// # Errors
+///
+/// Propagates genuine interpreter errors, exactly as [`run_hybrid`]:
+/// injected faults are recoverable by construction and never error.
+pub fn run_hybrid_with_faults(
+    report: &CompilationReport,
+    config: HybridConfig,
+    fault: FaultPlan,
+) -> Result<(HybridOutcome, FaultPlan), ExecError> {
+    let mut dispatcher = HybridDispatcher::new(report, config);
+    dispatcher.set_fault_plan(fault);
+    let outcome = Interp::new(&report.program).run_dispatched(&mut dispatcher)?;
+    dispatcher.telemetry.cache_evictions = dispatcher.cache.evictions();
+    let fault = dispatcher
+        .take_fault_plan()
+        .expect("fault plan attached above");
+    Ok((
+        HybridOutcome {
+            outcome,
+            telemetry: dispatcher.telemetry,
+        },
+        fault,
+    ))
 }
 
 #[cfg(test)]

@@ -1,8 +1,13 @@
 //! Counters describing what the hybrid runtime actually did: how often
 //! inspectors ran, how often the versioned schedule cache saved a
-//! re-inspection, and which tier every dynamic loop entry dispatched
-//! through. The `runtime-vs-compile-time` bench group and the
-//! `hybrid_fallback` example read these to quantify the §1 trade-off.
+//! re-inspection, which tier every dynamic loop entry dispatched
+//! through, and — since the dispatch became transactional — why any
+//! parallel attempt was abandoned for sequential re-execution. The
+//! `runtime-vs-compile-time` bench group, the `hybrid_fallback`
+//! example, and the chaos suite read these to quantify the §1
+//! trade-off and to attribute every injected fault.
+
+use irr_exec::FallbackReason;
 
 /// Counters accumulated over one hybrid execution.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -16,6 +21,9 @@ pub struct Telemetry {
     /// Cached schedules discarded because an index array's version (or
     /// the loop's bounds) changed since the inspection.
     pub cache_invalidations: u64,
+    /// Cached schedules evicted by the cache's capacity bound (global
+    /// LRU) or the per-loop key limit.
+    pub cache_evictions: u64,
     /// Loop entries dispatched parallel on compile-time evidence alone.
     pub compile_time_parallel: u64,
     /// Guarded loop entries whose inspection (or cached verdict) cleared
@@ -24,9 +32,34 @@ pub struct Telemetry {
     /// Guarded loop entries whose inspection (or cached verdict) forced
     /// the sequential fallback.
     pub guarded_sequential: u64,
-    /// Loop entries dispatched sequential without any guard (proven
-    /// sequential, unknown loop, or non-unit step).
-    pub sequential: u64,
+    /// Loop entries dispatched sequential because the driver proved the
+    /// loop sequential at compile time.
+    pub sequential_proven: u64,
+    /// Loop entries dispatched sequential because the loop is unknown
+    /// to the driver's verdict table.
+    pub sequential_unknown_loop: u64,
+    /// Loop entries dispatched sequential because of a non-unit step,
+    /// which the chunked executor does not support.
+    pub sequential_non_unit_step: u64,
+    /// Loop entries pinned sequential by schedule quarantine (a prior
+    /// runtime failure of the same `(loop, key)` schedule).
+    pub quarantined: u64,
+    /// Schedules poisoned after a runtime failure (one per fallback
+    /// that had a cacheable schedule key to blame).
+    pub quarantine_poisonings: u64,
+    /// Parallel dispatches abandoned for a write-write conflict found
+    /// at merge time; the loop re-executed sequentially.
+    pub fallback_conflict: u64,
+    /// Parallel dispatches abandoned because a worker panicked.
+    pub fallback_panic: u64,
+    /// Parallel dispatches abandoned for an array shape disagreement.
+    pub fallback_shape: u64,
+    /// Parallel dispatches abandoned because the executor cannot run
+    /// the loop's shape (non-unit step, not a `do` loop).
+    pub fallback_unsupported: u64,
+    /// Parallel dispatches abandoned because a worker overran the
+    /// per-worker deadline (watchdog).
+    pub fallback_timeout: u64,
     /// Dynamic loop executions analyzed under shadow-memory tracing by
     /// the dependence sanitizer.
     pub traced_executions: u64,
@@ -46,14 +79,54 @@ impl Telemetry {
         self.compile_time_parallel + self.guarded_parallel
     }
 
-    /// Total loop entries dispatched sequential.
+    /// Total loop entries dispatched sequential (for any reason,
+    /// including quarantine pins; fallbacks re-execute a *parallel*
+    /// dispatch and are counted separately).
     pub fn sequential_dispatches(&self) -> u64 {
-        self.guarded_sequential + self.sequential
+        self.guarded_sequential + self.sequential_unguarded() + self.quarantined
+    }
+
+    /// Loop entries dispatched sequential without any guard: proven
+    /// sequential, unknown loop, or non-unit step.
+    pub fn sequential_unguarded(&self) -> u64 {
+        self.sequential_proven + self.sequential_unknown_loop + self.sequential_non_unit_step
     }
 
     /// Total guarded loop entries (inspected or cache-answered).
     pub fn guarded_dispatches(&self) -> u64 {
         self.guarded_parallel + self.guarded_sequential
+    }
+
+    /// Total parallel dispatches abandoned at runtime and re-executed
+    /// sequentially, over all reason codes.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_conflict
+            + self.fallback_panic
+            + self.fallback_shape
+            + self.fallback_unsupported
+            + self.fallback_timeout
+    }
+
+    /// Records one abandoned parallel dispatch under its reason code.
+    pub fn record_fallback(&mut self, reason: FallbackReason) {
+        match reason {
+            FallbackReason::Conflict => self.fallback_conflict += 1,
+            FallbackReason::Panic => self.fallback_panic += 1,
+            FallbackReason::Shape => self.fallback_shape += 1,
+            FallbackReason::Unsupported => self.fallback_unsupported += 1,
+            FallbackReason::Timeout => self.fallback_timeout += 1,
+        }
+    }
+
+    /// The fallback counter for one reason code.
+    pub fn fallback_count(&self, reason: FallbackReason) -> u64 {
+        match reason {
+            FallbackReason::Conflict => self.fallback_conflict,
+            FallbackReason::Panic => self.fallback_panic,
+            FallbackReason::Shape => self.fallback_shape,
+            FallbackReason::Unsupported => self.fallback_unsupported,
+            FallbackReason::Timeout => self.fallback_timeout,
+        }
     }
 
     /// Total sanitizer findings (violations plus precision gaps).

@@ -3,14 +3,22 @@
 //!
 //! ```text
 //! sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N]
-//!                 [--scale test|paper] [--only SUBSTR]
+//!                 [--scale test|paper] [--only SUBSTR] [--chaos N]
 //! ```
+//!
+//! `--chaos N` additionally replays every target under `N` seeded
+//! random fault schedules (forged conflicts, worker panics, stalls,
+//! inspector lies) through the hybrid runtime and checks that each run
+//! still completes with sequential semantics; a parity break counts as
+//! a violation.
 //!
 //! Exits nonzero iff any soundness violation is found, so the command
 //! doubles as a CI gate. Precision gaps (full mode) are informational.
 
-use irr_driver::{compile_source, DriverOptions};
+use irr_driver::{compile_source, CompilationReport, DriverOptions};
+use irr_exec::{FaultPlan, Interp, Store, Value};
 use irr_programs::{all, Scale};
+use irr_runtime::{run_hybrid_with_faults, HybridConfig};
 use irr_sanitizer::{audit_report, figures, AuditConfig, AuditMode, FindingKind};
 
 fn main() {
@@ -20,6 +28,7 @@ fn main() {
     };
     let mut scale = Scale::Test;
     let mut only: Option<String> = None;
+    let mut chaos = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -52,10 +61,15 @@ fn main() {
                 }
             }
             "--only" => only = Some(value("--only")),
+            "--chaos" => {
+                chaos = value("--chaos")
+                    .parse()
+                    .unwrap_or_else(|_| die("--chaos needs an integer"))
+            }
             "--help" | "-h" => {
                 println!(
                     "sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N] \
-                     [--scale test|paper] [--only SUBSTR]"
+                     [--scale test|paper] [--only SUBSTR] [--chaos N]"
                 );
                 return;
             }
@@ -111,6 +125,9 @@ fn main() {
         }
         total_violations += audit.violations();
         total_gaps += audit.precision_gaps();
+        if chaos > 0 {
+            total_violations += chaos_sweep(name, &rep, config.seed, chaos);
+        }
     }
     println!(
         "sanitizer-audit: {} program(s), {total_violations} violation(s), {total_gaps} \
@@ -120,6 +137,123 @@ fn main() {
     if total_violations > 0 {
         std::process::exit(1);
     }
+}
+
+/// Replays `rep` under `seeds` randomized fault schedules through the
+/// hybrid runtime and checks every run completes with sequential
+/// semantics. Returns the number of parity breaks (each is a soundness
+/// violation: the recovery path corrupted an observable result).
+fn chaos_sweep(name: &str, rep: &CompilationReport, base_seed: u64, seeds: usize) -> usize {
+    const FAULT_RATE_PER_MILLE: u32 = 400;
+    const STALL_MS: u64 = 150;
+    let config = HybridConfig {
+        worker_deadline_ms: Some(50),
+        quarantine_retries: 1,
+        ..HybridConfig::default()
+    };
+    let seq = match Interp::new(&rep.program).run() {
+        Ok(o) => o,
+        Err(e) => die(&format!("{name}: sequential run failed: {e}")),
+    };
+    let mut breaks = 0usize;
+    let mut faults_fired = 0usize;
+    for i in 0..seeds {
+        let seed = base_seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(2)
+            .wrapping_add(1);
+        let plan = FaultPlan::randomized(seed, FAULT_RATE_PER_MILLE, STALL_MS);
+        let (hybrid, plan) = match run_hybrid_with_faults(rep, config, plan) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("  [VIOLATION] chaos seed {seed}: run aborted: {e}");
+                breaks += 1;
+                continue;
+            }
+        };
+        faults_fired += plan.fired().len();
+        if let Some(detail) = parity_break(rep, &seq.output, &seq.store, &hybrid.outcome) {
+            println!("  [VIOLATION] chaos seed {seed}: {detail}");
+            breaks += 1;
+        }
+    }
+    println!(
+        "{name}: chaos sweep, {seeds} seed(s), {faults_fired} fault(s) fired, {breaks} parity \
+         break(s)"
+    );
+    breaks
+}
+
+/// First observable divergence between the chaos run and the sequential
+/// baseline, or `None` for parity. Reals compare with a relative
+/// tolerance: a *successful* parallel reduction reassociates the sum
+/// and may move the last ulp, which is not a recovery failure.
+fn parity_break(
+    rep: &CompilationReport,
+    seq_output: &[String],
+    seq_store: &Store,
+    got: &irr_exec::ExecOutcome,
+) -> Option<String> {
+    fn reals_eq(a: f64, b: f64) -> bool {
+        a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+    }
+    if got.output.len() != seq_output.len() {
+        return Some("output length differs".into());
+    }
+    for (have, want) in got.output.iter().zip(seq_output) {
+        let close = match (have.parse::<f64>(), want.parse::<f64>()) {
+            (Ok(h), Ok(w)) => reals_eq(h, w),
+            _ => have == want,
+        };
+        if !close {
+            return Some(format!("output differs: {have} vs {want}"));
+        }
+    }
+    let privatized: std::collections::HashSet<_> = rep
+        .verdicts
+        .iter()
+        .flat_map(|v| {
+            v.privatized_scalars
+                .iter()
+                .copied()
+                .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
+        })
+        .collect();
+    for (vid, info) in rep.program.symbols.iter() {
+        if privatized.contains(&vid) {
+            continue;
+        }
+        if info.is_array() {
+            match (seq_store.array_as_reals(vid), got.store.array_as_reals(vid)) {
+                (Some(want), Some(have)) if want.len() == have.len() => {
+                    for (k, (w, h)) in want.iter().zip(&have).enumerate() {
+                        if !reals_eq(*w, *h) {
+                            return Some(format!(
+                                "array {}({}) differs: {h} vs {w}",
+                                info.name,
+                                k + 1
+                            ));
+                        }
+                    }
+                }
+                (w, h) if w == h => {}
+                _ => return Some(format!("array {} materialization differs", info.name)),
+            }
+        } else {
+            let (want, have) = (seq_store.scalar(vid), got.store.scalar(vid));
+            let close = match (want, have) {
+                (Value::Real(w), Value::Real(h)) => reals_eq(w, h),
+                _ => want == have,
+            };
+            if !close {
+                return Some(format!(
+                    "scalar {} differs: {have:?} vs {want:?}",
+                    info.name
+                ));
+            }
+        }
+    }
+    None
 }
 
 fn die(msg: &str) -> ! {

@@ -84,7 +84,13 @@ fn main() {
         "  guarded sequential fallbacks:     {}",
         t.guarded_sequential
     );
-    println!("  sequential dispatches:            {}", t.sequential);
+    println!(
+        "  sequential dispatches:            {} ({} proven, {} unknown, {} non-unit step)",
+        t.sequential_unguarded(),
+        t.sequential_proven,
+        t.sequential_unknown_loop,
+        t.sequential_non_unit_step
+    );
     println!("  inspections run:                  {}", t.inspections_run);
     println!("  schedule-cache hits:              {}", t.cache_hits);
     println!(

@@ -70,6 +70,7 @@ end
             .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
             .collect(),
         reductions: vec![],
+        ..ParallelPlan::default()
     };
     let par = run_loop_parallel(&rep.program, v.loop_stmt, &plan).expect("no write conflicts");
     let data = rep.program.symbols.lookup("data").unwrap();

@@ -1,0 +1,595 @@
+//! Chaos suite for the transactional parallel dispatch path.
+//!
+//! Every test injects faults through a deterministic [`FaultPlan`]
+//! (scripted sites or a SplitMix64-seeded schedule) and asserts the
+//! recovery contract: the run **completes**, the final store, printed
+//! output, and execution statistics are **identical to the pure
+//! sequential run**, and the fault is **attributed** in telemetry under
+//! its reason code. The randomized sweep replays the five benchmark
+//! kernels and the paper figures under fault schedules; re-running with
+//! the same seed replays the identical schedule (CI pins one).
+
+use irr_driver::{compile_source, CompilationReport, DriverOptions};
+use irr_exec::{FaultKind, FaultPlan, Interp, Store, TraceConfig, Value};
+use irr_programs::{all, Scale};
+use irr_runtime::{
+    run_hybrid, run_hybrid_with_faults, HybridConfig, HybridDispatcher, HybridOutcome,
+};
+use irr_sanitizer::{audit_report, figures, AuditConfig, AuditMode};
+
+/// `p(i) = mod(i*3, n) + 1` is a permutation for `n = 8` — guarded at
+/// compile time, passes inspection at run time, so without injected
+/// faults the loop dispatches parallel exactly once.
+const GUARDED_SRC: &str = "program t
+     integer i, n, p(8)
+     real z(8), x(8)
+     n = 8
+     do i = 1, n
+       p(i) = mod(i * 3, n) + 1
+       x(i) = i * 1.0
+     enddo
+     do 20 i = 1, n
+       z(p(i)) = x(i) * 2.0
+ 20  continue
+     print z(1), z(8)
+     end";
+
+/// `p(i) = mod(i, 4) + 1` collides for `n = 8`: an honest inspection
+/// fails, so the only way this loop dispatches parallel is an injected
+/// inspector lie — and the merge must then catch the genuine conflict.
+const COLLIDING_SRC: &str = "program t
+     integer i, n, p(8)
+     real z(8), x(8)
+     n = 8
+     do i = 1, n
+       p(i) = mod(i, 4) + 1
+       x(i) = i * 1.0
+     enddo
+     do 20 i = 1, n
+       z(p(i)) = x(i) * 2.0
+ 20  continue
+     print z(1), z(4)
+     end";
+
+/// A guarded loop re-entered five times with unchanged bounds and index
+/// arrays, for quarantine/retry scenarios.
+const REENTRANT_SRC: &str = "program t
+     integer i, r, n, p(8)
+     real z(8), x(8)
+     n = 8
+     do i = 1, n
+       p(i) = mod(i * 3, n) + 1
+       x(i) = i * 1.0
+     enddo
+     do r = 1, 5
+       do 20 i = 1, n
+         z(p(i)) = x(i) + r
+ 20    continue
+     enddo
+     print z(1), z(8)
+     end";
+
+fn compiled(src: &str) -> CompilationReport {
+    compile_source(src, DriverOptions::with_iaa()).expect("compiles")
+}
+
+/// Exact-attribution tests leave the watchdog off: these tests assert
+/// precise fallback counts, and a deadline would let an *honest* worker
+/// that the OS deschedules under load register a spurious timeout.
+fn chaos_config() -> HybridConfig {
+    HybridConfig::default()
+}
+
+/// Tests exercising the watchdog: stalls sleep well past the deadline,
+/// honest Test-scale chunks finish orders of magnitude under it.
+fn watchdog_config() -> HybridConfig {
+    HybridConfig {
+        worker_deadline_ms: Some(50),
+        ..HybridConfig::default()
+    }
+}
+
+const STALL_MS: u64 = 150;
+
+/// Floating-point equality modulo reassociation: a parallel `Sum`
+/// reduction combines per-worker partials in a different association
+/// order than the sequential loop, which can move the last ulp. A
+/// tight relative tolerance accepts exactly that and still catches any
+/// genuine corruption (lost writes, wrong values, double-applied
+/// merges).
+fn reals_eq(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
+/// Asserts the chaos run is observably identical to the sequential run:
+/// printed output, every scalar and array of the final store, total
+/// statement cost, and per-loop invocation counts and costs. Integers,
+/// strings, and costs compare exactly; reals modulo reassociation.
+fn assert_sequential_parity(name: &str, rep: &CompilationReport, hybrid: &HybridOutcome) {
+    let seq = Interp::new(&rep.program).run().expect("sequential run");
+    assert_eq!(
+        hybrid.outcome.output.len(),
+        seq.output.len(),
+        "{name}: output length differs"
+    );
+    for (got, want) in hybrid.outcome.output.iter().zip(&seq.output) {
+        let close = match (got.parse::<f64>(), want.parse::<f64>()) {
+            (Ok(g), Ok(w)) => reals_eq(g, w),
+            _ => got == want,
+        };
+        assert!(close, "{name}: output differs: {got} vs {want}");
+    }
+    assert_store_eq(name, rep, &seq.store, &hybrid.outcome.store);
+    assert_eq!(
+        hybrid.outcome.stats.total_cost, seq.stats.total_cost,
+        "{name}: total cost differs"
+    );
+    for (stmt, seq_stats) in &seq.stats.loops {
+        let got = hybrid
+            .outcome
+            .stats
+            .loops
+            .get(stmt)
+            .unwrap_or_else(|| panic!("{name}: loop stats dropped for {stmt:?}"));
+        assert_eq!(got.invocations, seq_stats.invocations, "{name}: {stmt:?}");
+        assert_eq!(got.total_cost, seq_stats.total_cost, "{name}: {stmt:?}");
+    }
+}
+
+fn assert_store_eq(name: &str, rep: &CompilationReport, seq: &Store, got: &Store) {
+    // Privatized variables are per-worker scratch: the compiler only
+    // privatizes values that are dead after the loop, and the parallel
+    // merge excludes them even on success — their post-loop values are
+    // unobservable and legitimately differ between dispatch paths.
+    let privatized: std::collections::HashSet<irr_frontend::VarId> = rep
+        .verdicts
+        .iter()
+        .flat_map(|v| {
+            v.privatized_scalars
+                .iter()
+                .copied()
+                .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
+        })
+        .collect();
+    for (vid, info) in rep.program.symbols.iter() {
+        if privatized.contains(&vid) {
+            continue;
+        }
+        if info.is_array() {
+            match (seq.array_as_reals(vid), got.array_as_reals(vid)) {
+                (Some(want), Some(have)) => {
+                    assert_eq!(
+                        want.len(),
+                        have.len(),
+                        "{name}: array {} length differs",
+                        info.name
+                    );
+                    for (k, (w, h)) in want.iter().zip(&have).enumerate() {
+                        assert!(
+                            reals_eq(*w, *h),
+                            "{name}: array {}({}) differs: {w} vs {h}",
+                            info.name,
+                            k + 1
+                        );
+                    }
+                }
+                (want, have) => assert_eq!(
+                    want, have,
+                    "{name}: array {} materialization differs",
+                    info.name
+                ),
+            }
+        } else {
+            let (want, have) = (seq.scalar(vid), got.scalar(vid));
+            let close = match (want, have) {
+                (Value::Real(w), Value::Real(h)) => reals_eq(w, h),
+                _ => want == have,
+            };
+            assert!(
+                close,
+                "{name}: scalar {} differs: {want:?} vs {have:?}",
+                info.name
+            );
+        }
+    }
+}
+
+// ---- scripted faults: one test per failure class, exact attribution ----
+//
+// Site numbering: the initialization loop of these programs is
+// compile-time parallel and consumes site 0; the guarded target loop
+// (`do20`) is site 1.
+
+#[test]
+fn forged_conflict_falls_back_and_quarantines() {
+    let rep = compiled(GUARDED_SRC);
+    let plan = FaultPlan::scripted([(1, FaultKind::ForgeConflict)]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, chaos_config(), plan).unwrap();
+    assert_sequential_parity("forge", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.fallback_conflict, 1, "{t:?}");
+    assert_eq!(t.fallbacks(), 1, "{t:?}");
+    assert_eq!(t.quarantine_poisonings, 1, "{t:?}");
+    assert_eq!(t.guarded_parallel, 1, "the dispatch itself happened: {t:?}");
+    assert_eq!(plan.fired_count("forge-conflict"), 1);
+    assert_eq!(plan.fired()[0].site, 1);
+}
+
+#[test]
+fn worker_panic_falls_back_with_attribution() {
+    let rep = compiled(GUARDED_SRC);
+    let plan = FaultPlan::scripted([(1, FaultKind::PanicWorker { worker: 1 })]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, chaos_config(), plan).unwrap();
+    assert_sequential_parity("panic", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.fallback_panic, 1, "{t:?}");
+    assert_eq!(t.fallbacks(), 1, "{t:?}");
+    assert_eq!(plan.fired_count("panic-worker"), 1);
+}
+
+#[test]
+fn stalled_worker_times_out_and_falls_back() {
+    let rep = compiled(GUARDED_SRC);
+    let plan = FaultPlan::scripted([(
+        1,
+        FaultKind::StallWorker {
+            worker: 0,
+            stall_ms: STALL_MS,
+        },
+    )]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, watchdog_config(), plan).unwrap();
+    assert_sequential_parity("stall", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.fallback_timeout, 1, "{t:?}");
+    assert_eq!(t.fallbacks(), 1, "{t:?}");
+    assert_eq!(plan.fired_count("stall-worker"), 1);
+}
+
+#[test]
+fn stall_without_watchdog_only_delays() {
+    // With no deadline configured the stall is just latency: the
+    // dispatch completes, nothing falls back.
+    let rep = compiled(GUARDED_SRC);
+    let plan = FaultPlan::scripted([(
+        1,
+        FaultKind::StallWorker {
+            worker: 0,
+            stall_ms: 20,
+        },
+    )]);
+    let config = HybridConfig {
+        worker_deadline_ms: None,
+        ..HybridConfig::default()
+    };
+    let (hybrid, _) = run_hybrid_with_faults(&rep, config, plan).unwrap();
+    assert_sequential_parity("stall-no-watchdog", &rep, &hybrid);
+    assert_eq!(hybrid.telemetry.fallbacks(), 0, "{:?}", hybrid.telemetry);
+}
+
+#[test]
+fn inspector_lie_is_caught_by_the_merge() {
+    // The honest run dispatches this loop sequentially (the guard
+    // fails); the lie forces a parallel dispatch of a genuinely
+    // conflicting schedule. The merge must catch it and the fallback
+    // must restore exact sequential semantics.
+    let rep = compiled(COLLIDING_SRC);
+    let honest = run_hybrid(&rep, chaos_config()).unwrap();
+    assert_eq!(honest.telemetry.guarded_sequential, 1);
+    assert_eq!(honest.telemetry.fallbacks(), 0);
+
+    let plan = FaultPlan::scripted([(1, FaultKind::LieInspector)]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, chaos_config(), plan).unwrap();
+    assert_sequential_parity("lie", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.guarded_parallel, 1, "the lie dispatched parallel: {t:?}");
+    assert_eq!(t.fallback_conflict, 1, "{t:?}");
+    assert_eq!(
+        t.inspections_run, 0,
+        "the lie bypassed the inspector: {t:?}"
+    );
+    assert_eq!(plan.fired_count("lie-inspector"), 1);
+}
+
+#[test]
+fn compile_time_parallel_dispatch_also_recovers() {
+    // Faults are not a guarded-tier privilege: a compile-time-parallel
+    // dispatch that fails at runtime falls back the same way.
+    let src = "program t
+         integer i, n
+         real x(100), y(100)
+         n = 100
+         do i = 1, n
+           y(i) = 1.0
+         enddo
+         do i = 1, n
+           x(i) = y(i) * 2.0
+         enddo
+         print x(1)
+         end";
+    let rep = compiled(src);
+    let plan = FaultPlan::scripted([
+        (0, FaultKind::ForgeConflict),
+        (1, FaultKind::PanicWorker { worker: 2 }),
+    ]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, chaos_config(), plan).unwrap();
+    assert_sequential_parity("ct-parallel", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.fallback_conflict, 1, "{t:?}");
+    assert_eq!(t.fallback_panic, 1, "{t:?}");
+    assert_eq!(t.quarantine_poisonings, 2, "{t:?}");
+    assert_eq!(plan.fired().len(), 2);
+}
+
+// ---- edge cases: zero-trip, single iteration, nesting, tracing ----
+
+#[test]
+fn zero_trip_dispatch_consumes_no_fault_site() {
+    // `m = mod(n, 2) = 0`: the guarded loop is zero-trip. No workers
+    // spawn, so no fault can fire — the site is not consumed and the
+    // scripted fault stays idle.
+    let src = "program t
+         integer i, n, m, p(8)
+         real z(8), x(8)
+         n = 8
+         m = mod(n, 2)
+         do i = 1, n
+           p(i) = mod(i * 3, n) + 1
+           x(i) = i * 1.0
+           z(i) = 0.0
+         enddo
+         do 20 i = 1, m
+           z(p(i)) = x(i) * 2.0
+ 20      continue
+         print z(1), i
+         end";
+    let rep = compiled(src);
+    // Site 1 would be the zero-trip loop if it consumed a site — the
+    // scripted fault must stay idle.
+    let plan = FaultPlan::scripted([(1, FaultKind::ForgeConflict)]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, chaos_config(), plan).unwrap();
+    assert_sequential_parity("zero-trip", &rep, &hybrid);
+    assert_eq!(hybrid.telemetry.fallbacks(), 0, "{:?}", hybrid.telemetry);
+    assert_eq!(
+        plan.sites(),
+        1,
+        "only the init loop consumed a site; the zero-trip dispatch none"
+    );
+    assert!(plan.fired().is_empty());
+}
+
+#[test]
+fn single_iteration_loop_survives_every_fault_class() {
+    // `m = mod(n, 7) = 1` for n = 8: the guarded loop runs exactly one
+    // iteration in one chunk; worker indices reduce modulo 1.
+    let src = "program t
+         integer i, n, m, p(8)
+         real z(8), x(8)
+         n = 8
+         m = mod(n, 7)
+         do i = 1, n
+           p(i) = mod(i * 3, n) + 1
+           x(i) = i * 1.0
+           z(i) = 0.0
+         enddo
+         do 20 i = 1, m
+           z(p(i)) = x(i) * 2.0
+ 20      continue
+         print z(1), i
+         end";
+    let rep = compiled(src);
+    let faults = [
+        FaultKind::ForgeConflict,
+        FaultKind::PanicWorker { worker: 5 },
+        FaultKind::StallWorker {
+            worker: 2,
+            stall_ms: STALL_MS,
+        },
+    ];
+    for kind in faults {
+        let plan = FaultPlan::scripted([(1, kind)]);
+        let (hybrid, plan) = run_hybrid_with_faults(&rep, watchdog_config(), plan).unwrap();
+        assert_sequential_parity(kind.name(), &rep, &hybrid);
+        assert_eq!(
+            hybrid.telemetry.fallbacks(),
+            1,
+            "{}: {:?}",
+            kind.name(),
+            hybrid.telemetry
+        );
+        assert_eq!(plan.fired_count(kind.name()), 1);
+    }
+}
+
+#[test]
+fn nested_fallback_quarantines_then_retries_after_budget() {
+    // The guarded inner loop is entered five times by the outer loop
+    // (sites 1..; site 0 is the init loop). Entry 2 (site 2) is forged
+    // into a conflict: the schedule is poisoned with a 2-entry budget,
+    // entries 3 and 4 are pinned sequential, and entry 5 re-inspects
+    // from scratch and goes parallel again.
+    let rep = compiled(REENTRANT_SRC);
+    let config = HybridConfig {
+        quarantine_retries: 2,
+        ..chaos_config()
+    };
+    let plan = FaultPlan::scripted([(2, FaultKind::ForgeConflict)]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, config, plan).unwrap();
+    assert_sequential_parity("nested", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.fallback_conflict, 1, "{t:?}");
+    assert_eq!(t.quarantine_poisonings, 1, "{t:?}");
+    assert_eq!(t.quarantined, 2, "budget pins exactly 2 entries: {t:?}");
+    assert_eq!(t.guarded_parallel, 3, "entries 1, 2, and 5: {t:?}");
+    assert_eq!(t.inspections_run, 2, "initial + post-quarantine: {t:?}");
+    assert_eq!(plan.sites(), 4, "quarantined entries consume no site");
+    assert_eq!(plan.fired_count("forge-conflict"), 1);
+}
+
+#[test]
+fn zero_retry_budget_drops_the_schedule_immediately() {
+    // With a zero budget nothing is pinned: the failed schedule is
+    // evicted from the cache and the very next entry re-inspects.
+    let rep = compiled(REENTRANT_SRC);
+    let config = HybridConfig {
+        quarantine_retries: 0,
+        ..chaos_config()
+    };
+    let plan = FaultPlan::scripted([(2, FaultKind::ForgeConflict)]);
+    let (hybrid, _) = run_hybrid_with_faults(&rep, config, plan).unwrap();
+    assert_sequential_parity("zero-budget", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.quarantined, 0, "{t:?}");
+    assert_eq!(t.guarded_parallel, 5, "every entry dispatches: {t:?}");
+    assert_eq!(t.inspections_run, 2, "failure forces re-inspection: {t:?}");
+}
+
+/// Counts the interpreter's loop events for one traced loop.
+#[derive(Default)]
+struct IterCounter {
+    enters: usize,
+    iters: Vec<i64>,
+    exits: usize,
+}
+
+struct IterRecorder(std::rc::Rc<std::cell::RefCell<IterCounter>>);
+
+impl irr_exec::trace::AccessTracer for IterRecorder {
+    fn loop_enter(&mut self, _: &Store, _: irr_frontend::StmtId, _: i64, _: i64, _: i64) {
+        self.0.borrow_mut().enters += 1;
+    }
+    fn loop_iter(&mut self, _: irr_frontend::StmtId, iter: i64) {
+        self.0.borrow_mut().iters.push(iter);
+    }
+    fn loop_exit(&mut self, _: irr_frontend::StmtId) {
+        self.0.borrow_mut().exits += 1;
+    }
+    fn read_element(&mut self, _: irr_frontend::VarId, _: usize) {}
+    fn write_element(&mut self, _: irr_frontend::VarId, _: usize) {}
+    fn read_scalar(&mut self, _: irr_frontend::VarId) {}
+    fn write_scalar(&mut self, _: irr_frontend::VarId) {}
+}
+
+#[test]
+fn fallback_under_tracer_records_the_sequential_re_execution() {
+    let rep = compiled(GUARDED_SRC);
+    let target = rep.verdict("T/do20").unwrap().loop_stmt;
+
+    // Successful parallel dispatch: the loop is not traced (the
+    // sanitizer audits sequential semantics only).
+    let counts = std::rc::Rc::new(std::cell::RefCell::new(IterCounter::default()));
+    let mut it = Interp::new(&rep.program);
+    it.attach_tracer(
+        TraceConfig::only([target]),
+        Box::new(IterRecorder(counts.clone())),
+    );
+    let mut d = HybridDispatcher::new(&rep, chaos_config());
+    it.run_dispatched(&mut d).unwrap();
+    assert_eq!(d.telemetry.guarded_parallel, 1);
+    assert_eq!(counts.borrow().iters.len(), 0, "parallel runs are untraced");
+
+    // Forged failure: the fallback re-executes sequentially, and the
+    // trace must contain the full iteration stream 1..=8.
+    let counts = std::rc::Rc::new(std::cell::RefCell::new(IterCounter::default()));
+    let mut it = Interp::new(&rep.program);
+    it.attach_tracer(
+        TraceConfig::only([target]),
+        Box::new(IterRecorder(counts.clone())),
+    );
+    let mut d = HybridDispatcher::new(&rep, chaos_config());
+    d.set_fault_plan(FaultPlan::scripted([(1, FaultKind::ForgeConflict)]));
+    it.run_dispatched(&mut d).unwrap();
+    assert_eq!(d.telemetry.fallback_conflict, 1, "{:?}", d.telemetry);
+    let c = counts.borrow();
+    assert_eq!(c.enters, 1);
+    assert_eq!(c.exits, 1);
+    assert_eq!(c.iters, (1..=8).collect::<Vec<i64>>());
+}
+
+// ---- randomized sweep over the benchmark suite and paper figures ----
+
+#[test]
+fn randomized_chaos_sweep_preserves_sequential_semantics() {
+    let mut targets: Vec<(String, String)> = all(Scale::Test)
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.source))
+        .collect();
+    targets.extend(
+        figures()
+            .into_iter()
+            .map(|f| (f.name.to_string(), f.source.to_string())),
+    );
+    let config = HybridConfig {
+        quarantine_retries: 1,
+        ..watchdog_config()
+    };
+    for (name, src) in &targets {
+        let rep = compiled(src);
+        for seed in 1..=3u64 {
+            // 40% of dispatch sites draw a fault; stalls sleep past the
+            // watchdog deadline.
+            let plan = FaultPlan::randomized(seed, 400, STALL_MS);
+            let (hybrid, plan) = run_hybrid_with_faults(&rep, config, plan).unwrap();
+            let label = format!("{name} seed {seed}");
+            assert_sequential_parity(&label, &rep, &hybrid);
+            let t = hybrid.telemetry;
+            // Attribution: every fired fault of a deterministic class
+            // shows up under its reason code. Only an inspector lie may
+            // produce no fallback (when the schedule happened to be
+            // conflict-free anyway).
+            let forged = plan.fired_count("forge-conflict") as u64;
+            let lied = plan.fired_count("lie-inspector") as u64;
+            assert_eq!(
+                t.fallback_panic,
+                plan.fired_count("panic-worker") as u64,
+                "{label}: {t:?}"
+            );
+            // `>=`, not `==`: with the watchdog armed, an honest worker
+            // the OS deschedules past the deadline under load is a
+            // legitimate extra timeout fallback (still sequential-exact).
+            assert!(
+                t.fallback_timeout >= plan.fired_count("stall-worker") as u64,
+                "{label}: {t:?}"
+            );
+            assert!(
+                t.fallback_conflict >= forged && t.fallback_conflict <= forged + lied,
+                "{label}: conflicts {} outside [{}, {}]: {t:?}",
+                t.fallback_conflict,
+                forged,
+                forged + lied
+            );
+            assert_eq!(t.fallback_shape, 0, "{label}: {t:?}");
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_identical_fault_schedule() {
+    let rep = compiled(REENTRANT_SRC);
+    let run = |seed| {
+        let plan = FaultPlan::randomized(seed, 500, STALL_MS);
+        let (hybrid, plan) = run_hybrid_with_faults(&rep, chaos_config(), plan).unwrap();
+        (hybrid.telemetry, plan.fired().to_vec())
+    };
+    let (t1, fired1) = run(7);
+    let (t2, fired2) = run(7);
+    assert_eq!(t1, t2);
+    assert_eq!(fired1, fired2);
+}
+
+#[test]
+fn sanitizer_audit_stays_clean_on_chaos_targets() {
+    // The dependence sanitizer audits the *sequential* semantics every
+    // fallback must reproduce. It must stay clean on exactly the
+    // programs the chaos sweep replays — this is the same invariant
+    // `sanitizer-audit --chaos` gates in CI.
+    let config = AuditConfig {
+        seed: 42,
+        inputs: 2,
+        mode: AuditMode::Soundness,
+    };
+    for b in all(Scale::Test) {
+        let rep = compiled(&b.source);
+        let audit = audit_report(&rep, &config);
+        assert_eq!(audit.violations(), 0, "{}: {:?}", b.name, audit.findings);
+    }
+}

@@ -175,6 +175,7 @@ fn benchmark_irregular_loops_execute_in_parallel() {
                 .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
                 .collect(),
             reductions: map_reductions(&v.reductions),
+            ..ParallelPlan::default()
         };
         let par = match run_loop_parallel(&rep.program, v.loop_stmt, &plan) {
             Ok(st) => st,

@@ -181,6 +181,7 @@ fn parallel_verdicts_are_sound() {
                     .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
                     .collect(),
                 reductions: map_reductions(&v.reductions),
+                ..ParallelPlan::default()
             };
             let par = run_loop_parallel(&rep.program, v.loop_stmt, &plan)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{src}", v.label));
