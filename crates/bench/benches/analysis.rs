@@ -18,8 +18,8 @@ use irr_core::{
 };
 use irr_driver::{DispatchTier, DriverOptions};
 use irr_exec::{
-    exec_do_parallel, inspect_offset_length, FallbackReason, FaultKind, FaultPlan, Interp,
-    LoopDispatcher, ParallelPlan,
+    exec_do_parallel, inspect_offset_length, ExecutionStrategy, FallbackReason, FaultKind,
+    FaultPlan, Interp, LoopDispatcher, ParallelPlan,
 };
 use irr_frontend::{parse_program, Program, StmtId, StmtKind};
 use irr_programs::{all, Scale};
@@ -330,8 +330,11 @@ fn runtime_vs_compile_time(r: &Runner) {
 
 /// A loop writing 16 elements of a `y` array backed by an `n`-element
 /// store — the write-log merge scaling scenario, shared by the
-/// parallel-exec and fallback groups. Returns the program, the `big`
-/// fill loop, and the 16-write target loop.
+/// parallel-exec, fallback, and parallel-strategy groups. The fill loop
+/// materializes both arrays, so workers fork from a store holding `2n`
+/// live elements and a worker's first write to `y` pays the
+/// copy-on-write clone of the full payload on the write-log path.
+/// Returns the program, the fill loop, and the 16-write target loop.
 fn sixteen_writes_scenario(n: usize) -> (Program, StmtId, StmtId) {
     let src = format!(
         "program t
@@ -339,6 +342,7 @@ fn sixteen_writes_scenario(n: usize) -> (Program, StmtId, StmtId) {
          real big({n}), y({n})
          do i = 1, {n}
            big(i) = i * 0.5
+           y(i) = 0.0
          enddo
          do i = 1, 16
            y(i) = big(i) + i
@@ -353,6 +357,94 @@ fn sixteen_writes_scenario(n: usize) -> (Program, StmtId, StmtId) {
         .collect();
     let (fill, target) = (loops[0], loops[1]);
     (program, fill, target)
+}
+
+/// A consecutively-written gather (§2.2): the sequential-tier loop the
+/// privatize-and-concat strategy promotes to parallel dispatch.
+const GATHER_SRC: &str = "program t
+     integer i, n, q, ind(512)
+     real x(512)
+     n = 512
+     q = 0
+     do i = 1, n
+       x(i) = mod(i, 3) * 1.0
+     enddo
+     do 20 i = 1, n
+       if (x(i) > 0.5) then
+         q = q + 1
+         ind(q) = i
+       endif
+ 20  continue
+     print q, ind(1)
+     end";
+
+/// The tentpole measurement: proof-directed in-place commits against
+/// the transactional write-log on the identical 16-writes kernel, swept
+/// across store sizes. The write-log path pays a per-worker
+/// copy-on-write clone of the written array's full payload plus the
+/// log-and-merge round trip, so its cost tracks the store size; the
+/// in-place path re-proves disjointness and issues 16 raw writes into
+/// the master buffer, so its cost tracks the write volume. The gap must
+/// widen as the store grows (CI keeps the sweep honest through the
+/// `--baseline` soft gate).
+fn strategy_sweep(r: &Runner) {
+    let mut g = r.group("parallel-strategy");
+    g.sample_size(20);
+    for n in [512usize, 4096, 16384, 65536] {
+        let (program, fill, target) = sixteen_writes_scenario(n);
+        let write_log = ParallelPlan {
+            deadline_ms: None,
+            fault: None,
+            ..ParallelPlan::with_threads(4)
+        };
+        let in_place = ParallelPlan {
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            deadline_ms: None,
+            fault: None,
+            ..ParallelPlan::with_threads(4)
+        };
+        // The request must hold, not silently downgrade: the executor
+        // re-derives the disjointness facts and reports what committed.
+        {
+            let mut it = Interp::new(&program);
+            it.exec_stmt(fill).unwrap();
+            let committed = exec_do_parallel(&mut it, target, &in_place, 1, 16, 1).unwrap();
+            assert_eq!(committed, ExecutionStrategy::InPlaceDisjoint);
+        }
+        g.bench_with_setup(
+            &format!("write-log-16-writes/store-{n}"),
+            || {
+                let mut it = Interp::new(&program);
+                it.exec_stmt(fill).unwrap();
+                it
+            },
+            |mut it| exec_do_parallel(&mut it, target, &write_log, 1, 16, 1).unwrap(),
+        );
+        g.bench_with_setup(
+            &format!("in-place-16-writes/store-{n}"),
+            || {
+                let mut it = Interp::new(&program);
+                it.exec_stmt(fill).unwrap();
+                it
+            },
+            |mut it| exec_do_parallel(&mut it, target, &in_place, 1, 16, 1).unwrap(),
+        );
+    }
+    g.finish();
+
+    // The per-strategy dispatch counts behind representative hybrid
+    // runs, recorded next to the sweep timings (the JSON report is the
+    // cross-commit record of which commit path each kernel took).
+    let guarded = irr_driver::compile_source(GUARDED_SRC, DriverOptions::with_iaa()).unwrap();
+    let out = run_hybrid(&guarded, HybridConfig::default()).unwrap();
+    for (name, v) in out.strategy_counts() {
+        r.annotate(&format!("parallel-strategy/hybrid-modperm/{name}"), v);
+    }
+    let gather = irr_driver::compile_source(GATHER_SRC, DriverOptions::with_iaa()).unwrap();
+    let out = run_hybrid(&gather, HybridConfig::default()).unwrap();
+    for (name, v) in out.strategy_counts() {
+        r.annotate(&format!("parallel-strategy/hybrid-gather/{name}"), v);
+    }
 }
 
 /// The transactional-fallback costs:
@@ -431,14 +523,17 @@ fn fallback_overhead(r: &Runner) {
     );
     quarantined.dispatch(&store, v.loop_stmt, 1, 512, 1);
     quarantined.parallel_failed(v.loop_stmt, FallbackReason::Conflict);
-    g.bench_function("hybrid-quarantined-reentry-dispatch", || {
-        quarantined.dispatch(&store, v.loop_stmt, 1, 512, 1)
-    });
+    // One explicit poisoned re-entry, so the scenario holds even when a
+    // command-line filter skips the timed entry below.
+    quarantined.dispatch(&store, v.loop_stmt, 1, 512, 1);
     assert!(
         quarantined.telemetry.quarantined > 0,
         "{:?}",
         quarantined.telemetry
     );
+    g.bench_function("hybrid-quarantined-reentry-dispatch", || {
+        quarantined.dispatch(&store, v.loop_stmt, 1, 512, 1)
+    });
     g.finish();
 }
 
@@ -486,6 +581,8 @@ fn main() {
     demand_vs_exhaustive(&r);
     single_indexed_analyses(&r);
     runtime_vs_compile_time(&r);
+    strategy_sweep(&r);
     fallback_overhead(&r);
     sanitizer_overhead(&r);
+    std::process::exit(r.finalize());
 }

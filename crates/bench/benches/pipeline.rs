@@ -92,4 +92,5 @@ fn main() {
     passes(&r);
     graphs(&r);
     execution(&r);
+    std::process::exit(r.finalize());
 }

@@ -16,6 +16,12 @@
 //! - `--json PATH` additionally writes the timed results as a JSON
 //!   document when the runner is dropped, so the perf trajectory is
 //!   machine-readable across commits (see `BENCH_parallel.json`);
+//! - `--baseline PATH` compares every timed result against a previous
+//!   `--json` report: per-id median ratios are printed and
+//!   [`Runner::finalize`] returns a nonzero exit code when any
+//!   benchmark regressed past the threshold (the CI soft perf gate);
+//! - `--regress-threshold R` sets that threshold as a ratio (default
+//!   1.5: a benchmark 50% over its baseline median is a regression);
 //! - other flags (`--bench`, etc.) are ignored.
 
 use std::cell::RefCell;
@@ -37,6 +43,8 @@ pub struct Runner {
     check_only: bool,
     samples_override: Option<usize>,
     json_path: Option<String>,
+    baseline_path: Option<String>,
+    regress_threshold: f64,
     results: RefCell<Vec<Record>>,
     annotations: RefCell<Vec<(String, u64)>>,
 }
@@ -48,6 +56,8 @@ impl Runner {
         let mut check_only = false;
         let mut samples_override = None;
         let mut json_path = None;
+        let mut baseline_path = None;
+        let mut regress_threshold = 1.5;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--test" {
@@ -59,6 +69,12 @@ impl Runner {
                     .map(|n: usize| n.max(1));
             } else if a == "--json" {
                 json_path = args.next();
+            } else if a == "--baseline" {
+                baseline_path = args.next();
+            } else if a == "--regress-threshold" {
+                if let Some(t) = args.next().and_then(|v| v.parse().ok()) {
+                    regress_threshold = t;
+                }
             } else if !a.starts_with('-') && filter.is_none() {
                 filter = Some(a);
             }
@@ -68,6 +84,8 @@ impl Runner {
             check_only,
             samples_override,
             json_path,
+            baseline_path,
+            regress_threshold,
             results: RefCell::new(Vec::new()),
             annotations: RefCell::new(Vec::new()),
         }
@@ -92,8 +110,52 @@ impl Runner {
     }
 
     fn record(&self, rec: Record) {
-        if self.json_path.is_some() {
+        if self.json_path.is_some() || self.baseline_path.is_some() {
             self.results.borrow_mut().push(rec);
+        }
+    }
+
+    /// Writes the `--json` report (if requested), compares the timed
+    /// results against the `--baseline` report (if given), and returns
+    /// the process exit code: nonzero iff any benchmark's median
+    /// regressed past `--regress-threshold` times its baseline median.
+    /// Bench binaries end with `std::process::exit(runner.finalize())`.
+    pub fn finalize(mut self) -> i32 {
+        if let Some(path) = self.json_path.take() {
+            if let Err(e) = std::fs::write(&path, self.render_json()) {
+                eprintln!("bench harness: cannot write {path}: {e}");
+            } else {
+                println!("bench results written to {path}");
+            }
+        }
+        let Some(path) = self.baseline_path.take() else {
+            return 0;
+        };
+        if self.check_only {
+            return 0;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench harness: cannot read baseline {path}: {e}");
+                return 2;
+            }
+        };
+        let baseline = parse_baseline(&text);
+        println!(
+            "\nbaseline comparison against {path} (regression threshold {:.2}x):",
+            self.regress_threshold
+        );
+        let results = self.results.borrow();
+        let regressions = report_ratios(&results, &baseline, self.regress_threshold);
+        if regressions > 0 {
+            eprintln!(
+                "bench harness: {regressions} benchmark(s) regressed past {:.2}x of baseline",
+                self.regress_threshold
+            );
+            1
+        } else {
+            0
         }
     }
 
@@ -125,6 +187,60 @@ impl Runner {
         out.push_str("  }\n}\n");
         out
     }
+}
+
+/// Extracts `(id, median_ns)` pairs from an `irr-bench/1` report. The
+/// parser is deliberately minimal — the repository builds without a
+/// JSON dependency — and reads exactly the shape `render_json` writes:
+/// one benchmark object per line.
+fn parse_baseline(text: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = extract_string(line, "\"id\": \"") else {
+            continue;
+        };
+        let Some(median) = extract_number(line, "\"median_ns\": ") else {
+            continue;
+        };
+        out.push((id, median));
+    }
+    out
+}
+
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_number(line: &str, key: &str) -> Option<u128> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Prints one ratio line per timed result and returns how many
+/// regressed past `threshold` times their baseline median.
+fn report_ratios(results: &[Record], baseline: &[(String, u128)], threshold: f64) -> usize {
+    let mut regressions = 0;
+    for r in results {
+        match baseline.iter().find(|(id, _)| *id == r.id) {
+            Some((_, base)) if *base > 0 => {
+                let ratio = r.median_ns as f64 / *base as f64;
+                let flag = if ratio > threshold {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "  {}: {} ns -> {} ns ({ratio:.2}x){flag}",
+                    r.id, base, r.median_ns
+                );
+            }
+            _ => println!("  {}: {} ns (no baseline entry)", r.id, r.median_ns),
+        }
+    }
+    regressions
 }
 
 impl Drop for Runner {
@@ -220,6 +336,8 @@ mod tests {
             check_only,
             samples_override: None,
             json_path: None,
+            baseline_path: None,
+            regress_threshold: 1.5,
             results: RefCell::new(Vec::new()),
             annotations: RefCell::new(Vec::new()),
         }
@@ -263,5 +381,54 @@ mod tests {
         assert!(json.contains("\"g/telemetry/fallbacks\": 3"), "{json}");
         // Don't let Drop write a stray file from the test.
         runner.json_path = None;
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_render_json() {
+        let mut runner = test_runner(None, false);
+        runner.samples_override = Some(2);
+        runner.json_path = Some("unused".into());
+        {
+            let mut g = runner.group("g");
+            g.bench_function("f", || 1 + 1);
+            g.finish();
+        }
+        let parsed = parse_baseline(&runner.render_json());
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "g/f");
+        assert_eq!(parsed[0].1, runner.results.borrow()[0].median_ns);
+        runner.json_path = None;
+    }
+
+    #[test]
+    fn ratios_flag_only_past_threshold_regressions() {
+        let results = vec![
+            Record {
+                id: "g/fast".into(),
+                median_ns: 100,
+                min_ns: 90,
+                mean_ns: 100,
+                samples: 2,
+            },
+            Record {
+                id: "g/slow".into(),
+                median_ns: 400,
+                min_ns: 380,
+                mean_ns: 400,
+                samples: 2,
+            },
+            Record {
+                id: "g/new".into(),
+                median_ns: 50,
+                min_ns: 50,
+                mean_ns: 50,
+                samples: 2,
+            },
+        ];
+        let baseline = vec![("g/fast".to_string(), 110u128), ("g/slow".to_string(), 100)];
+        // g/slow is 4.0x its baseline; g/fast improved; g/new has no
+        // baseline entry and must not count as a regression.
+        assert_eq!(report_ratios(&results, &baseline, 1.5), 1);
+        assert_eq!(report_ratios(&results, &baseline, 5.0), 0);
     }
 }

@@ -16,10 +16,12 @@
 //! reorganizes the pipeline.
 
 pub mod emit;
+pub mod strategy;
 
 pub use emit::emit_annotated;
 pub use irr_deptest::ResidualCheck;
 pub use irr_passes::ReductionOp;
+pub use strategy::{derive_concat_shape, derive_in_place_facts, StrategyFacts};
 
 use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
 use irr_core::AnalysisCtx;
@@ -149,6 +151,9 @@ pub struct LoopVerdict {
     pub blockers: Vec<String>,
     /// How a hybrid runtime should dispatch this loop.
     pub tier: DispatchTier,
+    /// Proven facts a runtime can turn into a zero-merge execution
+    /// strategy (in-place disjoint writes, positional concatenation).
+    pub strategy_facts: StrategyFacts,
 }
 
 /// Timings and counters for Table 2.
@@ -276,6 +281,7 @@ fn judge_loop<'c, 'p>(
         properties_used: Vec::new(),
         blockers: Vec::new(),
         tier: DispatchTier::Sequential,
+        strategy_facts: StrategyFacts::None,
     };
     let StmtKind::Do { var, body, .. } = &program.stmt(loop_stmt).kind else {
         v.blockers.push("not a do loop".into());
@@ -412,6 +418,39 @@ fn judge_loop<'c, 'p>(
         })
     } else {
         DispatchTier::Sequential
+    };
+    // Strategy facts: with the tier fixed, look for a proof that lets
+    // the runtime skip the write-log transaction entirely.
+    let privatized: Vec<VarId> = v
+        .privatized_scalars
+        .iter()
+        .copied()
+        .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
+        .collect();
+    let mergeable_vars: Vec<VarId> = v
+        .reductions
+        .iter()
+        .filter(|(_, op)| !matches!(op, irr_passes::ReductionOp::Product))
+        .map(|(r, _)| *r)
+        .collect();
+    v.strategy_facts = match v.tier {
+        DispatchTier::CompileTimeParallel => {
+            match derive_in_place_facts(program, loop_stmt, &privatized, &mergeable_vars) {
+                Some(arrays) => StrategyFacts::DisjointAffine { arrays },
+                None => StrategyFacts::None,
+            }
+        }
+        DispatchTier::Sequential if opts.enable_iaa => {
+            let independent: Vec<VarId> = v.independent_arrays.iter().map(|(a, _)| *a).collect();
+            strategy::derive_concat_facts(
+                ctx,
+                loop_stmt,
+                &privatized,
+                &mergeable_vars,
+                &independent,
+            )
+        }
+        _ => StrategyFacts::None,
     };
     v
 }

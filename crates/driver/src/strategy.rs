@@ -1,0 +1,648 @@
+//! Strategy facts: proven properties that let the runtime execute a
+//! parallel loop without the write-log transaction.
+//!
+//! The write-log executor (`irr-exec`) is a safety net: workers run on
+//! copy-on-write store clones and a validating merge replays their
+//! logs. When the compiler has already *proven* where a loop writes,
+//! that machinery is pure overhead. This module derives two such
+//! proofs from the loop body:
+//!
+//! - [`StrategyFacts::DisjointAffine`] — every non-privatized written
+//!   array is written only at `loop_var + c` and never read, so chunks
+//!   of the iteration space touch disjoint windows of each array.
+//!   Workers may write the master store in place.
+//! - [`StrategyFacts::ConsecutiveAppend`] — the written arrays are
+//!   consecutively-written sections (§2.2 of the paper) through a
+//!   single pointer scalar, so per-worker private buffers concatenate
+//!   positionally.
+//!
+//! `derive_in_place_facts` and `derive_concat_shape` deliberately use
+//! only `irr_frontend` types: the executor re-derives them per
+//! dispatch and trusts *only* its own derivation, so a forged verdict
+//! can never reach the in-place write path.
+
+use irr_core::{consecutively_written, AnalysisCtx};
+use irr_frontend::ast::{BinOp, Expr, LValue, StmtKind};
+use irr_frontend::symbols::VarId;
+use irr_frontend::visit::{collect_array_accesses, scalars_assigned_in};
+use irr_frontend::{Program, StmtId};
+
+/// Proven facts the runtime can turn into a zero-merge execution
+/// strategy. Derived per loop after the dispatch tier is known; `None`
+/// means parallel dispatches use the transactional write-log.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum StrategyFacts {
+    /// No strategy-grade proof: parallel dispatches use the write-log.
+    #[default]
+    None,
+    /// Every non-privatized written array is written only at
+    /// `loop_var + offset` and never read: iteration chunks write
+    /// disjoint windows and workers may write the master store in
+    /// place.
+    DisjointAffine {
+        /// `(array, offset)` for each proven target.
+        arrays: Vec<(VarId, i64)>,
+    },
+    /// The arrays are consecutively-written sections through `ptr`
+    /// (§2.2): per-worker private buffers concatenate positionally.
+    ConsecutiveAppend {
+        /// The pointer scalar (`p` in `p = p + 1; a(p) = ...`).
+        ptr: VarId,
+        /// The consecutively-written arrays.
+        arrays: Vec<VarId>,
+    },
+}
+
+impl StrategyFacts {
+    /// Short stable name for telemetry and witnesses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyFacts::None => "none",
+            StrategyFacts::DisjointAffine { .. } => "disjoint-affine",
+            StrategyFacts::ConsecutiveAppend { .. } => "consecutive-append",
+        }
+    }
+}
+
+/// `loop_var + c` (including bare `loop_var`, `c + loop_var`, and
+/// `loop_var - c`) — the subscript shapes whose per-iteration write
+/// sets are trivially disjoint.
+fn affine_offset(e: &Expr, loop_var: VarId) -> Option<i64> {
+    match e {
+        Expr::Var(v) if *v == loop_var => Some(0),
+        Expr::Bin(BinOp::Add, a, b) => match (&**a, &**b) {
+            (Expr::Var(v), Expr::IntLit(c)) if *v == loop_var => Some(*c),
+            (Expr::IntLit(c), Expr::Var(v)) if *v == loop_var => Some(*c),
+            _ => None,
+        },
+        Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
+            (Expr::Var(v), Expr::IntLit(c)) if *v == loop_var => Some(-*c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The statement kinds a strategy-eligible body may contain. Nested
+/// loops and calls are rejected: they make the per-iteration write set
+/// non-obvious and bring in side effects the derivation cannot see.
+fn body_is_straightline(program: &Program, body: &[StmtId]) -> bool {
+    program.stmts_in(body).into_iter().all(|s| {
+        matches!(
+            program.stmt(s).kind,
+            StmtKind::Assign { .. }
+                | StmtKind::If { .. }
+                | StmtKind::Print { .. }
+                | StmtKind::Return
+        )
+    })
+}
+
+/// Proves that every non-privatized array written by `loop_stmt` is
+/// written only at `loop_var + c` (one consistent offset per array)
+/// and never read anywhere in the body, so iteration chunks write
+/// disjoint windows and workers may write the master store in place.
+///
+/// Returns `(array, offset)` per target, or `None` if any of the
+/// conditions fail. The executor calls this itself on every
+/// `InPlaceDisjoint` dispatch — the plan's strategy is advisory, this
+/// derivation is the safety gate — so it must stay a pure function of
+/// the program text plus the privatized/reduction sets.
+///
+/// Conditions, each load-bearing for in-place soundness:
+/// - body is straight-line (`Assign`/`If`/`Print`/`Return` only) and
+///   does not assign the loop variable;
+/// - every assigned scalar is privatized or a reduction (workers keep
+///   them in their private snapshots);
+/// - each target is written only at subscript `loop_var + c` with one
+///   consistent `c` (distinct offsets would overlap across chunks);
+/// - targets are never read (workers share the master allocation, so a
+///   read racing another chunk's raw write would be undefined);
+/// - targets are 1-D and their declared extent mentions no assigned
+///   scalar and not the loop variable (bounds checks are race-free);
+/// - each target has at least one unconditional top-level write, so a
+///   non-zero-trip loop materializes it exactly as sequential
+///   execution would (pre-materializing a conditionally-written array
+///   could diverge from the sequential run's materialization set).
+pub fn derive_in_place_facts(
+    program: &Program,
+    loop_stmt: StmtId,
+    privatized: &[VarId],
+    reductions: &[VarId],
+) -> Option<Vec<(VarId, i64)>> {
+    let StmtKind::Do {
+        var: loop_var,
+        body,
+        ..
+    } = &program.stmt(loop_stmt).kind
+    else {
+        return None;
+    };
+    let loop_var = *loop_var;
+    if !body_is_straightline(program, body) {
+        return None;
+    }
+    let assigned = scalars_assigned_in(program, body);
+    if assigned.contains(&loop_var) {
+        return None;
+    }
+    if !assigned
+        .iter()
+        .all(|s| privatized.contains(s) || reductions.contains(s))
+    {
+        return None;
+    }
+    let accesses = collect_array_accesses(program, body);
+    let mut targets: Vec<(VarId, i64)> = Vec::new();
+    for acc in &accesses {
+        if !acc.is_write || privatized.contains(&acc.array) {
+            continue;
+        }
+        let off = match acc.subscripts.as_slice() {
+            [sub] => affine_offset(sub, loop_var)?,
+            _ => return None,
+        };
+        match targets.iter().find(|(a, _)| *a == acc.array) {
+            None => targets.push((acc.array, off)),
+            Some((_, prev)) if *prev == off => {}
+            Some(_) => return None,
+        }
+    }
+    if targets.is_empty() {
+        return None;
+    }
+    // Targets must never be read — not in rhs, conditions, print
+    // arguments, or any subscript (collect_array_accesses sees all of
+    // those as reads).
+    if accesses
+        .iter()
+        .any(|acc| !acc.is_write && targets.iter().any(|(a, _)| *a == acc.array))
+    {
+        return None;
+    }
+    for &(a, _) in &targets {
+        let info = program.symbols.var(a);
+        if info.dims.len() != 1 {
+            return None;
+        }
+        if info.dims[0].mentions(loop_var) || assigned.iter().any(|s| info.dims[0].mentions(*s)) {
+            return None;
+        }
+        let unconditional = body.iter().any(|&s| {
+            matches!(&program.stmt(s).kind,
+                     StmtKind::Assign { lhs: LValue::Element(v, _), .. } if *v == a)
+        });
+        if !unconditional {
+            return None;
+        }
+    }
+    Some(targets)
+}
+
+/// Syntactic half of the consecutive-append proof: finds the unique
+/// pointer scalar and the arrays written only at `[ptr]`, and checks
+/// the pointer discipline (`ptr = ptr + 1` is its only definition,
+/// nothing else in the body mentions `ptr`). The semantic half — that
+/// the appended region has no holes — is `consecutively_written` in
+/// `irr-core`; the executor cannot run that (no analysis context), so
+/// it re-derives this shape and validates hole-freedom dynamically at
+/// commit (append positions must be contiguous and the pointer delta
+/// must equal each buffer length).
+pub fn derive_concat_shape(
+    program: &Program,
+    loop_stmt: StmtId,
+    privatized: &[VarId],
+    reductions: &[VarId],
+) -> Option<(VarId, Vec<VarId>)> {
+    let StmtKind::Do {
+        var: loop_var,
+        body,
+        ..
+    } = &program.stmt(loop_stmt).kind
+    else {
+        return None;
+    };
+    let loop_var = *loop_var;
+    if !body_is_straightline(program, body) {
+        return None;
+    }
+    let assigned = scalars_assigned_in(program, body);
+    if assigned.contains(&loop_var) {
+        return None;
+    }
+    // The pointer: the unique non-privatized, non-reduction scalar
+    // used as the whole subscript of a write.
+    let accesses = collect_array_accesses(program, body);
+    let mut ptr: Option<VarId> = None;
+    for acc in &accesses {
+        if !acc.is_write || privatized.contains(&acc.array) {
+            continue;
+        }
+        if let [Expr::Var(p)] = acc.subscripts.as_slice() {
+            if *p != loop_var
+                && !program.symbols.var(*p).is_array()
+                && !privatized.contains(p)
+                && !reductions.contains(p)
+            {
+                match ptr {
+                    None => ptr = Some(*p),
+                    Some(q) if q == *p => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+    }
+    let ptr = ptr?;
+    let mut targets: Vec<VarId> = Vec::new();
+    for acc in &accesses {
+        if acc.is_write
+            && !privatized.contains(&acc.array)
+            && matches!(acc.subscripts.as_slice(), [Expr::Var(p)] if *p == ptr)
+            && !targets.contains(&acc.array)
+        {
+            targets.push(acc.array);
+        }
+    }
+    // Every access to a target must be exactly such a write: a read
+    // would observe the worker's stale private copy instead of the
+    // appended values, and any other write shape breaks contiguity.
+    for acc in &accesses {
+        if targets.contains(&acc.array)
+            && !(acc.is_write && matches!(acc.subscripts.as_slice(), [Expr::Var(p)] if *p == ptr))
+        {
+            return None;
+        }
+    }
+    // Pointer discipline: assigned only as `ptr = ptr + 1`, mentioned
+    // nowhere else. Workers start from the shared entry value, so any
+    // other use of `ptr` would observe a position shifted by the other
+    // chunks' appends.
+    let is_increment = |rhs: &Expr| match rhs {
+        Expr::Bin(BinOp::Add, a, b) => matches!(
+            (&**a, &**b),
+            (Expr::Var(v), Expr::IntLit(1)) | (Expr::IntLit(1), Expr::Var(v)) if *v == ptr
+        ),
+        _ => false,
+    };
+    let mut increments = 0usize;
+    for s in program.stmts_in(body) {
+        match &program.stmt(s).kind {
+            StmtKind::Assign {
+                lhs: LValue::Scalar(v),
+                rhs,
+            } if *v == ptr => {
+                if !is_increment(rhs) {
+                    return None;
+                }
+                increments += 1;
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                let target_write = matches!(lhs, LValue::Element(a, _) if targets.contains(a));
+                // Target subscripts are `[ptr]` by construction; every
+                // other position must not mention the pointer.
+                if !target_write && lhs.subscripts().iter().any(|e| e.mentions(ptr)) {
+                    return None;
+                }
+                if rhs.mentions(ptr) {
+                    return None;
+                }
+            }
+            StmtKind::If { cond, .. } => {
+                if cond.mentions(ptr) {
+                    return None;
+                }
+            }
+            StmtKind::Print { args } => {
+                if args.iter().any(|e| e.mentions(ptr)) {
+                    return None;
+                }
+            }
+            StmtKind::Return => {}
+            _ => return None,
+        }
+    }
+    if increments == 0 {
+        return None;
+    }
+    if !assigned
+        .iter()
+        .all(|s| *s == ptr || privatized.contains(s) || reductions.contains(s))
+    {
+        return None;
+    }
+    for &a in &targets {
+        let info = program.symbols.var(a);
+        if info.dims.len() != 1 {
+            return None;
+        }
+        if info.dims[0].mentions(loop_var)
+            || info.dims[0].mentions(ptr)
+            || assigned.iter().any(|s| info.dims[0].mentions(*s))
+        {
+            return None;
+        }
+    }
+    if targets.is_empty() {
+        None
+    } else {
+        Some((ptr, targets))
+    }
+}
+
+/// Full consecutive-append derivation for the driver: the syntactic
+/// shape plus the paper's hole-freedom proof per target, plus the
+/// requirement that every *other* written array is privatized or
+/// proven independent (their writes still go through the write-log
+/// merge, which catches overlaps but not stale cross-chunk reads — so
+/// promotion demands the compile-time proof).
+pub(crate) fn derive_concat_facts(
+    ctx: &AnalysisCtx<'_>,
+    loop_stmt: StmtId,
+    privatized: &[VarId],
+    reductions: &[VarId],
+    independent: &[VarId],
+) -> StrategyFacts {
+    let program = ctx.program;
+    let Some((ptr, targets)) = derive_concat_shape(program, loop_stmt, privatized, reductions)
+    else {
+        return StrategyFacts::None;
+    };
+    let StmtKind::Do { body, .. } = &program.stmt(loop_stmt).kind else {
+        return StrategyFacts::None;
+    };
+    for acc in collect_array_accesses(program, body) {
+        if acc.is_write
+            && !targets.contains(&acc.array)
+            && !privatized.contains(&acc.array)
+            && !independent.contains(&acc.array)
+        {
+            return StrategyFacts::None;
+        }
+    }
+    for &a in &targets {
+        match consecutively_written(ctx, loop_stmt, a, ptr) {
+            Some(cw) if !cw.increments.is_empty() => {}
+            _ => return StrategyFacts::None,
+        }
+    }
+    StrategyFacts::ConsecutiveAppend {
+        ptr,
+        arrays: targets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    fn first_do(p: &Program) -> StmtId {
+        p.stmts_in(&p.procedure(p.main()).body)
+            .into_iter()
+            .find(|s| matches!(p.stmt(*s).kind, StmtKind::Do { .. }))
+            .expect("program has a do loop")
+    }
+
+    fn var(p: &Program, name: &str) -> VarId {
+        p.symbols.lookup(name).expect("variable exists")
+    }
+
+    #[test]
+    fn read_and_written_target_rejects() {
+        // y is read on the first rhs and written by the second
+        // statement: a chunk's read could race another chunk's
+        // in-place write, so the derivation rejects the loop.
+        let p = parse_program(
+            "program t
+             integer i, n
+             real x(100), y(100)
+             do i = 1, n
+               x(i) = y(i) * 2.0
+               y(i) = 0.0
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(derive_in_place_facts(&p, first_do(&p), &[], &[]), None);
+    }
+
+    #[test]
+    fn write_only_affine_targets_qualify_with_offsets() {
+        let p = parse_program(
+            "program t
+             integer i, n
+             real x(100), y(101), z(100)
+             do i = 1, n
+               x(i) = z(i) * 2.0
+               y(i + 1) = z(i)
+             enddo
+             end",
+        )
+        .unwrap();
+        let facts = derive_in_place_facts(&p, first_do(&p), &[], &[]).expect("facts");
+        assert_eq!(facts, vec![(var(&p, "x"), 0), (var(&p, "y"), 1)]);
+    }
+
+    #[test]
+    fn conflicting_offsets_reject() {
+        let p = parse_program(
+            "program t
+             integer i, n
+             real x(101)
+             do i = 1, n
+               x(i) = 1.0
+               x(i + 1) = 2.0
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(derive_in_place_facts(&p, first_do(&p), &[], &[]), None);
+    }
+
+    #[test]
+    fn conditional_only_writes_reject() {
+        // A target written only under a condition may never
+        // materialize sequentially; pre-materializing it in place
+        // would diverge.
+        let p = parse_program(
+            "program t
+             integer i, n
+             real x(100), z(100)
+             do i = 1, n
+               if (z(i) > 0.0) then
+                 x(i) = 1.0
+               endif
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(derive_in_place_facts(&p, first_do(&p), &[], &[]), None);
+    }
+
+    #[test]
+    fn irregular_subscript_rejects() {
+        let p = parse_program(
+            "program t
+             integer i, n, p(100)
+             real x(100)
+             do i = 1, n
+               x(p(i)) = 1.0
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(derive_in_place_facts(&p, first_do(&p), &[], &[]), None);
+    }
+
+    #[test]
+    fn unlisted_assigned_scalar_rejects_but_reduction_passes() {
+        let p = parse_program(
+            "program t
+             integer i, n
+             real s, x(100), z(100)
+             do i = 1, n
+               s = s + z(i)
+               x(i) = z(i)
+             enddo
+             end",
+        )
+        .unwrap();
+        let s = var(&p, "s");
+        assert_eq!(derive_in_place_facts(&p, first_do(&p), &[], &[]), None);
+        let facts = derive_in_place_facts(&p, first_do(&p), &[], &[s]).expect("facts");
+        assert_eq!(facts, vec![(var(&p, "x"), 0)]);
+    }
+
+    #[test]
+    fn nested_loop_rejects() {
+        let p = parse_program(
+            "program t
+             integer i, j, n
+             real x(100)
+             do i = 1, n
+               do j = 1, 2
+                 x(i) = x(i)
+               enddo
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(derive_in_place_facts(&p, first_do(&p), &[], &[]), None);
+    }
+
+    #[test]
+    fn concat_shape_recognizes_gather() {
+        let p = parse_program(
+            "program t
+             integer i, n, q, ind(100)
+             real z(100)
+             do i = 1, n
+               if (z(i) > 0.0) then
+                 q = q + 1
+                 ind(q) = i
+               endif
+             enddo
+             end",
+        )
+        .unwrap();
+        let (ptr, targets) = derive_concat_shape(&p, first_do(&p), &[], &[]).expect("shape");
+        assert_eq!(ptr, var(&p, "q"));
+        assert_eq!(targets, vec![var(&p, "ind")]);
+    }
+
+    #[test]
+    fn concat_shape_rejects_pointer_leak() {
+        // `s = s + q` observes the pointer's numeric value, which is
+        // chunk-local under concatenation.
+        let p = parse_program(
+            "program t
+             integer i, n, q, s, ind(100)
+             do i = 1, n
+               q = q + 1
+               ind(q) = i
+               s = s + q
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(derive_concat_shape(&p, first_do(&p), &[], &[]), None);
+    }
+
+    #[test]
+    fn concat_shape_rejects_target_read() {
+        let p = parse_program(
+            "program t
+             integer i, n, q, s, ind(100)
+             do i = 1, n
+               q = q + 1
+               ind(q) = i
+               s = s + ind(i)
+             enddo
+             end",
+        )
+        .unwrap();
+        let s = var(&p, "s");
+        assert_eq!(derive_concat_shape(&p, first_do(&p), &[], &[s]), None);
+    }
+
+    #[test]
+    fn concat_shape_rejects_non_unit_increment() {
+        let p = parse_program(
+            "program t
+             integer i, n, q, ind(100)
+             do i = 1, n
+               q = q + 2
+               ind(q) = i
+             enddo
+             end",
+        )
+        .unwrap();
+        assert_eq!(derive_concat_shape(&p, first_do(&p), &[], &[]), None);
+    }
+
+    #[test]
+    fn concat_facts_require_hole_freedom() {
+        use irr_core::AnalysisCtx;
+        // Increment not always followed by a write: holes possible.
+        let holey = parse_program(
+            "program t
+             integer i, n, q, ind(100)
+             real z(100)
+             do i = 1, n
+               q = q + 1
+               if (z(i) > 0.0) then
+                 ind(q) = i
+               endif
+             enddo
+             end",
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&holey);
+        assert_eq!(
+            derive_concat_facts(&ctx, first_do(&holey), &[], &[], &[]),
+            StrategyFacts::None
+        );
+        let dense = parse_program(
+            "program t
+             integer i, n, q, ind(100)
+             real z(100)
+             do i = 1, n
+               if (z(i) > 0.0) then
+                 q = q + 1
+                 ind(q) = i
+               endif
+             enddo
+             end",
+        )
+        .unwrap();
+        let ctx = AnalysisCtx::new(&dense);
+        let facts = derive_concat_facts(&ctx, first_do(&dense), &[], &[], &[]);
+        assert_eq!(
+            facts,
+            StrategyFacts::ConsecutiveAppend {
+                ptr: var(&dense, "q"),
+                arrays: vec![var(&dense, "ind")],
+            }
+        );
+    }
+}

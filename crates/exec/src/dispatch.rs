@@ -12,7 +12,7 @@
 //! [`SequentialDispatch`] recovers the plain interpreter.
 
 use crate::interp::Store;
-use crate::parallel::ParallelPlan;
+use crate::parallel::{ExecutionStrategy, ParallelPlan};
 use irr_frontend::StmtId;
 
 /// How one dynamic execution of a loop should run.
@@ -43,6 +43,10 @@ pub enum FallbackReason {
     Unsupported,
     /// A worker overran the per-worker deadline (watchdog).
     Timeout,
+    /// An execution strategy's runtime self-check failed (an in-place
+    /// write left its proven window, or append positions broke the
+    /// consecutive discipline).
+    Strategy,
 }
 
 impl FallbackReason {
@@ -54,6 +58,7 @@ impl FallbackReason {
             FallbackReason::Shape => "shape",
             FallbackReason::Unsupported => "unsupported",
             FallbackReason::Timeout => "timeout",
+            FallbackReason::Strategy => "strategy",
         }
     }
 }
@@ -82,6 +87,13 @@ pub trait LoopDispatcher {
     /// store. Implementations use this to record telemetry and
     /// quarantine the failing schedule; the default is a no-op.
     fn parallel_failed(&mut self, _loop_stmt: StmtId, _reason: FallbackReason) {}
+
+    /// Notifies the dispatcher that a parallel dispatch of `loop_stmt`
+    /// committed, and which [`ExecutionStrategy`] actually ran (the
+    /// executor may have downgraded the planned strategy to the
+    /// write-log if its own derivation could not re-prove the facts).
+    /// The default is a no-op.
+    fn parallel_committed(&mut self, _loop_stmt: StmtId, _strategy: ExecutionStrategy) {}
 }
 
 /// The trivial dispatcher: every loop runs sequentially. Using it with

@@ -141,6 +141,198 @@ impl WriteLog {
     }
 }
 
+/// A raw pointer to the element buffer of a materialized array.
+///
+/// The in-place strategy executor derives one per target from the
+/// *master* store (after forcing payload uniqueness with
+/// [`Arc::make_mut`]) and hands copies to the workers, whose snapshots
+/// share the same allocation. Each worker writes only inside its own
+/// disjoint flat-index window, so no two threads ever touch the same
+/// element.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RawSlice {
+    Int(*mut i64),
+    Real(*mut f64),
+}
+
+// SAFETY: a RawSlice is only ever dereferenced through
+// `WriteOverlay::intercept`, which confines every write to the
+// worker's own disjoint window of the buffer (the in-place derivation
+// proves the windows disjoint, and the overlay re-checks each index
+// dynamically). The pointee buffer outlives the `thread::scope` the
+// workers run in because the master store owns the Arc'd payload for
+// the whole dispatch.
+unsafe impl Send for RawSlice {}
+unsafe impl Sync for RawSlice {}
+
+impl RawSlice {
+    /// # Safety
+    ///
+    /// `idx` must be inside the allocation and inside the caller's
+    /// exclusive window; no other thread may read or write the element.
+    unsafe fn write(self, idx: usize, val: Value) {
+        match self {
+            RawSlice::Int(p) => *p.add(idx) = val.as_int(),
+            RawSlice::Real(p) => *p.add(idx) = val.as_real(),
+        }
+    }
+}
+
+/// One in-place target as seen by one worker: writes to `var` whose
+/// flat index lies in `[lo, hi]` (inclusive) go straight to the shared
+/// master buffer; anything outside is a strategy violation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct InPlaceWindow {
+    pub(crate) var: VarId,
+    pub(crate) slice: RawSlice,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+}
+
+/// A per-worker append buffer for one consecutively-written array.
+#[derive(Clone, Debug)]
+pub(crate) enum ConcatBuf {
+    Int(Vec<i64>),
+    Real(Vec<f64>),
+}
+
+impl ConcatBuf {
+    pub(crate) fn new(ty: ScalarType) -> ConcatBuf {
+        match ty {
+            ScalarType::Int => ConcatBuf::Int(Vec::new()),
+            ScalarType::Real => ConcatBuf::Real(Vec::new()),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ConcatBuf::Int(v) => v.len(),
+            ConcatBuf::Real(v) => v.len(),
+        }
+    }
+
+    fn push(&mut self, val: Value) {
+        match self {
+            ConcatBuf::Int(v) => v.push(val.as_int()),
+            ConcatBuf::Real(v) => v.push(val.as_real()),
+        }
+    }
+
+    fn set_last(&mut self, val: Value) {
+        match self {
+            ConcatBuf::Int(v) => *v.last_mut().expect("non-empty") = val.as_int(),
+            ConcatBuf::Real(v) => *v.last_mut().expect("non-empty") = val.as_real(),
+        }
+    }
+
+    /// The buffered values as [`Value`]s, for the commit-time apply.
+    pub(crate) fn value(&self, k: usize) -> Value {
+        match self {
+            ConcatBuf::Int(v) => Value::Int(v[k]),
+            ConcatBuf::Real(v) => Value::Real(v[k]),
+        }
+    }
+}
+
+/// A write interceptor a strategy executor installs on a worker store.
+///
+/// [`Store::write_element`] consults the overlay *before* the normal
+/// copy-on-write/log path; an intercepted write never clones the
+/// payload, bumps a version, or reaches the write log. A write that
+/// breaks the strategy's proven discipline records a violation (and is
+/// suppressed) instead of corrupting shared state; the worker checks
+/// [`Store::overlay_violation`] every iteration and aborts the chunk.
+#[derive(Clone, Debug)]
+pub(crate) enum WriteOverlay {
+    /// Proven-disjoint in-place writes into the master buffers.
+    InPlace {
+        windows: Vec<InPlaceWindow>,
+        violation: Option<VarId>,
+    },
+    /// Positional append buffers for consecutively-written arrays:
+    /// valid writes land at `base + buf.len()` (append) or overwrite
+    /// the last appended element.
+    Concat {
+        base: usize,
+        bufs: Vec<(VarId, ConcatBuf)>,
+        violation: Option<VarId>,
+    },
+}
+
+impl WriteOverlay {
+    pub(crate) fn in_place(windows: Vec<InPlaceWindow>) -> WriteOverlay {
+        WriteOverlay::InPlace {
+            windows,
+            violation: None,
+        }
+    }
+
+    pub(crate) fn concat(base: usize, bufs: Vec<(VarId, ConcatBuf)>) -> WriteOverlay {
+        WriteOverlay::Concat {
+            base,
+            bufs,
+            violation: None,
+        }
+    }
+
+    pub(crate) fn violation(&self) -> Option<VarId> {
+        match self {
+            WriteOverlay::InPlace { violation, .. } | WriteOverlay::Concat { violation, .. } => {
+                *violation
+            }
+        }
+    }
+
+    /// Handles a write to `arr` at flat `idx`. Returns `true` when the
+    /// write was intercepted (applied in place, buffered, or recorded
+    /// as a violation and suppressed); `false` sends it down the
+    /// normal store path.
+    fn intercept(&mut self, arr: VarId, idx: usize, val: Value) -> bool {
+        match self {
+            WriteOverlay::InPlace { windows, violation } => {
+                let Some(w) = windows.iter().find(|w| w.var == arr) else {
+                    return false;
+                };
+                if violation.is_none() {
+                    if idx >= w.lo && idx <= w.hi {
+                        // SAFETY: idx is inside this worker's exclusive
+                        // window (checked on the previous line) and the
+                        // master keeps the buffer alive for the whole
+                        // dispatch.
+                        unsafe { w.slice.write(idx, val) };
+                    } else {
+                        *violation = Some(arr);
+                    }
+                }
+                true
+            }
+            WriteOverlay::Concat {
+                base,
+                bufs,
+                violation,
+            } => {
+                let Some((_, buf)) = bufs.iter_mut().find(|(v, _)| *v == arr) else {
+                    return false;
+                };
+                if violation.is_none() {
+                    let next = *base + buf.len();
+                    if idx == next {
+                        buf.push(val);
+                    } else if buf.len() > 0 && idx + 1 == next {
+                        // Re-write of the element appended last —
+                        // sequential semantics allow overwriting the
+                        // current position before the next increment.
+                        buf.set_last(val);
+                    } else {
+                        *violation = Some(arr);
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
 /// The global store (all variables are global).
 ///
 /// Every array slot carries a monotonically increasing **write-version
@@ -160,12 +352,29 @@ impl WriteLog {
 /// A store can additionally record every write into a [`WriteLog`]
 /// (see [`Store::start_write_log`]); recording state is carried by
 /// clones but excluded from equality.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Store {
     scalars: Vec<Value>,
     arrays: Vec<Option<Arc<ArrayData>>>,
     versions: Vec<u64>,
     log: Option<Box<WriteLog>>,
+    /// Strategy write interceptor (see [`WriteOverlay`]); only ever
+    /// set on a parallel worker's store.
+    overlay: Option<Box<WriteOverlay>>,
+}
+
+impl Clone for Store {
+    fn clone(&self) -> Store {
+        Store {
+            scalars: self.scalars.clone(),
+            arrays: self.arrays.clone(),
+            versions: self.versions.clone(),
+            log: self.log.clone(),
+            // Interception is per-store: a snapshot taken from a store
+            // with an overlay installed must not write through it.
+            overlay: None,
+        }
+    }
 }
 
 impl PartialEq for Store {
@@ -196,6 +405,39 @@ impl Store {
             arrays: vec![None; n],
             versions: vec![0; n],
             log: None,
+            overlay: None,
+        }
+    }
+
+    /// Installs a strategy write interceptor (see [`WriteOverlay`]).
+    pub(crate) fn install_overlay(&mut self, overlay: WriteOverlay) {
+        self.overlay = Some(Box::new(overlay));
+    }
+
+    /// Removes and returns the installed overlay, if any.
+    pub(crate) fn take_overlay(&mut self) -> Option<WriteOverlay> {
+        self.overlay.take().map(|b| *b)
+    }
+
+    /// The first strategy violation the overlay recorded, if any.
+    pub(crate) fn overlay_violation(&self) -> Option<VarId> {
+        self.overlay.as_ref().and_then(|o| o.violation())
+    }
+
+    /// Raw pointer to the element buffer of materialized `arr`, plus
+    /// its flat length. Forces payload uniqueness first
+    /// ([`Arc::make_mut`]), so snapshots cloned *afterwards* share
+    /// exactly this allocation — which is what lets in-place workers
+    /// write through the pointer while the master retains ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr` is not materialized.
+    pub(crate) fn payload_raw(&mut self, arr: VarId) -> (RawSlice, usize) {
+        let data = Arc::make_mut(self.arrays[arr.index()].as_mut().expect("materialized"));
+        match data {
+            ArrayData::Int { data, .. } => (RawSlice::Int(data.as_mut_ptr()), data.len()),
+            ArrayData::Real { data, .. } => (RawSlice::Real(data.as_mut_ptr()), data.len()),
         }
     }
 
@@ -290,6 +532,14 @@ impl Store {
     /// Panics if `arr` is not materialized or `idx` is out of range —
     /// callers bounds-check through [`Interp`] or the merge.
     pub(crate) fn write_element(&mut self, arr: VarId, idx: usize, val: Value) {
+        // Strategy overlays intercept before anything else: an
+        // in-place or concat write must not clone the shared payload,
+        // bump the version, or reach the write log.
+        if let Some(overlay) = &mut self.overlay {
+            if overlay.intercept(arr, idx, val) {
+                return;
+            }
+        }
         let data = Arc::make_mut(self.arrays[arr.index()].as_mut().expect("ensured"));
         let coerced = match data {
             ArrayData::Int { data, .. } => {
@@ -545,19 +795,25 @@ impl<'p> Interp<'p> {
         dispatcher: &mut dyn LoopDispatcher,
     ) -> Result<(), ExecError> {
         self.charge(1)?;
-        match self.program.stmt(s).kind.clone() {
+        // The program reference outlives `self`'s borrow, so statement
+        // kinds are matched by reference — no per-statement clone on
+        // this hot path.
+        let program = self.program;
+        match &program.stmt(s).kind {
             StmtKind::Assign { lhs, rhs } => {
-                let val = self.eval(&rhs)?;
+                let val = self.eval(rhs)?;
                 match lhs {
                     LValue::Scalar(v) => {
-                        let ty = self.program.symbols.var(v).ty;
+                        let v = *v;
+                        let ty = program.symbols.var(v).ty;
                         self.store.set_scalar(v, ty, val);
                         if let Some(t) = &mut self.tracer {
                             t.hook.write_scalar(v);
                         }
                     }
                     LValue::Element(a, subs) => {
-                        let idx = self.flat_index(a, &subs)?;
+                        let a = *a;
+                        let idx = self.flat_index(a, subs)?;
                         self.write_element(a, idx, val);
                         if let Some(t) = &mut self.tracer {
                             t.hook.write_element(a, idx);
@@ -574,10 +830,11 @@ impl<'p> Interp<'p> {
                 body,
                 ..
             } => {
-                let lo = self.eval(&lo)?.as_int();
-                let hi = self.eval(&hi)?.as_int();
+                let var = *var;
+                let lo = self.eval(lo)?.as_int();
+                let hi = self.eval(hi)?.as_int();
                 let step = match step {
-                    Some(e) => self.eval(&e)?.as_int(),
+                    Some(e) => self.eval(e)?.as_int(),
                     None => 1,
                 };
                 if step == 0 {
@@ -587,7 +844,10 @@ impl<'p> Interp<'p> {
                     dispatcher.dispatch(&self.store, s, lo, hi, step)
                 {
                     match crate::parallel::exec_do_parallel(self, s, &plan, lo, hi, step) {
-                        Ok(()) => return Ok(()),
+                        Ok(strategy) => {
+                            dispatcher.parallel_committed(s, strategy);
+                            return Ok(());
+                        }
                         // Genuine runtime errors inside a worker are the
                         // program's fault and propagate.
                         Err(crate::parallel::ParallelError::Exec(x)) => return Err(x),
@@ -620,7 +880,7 @@ impl<'p> Interp<'p> {
                 entry.invocations += 1;
                 let cost_at_entry = self.stats.total_cost;
                 let mut iter_costs: Vec<u64> = Vec::new();
-                let ty = self.program.symbols.var(var).ty;
+                let ty = program.symbols.var(var).ty;
                 let mut i = lo;
                 while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
                     self.store.set_scalar(var, ty, Value::Int(i));
@@ -630,7 +890,7 @@ impl<'p> Interp<'p> {
                         }
                     }
                     let c0 = self.stats.total_cost;
-                    self.exec_body_with(&body, dispatcher)?;
+                    self.exec_body_with(body, dispatcher)?;
                     self.charge(1)?; // loop bookkeeping
                     if record {
                         iter_costs.push(self.stats.total_cost - c0);
@@ -657,9 +917,9 @@ impl<'p> Interp<'p> {
                 let entry = self.stats.loops.entry(s).or_default();
                 entry.invocations += 1;
                 let cost_at_entry = self.stats.total_cost;
-                while self.eval_cond(&cond)? {
+                while self.eval_cond(cond)? {
                     self.charge(1)?;
-                    self.exec_body_with(&body, dispatcher)?;
+                    self.exec_body_with(body, dispatcher)?;
                 }
                 let total = self.stats.total_cost - cost_at_entry;
                 self.stats.loops.entry(s).or_default().total_cost += total;
@@ -670,16 +930,16 @@ impl<'p> Interp<'p> {
                 then_body,
                 else_body,
             } => {
-                if self.eval_cond(&cond)? {
-                    self.exec_body_with(&then_body, dispatcher)
+                if self.eval_cond(cond)? {
+                    self.exec_body_with(then_body, dispatcher)
                 } else {
-                    self.exec_body_with(&else_body, dispatcher)
+                    self.exec_body_with(else_body, dispatcher)
                 }
             }
-            StmtKind::Call { proc } => self.exec_proc_with(proc, dispatcher),
+            StmtKind::Call { proc } => self.exec_proc_with(*proc, dispatcher),
             StmtKind::Print { args } => {
                 let mut parts = Vec::with_capacity(args.len());
-                for a in &args {
+                for a in args {
                     parts.push(format!("{}", self.eval(a)?));
                 }
                 self.output.push(parts.join(" "));
@@ -763,6 +1023,13 @@ impl<'p> Interp<'p> {
             Expr::Un(UnOp::Not, x) => Ok(!self.eval_cond(x)?),
             other => Ok(self.eval(other)?.as_real() != 0.0),
         }
+    }
+
+    /// Materializes `a` if it is not already (evaluating its declared
+    /// extents). The strategy executor calls this on in-place targets
+    /// before taking raw payload pointers.
+    pub(crate) fn ensure_materialized(&mut self, a: VarId) -> Result<(), ExecError> {
+        self.ensure_array(a)
     }
 
     fn ensure_array(&mut self, a: VarId) -> Result<(), ExecError> {

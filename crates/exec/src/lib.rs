@@ -35,7 +35,12 @@ pub use interp::{ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Va
 pub use machine::{
     simulate_program_time, simulate_speedup, LoopProfile, MachineModel, ProgramProfile,
 };
-pub use parallel::{exec_do_parallel, run_loop_parallel, ParallelError, ParallelPlan, ReduceOp};
+pub use parallel::{
+    exec_do_parallel, run_loop_parallel, ExecutionStrategy, ParallelError, ParallelPlan, ReduceOp,
+};
 pub use rng::SplitMix64;
-pub use runtime_test::{inspect_bounded, inspect_injective, inspect_offset_length, Inspection};
+pub use runtime_test::{
+    inspect_bounded, inspect_bounded_parallel, inspect_injective, inspect_injective_parallel,
+    inspect_offset_length, Inspection,
+};
 pub use trace::{AccessTracer, TraceConfig};

@@ -21,12 +21,75 @@
 //! The property-based soundness tests use this to assert: *loops judged
 //! parallel produce exactly the sequential result, with no conflicting
 //! writes*.
+//!
+//! # Execution strategies
+//!
+//! The write-log transaction is the safety net, not the only path.
+//! When the compiler proved *where* a loop writes, the dispatch can
+//! skip the *conflict machinery the proof made redundant*
+//! ([`ExecutionStrategy`]):
+//!
+//! - [`ExecutionStrategy::InPlaceDisjoint`] — every target array is
+//!   written only at `loop_var + c` and never read, so chunks own
+//!   disjoint windows of each target: workers write the master buffers
+//!   directly (no payload clone, no log, no merge). The executor
+//!   re-derives the proof itself per dispatch
+//!   ([`irr_driver::derive_in_place_facts`]) and silently downgrades
+//!   to the write-log when it cannot — a forged verdict can never
+//!   reach the raw write path.
+//! - [`ExecutionStrategy::PrivatizeAndConcat`] — consecutively-written
+//!   arrays (`p = p + 1; a(p) = ...`) buffer per worker and
+//!   concatenate positionally at commit; the append discipline is
+//!   re-validated dynamically (contiguous positions, pointer delta ==
+//!   buffer length per chunk).
+//!
+//! Rollback stays free: an in-place dispatch that fails mid-flight may
+//! have dirtied target windows, but targets are write-only with
+//! loop-invariant inputs, so the sequential fallback deterministically
+//! rewrites every touched location with the correct values.
 
 use crate::fault::FaultKind;
-use crate::interp::{ArrayData, ExecError, ExecStats, Interp, Store, Value, WriteLog};
+use crate::interp::{
+    ArrayData, ConcatBuf, ExecError, ExecStats, InPlaceWindow, Interp, RawSlice, Store, Value,
+    WriteLog, WriteOverlay,
+};
 use irr_frontend::{Program, StmtId, StmtKind, VarId};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// How a parallel dispatch writes results back to the master store.
+///
+/// The plan's strategy is a *request*; [`exec_do_parallel`] re-derives
+/// the facts behind it and downgrades to [`WriteLog`] when the proof
+/// does not hold for this loop, so the value returned by a committed
+/// dispatch is the strategy that actually ran.
+///
+/// [`WriteLog`]: ExecutionStrategy::WriteLog
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ExecutionStrategy {
+    /// Workers log writes on copy-on-write store clones and a
+    /// validating merge replays them — the transactional safety net,
+    /// always correct, used for runtime-guarded and unproven loops.
+    #[default]
+    WriteLog,
+    /// Proven-disjoint affine writes land directly in the master
+    /// store's buffers: no clone, no log, no merge.
+    InPlaceDisjoint,
+    /// Consecutively-written arrays buffer per worker and concatenate
+    /// positionally; scalar reductions combine per chunk.
+    PrivatizeAndConcat,
+}
+
+impl ExecutionStrategy {
+    /// Short stable name, used in telemetry dumps and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionStrategy::WriteLog => "write-log",
+            ExecutionStrategy::InPlaceDisjoint => "in-place-disjoint",
+            ExecutionStrategy::PrivatizeAndConcat => "privatize-concat",
+        }
+    }
+}
 
 /// How a chunk-merged scalar reduction combines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,6 +121,11 @@ pub struct ParallelPlan {
     /// An injected fault for this dispatch (chaos testing); `None` in
     /// ordinary runs, checked once per dispatch.
     pub fault: Option<FaultKind>,
+    /// How committed results should reach the master store. This is a
+    /// request: the executor re-derives the facts behind a non-default
+    /// strategy on every dispatch and silently downgrades to the
+    /// write-log when the proof does not hold for this loop.
+    pub strategy: ExecutionStrategy,
 }
 
 impl Default for ParallelPlan {
@@ -68,6 +136,7 @@ impl Default for ParallelPlan {
             reductions: Vec::new(),
             deadline_ms: None,
             fault: None,
+            strategy: ExecutionStrategy::WriteLog,
         }
     }
 }
@@ -106,6 +175,11 @@ pub enum ParallelError {
     /// A worker exceeded the plan's per-worker deadline (watchdog): the
     /// chunk was abandoned and the whole dispatch must fall back.
     Timeout { worker: usize, deadline_ms: u64 },
+    /// An execution strategy's dynamic self-check failed: an in-place
+    /// write left its proven window, or an append sequence broke the
+    /// consecutive-write discipline (pointer delta != buffer length,
+    /// non-contiguous positions). The dispatch falls back sequentially.
+    StrategyViolation { var: String, strategy: &'static str },
 }
 
 impl std::fmt::Display for ParallelError {
@@ -140,6 +214,9 @@ impl std::fmt::Display for ParallelError {
                     "parallel worker {worker} exceeded its {deadline_ms} ms deadline"
                 )
             }
+            ParallelError::StrategyViolation { var, strategy } => {
+                write!(f, "execution strategy {strategy} violated on `{var}`")
+            }
         }
     }
 }
@@ -167,6 +244,7 @@ impl ParallelError {
                 Some(FallbackReason::Unsupported)
             }
             ParallelError::Timeout { .. } => Some(FallbackReason::Timeout),
+            ParallelError::StrategyViolation { .. } => Some(FallbackReason::Strategy),
         }
     }
 }
@@ -244,24 +322,29 @@ fn run_chunked(
     plan: &ParallelPlan,
 ) -> Result<(), ParallelError> {
     let program = interp.program();
-    let StmtKind::Do { lo, hi, step, .. } = program.stmt(loop_stmt).kind.clone() else {
+    let StmtKind::Do { lo, hi, step, .. } = &program.stmt(loop_stmt).kind else {
         return Err(ParallelError::NotADoLoop);
     };
-    let lo = interp.eval(&lo)?.as_int();
-    let hi = interp.eval(&hi)?.as_int();
+    let lo = interp.eval(lo)?.as_int();
+    let hi = interp.eval(hi)?.as_int();
     let step = match step {
-        Some(e) => interp.eval(&e)?.as_int(),
+        Some(e) => interp.eval(e)?.as_int(),
         None => 1,
     };
-    exec_do_parallel(interp, loop_stmt, plan, lo, hi, step)
+    exec_do_parallel(interp, loop_stmt, plan, lo, hi, step).map(|_| ())
 }
 
 /// What one worker hands back: its write log plus the execution effects
-/// the master aggregates (statistics, printed output).
+/// the master aggregates (statistics, printed output). Strategy modes
+/// also return the worker's overlay (append buffers), its final
+/// reduction values, and — for concat — the final append pointer.
 struct ChunkOutcome {
     log: WriteLog,
+    overlay: Option<WriteOverlay>,
     stats: ExecStats,
     output: Vec<String>,
+    reduction_finals: Vec<(VarId, Value)>,
+    ptr_final: i64,
 }
 
 /// Why one worker's chunk did not complete.
@@ -270,12 +353,104 @@ enum WorkerFailure {
     Exec(ExecError),
     /// The watchdog deadline expired before the chunk finished.
     TimedOut,
+    /// The worker's write overlay recorded a strategy violation on
+    /// this variable; the chunk aborted to avoid corrupting state.
+    Violated(VarId),
 }
 
 impl From<ExecError> for WorkerFailure {
     fn from(e: ExecError) -> Self {
         WorkerFailure::Exec(e)
     }
+}
+
+/// One in-place target: the master buffer to write through and the
+/// affine offset of its subscripts (`loop_var + off`).
+struct InPlaceSpec {
+    var: VarId,
+    off: i64,
+    slice: RawSlice,
+}
+
+/// The write-back mode a dispatch actually runs with, after the
+/// executor re-derived (or failed to re-derive) the plan's strategy.
+enum Mode {
+    WriteLog,
+    InPlace(Vec<InPlaceSpec>),
+    Concat {
+        ptr: VarId,
+        targets: Vec<VarId>,
+        p0: i64,
+    },
+}
+
+impl Mode {
+    fn strategy(&self) -> ExecutionStrategy {
+        match self {
+            Mode::WriteLog => ExecutionStrategy::WriteLog,
+            Mode::InPlace(_) => ExecutionStrategy::InPlaceDisjoint,
+            Mode::Concat { .. } => ExecutionStrategy::PrivatizeAndConcat,
+        }
+    }
+}
+
+/// Re-proves the in-place facts for this dispatch and prepares the
+/// master buffers. Returns `None` — downgrade to the write-log — when
+/// the derivation fails, a target cannot materialize, or the iteration
+/// window would leave a target's extent (the write-log worker then
+/// reproduces the program's own out-of-bounds error).
+///
+/// Materializing here is exactly what the first sequential iteration
+/// would have done: the derivation requires an unconditional top-level
+/// write to every target, and `lo <= hi` holds at this point.
+fn prepare_in_place(
+    interp: &mut Interp<'_>,
+    loop_stmt: StmtId,
+    plan: &ParallelPlan,
+    lo: i64,
+    hi: i64,
+) -> Option<Vec<InPlaceSpec>> {
+    let program = interp.program();
+    let reductions: Vec<VarId> = plan.reductions.iter().map(|(v, _)| *v).collect();
+    let facts =
+        irr_driver::derive_in_place_facts(program, loop_stmt, &plan.privatized, &reductions)?;
+    for &(a, _) in &facts {
+        interp.ensure_materialized(a).ok()?;
+    }
+    let mut specs = Vec::with_capacity(facts.len());
+    for (a, off) in facts {
+        let len = interp.store.array_len(a)? as i64;
+        if lo + off < 1 || hi + off > len {
+            return None;
+        }
+        // `payload_raw` forces payload uniqueness on the master before
+        // the worker snapshots are cloned, so every snapshot Arc-shares
+        // exactly this allocation.
+        let (slice, _) = interp.store.payload_raw(a);
+        specs.push(InPlaceSpec { var: a, off, slice });
+    }
+    Some(specs)
+}
+
+/// Re-proves the concat shape for this dispatch. Returns `None` —
+/// downgrade to the write-log — when the shape derivation fails or the
+/// live append pointer is negative. Hole-freedom (every increment is
+/// followed by a write) is *not* re-proven statically; the overlay and
+/// the commit validate it dynamically instead.
+fn prepare_concat(
+    interp: &mut Interp<'_>,
+    loop_stmt: StmtId,
+    plan: &ParallelPlan,
+) -> Option<(VarId, Vec<VarId>, i64)> {
+    let program = interp.program();
+    let reductions: Vec<VarId> = plan.reductions.iter().map(|(v, _)| *v).collect();
+    let (ptr, targets) =
+        irr_driver::derive_concat_shape(program, loop_stmt, &plan.privatized, &reductions)?;
+    let p0 = interp.store.scalar(ptr).as_int();
+    if p0 < 0 {
+        return None;
+    }
+    Some((ptr, targets, p0))
 }
 
 /// Executes one `do` loop in parallel chunks per `plan`, with the bounds
@@ -301,6 +476,11 @@ impl From<ExecError> for WorkerFailure {
 /// watchdog (checked between iterations); `plan.fault` injects one
 /// failure for chaos testing.
 ///
+/// Returns the [`ExecutionStrategy`] that actually committed: the
+/// plan's strategy when the executor's own re-derivation confirmed it,
+/// [`ExecutionStrategy::WriteLog`] after a silent downgrade. A
+/// zero-trip dispatch commits trivially under the planned strategy.
+///
 /// # Errors
 ///
 /// [`ParallelError::NotADoLoop`] when the statement is not a `do` loop;
@@ -309,7 +489,8 @@ impl From<ExecError> for WorkerFailure {
 /// location; [`ParallelError::ShapeMismatch`] when chunks disagree on
 /// an array's shape; [`ParallelError::WorkerPanic`] when a worker
 /// thread panics; [`ParallelError::Timeout`] when a worker overruns the
-/// deadline; worker [`ExecError`]s are propagated.
+/// deadline; [`ParallelError::StrategyViolation`] when a strategy's
+/// dynamic self-check fails; worker [`ExecError`]s are propagated.
 pub fn exec_do_parallel(
     interp: &mut Interp<'_>,
     loop_stmt: StmtId,
@@ -317,11 +498,13 @@ pub fn exec_do_parallel(
     lo: i64,
     hi: i64,
     step: i64,
-) -> Result<(), ParallelError> {
+) -> Result<ExecutionStrategy, ParallelError> {
     let program = interp.program();
-    let StmtKind::Do { var, body, .. } = program.stmt(loop_stmt).kind.clone() else {
+    let StmtKind::Do { var, body, .. } = &program.stmt(loop_stmt).kind else {
         return Err(ParallelError::NotADoLoop);
     };
+    let var = *var;
+    let body: &[StmtId] = body;
     if step != 1 {
         return Err(ParallelError::UnsupportedStep { step });
     }
@@ -332,7 +515,7 @@ pub fn exec_do_parallel(
         // semantics).
         record_dispatch(interp, loop_stmt, plan);
         interp.store.set_scalar(var, ty, Value::Int(lo));
-        return Ok(());
+        return Ok(plan.strategy);
     }
     let n = (hi - lo + 1) as usize;
     let threads = plan.threads.clamp(1, n);
@@ -359,15 +542,37 @@ pub fn exec_do_parallel(
         _ => (None, None, 0),
     };
     let deadline = plan.deadline_ms.map(Duration::from_millis);
-    // Run each chunk on a copy-on-write clone of the live store with
-    // write recording on; workers return only their logs and stats.
+    // Resolve the plan's strategy into a mode by re-deriving its facts
+    // against this loop and the live store. The derivation is the
+    // executor's own — a forged verdict upstream can request a
+    // strategy but can never make an unproven loop take the raw-write
+    // path; it just downgrades to the (always safe) write-log.
+    // `prepare_in_place` must run before the snapshot clones below so
+    // the master's payloads are unique when the raw slices are taken.
+    let mode = match plan.strategy {
+        ExecutionStrategy::WriteLog => Mode::WriteLog,
+        ExecutionStrategy::InPlaceDisjoint => {
+            match prepare_in_place(interp, loop_stmt, plan, lo, hi) {
+                Some(specs) => Mode::InPlace(specs),
+                None => Mode::WriteLog,
+            }
+        }
+        ExecutionStrategy::PrivatizeAndConcat => match prepare_concat(interp, loop_stmt, plan) {
+            Some((ptr, targets, p0)) => Mode::Concat { ptr, targets, p0 },
+            None => Mode::WriteLog,
+        },
+    };
+    // Run each chunk on a copy-on-write clone of the live store;
+    // workers return only their logs/buffers and stats. In-place
+    // workers skip write logging entirely — their target writes go
+    // straight to the master buffers through the overlay.
     let fuel = interp.fuel;
+    let mode_ref = &mode;
     let results: Vec<std::thread::Result<Result<ChunkOutcome, WorkerFailure>>> =
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (widx, &(clo, chi)) in chunks.iter().enumerate() {
                 let snapshot = interp.store.clone();
-                let body = body.clone();
                 handles.push(scope.spawn(move || {
                     if panic_chunk == Some(widx) {
                         panic!("injected fault: worker {widx} panic");
@@ -383,7 +588,35 @@ pub fn exec_do_parallel(
                     let mut worker = Interp::new(program);
                     worker.store = snapshot;
                     worker.fuel = fuel;
-                    worker.store.start_write_log();
+                    match mode_ref {
+                        Mode::WriteLog => worker.store.start_write_log(),
+                        Mode::InPlace(specs) => {
+                            let windows = specs
+                                .iter()
+                                .map(|s| InPlaceWindow {
+                                    var: s.var,
+                                    slice: s.slice,
+                                    lo: (clo + s.off - 1) as usize,
+                                    hi: (chi + s.off - 1) as usize,
+                                })
+                                .collect();
+                            worker
+                                .store
+                                .install_overlay(WriteOverlay::in_place(windows));
+                        }
+                        Mode::Concat { targets, p0, .. } => {
+                            // Non-target effects still go through the
+                            // log; only target appends are buffered.
+                            worker.store.start_write_log();
+                            let bufs = targets
+                                .iter()
+                                .map(|&a| (a, ConcatBuf::new(program.symbols.var(a).ty)))
+                                .collect();
+                            worker
+                                .store
+                                .install_overlay(WriteOverlay::concat(*p0 as usize, bufs));
+                        }
+                    }
                     let ty = program.symbols.var(var).ty;
                     let mut i = clo;
                     while i <= chi {
@@ -393,14 +626,29 @@ pub fn exec_do_parallel(
                             }
                         }
                         worker.store.set_scalar_untracked(var, ty, Value::Int(i));
-                        worker.exec_body(&body)?;
+                        worker.exec_body(body)?;
                         worker.charge(1)?; // loop bookkeeping, as sequential
+                        if let Some(v) = worker.store.overlay_violation() {
+                            return Err(WorkerFailure::Violated(v));
+                        }
                         i += 1;
                     }
+                    let reduction_finals = plan
+                        .reductions
+                        .iter()
+                        .map(|&(v, _)| (v, worker.store.scalar(v)))
+                        .collect();
+                    let ptr_final = match mode_ref {
+                        Mode::Concat { ptr, .. } => worker.store.scalar(*ptr).as_int(),
+                        _ => 0,
+                    };
                     Ok(ChunkOutcome {
                         log: worker.store.take_write_log().unwrap_or_default(),
+                        overlay: worker.store.take_overlay(),
                         stats: worker.stats,
                         output: worker.output,
+                        reduction_finals,
+                        ptr_final,
                     })
                 }));
             }
@@ -421,21 +669,61 @@ pub fn exec_do_parallel(
                 })
             }
             Ok(Err(WorkerFailure::Exec(e))) => return Err(ParallelError::Exec(e)),
+            Ok(Err(WorkerFailure::Violated(v))) => {
+                return Err(ParallelError::StrategyViolation {
+                    var: program.symbols.name(v).to_string(),
+                    strategy: mode.strategy().name(),
+                })
+            }
             Ok(Ok(out)) => outcomes.push(out),
         }
     }
     if matches!(plan.fault, Some(FaultKind::ForgeConflict)) {
         // Chaos hook: report a conflict that never happened, exactly at
         // the point the merge would — the workers' logs are discarded
-        // and the untouched master falls back sequentially.
+        // and the untouched master falls back sequentially. (For an
+        // in-place mode the master's target windows may already hold
+        // partial results; the sequential re-execution rewrites every
+        // window deterministically, so the fallback is still exact.)
         return Err(ParallelError::WriteConflict {
             var: "<injected-fault>".to_string(),
         });
     }
-    // Merge the write logs into the master store: O(total writes),
-    // fully validated before the first master mutation.
-    let logs: Vec<&WriteLog> = outcomes.iter().map(|c| &c.log).collect();
-    merge_write_logs(program, interp, &logs, plan, var)?;
+    // Commit per mode.
+    match &mode {
+        Mode::WriteLog => {
+            // Merge the write logs into the master store: O(total
+            // writes), fully validated before the first master mutation.
+            let logs: Vec<&WriteLog> = outcomes.iter().map(|c| &c.log).collect();
+            merge_write_logs(program, interp, &logs, plan, var, None)?;
+        }
+        Mode::InPlace(specs) => {
+            // The element writes already landed in the proven-disjoint
+            // windows — there is nothing to merge. Combine the scalar
+            // reductions from per-worker finals and publish a version
+            // bump per target so inspector schedule caches and the
+            // dependence auditor see the mutation.
+            for (rv, op) in &plan.reductions {
+                let base = interp.store.scalar(*rv);
+                let mut acc = base;
+                for out in &outcomes {
+                    for &(v, theirs) in &out.reduction_finals {
+                        if v == *rv {
+                            acc = combine_reduction(*op, acc, theirs, base);
+                        }
+                    }
+                }
+                let rty = program.symbols.var(*rv).ty;
+                interp.store.set_scalar(*rv, rty, acc);
+            }
+            for s in specs {
+                interp.store.bump_version(s.var);
+            }
+        }
+        Mode::Concat { ptr, targets, p0 } => {
+            commit_concat(program, interp, plan, &outcomes, var, *ptr, targets, *p0)?;
+        }
+    }
     // The transaction commits: record the dispatch, then aggregate
     // worker effects — the master pays the chunks' execution cost
     // (statements + fuel), absorbs their per-loop statistics, and keeps
@@ -456,6 +744,94 @@ pub fn exec_do_parallel(
     }
     // Sequential semantics: the induction variable ends one past `hi`.
     interp.store.set_scalar(var, ty, Value::Int(hi + 1));
+    Ok(mode.strategy())
+}
+
+/// Commits a [`Mode::Concat`] dispatch: validates the append discipline
+/// dynamically, merges the non-target write logs, then concatenates
+/// the per-chunk buffers positionally in chunk order.
+///
+/// Validation before mutation: every chunk's pointer delta must be
+/// non-negative and equal every one of its buffers' lengths (holes or
+/// double-appends surface here even though hole-freedom was never
+/// statically re-proven), and the concatenated region must fit each
+/// target's extent — an overrun aborts as [`ParallelError::ShapeMismatch`]
+/// so the sequential fallback reproduces the program's own
+/// out-of-bounds error.
+#[allow(clippy::too_many_arguments)]
+fn commit_concat(
+    program: &Program,
+    interp: &mut Interp<'_>,
+    plan: &ParallelPlan,
+    outcomes: &[ChunkOutcome],
+    loop_var: VarId,
+    ptr: VarId,
+    targets: &[VarId],
+    p0: i64,
+) -> Result<(), ParallelError> {
+    let violation = |v: VarId| ParallelError::StrategyViolation {
+        var: program.symbols.name(v).to_string(),
+        strategy: ExecutionStrategy::PrivatizeAndConcat.name(),
+    };
+    let mut deltas: Vec<i64> = Vec::with_capacity(outcomes.len());
+    let mut total: i64 = 0;
+    for out in outcomes {
+        let dp = out.ptr_final - p0;
+        if dp < 0 {
+            return Err(violation(ptr));
+        }
+        let Some(WriteOverlay::Concat { bufs, .. }) = &out.overlay else {
+            return Err(violation(ptr));
+        };
+        for (a, buf) in bufs {
+            if buf.len() as i64 != dp {
+                return Err(violation(*a));
+            }
+        }
+        deltas.push(dp);
+        total += dp;
+    }
+    if total > 0 {
+        // Materialize the targets exactly as the first sequential
+        // append would have.
+        for &a in targets {
+            if interp.ensure_materialized(a).is_err() {
+                return Err(ParallelError::ShapeMismatch {
+                    var: program.symbols.name(a).to_string(),
+                    detail: "target failed to materialize for concat commit".to_string(),
+                });
+            }
+            let len = interp.store.array_len(a).unwrap_or(0) as i64;
+            if p0 + total > len {
+                return Err(ParallelError::ShapeMismatch {
+                    var: program.symbols.name(a).to_string(),
+                    detail: format!(
+                        "concatenated appends reach position {} past extent {len}",
+                        p0 + total
+                    ),
+                });
+            }
+        }
+    }
+    // Non-target effects merge as usual; the overlay guaranteed target
+    // element writes never reached these logs, and `ptr` is exempt from
+    // scalar claiming (every worker advances it by design).
+    let logs: Vec<&WriteLog> = outcomes.iter().map(|c| &c.log).collect();
+    merge_write_logs(program, interp, &logs, plan, loop_var, Some((ptr, targets)))?;
+    // Apply the buffers positionally in chunk (= sequential) order.
+    let mut base = p0 as usize;
+    for (out, dp) in outcomes.iter().zip(&deltas) {
+        if let Some(WriteOverlay::Concat { bufs, .. }) = &out.overlay {
+            for (a, buf) in bufs {
+                for k in 0..buf.len() {
+                    interp.store.write_element(*a, base + k, buf.value(k));
+                }
+            }
+        }
+        base += *dp as usize;
+    }
+    let pty = program.symbols.var(ptr).ty;
+    interp.store.set_scalar(ptr, pty, Value::Int(p0 + total));
     Ok(())
 }
 
@@ -502,11 +878,19 @@ fn merge_write_logs(
     logs: &[&WriteLog],
     plan: &ParallelPlan,
     loop_var: VarId,
+    concat: Option<(VarId, &[VarId])>,
 ) -> Result<(), ParallelError> {
     let conflict = |v: VarId| ParallelError::WriteConflict {
         var: program.symbols.name(v).to_string(),
     };
     let is_reduction = |v: VarId| plan.reductions.iter().any(|(r, _)| *r == v);
+    // Concat dispatches exempt the append pointer from scalar claiming
+    // (every worker advances it; the commit sets its true final) and
+    // the target arrays from materialization planning and element
+    // claims (their writes were intercepted by the overlay; the commit
+    // materializes and fills them itself).
+    let concat_ptr = concat.map(|(p, _)| p);
+    let concat_targets: &[VarId] = concat.map_or(&[], |(_, t)| t);
 
     // ---- Phase 1: validate (no master mutation) ----
 
@@ -518,7 +902,7 @@ fn merge_write_logs(
     let mut planned_arrays: HashMap<VarId, Vec<usize>> = HashMap::new();
     for log in logs {
         for (v, dims) in &log.materialized {
-            if plan.privatized.contains(v) {
+            if plan.privatized.contains(v) || concat_targets.contains(v) {
                 continue;
             }
             let existing = interp
@@ -549,7 +933,7 @@ fn merge_write_logs(
     for log in logs {
         let mut finals: HashMap<VarId, Value> = HashMap::new();
         for &(v, val) in &log.scalars {
-            if v == loop_var || plan.privatized.contains(&v) {
+            if v == loop_var || plan.privatized.contains(&v) || concat_ptr == Some(v) {
                 continue;
             }
             finals.insert(v, val);
@@ -570,7 +954,7 @@ fn merge_write_logs(
     for log in logs {
         let mut finals: HashMap<(VarId, usize), Value> = HashMap::new();
         for &(v, idx, val) in &log.elements {
-            if plan.privatized.contains(&v) {
+            if plan.privatized.contains(&v) || concat_targets.contains(&v) {
                 continue;
             }
             finals.insert((v, idx), val);
@@ -1001,6 +1385,208 @@ mod tests {
         assert_eq!(seq.output, interp.output);
         assert!(interp.stats.total_cost > 0);
         assert!(interp.stats.loops[&outer].total_cost > 0);
+    }
+
+    #[test]
+    fn in_place_strategy_commits_and_matches_sequential() {
+        let src = "program t
+             integer i
+             real x(100)
+             do i = 1, 100
+               x(i) = i * 2.0
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let got = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap();
+        assert_eq!(got, ExecutionStrategy::InPlaceDisjoint);
+        let seq = Interp::new(&p).run().unwrap();
+        let x = p.symbols.lookup("x").unwrap();
+        let i = p.symbols.lookup("i").unwrap();
+        assert_eq!(interp.store.array_as_reals(x), seq.store.array_as_reals(x));
+        assert_eq!(interp.store.scalar(i), Value::Int(101));
+    }
+
+    #[test]
+    fn in_place_strategy_handles_affine_offsets() {
+        // Writes at `i + 1`: chunks own shifted disjoint windows.
+        let src = "program t
+             integer i
+             real y(101)
+             do i = 1, 100
+               y(i + 1) = i * 3.0
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let got = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap();
+        assert_eq!(got, ExecutionStrategy::InPlaceDisjoint);
+        let seq = Interp::new(&p).run().unwrap();
+        let y = p.symbols.lookup("y").unwrap();
+        assert_eq!(interp.store.array_as_reals(y), seq.store.array_as_reals(y));
+    }
+
+    #[test]
+    fn in_place_strategy_combines_reductions() {
+        let src = "program t
+             integer i
+             real s, x(100)
+             do i = 1, 100
+               x(i) = i
+               s = s + i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let s = p.symbols.lookup("s").unwrap();
+        let plan = ParallelPlan {
+            threads: 4,
+            reductions: vec![(s, ReduceOp::Sum)],
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            ..ParallelPlan::default()
+        };
+        let mut interp = Interp::new(&p);
+        let got = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap();
+        assert_eq!(got, ExecutionStrategy::InPlaceDisjoint);
+        assert_eq!(interp.store.scalar(s).as_real(), 5050.0);
+        let x = p.symbols.lookup("x").unwrap();
+        let seq = Interp::new(&p).run().unwrap();
+        assert_eq!(interp.store.array_as_reals(x), seq.store.array_as_reals(x));
+    }
+
+    #[test]
+    fn in_place_request_downgrades_when_target_is_read() {
+        // `x(i) = x(i) + 1` reads the target — the executor's own
+        // derivation must refuse and fall back to the write-log, which
+        // is still correct for this (disjoint) loop.
+        let src = "program t
+             integer i
+             real x(100)
+             do i = 1, 100
+               x(i) = x(i) + 1.0
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let got = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap();
+        assert_eq!(got, ExecutionStrategy::WriteLog);
+        let seq = Interp::new(&p).run().unwrap();
+        let x = p.symbols.lookup("x").unwrap();
+        assert_eq!(interp.store.array_as_reals(x), seq.store.array_as_reals(x));
+    }
+
+    #[test]
+    fn in_place_request_downgrades_when_window_exceeds_extent() {
+        // Writes at `i + 1` with extent 100 would leave the array on
+        // the last iteration: the prepare step must refuse in-place and
+        // the write-log worker then reproduces the program's own
+        // out-of-bounds error.
+        let src = "program t
+             integer i
+             real y(100)
+             do i = 1, 100
+               y(i + 1) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let err = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap_err();
+        assert!(matches!(err, ParallelError::Exec(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn concat_strategy_commits_positionally() {
+        // FIG1B-style gather: workers buffer their appends privately
+        // and the commit concatenates them in chunk order, which *is*
+        // sequential order.
+        let src = "program t
+             integer i, q, ind(100)
+             do i = 1, 100
+               if (i - (i / 2) * 2 > 0) then
+                 q = q + 1
+                 ind(q) = i
+               endif
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::PrivatizeAndConcat,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let got = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap();
+        assert_eq!(got, ExecutionStrategy::PrivatizeAndConcat);
+        let seq = Interp::new(&p).run().unwrap();
+        let q = p.symbols.lookup("q").unwrap();
+        let ind = p.symbols.lookup("ind").unwrap();
+        assert_eq!(interp.store.scalar(q), Value::Int(50));
+        assert_eq!(interp.store.scalar(q), seq.store.scalar(q));
+        assert_eq!(
+            interp.store.array_as_reals(ind),
+            seq.store.array_as_reals(ind)
+        );
+    }
+
+    #[test]
+    fn concat_request_downgrades_to_write_log_conflict() {
+        // Non-unit pointer increment fails the shape derivation, so the
+        // dispatch downgrades to the write-log — where the cross-chunk
+        // pointer writes are a genuine conflict and the dispatch aborts
+        // transactionally instead of committing wrong results.
+        let src = "program t
+             integer i, q, ind(300)
+             do i = 1, 100
+               q = q + 2
+               ind(q) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::PrivatizeAndConcat,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let err = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap_err();
+        assert!(
+            matches!(err, ParallelError::WriteConflict { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_trip_commits_under_planned_strategy() {
+        let src = "program t
+             integer i
+             real x(10)
+             do i = 5, 1
+               x(i) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let got = exec_do_parallel(&mut interp, first_do(&p), &plan, 5, 1, 1).unwrap();
+        assert_eq!(got, ExecutionStrategy::InPlaceDisjoint);
+        let i = p.symbols.lookup("i").unwrap();
+        assert_eq!(interp.store.scalar(i), Value::Int(5));
     }
 
     #[test]

@@ -85,6 +85,161 @@ pub fn inspect_bounded(
     Inspection::ParallelOk
 }
 
+/// Parallel counterpart of [`inspect_injective`]: splits the section
+/// into contiguous chunks, each worker marks the values it sees in a
+/// private bitmap over the section's value range, and the merge ORs the
+/// bitmaps — a set bit seen twice (within a chunk or across chunks) is
+/// a duplicate. Chunk results merge at chunk granularity, so the scan
+/// parallelizes with no shared state.
+///
+/// The bitmap needs the value range: a cheap chunked min/max pass runs
+/// first. When the range is much larger than the section (sparse index
+/// values), the bitmaps would be mostly empty pages — the inspector
+/// then falls back to the sequential hash-set scan rather than paying
+/// for allocation. Verdicts are always identical to
+/// [`inspect_injective`].
+pub fn inspect_injective_parallel(
+    store: &Store,
+    idx: VarId,
+    lo: i64,
+    hi: i64,
+    threads: usize,
+) -> Inspection {
+    if hi < lo {
+        return Inspection::ParallelOk;
+    }
+    let Some(values) = store.array_as_reals(idx) else {
+        return Inspection::Sequential;
+    };
+    if lo < 1 || hi as usize > values.len() {
+        return Inspection::Sequential;
+    }
+    let section = &values[(lo - 1) as usize..hi as usize];
+    let threads = threads.clamp(1, section.len());
+    if threads == 1 {
+        return inspect_injective(store, idx, lo, hi);
+    }
+    // Chunked min/max pass.
+    let chunk_len = section.len().div_ceil(threads);
+    let (min, max) = std::thread::scope(|scope| {
+        let handles: Vec<_> = section
+            .chunks(chunk_len)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut mn = i64::MAX;
+                    let mut mx = i64::MIN;
+                    for &v in c {
+                        let v = v as i64;
+                        mn = mn.min(v);
+                        mx = mx.max(v);
+                    }
+                    (mn, mx)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("inspector worker panicked"))
+            .fold((i64::MAX, i64::MIN), |(amn, amx), (mn, mx)| {
+                (amn.min(mn), amx.max(mx))
+            })
+    });
+    let range = (max - min + 1) as u128;
+    if range > 4 * section.len() as u128 + 1024 {
+        // Sparse values: bitmaps don't pay for themselves.
+        return inspect_injective(store, idx, lo, hi);
+    }
+    let words = (range as usize).div_ceil(64);
+    // Chunked marking pass: each worker owns a private bitmap.
+    let bitmaps: Vec<Option<Vec<u64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = section
+            .chunks(chunk_len)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut bits = vec![0u64; words];
+                    for &v in c {
+                        let d = (v as i64 - min) as usize;
+                        let (w, b) = (d / 64, d % 64);
+                        if bits[w] & (1 << b) != 0 {
+                            return None; // duplicate inside this chunk
+                        }
+                        bits[w] |= 1 << b;
+                    }
+                    Some(bits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("inspector worker panicked"))
+            .collect()
+    });
+    let mut merged = vec![0u64; words];
+    for bits in bitmaps {
+        let Some(bits) = bits else {
+            return Inspection::Sequential;
+        };
+        for (m, b) in merged.iter_mut().zip(&bits) {
+            if *m & *b != 0 {
+                return Inspection::Sequential; // cross-chunk duplicate
+            }
+            *m |= *b;
+        }
+    }
+    Inspection::ParallelOk
+}
+
+/// Parallel counterpart of [`inspect_bounded`]: each worker scans a
+/// contiguous chunk of the section for a value outside
+/// `[val_lo, val_hi]`; the verdict is the conjunction of the chunk
+/// verdicts. Always identical to [`inspect_bounded`].
+pub fn inspect_bounded_parallel(
+    store: &Store,
+    idx: VarId,
+    lo: i64,
+    hi: i64,
+    val_lo: i64,
+    val_hi: i64,
+    threads: usize,
+) -> Inspection {
+    if hi < lo {
+        return Inspection::ParallelOk;
+    }
+    let Some(values) = store.array_as_reals(idx) else {
+        return Inspection::Sequential;
+    };
+    if lo < 1 || hi as usize > values.len() {
+        return Inspection::Sequential;
+    }
+    let section = &values[(lo - 1) as usize..hi as usize];
+    let threads = threads.clamp(1, section.len());
+    if threads == 1 {
+        return inspect_bounded(store, idx, lo, hi, val_lo, val_hi);
+    }
+    let chunk_len = section.len().div_ceil(threads);
+    let all_in = std::thread::scope(|scope| {
+        let handles: Vec<_> = section
+            .chunks(chunk_len)
+            .map(|c| {
+                scope.spawn(move || {
+                    c.iter().all(|&v| {
+                        let v = v as i64;
+                        v >= val_lo && v <= val_hi
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .all(|h| h.join().expect("inspector worker panicked"))
+    });
+    if all_in {
+        Inspection::ParallelOk
+    } else {
+        Inspection::Sequential
+    }
+}
+
 /// Inspects whether `ptr` is a proper offset array for lengths `len`
 /// over segments `lo..=hi`: `ptr(k+1) == ptr(k) + len(k)` with
 /// `len(k) >= 0` — the run-time counterpart of the closed-form distance
@@ -176,6 +331,89 @@ mod tests {
         );
         assert_eq!(
             inspect_bounded(&store, idx, 1, 10, 1, 10),
+            Inspection::Sequential
+        );
+    }
+
+    #[test]
+    fn parallel_inspectors_agree_with_sequential() {
+        // Permutation with one duplicate injected at the far end: the
+        // duplicate pair spans chunks, so only the merge can see it.
+        let (p, store) = store_of(
+            "program t
+             integer idx(64), i
+             do i = 1, 64
+               idx(i) = 65 - i
+             enddo
+             idx(64) = 33
+             end",
+        );
+        let idx = p.symbols.lookup("idx").unwrap();
+        for threads in [1, 2, 3, 4, 8] {
+            assert_eq!(
+                inspect_injective_parallel(&store, idx, 1, 63, threads),
+                inspect_injective(&store, idx, 1, 63),
+                "threads={threads}"
+            );
+            assert_eq!(
+                inspect_injective_parallel(&store, idx, 1, 64, threads),
+                Inspection::Sequential,
+                "threads={threads}"
+            );
+            assert_eq!(
+                inspect_bounded_parallel(&store, idx, 1, 64, 1, 64, threads),
+                inspect_bounded(&store, idx, 1, 64, 1, 64),
+                "threads={threads}"
+            );
+            assert_eq!(
+                inspect_bounded_parallel(&store, idx, 1, 64, 1, 32, threads),
+                Inspection::Sequential,
+                "threads={threads}"
+            );
+        }
+        // Empty section and out-of-bounds behave like the sequential
+        // inspectors.
+        assert_eq!(
+            inspect_injective_parallel(&store, idx, 5, 4, 4),
+            Inspection::ParallelOk
+        );
+        assert_eq!(
+            inspect_injective_parallel(&store, idx, 1, 65, 4),
+            Inspection::Sequential
+        );
+    }
+
+    #[test]
+    fn parallel_injective_sparse_values_fall_back_to_hash_scan() {
+        // Values spread over a range ~1000x the section length: the
+        // bitmap path declines and the hash fallback must still give
+        // the sequential verdict (distinct here).
+        let (p, store) = store_of(
+            "program t
+             integer idx(32), i
+             do i = 1, 32
+               idx(i) = i * 100000
+             enddo
+             end",
+        );
+        let idx = p.symbols.lookup("idx").unwrap();
+        assert_eq!(
+            inspect_injective_parallel(&store, idx, 1, 32, 4),
+            Inspection::ParallelOk
+        );
+        // Duplicate far apart is still caught by the fallback.
+        let (p2, store2) = store_of(
+            "program t
+             integer idx(32), i
+             do i = 1, 32
+               idx(i) = i * 100000
+             enddo
+             idx(32) = 100000
+             end",
+        );
+        let idx2 = p2.symbols.lookup("idx").unwrap();
+        assert_eq!(
+            inspect_injective_parallel(&store2, idx2, 1, 32, 4),
             Inspection::Sequential
         );
     }

@@ -35,10 +35,13 @@ pub mod telemetry;
 pub use cache::{CacheProbe, ScheduleCache, ScheduleKey};
 pub use telemetry::Telemetry;
 
-use irr_driver::{CompilationReport, DispatchTier, GuardPlan, ReductionOp, ResidualCheck};
+use irr_driver::{
+    CompilationReport, DispatchTier, GuardPlan, ReductionOp, ResidualCheck, StrategyFacts,
+};
 use irr_exec::{
-    inspect_injective, inspect_offset_length, ExecError, ExecOutcome, FallbackReason, FaultKind,
-    FaultPlan, Inspection, Interp, LoopDecision, LoopDispatcher, ParallelPlan, ReduceOp, Store,
+    inspect_injective, inspect_injective_parallel, inspect_offset_length, ExecError, ExecOutcome,
+    ExecutionStrategy, FallbackReason, FaultKind, FaultPlan, Inspection, Interp, LoopDecision,
+    LoopDispatcher, ParallelPlan, ReduceOp, Store,
 };
 use irr_frontend::{StmtId, VarId};
 use std::collections::HashMap;
@@ -67,6 +70,16 @@ pub struct HybridConfig {
     /// into a timeout fallback. `None` (the default) disables the
     /// watchdog and keeps the worker hot path clock-free.
     pub worker_deadline_ms: Option<u64>,
+    /// Use proof-directed execution strategies (in-place-disjoint,
+    /// privatize-and-concat) for loops whose verdicts carry the facts.
+    /// `false` forces every parallel dispatch through the write-log —
+    /// the pre-strategy behavior, kept for A/B measurement.
+    pub enable_strategies: bool,
+    /// Minimum inspected section length before a guarded loop's
+    /// injectivity inspector runs its chunked parallel variant; shorter
+    /// sections stay on the sequential scan (thread spawn would cost
+    /// more than it saves).
+    pub parallel_inspect_threshold: usize,
 }
 
 impl Default for HybridConfig {
@@ -78,6 +91,8 @@ impl Default for HybridConfig {
             cache_capacity: 128,
             cache_keys_per_loop: 4,
             worker_deadline_ms: None,
+            enable_strategies: true,
+            parallel_inspect_threshold: 2048,
         }
     }
 }
@@ -92,6 +107,10 @@ struct LoopEntry {
     tier: DispatchTier,
     privatized: Vec<VarId>,
     reductions: Vec<(VarId, ReduceOp)>,
+    /// Strategy requested from the verdict's proven facts. The executor
+    /// re-derives the facts itself on every dispatch, so a wrong entry
+    /// here (or a forged verdict) downgrades safely to the write-log.
+    strategy: ExecutionStrategy,
 }
 
 /// The hybrid dispatcher: consulted by the interpreter at every dynamic
@@ -138,12 +157,18 @@ impl HybridDispatcher {
                     Some((*var, op))
                 })
                 .collect();
+            let strategy = match &v.strategy_facts {
+                StrategyFacts::DisjointAffine { .. } => ExecutionStrategy::InPlaceDisjoint,
+                StrategyFacts::ConsecutiveAppend { .. } => ExecutionStrategy::PrivatizeAndConcat,
+                StrategyFacts::None => ExecutionStrategy::WriteLog,
+            };
             loops.insert(
                 v.loop_stmt,
                 LoopEntry {
                     tier: v.tier.clone(),
                     privatized,
                     reductions,
+                    strategy,
                 },
             );
         }
@@ -192,6 +217,11 @@ impl HybridDispatcher {
             reductions: entry.reductions.clone(),
             deadline_ms: self.config.worker_deadline_ms,
             fault,
+            strategy: if self.config.enable_strategies {
+                entry.strategy
+            } else {
+                ExecutionStrategy::WriteLog
+            },
         }
     }
 
@@ -222,7 +252,22 @@ impl HybridDispatcher {
         for check in &guard.checks {
             self.telemetry.inspections_run += 1;
             let verdict = match check {
-                ResidualCheck::Injective { array } => inspect_injective(store, *array, lo, hi),
+                ResidualCheck::Injective { array } => {
+                    // Long sections amortize thread spawn: the chunked
+                    // parallel inspector marks per-chunk bitmaps and
+                    // merges them at chunk granularity.
+                    if hi.saturating_sub(lo) + 1 >= self.config.parallel_inspect_threshold as i64 {
+                        inspect_injective_parallel(
+                            store,
+                            *array,
+                            lo,
+                            hi,
+                            self.config.threads.max(1),
+                        )
+                    } else {
+                        inspect_injective(store, *array, lo, hi)
+                    }
+                }
                 ResidualCheck::OffsetLength { ptr, len } => {
                     inspect_offset_length(store, *ptr, *len, lo, hi)
                 }
@@ -272,6 +317,28 @@ impl LoopDispatcher for HybridDispatcher {
         }
         match &entry.tier {
             DispatchTier::Sequential => {
+                // A sequential-tier loop whose verdict proved the
+                // consecutive-append shape is *promoted* to parallel
+                // dispatch under the privatize-and-concat strategy: the
+                // pointer dependence that forced the sequential verdict
+                // is exactly what the strategy removes. The executor
+                // re-validates the shape per dispatch and the append
+                // discipline dynamically; a failed dispatch falls back
+                // and quarantines like any other schedule.
+                if self.config.enable_strategies
+                    && entry.strategy == ExecutionStrategy::PrivatizeAndConcat
+                {
+                    let key = ScheduleKey::new((lo, hi), Vec::new());
+                    if self.cache.consume_quarantine(loop_stmt, &key) {
+                        self.telemetry.quarantined += 1;
+                        return LoopDecision::Sequential;
+                    }
+                    let fault = if lo <= hi { self.decide_fault() } else { None };
+                    let fault = self.arm_fault(fault.filter(|k| *k != FaultKind::LieInspector));
+                    self.telemetry.concat_parallel += 1;
+                    self.last_parallel = Some((loop_stmt, key));
+                    return LoopDecision::Parallel(self.plan_for(&entry, fault));
+                }
                 self.telemetry.sequential_proven += 1;
                 LoopDecision::Sequential
             }
@@ -349,6 +416,14 @@ impl LoopDispatcher for HybridDispatcher {
         }
     }
 
+    fn parallel_committed(&mut self, _loop_stmt: StmtId, strategy: ExecutionStrategy) {
+        match strategy {
+            ExecutionStrategy::WriteLog => self.telemetry.strategy_write_log += 1,
+            ExecutionStrategy::InPlaceDisjoint => self.telemetry.strategy_in_place += 1,
+            ExecutionStrategy::PrivatizeAndConcat => self.telemetry.strategy_concat += 1,
+        }
+    }
+
     fn parallel_failed(&mut self, loop_stmt: StmtId, reason: FallbackReason) {
         self.telemetry.record_fallback(reason);
         // Quarantine exactly the schedule that failed: pinned
@@ -373,6 +448,14 @@ pub struct HybridOutcome {
     pub outcome: ExecOutcome,
     /// What the runtime did to get there.
     pub telemetry: Telemetry,
+}
+
+impl HybridOutcome {
+    /// Committed parallel dispatches per execution strategy, as
+    /// `(strategy name, count)` — ready for bench annotations.
+    pub fn strategy_counts(&self) -> [(&'static str, u64); 3] {
+        self.telemetry.strategy_counts()
+    }
 }
 
 /// Compiles-and-runs glue: executes a compiled program under the hybrid
@@ -536,6 +619,99 @@ mod tests {
         assert_eq!(par_stats.invocations, seq_stats.invocations);
         assert_eq!(par_stats.total_cost, seq_stats.total_cost);
         assert_eq!(hybrid.outcome.stats.total_cost, seq.stats.total_cost);
+    }
+
+    #[test]
+    fn compile_time_loops_commit_in_place() {
+        let src = "program t
+             integer i, n
+             real x(100), y(100)
+             n = 100
+             do i = 1, n
+               y(i) = 1.0
+             enddo
+             do i = 1, n
+               x(i) = y(i) * 2.0
+             enddo
+             print x(1)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let seq = Interp::new(&rep.program).run().unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(hybrid.outcome.output, seq.output);
+        // Both loops are proven disjoint-affine: the whole run commits
+        // without a single write-log merge.
+        assert_eq!(
+            hybrid.telemetry.strategy_in_place, 2,
+            "{:?}",
+            hybrid.telemetry
+        );
+        assert_eq!(hybrid.telemetry.strategy_write_log, 0);
+        assert_eq!(hybrid.telemetry.fallbacks(), 0);
+        // Disabling strategies reverts every dispatch to the write-log
+        // with an identical result.
+        let off = run_hybrid(
+            &rep,
+            HybridConfig {
+                enable_strategies: false,
+                ..HybridConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(off.outcome.output, seq.output);
+        assert_eq!(off.telemetry.strategy_in_place, 0);
+        assert_eq!(off.telemetry.strategy_write_log, 2);
+    }
+
+    #[test]
+    fn sequential_gather_promotes_to_concat() {
+        // A FIG1B-style gather: the pointer dependence proves the loop
+        // sequential, but the consecutive-append facts promote it to a
+        // privatize-and-concat parallel dispatch.
+        let src = "program t
+             integer i, q, x(64), ind(64)
+             do i = 1, 64
+               x(i) = mod(i, 3)
+             enddo
+             do i = 1, 64
+               if (x(i) > 0) then
+                 q = q + 1
+                 ind(q) = i
+               endif
+             enddo
+             print ind(1), q
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let seq = Interp::new(&rep.program).run().unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(hybrid.outcome.output, seq.output);
+        assert!(
+            hybrid.telemetry.concat_parallel >= 1,
+            "{:?}",
+            hybrid.telemetry
+        );
+        assert!(hybrid.telemetry.strategy_concat >= 1);
+        assert_eq!(hybrid.telemetry.fallbacks(), 0);
+        let q = rep.program.symbols.lookup("q").unwrap();
+        let ind = rep.program.symbols.lookup("ind").unwrap();
+        assert_eq!(hybrid.outcome.store.scalar(q), seq.store.scalar(q));
+        assert_eq!(
+            hybrid.outcome.store.array_as_reals(ind),
+            seq.store.array_as_reals(ind)
+        );
+        // With strategies off the loop stays sequential, as the tier
+        // says.
+        let off = run_hybrid(
+            &rep,
+            HybridConfig {
+                enable_strategies: false,
+                ..HybridConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(off.outcome.output, seq.output);
+        assert_eq!(off.telemetry.concat_parallel, 0);
+        assert_eq!(off.telemetry.strategy_concat, 0);
     }
 
     #[test]

@@ -35,6 +35,21 @@ pub struct Telemetry {
     /// Loop entries dispatched sequential because the driver proved the
     /// loop sequential at compile time.
     pub sequential_proven: u64,
+    /// Sequential-tier loop entries *promoted* to parallel dispatch by
+    /// the privatize-and-concat strategy (the loop carries a pointer
+    /// dependence, but its appends concatenate).
+    pub concat_parallel: u64,
+    /// Committed parallel dispatches whose results reached the master
+    /// through the transactional write-log merge (including silent
+    /// strategy downgrades).
+    pub strategy_write_log: u64,
+    /// Committed parallel dispatches that wrote the master buffers in
+    /// place under a re-proven disjointness fact — no clone, no log,
+    /// no merge.
+    pub strategy_in_place: u64,
+    /// Committed parallel dispatches that concatenated per-worker
+    /// append buffers positionally.
+    pub strategy_concat: u64,
     /// Loop entries dispatched sequential because the loop is unknown
     /// to the driver's verdict table.
     pub sequential_unknown_loop: u64,
@@ -60,6 +75,10 @@ pub struct Telemetry {
     /// Parallel dispatches abandoned because a worker overran the
     /// per-worker deadline (watchdog).
     pub fallback_timeout: u64,
+    /// Parallel dispatches abandoned because an execution strategy's
+    /// dynamic self-check failed (in-place write outside its proven
+    /// window, broken append discipline).
+    pub fallback_strategy: u64,
     /// Dynamic loop executions analyzed under shadow-memory tracing by
     /// the dependence sanitizer.
     pub traced_executions: u64,
@@ -76,7 +95,18 @@ pub struct Telemetry {
 impl Telemetry {
     /// Total loop entries dispatched parallel.
     pub fn parallel_dispatches(&self) -> u64 {
-        self.compile_time_parallel + self.guarded_parallel
+        self.compile_time_parallel + self.guarded_parallel + self.concat_parallel
+    }
+
+    /// Committed parallel dispatches per execution strategy, as
+    /// `(strategy name, count)` — the names match
+    /// [`irr_exec::ExecutionStrategy::name`].
+    pub fn strategy_counts(&self) -> [(&'static str, u64); 3] {
+        [
+            ("write-log", self.strategy_write_log),
+            ("in-place-disjoint", self.strategy_in_place),
+            ("privatize-concat", self.strategy_concat),
+        ]
     }
 
     /// Total loop entries dispatched sequential (for any reason,
@@ -105,6 +135,7 @@ impl Telemetry {
             + self.fallback_shape
             + self.fallback_unsupported
             + self.fallback_timeout
+            + self.fallback_strategy
     }
 
     /// Records one abandoned parallel dispatch under its reason code.
@@ -115,6 +146,7 @@ impl Telemetry {
             FallbackReason::Shape => self.fallback_shape += 1,
             FallbackReason::Unsupported => self.fallback_unsupported += 1,
             FallbackReason::Timeout => self.fallback_timeout += 1,
+            FallbackReason::Strategy => self.fallback_strategy += 1,
         }
     }
 
@@ -126,6 +158,7 @@ impl Telemetry {
             FallbackReason::Shape => self.fallback_shape,
             FallbackReason::Unsupported => self.fallback_unsupported,
             FallbackReason::Timeout => self.fallback_timeout,
+            FallbackReason::Strategy => self.fallback_strategy,
         }
     }
 

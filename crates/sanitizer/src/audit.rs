@@ -29,7 +29,9 @@
 //! adds the precision gaps.
 
 use crate::shadow::{DepWitness, DependenceTracer, TraceLog};
-use irr_driver::{compile_source, CompilationReport, DispatchTier, DriverOptions, LoopVerdict};
+use irr_driver::{
+    compile_source, CompilationReport, DispatchTier, DriverOptions, LoopVerdict, StrategyFacts,
+};
 use irr_exec::{Interp, TraceConfig};
 use irr_frontend::{ParseError, StmtId, StmtKind, VarId};
 use irr_runtime::Telemetry;
@@ -213,9 +215,10 @@ pub fn audit_report(report: &CompilationReport, config: &AuditConfig) -> AuditRe
                 witness: Some(w),
                 run,
                 detail: format!(
-                    "{}: verdict {} contradicted on run {run}: {}",
+                    "{}: verdict {}{} contradicted on run {run}: {}",
                     v.label,
                     tier_name(&v.tier),
+                    strategy_suffix(&v.strategy_facts),
                     w.describe(program)
                 ),
             });
@@ -299,6 +302,18 @@ fn tier_name(tier: &DispatchTier) -> &'static str {
         DispatchTier::CompileTimeParallel => "CompileTimeParallel",
         DispatchTier::RuntimeGuarded(_) => "RuntimeGuarded (guard passed)",
         DispatchTier::Sequential => "Sequential",
+    }
+}
+
+/// The execution strategy a falsified verdict would have selected, so a
+/// violation witness attributes not just the wrong tier but the exact
+/// commit path (in-place writes, positional concat) the lie would have
+/// driven. Names match [`irr_exec::ExecutionStrategy::name`].
+fn strategy_suffix(facts: &StrategyFacts) -> String {
+    match facts {
+        StrategyFacts::None => String::new(),
+        StrategyFacts::DisjointAffine { .. } => " (strategy in-place-disjoint)".to_string(),
+        StrategyFacts::ConsecutiveAppend { .. } => " (strategy privatize-concat)".to_string(),
     }
 }
 
@@ -514,6 +529,49 @@ mod tests {
         assert_eq!(w.distance(), 1);
         assert!(f.detail.contains("flow dependence on `x`"), "{}", f.detail);
         assert_eq!(audit.telemetry.audit_violations, 1);
+    }
+
+    #[test]
+    fn forged_disjointness_verdict_names_the_strategy_in_the_witness() {
+        // A lying analysis claims the flow-dependent loop writes
+        // disjoint affine windows — the fact that would license the
+        // zero-merge in-place strategy. The audit must both catch the
+        // contradiction and attribute the exact commit path the forged
+        // proof would have driven.
+        let src = "program t
+             integer i, n
+             real x(32)
+             n = 32
+             do 10 i = 2, n
+               x(i) = x(i - 1) + 1.0
+ 10          continue
+             print x(32)
+             end";
+        let mut rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let x = rep.program.symbols.lookup("x").unwrap();
+        let v = rep
+            .verdicts
+            .iter_mut()
+            .find(|v| v.label == "T/do10")
+            .unwrap();
+        assert!(!v.parallel);
+        v.parallel = true;
+        v.tier = DispatchTier::CompileTimeParallel;
+        v.strategy_facts = StrategyFacts::DisjointAffine {
+            arrays: vec![(x, 0)],
+        };
+        let audit = audit_report(&rep, &cfg(AuditMode::Soundness));
+        assert_eq!(audit.violations(), 1, "{:?}", audit.findings);
+        let f = &audit.findings[0];
+        assert_eq!(f.kind, FindingKind::SoundnessViolation);
+        assert_eq!(f.label, "T/do10");
+        assert!(
+            f.detail.contains("in-place-disjoint"),
+            "witness must name the strategy: {}",
+            f.detail
+        );
+        assert!(f.detail.contains("flow dependence on `x`"), "{}", f.detail);
+        assert_eq!(f.witness.expect("concrete witness").distance(), 1);
     }
 
     #[test]

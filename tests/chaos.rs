@@ -9,7 +9,7 @@
 //! kernels and the paper figures under fault schedules; re-running with
 //! the same seed replays the identical schedule (CI pins one).
 
-use irr_driver::{compile_source, CompilationReport, DriverOptions};
+use irr_driver::{compile_source, CompilationReport, DispatchTier, DriverOptions, StrategyFacts};
 use irr_exec::{FaultKind, FaultPlan, Interp, Store, TraceConfig, Value};
 use irr_programs::{all, Scale};
 use irr_runtime::{
@@ -288,6 +288,121 @@ fn inspector_lie_is_caught_by_the_merge() {
         "the lie bypassed the inspector: {t:?}"
     );
     assert_eq!(plan.fired_count("lie-inspector"), 1);
+}
+
+#[test]
+fn lie_inspector_under_in_place_strategies_attributes_exactly() {
+    // Strategies are enabled by default, so the colliding kernel's init
+    // loop commits in place while the lied-about guarded dispatch (a
+    // guarded entry never carries a disjointness proof, so its plan
+    // stays write-log) must still be caught by the merge. Attribution
+    // is exact: one conflict fallback, no strategy commit from the
+    // aborted dispatch, one in-place commit from the honest loop.
+    let rep = compiled(COLLIDING_SRC);
+    let plan = FaultPlan::scripted([(1, FaultKind::LieInspector)]);
+    let (hybrid, plan) = run_hybrid_with_faults(&rep, chaos_config(), plan).unwrap();
+    assert_sequential_parity("lie-under-strategies", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.guarded_parallel, 1, "{t:?}");
+    assert_eq!(t.fallback_conflict, 1, "{t:?}");
+    assert_eq!(t.fallback_strategy, 0, "{t:?}");
+    assert_eq!(
+        t.strategy_in_place, 1,
+        "the init loop committed in place: {t:?}"
+    );
+    assert_eq!(
+        t.strategy_write_log, 0,
+        "the lied dispatch aborted before commit: {t:?}"
+    );
+    assert_eq!(plan.fired_count("lie-inspector"), 1);
+
+    // The sanitizer side of the same lie: a verdict falsified all the
+    // way to a disjointness proof (the fact that would license in-place
+    // commits) is caught by the shadow-memory audit, and the witness
+    // names the strategy the forged proof would have driven.
+    let mut forged = compiled(COLLIDING_SRC);
+    let z = forged.program.symbols.lookup("z").unwrap();
+    let v = forged
+        .verdicts
+        .iter_mut()
+        .find(|v| v.label == "T/do20")
+        .unwrap();
+    v.parallel = true;
+    v.tier = DispatchTier::CompileTimeParallel;
+    v.strategy_facts = StrategyFacts::DisjointAffine {
+        arrays: vec![(z, 0)],
+    };
+    let audit = audit_report(
+        &forged,
+        &AuditConfig {
+            seed: 42,
+            inputs: 2,
+            mode: AuditMode::Soundness,
+        },
+    );
+    assert_eq!(audit.violations(), 1, "{:?}", audit.findings);
+    let f = &audit.findings[0];
+    assert_eq!(f.label, "T/do20");
+    assert!(
+        f.detail.contains("in-place-disjoint"),
+        "witness must report the strategy: {}",
+        f.detail
+    );
+    assert!(f.witness.is_some(), "{f:?}");
+}
+
+#[test]
+fn forged_disjointness_facts_are_refused_by_the_executor() {
+    // A forged verdict claims the all-iterations-write-x(1) loop is
+    // compile-time parallel under a disjoint-affine proof. The executor
+    // re-derives the proof on every dispatch, finds none (the subscript
+    // is not `i + c`), and silently downgrades to the write-log — whose
+    // merge then catches the genuine write-write conflict, so the
+    // forged fact can never reach the raw in-place path.
+    let src = "program t
+         integer i, n
+         real x(8), y(8)
+         n = 8
+         do i = 1, n
+           y(i) = i * 1.0
+         enddo
+         do 20 i = 1, n
+           x(1) = y(i) * 2.0
+ 20      continue
+         print x(1)
+         end";
+    let mut rep = compiled(src);
+    let x = rep.program.symbols.lookup("x").unwrap();
+    {
+        let v = rep
+            .verdicts
+            .iter_mut()
+            .find(|v| v.label == "T/do20")
+            .unwrap();
+        assert!(!v.parallel, "honest verdict is sequential: {v:?}");
+        v.parallel = true;
+        v.tier = DispatchTier::CompileTimeParallel;
+        v.strategy_facts = StrategyFacts::DisjointAffine {
+            arrays: vec![(x, 0)],
+        };
+    }
+    let hybrid = run_hybrid(&rep, chaos_config()).unwrap();
+    assert_sequential_parity("forged-facts", &rep, &hybrid);
+    let t = hybrid.telemetry;
+    assert_eq!(t.compile_time_parallel, 2, "{t:?}");
+    assert_eq!(
+        t.fallback_conflict, 1,
+        "the downgraded write-log caught the conflict: {t:?}"
+    );
+    assert_eq!(
+        t.strategy_in_place, 1,
+        "only the honest init loop committed in place: {t:?}"
+    );
+    assert_eq!(t.strategy_write_log, 0, "{t:?}");
+    assert_eq!(
+        t.fallback_strategy, 0,
+        "the downgrade is silent, not a violation: {t:?}"
+    );
 }
 
 #[test]

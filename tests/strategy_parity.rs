@@ -1,0 +1,273 @@
+//! Strategy parity suite: proof-directed execution strategies must be
+//! semantically invisible.
+//!
+//! Every program runs three ways — hybrid with strategies enabled
+//! (in-place / concat commits where proven), hybrid with strategies
+//! disabled (every parallel dispatch through the transactional
+//! write-log), and pure sequential interpretation — and all three must
+//! agree on the final store, printed output, and execution statistics.
+//! The corpus is the five benchmark kernels plus the paper figures,
+//! with dedicated kernels for the zero-trip, single-iteration, and
+//! consecutively-written (concat) edge cases.
+
+use irr_driver::{compile_source, CompilationReport, DriverOptions};
+use irr_exec::{Interp, Store, Value};
+use irr_programs::{all, Scale};
+use irr_runtime::{run_hybrid, HybridConfig, HybridOutcome};
+use irr_sanitizer::figures;
+
+fn compiled(src: &str) -> CompilationReport {
+    compile_source(src, DriverOptions::with_iaa()).expect("compiles")
+}
+
+fn strategies(enable: bool) -> HybridConfig {
+    HybridConfig {
+        enable_strategies: enable,
+        ..HybridConfig::default()
+    }
+}
+
+fn reals_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+/// Asserts `hybrid` reproduced the sequential run exactly: output,
+/// store (privatized scratch excluded), and per-loop statistics.
+fn assert_sequential_parity(name: &str, rep: &CompilationReport, hybrid: &HybridOutcome) {
+    let seq = Interp::new(&rep.program).run().expect("sequential run");
+    assert_eq!(
+        hybrid.outcome.output.len(),
+        seq.output.len(),
+        "{name}: output length differs"
+    );
+    for (got, want) in hybrid.outcome.output.iter().zip(&seq.output) {
+        let close = match (got.parse::<f64>(), want.parse::<f64>()) {
+            (Ok(g), Ok(w)) => reals_eq(g, w),
+            _ => got == want,
+        };
+        assert!(close, "{name}: output differs: {got} vs {want}");
+    }
+    assert_store_eq(name, rep, &seq.store, &hybrid.outcome.store);
+    assert_eq!(
+        hybrid.outcome.stats.total_cost, seq.stats.total_cost,
+        "{name}: total cost differs"
+    );
+    for (stmt, seq_stats) in &seq.stats.loops {
+        let got = hybrid
+            .outcome
+            .stats
+            .loops
+            .get(stmt)
+            .unwrap_or_else(|| panic!("{name}: loop stats dropped for {stmt:?}"));
+        assert_eq!(got.invocations, seq_stats.invocations, "{name}: {stmt:?}");
+        assert_eq!(got.total_cost, seq_stats.total_cost, "{name}: {stmt:?}");
+    }
+}
+
+fn assert_store_eq(name: &str, rep: &CompilationReport, seq: &Store, got: &Store) {
+    // Privatized variables are per-worker scratch whose post-loop
+    // values are unobservable; every other variable must match.
+    let privatized: std::collections::HashSet<irr_frontend::VarId> = rep
+        .verdicts
+        .iter()
+        .flat_map(|v| {
+            v.privatized_scalars
+                .iter()
+                .copied()
+                .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
+        })
+        .collect();
+    for (vid, info) in rep.program.symbols.iter() {
+        if privatized.contains(&vid) {
+            continue;
+        }
+        if info.is_array() {
+            match (seq.array_as_reals(vid), got.array_as_reals(vid)) {
+                (Some(want), Some(have)) => {
+                    assert_eq!(
+                        want.len(),
+                        have.len(),
+                        "{name}: array {} length differs",
+                        info.name
+                    );
+                    for (k, (w, h)) in want.iter().zip(&have).enumerate() {
+                        assert!(
+                            reals_eq(*w, *h),
+                            "{name}: {}({}) differs: {w} vs {h}",
+                            info.name,
+                            k + 1
+                        );
+                    }
+                }
+                (want, have) => assert_eq!(
+                    want.is_some(),
+                    have.is_some(),
+                    "{name}: array {} materialization differs",
+                    info.name
+                ),
+            }
+        } else {
+            let (want, have) = (seq.scalar(vid), got.scalar(vid));
+            let close = match (want, have) {
+                (Value::Real(w), Value::Real(h)) => reals_eq(w, h),
+                _ => want == have,
+            };
+            assert!(
+                close,
+                "{name}: scalar {} differs: {want:?} vs {have:?}",
+                info.name
+            );
+        }
+    }
+}
+
+/// Runs `src` both ways and asserts three-way parity; returns both
+/// outcomes for telemetry assertions.
+fn three_way(name: &str, rep: &CompilationReport) -> (HybridOutcome, HybridOutcome) {
+    let with = run_hybrid(rep, strategies(true)).unwrap_or_else(|e| panic!("{name} (on): {e}"));
+    let without =
+        run_hybrid(rep, strategies(false)).unwrap_or_else(|e| panic!("{name} (off): {e}"));
+    assert_sequential_parity(&format!("{name} (strategies on)"), rep, &with);
+    assert_sequential_parity(&format!("{name} (strategies off)"), rep, &without);
+    (with, without)
+}
+
+#[test]
+fn benchmarks_and_figures_agree_under_all_strategy_modes() {
+    let mut targets: Vec<(String, String)> = all(Scale::Test)
+        .into_iter()
+        .map(|b| (b.name.to_string(), b.source))
+        .collect();
+    targets.extend(
+        figures()
+            .into_iter()
+            .map(|f| (f.name.to_string(), f.source.to_string())),
+    );
+    let mut in_place_commits = 0u64;
+    for (name, src) in &targets {
+        let rep = compiled(src);
+        let (with, without) = three_way(name, &rep);
+        in_place_commits += with.telemetry.strategy_in_place;
+        assert_eq!(
+            without.telemetry.strategy_in_place + without.telemetry.strategy_concat,
+            0,
+            "{name}: strategies disabled must commit only through the write-log: {:?}",
+            without.telemetry
+        );
+    }
+    assert!(
+        in_place_commits > 0,
+        "the corpus must exercise the in-place strategy at least once"
+    );
+}
+
+#[test]
+fn zero_trip_and_single_iteration_loops_are_strategy_safe() {
+    // `mod(n, 2) = 0` for n = 8: the proven-disjoint loop is zero-trip
+    // (no workers spawn, the planned strategy commits vacuously);
+    // `mod(n, 2) + 1 = 1`: a single iteration exercises the degenerate
+    // one-chunk window.
+    for (name, trip) in [("zero-trip", "mod(n, 2)"), ("one-trip", "mod(n, 2) + 1")] {
+        let src = format!(
+            "program t
+             integer i, n, m
+             real x(8)
+             n = 8
+             m = {trip}
+             do i = 1, n
+               x(i) = i * 1.0
+             enddo
+             do 20 i = 1, m
+               x(i) = i * 2.0
+ 20          continue
+             print x(1), m
+             end"
+        );
+        let rep = compiled(&src);
+        let (with, _) = three_way(name, &rep);
+        assert_eq!(
+            with.telemetry.fallbacks(),
+            0,
+            "{name}: {:?}",
+            with.telemetry
+        );
+        assert!(
+            with.telemetry.strategy_in_place >= 1,
+            "{name}: both loops are proven disjoint: {:?}",
+            with.telemetry
+        );
+    }
+}
+
+#[test]
+fn in_place_write_log_and_sequential_agree_on_affine_offsets() {
+    // The in-place strategy's sharpest edge: affine offset windows
+    // (`y(i + 1)`) against the array extent, plus a scalar reduction
+    // combined without logging any array traffic.
+    let src = "program t
+         integer i, n
+         real s, big(128), y(129)
+         n = 128
+         s = 0.0
+         do i = 1, n
+           big(i) = i * 0.5
+         enddo
+         do 20 i = 1, n
+           y(i + 1) = big(i) + i
+           s = s + big(i)
+ 20      continue
+         print y(2), y(129), s
+         end";
+    let rep = compiled(src);
+    let (with, without) = three_way("affine-offset", &rep);
+    assert!(
+        with.telemetry.strategy_in_place >= 1,
+        "strategies on must commit in place: {:?}",
+        with.telemetry
+    );
+    assert!(
+        without.telemetry.strategy_write_log >= 1,
+        "strategies off must commit through the write-log: {:?}",
+        without.telemetry
+    );
+    assert_eq!(with.telemetry.fallbacks(), 0, "{:?}", with.telemetry);
+    assert_eq!(without.telemetry.fallbacks(), 0, "{:?}", without.telemetry);
+}
+
+#[test]
+fn concat_kernel_agrees_and_commits_positionally() {
+    // A consecutively-written gather (§2.2): sequential tier promoted
+    // to parallel dispatch by the privatize-and-concat strategy. The
+    // concatenated result must be byte-identical to the sequential
+    // append order.
+    let src = "program t
+         integer i, n, q, ind(64)
+         real x(64)
+         n = 64
+         q = 0
+         do i = 1, n
+           x(i) = mod(i, 3) * 1.0
+         enddo
+         do 20 i = 1, n
+           if (x(i) > 0.5) then
+             q = q + 1
+             ind(q) = i
+           endif
+ 20      continue
+         print q, ind(1)
+         end";
+    let rep = compiled(src);
+    let (with, without) = three_way("concat-gather", &rep);
+    assert!(
+        with.telemetry.strategy_concat >= 1,
+        "strategies on must commit a positional concat: {:?}",
+        with.telemetry
+    );
+    assert_eq!(
+        without.telemetry.concat_parallel, 0,
+        "strategies off must not promote the sequential tier: {:?}",
+        without.telemetry
+    );
+    assert_eq!(with.telemetry.fallbacks(), 0, "{:?}", with.telemetry);
+}
