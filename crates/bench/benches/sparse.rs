@@ -1,0 +1,162 @@
+//! The SPARK00-style scaling sweep: generated sparse kernels timed
+//! sequentially and through the hybrid runtime across nonzero counts
+//! and matrix structures, emitting speedup-vs-nnz curves.
+//!
+//! Every swept combination records two timed entries,
+//! `sparse/{kernel}/{structure}/{nnz}/{seq,hybrid}`, plus two
+//! annotations (scaled by 1000 so the JSON stays integer-only):
+//!
+//! - `speedup_x1000` — measured: sequential median over hybrid median.
+//!   On a single-core host this hovers near 1.0x at best; it captures
+//!   the *overhead* of dispatch, inspection, and commit, not the
+//!   parallel win.
+//! - `modeled_speedup_16p_x1000` — the paper's Fig. 16 methodology:
+//!   per-iteration costs of every dispatchable loop (compile-time
+//!   parallel and runtime-guarded) are profiled, then replayed on the
+//!   Origin 2000 machine model with 16 processors.
+//!
+//! Reading a curve: fix a kernel and structure, follow the annotation
+//! across nnz.
+//!
+//! The sweep is capped by the `SPARSE_MAX_NNZ` environment variable
+//! (default 1,048,576): CI smoke runs set 262144, a full local sweep
+//! can raise it toward the generator's 10M ceiling.
+//!
+//! ```sh
+//! cargo bench -p irr-bench --bench sparse -- --json BENCH_sparse.json
+//! SPARSE_MAX_NNZ=262144 cargo bench -p irr-bench --bench sparse -- --samples 3
+//! ```
+
+use irr_bench::harness::Runner;
+use irr_bench::profile_report_seeded;
+use irr_driver::{compile_source, DispatchTier, DriverOptions};
+use irr_exec::{simulate_speedup, Interp, MachineModel};
+use irr_programs::sparse::{kernels, ExpectedTier, SparseScale};
+use irr_runtime::{run_hybrid_seeded, HybridConfig};
+use irr_sparse::Structure;
+
+/// The kernels swept (a subset of the library: the three dispatch
+/// tiers and all three execution strategies are each represented).
+const SWEPT: [&str; 5] = ["spmv", "scale", "colscale", "permute", "rowgather"];
+
+fn max_nnz() -> usize {
+    // Unoptimized builds (`cargo test --benches` smoke runs) default to
+    // the smallest size; `cargo bench` sweeps to 1M unless overridden.
+    let default = if cfg!(debug_assertions) {
+        1 << 16
+    } else {
+        1 << 20
+    };
+    std::env::var("SPARSE_MAX_NNZ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let r = Runner::from_env();
+    let cap = max_nnz();
+    let sizes: Vec<usize> = [1 << 16, 1 << 18, 1 << 20, 1 << 22, 10_000_000]
+        .into_iter()
+        .filter(|&s| s <= cap)
+        .collect();
+    assert!(!sizes.is_empty(), "SPARSE_MAX_NNZ below the smallest size");
+    let structures = [Structure::Uniform, Structure::PowerLaw];
+    println!(
+        "sparse sweep: nnz {:?} (cap {cap}), structures {:?}",
+        sizes,
+        structures.iter().map(Structure::tag).collect::<Vec<_>>()
+    );
+
+    let mut curves: Vec<(String, usize, f64, f64)> = Vec::new();
+    for &nnz in &sizes {
+        for structure in structures {
+            let scale = SparseScale {
+                n: (nnz / 16).max(1),
+                nnz,
+                structure,
+                seed: 0xCC5,
+            };
+            for k in kernels(&scale) {
+                if !SWEPT.contains(&k.name) {
+                    continue;
+                }
+                let rep =
+                    compile_source(&k.source, DriverOptions::with_iaa()).expect("kernel parses");
+                let v = rep.verdict(&k.label).expect("loop verdict");
+                let tier_ok = match k.expected_tier {
+                    ExpectedTier::CompileTimeParallel => {
+                        matches!(v.tier, DispatchTier::CompileTimeParallel)
+                    }
+                    ExpectedTier::RuntimeGuarded => {
+                        matches!(v.tier, DispatchTier::RuntimeGuarded(_))
+                    }
+                    ExpectedTier::Sequential => matches!(v.tier, DispatchTier::Sequential),
+                };
+                assert!(tier_ok, "{}: verdict drifted: {:?}", k.name, v.tier);
+                let presets = k.resolve_presets(&rep.program);
+
+                let combo = format!("{}/{}/{}", k.name, structure.tag(), nnz);
+                let mut g = r.group("sparse");
+                g.sample_size(if nnz >= 1 << 20 { 3 } else { 5 });
+                g.bench_function(&format!("{combo}/seq"), || {
+                    let mut it = Interp::new(&rep.program);
+                    for (var, data) in &presets {
+                        it.preset_array(*var, data.clone());
+                    }
+                    it.run().expect("sequential run")
+                });
+                g.bench_function(&format!("{combo}/hybrid"), || {
+                    run_hybrid_seeded(&rep, HybridConfig::default(), &presets).expect("hybrid run")
+                });
+                g.finish();
+
+                let measured = match (
+                    r.median_of(&format!("sparse/{combo}/seq")),
+                    r.median_of(&format!("sparse/{combo}/hybrid")),
+                ) {
+                    (Some(seq), Some(hyb)) if hyb > 0 => {
+                        let speedup = seq as f64 / hyb as f64;
+                        r.annotate(
+                            &format!("sparse/{combo}/speedup_x1000"),
+                            (speedup * 1000.0) as u64,
+                        );
+                        speedup
+                    }
+                    _ => continue,
+                };
+                let profile = profile_report_seeded(&rep, &presets);
+                let modeled = simulate_speedup(&profile, 16, &MachineModel::origin2000());
+                r.annotate(
+                    &format!("sparse/{combo}/modeled_speedup_16p_x1000"),
+                    (modeled * 1000.0) as u64,
+                );
+                curves.push((
+                    format!("{}/{}", k.name, structure.tag()),
+                    nnz,
+                    measured,
+                    modeled,
+                ));
+            }
+        }
+    }
+
+    if !curves.is_empty() {
+        println!("\nspeedup-vs-nnz curves (measured seq/hybrid, modeled 16p):");
+        let mut names: Vec<&String> = Vec::new();
+        for (n, _, _, _) in &curves {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        for name in names {
+            let pts: Vec<String> = curves
+                .iter()
+                .filter(|(n, _, _, _)| n == name)
+                .map(|(_, nnz, s, m)| format!("{nnz}: {s:.2}x/{m:.2}x"))
+                .collect();
+            println!("  {name:<20} {}", pts.join("  "));
+        }
+    }
+    std::process::exit(r.finalize());
+}

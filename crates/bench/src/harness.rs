@@ -115,6 +115,18 @@ impl Runner {
         }
     }
 
+    /// Median of an already-timed benchmark by its full `group/id`
+    /// name, so bench binaries can derive facts across entries (e.g.
+    /// a sequential/parallel speedup annotation). `None` in check mode
+    /// or when the result was not recorded (no `--json`/`--baseline`).
+    pub fn median_of(&self, id: &str) -> Option<u128> {
+        self.results
+            .borrow()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median_ns)
+    }
+
     /// Writes the `--json` report (if requested), compares the timed
     /// results against the `--baseline` report (if given), and returns
     /// the process exit code: nonzero iff any benchmark's median

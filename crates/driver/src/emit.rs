@@ -104,19 +104,22 @@ fn directive_for(report: &CompilationReport, v: &LoopVerdict) -> String {
 
 fn guarded_directive_for(report: &CompilationReport, guard: &crate::GuardPlan) -> String {
     let symbols = &report.program.symbols;
-    let checks: Vec<String> = guard
-        .checks
+    let render = |c: &ResidualCheck| match c {
+        ResidualCheck::Injective { array } => {
+            format!("injective({})", symbols.name(*array))
+        }
+        ResidualCheck::OffsetLength { ptr, len } => {
+            format!("offlen({}, {})", symbols.name(*ptr), symbols.name(*len))
+        }
+    };
+    // Within a group any one check clears the array (rendered with `|`);
+    // every group must be cleared (rendered with `, `).
+    let groups: Vec<String> = guard
+        .groups
         .iter()
-        .map(|c| match c {
-            ResidualCheck::Injective { array } => {
-                format!("injective({})", symbols.name(*array))
-            }
-            ResidualCheck::OffsetLength { ptr, len } => {
-                format!("offlen({}, {})", symbols.name(*ptr), symbols.name(*len))
-            }
-        })
+        .map(|g| g.iter().map(render).collect::<Vec<_>>().join(" | "))
         .collect();
-    format!("!$irr guarded do inspect({})", checks.join(", "))
+    format!("!$irr guarded do inspect({})", groups.join(", "))
 }
 
 fn serial_directive_for(v: &LoopVerdict) -> String {

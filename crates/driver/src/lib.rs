@@ -99,8 +99,24 @@ impl DriverOptions {
 /// solver left unknown.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct GuardPlan {
-    /// All checks must pass (they cover distinct blocked arrays).
-    pub checks: Vec<ResidualCheck>,
+    /// One group per blocked array. The dependence tester emits every
+    /// residual check that would *alone* establish that array's
+    /// independence, so the groups compose as a conjunction of
+    /// disjunctions: the loop may run parallel when, for every group,
+    /// at least one of its checks passes. (Flattening the groups into
+    /// a single all-must-pass list would be wrong: the tester's
+    /// symmetric offset–length candidates include swapped `(len, ptr)`
+    /// checks that legitimately fail while the `(ptr, len)` check
+    /// passes.)
+    pub groups: Vec<Vec<ResidualCheck>>,
+}
+
+impl GuardPlan {
+    /// Every check across all groups, flattened — for display and for
+    /// version-keying the arrays the inspectors read.
+    pub fn all_checks(&self) -> impl Iterator<Item = &ResidualCheck> {
+        self.groups.iter().flatten()
+    }
 }
 
 /// How the executor should dispatch a loop — the three-tier outcome of
@@ -314,7 +330,7 @@ fn judge_loop<'c, 'p>(
     // Whether every blocker so far can be discharged by a run-time
     // inspection; scalar dependences and unanalyzable arrays cannot.
     let mut guardable = true;
-    let mut guard_checks: Vec<ResidualCheck> = Vec::new();
+    let mut guard_groups: Vec<Vec<ResidualCheck>> = Vec::new();
 
     // ---- scalars ----------------------------------------------------------
     let reductions = recognize_reductions(program, loop_stmt);
@@ -392,14 +408,21 @@ fn judge_loop<'c, 'p>(
                 })
                 .collect();
             v.blockers.push(format!(
-                "array `{}` unknown at compile time (runtime-checkable: {})",
+                "array `{}` unknown at compile time (runtime-checkable, any of: {})",
                 program.symbols.name(array),
                 needed.join(", ")
             ));
+            // One disjunction group per blocked array: each residual the
+            // tester emitted would alone clear the array, so the runtime
+            // needs any one of them to pass.
+            let mut group: Vec<ResidualCheck> = Vec::new();
             for rc in dep.residual {
-                if !guard_checks.contains(&rc) {
-                    guard_checks.push(rc);
+                if !group.contains(&rc) {
+                    group.push(rc);
                 }
+            }
+            if !guard_groups.contains(&group) {
+                guard_groups.push(group);
             }
         }
     }
@@ -412,9 +435,9 @@ fn judge_loop<'c, 'p>(
         .any(|(_, op)| matches!(op, irr_passes::ReductionOp::Product));
     v.tier = if v.parallel && mergeable_reductions {
         DispatchTier::CompileTimeParallel
-    } else if !v.parallel && guardable && !guard_checks.is_empty() && mergeable_reductions {
+    } else if !v.parallel && guardable && !guard_groups.is_empty() && mergeable_reductions {
         DispatchTier::RuntimeGuarded(GuardPlan {
-            checks: guard_checks,
+            groups: guard_groups,
         })
     } else {
         DispatchTier::Sequential

@@ -512,6 +512,17 @@ impl Store {
         self.arrays[arr.index()].as_deref().map(ArrayData::dims)
     }
 
+    /// Installs `data` as the storage of `arr` before execution — the
+    /// public preset hook the sparse workload suite uses to inject
+    /// generated index and value arrays without interpreting gigantic
+    /// initialization loops. Presets are pinned for the whole run:
+    /// array materialization skips already-materialized arrays, and the
+    /// audit's randomized fill only affects arrays not yet
+    /// materialized.
+    pub fn preset_array(&mut self, arr: VarId, data: ArrayData) {
+        self.materialize(arr, data);
+    }
+
     /// Installs `data` as the storage of `arr`, recording the
     /// materialization when a write log is active.
     pub(crate) fn materialize(&mut self, arr: VarId, data: ArrayData) {
@@ -707,6 +718,14 @@ impl<'p> Interp<'p> {
     /// an array holds before its first write varies per seed.
     pub fn set_random_fill(&mut self, seed: u64) {
         self.random_fill = Some(SplitMix64::new(seed));
+    }
+
+    /// Presets `arr` to `data` before the run (see
+    /// [`Store::preset_array`]): the declaration's extents are ignored
+    /// in favor of the preset's, and neither zero- nor random-fill
+    /// touches the array afterwards.
+    pub fn preset_array(&mut self, arr: VarId, data: ArrayData) {
+        self.store.preset_array(arr, data);
     }
 
     /// Runs the whole program.

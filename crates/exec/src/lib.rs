@@ -31,7 +31,9 @@ pub mod trace;
 
 pub use dispatch::{FallbackReason, LoopDecision, LoopDispatcher, SequentialDispatch};
 pub use fault::{FaultKind, FaultPlan, FaultShot};
-pub use interp::{ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Value, WriteLog};
+pub use interp::{
+    ArrayData, ExecError, ExecOutcome, ExecStats, Interp, LoopStats, Store, Value, WriteLog,
+};
 pub use machine::{
     simulate_program_time, simulate_speedup, LoopProfile, MachineModel, ProgramProfile,
 };

@@ -93,11 +93,15 @@ pub fn inspect_bounded(
 /// parallelizes with no shared state.
 ///
 /// The bitmap needs the value range: a cheap chunked min/max pass runs
-/// first. When the range is much larger than the section (sparse index
-/// values), the bitmaps would be mostly empty pages — the inspector
-/// then falls back to the sequential hash-set scan rather than paying
-/// for allocation. Verdicts are always identical to
-/// [`inspect_injective`].
+/// first, with the range widened in `i128` so pathological index values
+/// near the `i64` extremes cannot overflow it. When the range is much
+/// larger than the section (huge max, tiny nonzero count), the bitmaps
+/// would be mostly empty pages — below that density threshold the
+/// inspector switches to a sparse-set variant: each worker sorts its
+/// chunk (catching intra-chunk duplicates), and a k-way merge scan
+/// catches duplicates across chunks, so the fallback stays parallel
+/// instead of degenerating to the sequential hash scan. Verdicts are
+/// always identical to [`inspect_injective`].
 pub fn inspect_injective_parallel(
     store: &Store,
     idx: VarId,
@@ -144,10 +148,15 @@ pub fn inspect_injective_parallel(
                 (amn.min(mn), amx.max(mx))
             })
     });
-    let range = (max - min + 1) as u128;
+    // Widen before subtracting: with index values near the i64
+    // extremes (max - min + 1) overflows i64.
+    let range = (max as i128 - min as i128 + 1) as u128;
     if range > 4 * section.len() as u128 + 1024 {
-        // Sparse values: bitmaps don't pay for themselves.
-        return inspect_injective(store, idx, lo, hi);
+        // Sparse values: the bitmap would be mostly empty pages (and
+        // for extreme ranges could not even be allocated). Fall back
+        // to the chunked sparse-set inspector instead of the
+        // sequential hash scan.
+        return inspect_injective_sparse_set(section, chunk_len);
     }
     let words = (range as usize).div_ceil(64);
     // Chunked marking pass: each worker owns a private bitmap.
@@ -184,6 +193,62 @@ pub fn inspect_injective_parallel(
                 return Inspection::Sequential; // cross-chunk duplicate
             }
             *m |= *b;
+        }
+    }
+    Inspection::ParallelOk
+}
+
+/// Sparse-set injectivity inspector: the parallel fallback for sections
+/// whose value range is too wide for per-chunk bitmaps (huge max, tiny
+/// nonzero count). Each worker sorts its chunk's values — a duplicate
+/// inside a chunk surfaces as adjacent equal elements — and a k-way
+/// merge scan over the sorted chunks catches duplicates across chunks.
+/// Memory is `O(section)` regardless of the value range.
+fn inspect_injective_sparse_set(section: &[f64], chunk_len: usize) -> Inspection {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let sorted: Vec<Option<Vec<i64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = section
+            .chunks(chunk_len)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut v: Vec<i64> = c.iter().map(|&x| x as i64).collect();
+                    v.sort_unstable();
+                    if v.windows(2).any(|w| w[0] == w[1]) {
+                        return None; // duplicate inside this chunk
+                    }
+                    Some(v)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("inspector worker panicked"))
+            .collect()
+    });
+    let mut chunks: Vec<Vec<i64>> = Vec::with_capacity(sorted.len());
+    for c in sorted {
+        let Some(c) = c else {
+            return Inspection::Sequential;
+        };
+        chunks.push(c);
+    }
+    // K-way merge scan: pop values in ascending order; two equal values
+    // in a row are a cross-chunk duplicate.
+    let mut heap: BinaryHeap<Reverse<(i64, usize, usize)>> = chunks
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_empty())
+        .map(|(ci, c)| Reverse((c[0], ci, 0)))
+        .collect();
+    let mut prev: Option<i64> = None;
+    while let Some(Reverse((v, ci, pos))) = heap.pop() {
+        if prev == Some(v) {
+            return Inspection::Sequential;
+        }
+        prev = Some(v);
+        if let Some(&next) = chunks[ci].get(pos + 1) {
+            heap.push(Reverse((next, ci, pos + 1)));
         }
     }
     Inspection::ParallelOk
@@ -384,10 +449,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_injective_sparse_values_fall_back_to_hash_scan() {
+    fn parallel_injective_sparse_values_fall_back_to_sparse_set() {
         // Values spread over a range ~1000x the section length: the
-        // bitmap path declines and the hash fallback must still give
-        // the sequential verdict (distinct here).
+        // bitmap path declines and the sparse-set fallback must still
+        // give the sequential inspector's verdict (distinct here).
         let (p, store) = store_of(
             "program t
              integer idx(32), i
@@ -414,6 +479,94 @@ mod tests {
         let idx2 = p2.symbols.lookup("idx").unwrap();
         assert_eq!(
             inspect_injective_parallel(&store2, idx2, 1, 32, 4),
+            Inspection::Sequential
+        );
+    }
+
+    #[test]
+    fn sparse_set_fallback_matches_sequential_across_thread_counts() {
+        // 4096 entries spread over a ~40M value range: far below the
+        // bitmap density threshold, so every parallel call below takes
+        // the sparse-set path.
+        let (p, store) = store_of(
+            "program t
+             integer idx(4096), i
+             do i = 1, 4096
+               idx(i) = i * 9973
+             enddo
+             end",
+        );
+        let idx = p.symbols.lookup("idx").unwrap();
+        for threads in [2, 3, 4, 7, 16] {
+            assert_eq!(
+                inspect_injective_parallel(&store, idx, 1, 4096, threads),
+                Inspection::ParallelOk,
+                "threads={threads}"
+            );
+        }
+        // A duplicate pair spanning chunk boundaries is only visible to
+        // the k-way merge.
+        let (p2, store2) = store_of(
+            "program t
+             integer idx(4096), i
+             do i = 1, 4096
+               idx(i) = i * 9973
+             enddo
+             idx(4096) = 9973
+             end",
+        );
+        let idx2 = p2.symbols.lookup("idx").unwrap();
+        for threads in [2, 3, 4, 7, 16] {
+            assert_eq!(
+                inspect_injective_parallel(&store2, idx2, 1, 4096, threads),
+                Inspection::Sequential,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_index_range_does_not_overflow_the_range_computation() {
+        // Values at the far ends of the representable range: computing
+        // (max - min + 1) in i64 overflows; the widened computation
+        // must route to the sparse-set path and return the sequential
+        // inspector's verdict.
+        let p = parse_program(
+            "program t
+             integer idx(4)
+             end",
+        )
+        .unwrap();
+        let idx = p.symbols.lookup("idx").unwrap();
+        let mut it = Interp::new(&p);
+        it.preset_array(
+            idx,
+            crate::interp::ArrayData::Int {
+                data: vec![-(1i64 << 62), 1i64 << 62, 0, 1],
+                dims: vec![4],
+            },
+        );
+        let store = it.run().unwrap().store;
+        assert_eq!(
+            inspect_injective_parallel(&store, idx, 1, 4, 4),
+            inspect_injective(&store, idx, 1, 4)
+        );
+        assert_eq!(
+            inspect_injective_parallel(&store, idx, 1, 4, 4),
+            Inspection::ParallelOk
+        );
+        // And with a duplicated extreme value.
+        let mut it2 = Interp::new(&p);
+        it2.preset_array(
+            idx,
+            crate::interp::ArrayData::Int {
+                data: vec![-(1i64 << 62), 1i64 << 62, -(1i64 << 62), 1],
+                dims: vec![4],
+            },
+        );
+        let store2 = it2.run().unwrap().store;
+        assert_eq!(
+            inspect_injective_parallel(&store2, idx, 1, 4, 4),
             Inspection::Sequential
         );
     }

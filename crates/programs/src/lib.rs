@@ -15,6 +15,7 @@
 pub mod bdna;
 pub mod dyfesm;
 pub mod p3m;
+pub mod sparse;
 pub mod tree;
 pub mod trfd;
 

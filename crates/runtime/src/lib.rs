@@ -246,35 +246,43 @@ impl HybridDispatcher {
         Some(kind)
     }
 
-    /// Evaluates every residual check of `guard` against the live store;
-    /// all must pass.
+    /// Evaluates the guard against the live store: every group must be
+    /// cleared, and a group is cleared when *any one* of its checks
+    /// passes (each check would alone establish that array's
+    /// independence — the tester's symmetric candidates include checks
+    /// that legitimately fail while a sibling passes).
     fn inspect(&mut self, store: &Store, guard: &GuardPlan, lo: i64, hi: i64) -> bool {
-        for check in &guard.checks {
-            self.telemetry.inspections_run += 1;
-            let verdict = match check {
-                ResidualCheck::Injective { array } => {
-                    // Long sections amortize thread spawn: the chunked
-                    // parallel inspector marks per-chunk bitmaps and
-                    // merges them at chunk granularity.
-                    if hi.saturating_sub(lo) + 1 >= self.config.parallel_inspect_threshold as i64 {
-                        inspect_injective_parallel(
-                            store,
-                            *array,
-                            lo,
-                            hi,
-                            self.config.threads.max(1),
-                        )
-                    } else {
-                        inspect_injective(store, *array, lo, hi)
+        'groups: for group in &guard.groups {
+            for check in group {
+                self.telemetry.inspections_run += 1;
+                let verdict = match check {
+                    ResidualCheck::Injective { array } => {
+                        // Long sections amortize thread spawn: the chunked
+                        // parallel inspector marks per-chunk bitmaps and
+                        // merges them at chunk granularity.
+                        if hi.saturating_sub(lo) + 1
+                            >= self.config.parallel_inspect_threshold as i64
+                        {
+                            inspect_injective_parallel(
+                                store,
+                                *array,
+                                lo,
+                                hi,
+                                self.config.threads.max(1),
+                            )
+                        } else {
+                            inspect_injective(store, *array, lo, hi)
+                        }
                     }
+                    ResidualCheck::OffsetLength { ptr, len } => {
+                        inspect_offset_length(store, *ptr, *len, lo, hi)
+                    }
+                };
+                if verdict == Inspection::ParallelOk {
+                    continue 'groups;
                 }
-                ResidualCheck::OffsetLength { ptr, len } => {
-                    inspect_offset_length(store, *ptr, *len, lo, hi)
-                }
-            };
-            if verdict != Inspection::ParallelOk {
-                return false;
             }
+            return false;
         }
         true
     }
@@ -283,7 +291,7 @@ impl HybridDispatcher {
 /// Arrays a guard's inspectors read, for version keying.
 fn guard_arrays(guard: &GuardPlan) -> Vec<VarId> {
     let mut out = Vec::new();
-    for check in &guard.checks {
+    for check in guard.all_checks() {
         match check {
             ResidualCheck::Injective { array } => out.push(*array),
             ResidualCheck::OffsetLength { ptr, len } => {
@@ -476,8 +484,29 @@ pub fn run_hybrid(
     report: &CompilationReport,
     config: HybridConfig,
 ) -> Result<HybridOutcome, ExecError> {
+    run_hybrid_seeded(report, config, &[])
+}
+
+/// [`run_hybrid`] with preset arrays installed before execution — the
+/// entry point for generated sparse workloads, whose index and value
+/// arrays are injected rather than initialized by interpreted loops.
+/// Presets are pinned: the interpreter never re-materializes an
+/// already-materialized array.
+///
+/// # Errors
+///
+/// Propagates genuine interpreter errors, exactly as [`run_hybrid`].
+pub fn run_hybrid_seeded(
+    report: &CompilationReport,
+    config: HybridConfig,
+    presets: &[(VarId, irr_exec::ArrayData)],
+) -> Result<HybridOutcome, ExecError> {
     let mut dispatcher = HybridDispatcher::new(report, config);
-    let outcome = Interp::new(&report.program).run_dispatched(&mut dispatcher)?;
+    let mut interp = Interp::new(&report.program);
+    for (var, data) in presets {
+        interp.preset_array(*var, data.clone());
+    }
+    let outcome = interp.run_dispatched(&mut dispatcher)?;
     dispatcher.telemetry.cache_evictions = dispatcher.cache.evictions();
     Ok(HybridOutcome {
         outcome,

@@ -144,6 +144,20 @@ impl AuditReport {
 /// Audits a compiled program: replays it under tracing on pristine and
 /// randomized inputs and cross-checks every loop verdict.
 pub fn audit_report(report: &CompilationReport, config: &AuditConfig) -> AuditReport {
+    audit_report_seeded(report, config, &[])
+}
+
+/// [`audit_report`] with preset arrays installed before every replay —
+/// the entry point for generated sparse workloads. Presets are pinned:
+/// they materialize before the run, so the randomized fill of runs
+/// `1..=inputs` never touches them and every replay sees the same
+/// generated index arrays (the data the guards inspect), while arrays
+/// the program reads before writing still vary per run.
+pub fn audit_report_seeded(
+    report: &CompilationReport,
+    config: &AuditConfig,
+    presets: &[(VarId, irr_exec::ArrayData)],
+) -> AuditReport {
     let program = &report.program;
     let audited: Vec<&LoopVerdict> = report
         .verdicts
@@ -162,6 +176,9 @@ pub fn audit_report(report: &CompilationReport, config: &AuditConfig) -> AuditRe
     for run in 0..=config.inputs {
         let (tracer, handle) = DependenceTracer::from_report(report);
         let mut it = Interp::new(program);
+        for (var, data) in presets {
+            it.preset_array(*var, data.clone());
+        }
         if run > 0 {
             it.set_random_fill(config.seed.wrapping_add(u64::from(run)));
         }

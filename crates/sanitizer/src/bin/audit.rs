@@ -4,6 +4,7 @@
 //! ```text
 //! sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N]
 //!                 [--scale test|paper] [--only SUBSTR] [--chaos N]
+//!                 [--sparse N]
 //! ```
 //!
 //! `--chaos N` additionally replays every target under `N` seeded
@@ -12,14 +13,23 @@
 //! still completes with sequential semantics; a parity break counts as
 //! a violation.
 //!
+//! `--sparse N` additionally audits `N` generated sparse-kernel
+//! programs (cycling kernels × matrix structures with per-sample
+//! seeds), presetting each program's index arrays from the matrix
+//! generator so the guards inspect real CRS/CCS structure.
+//!
 //! Exits nonzero iff any soundness violation is found, so the command
 //! doubles as a CI gate. Precision gaps (full mode) are informational.
 
 use irr_driver::{compile_source, CompilationReport, DriverOptions};
 use irr_exec::{FaultPlan, Interp, Store, Value};
+use irr_programs::sparse::{kernels, SparseScale};
 use irr_programs::{all, Scale};
 use irr_runtime::{run_hybrid_with_faults, HybridConfig};
-use irr_sanitizer::{audit_report, figures, AuditConfig, AuditMode, FindingKind};
+use irr_sanitizer::{
+    audit_report, audit_report_seeded, figures, AuditConfig, AuditMode, FindingKind,
+};
+use irr_sparse::Structure;
 
 fn main() {
     let mut config = AuditConfig {
@@ -29,6 +39,7 @@ fn main() {
     let mut scale = Scale::Test;
     let mut only: Option<String> = None;
     let mut chaos = 0usize;
+    let mut sparse = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -66,10 +77,15 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--chaos needs an integer"))
             }
+            "--sparse" => {
+                sparse = value("--sparse")
+                    .parse()
+                    .unwrap_or_else(|_| die("--sparse needs an integer"))
+            }
             "--help" | "-h" => {
                 println!(
                     "sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N] \
-                     [--scale test|paper] [--only SUBSTR] [--chaos N]"
+                     [--scale test|paper] [--only SUBSTR] [--chaos N] [--sparse N]"
                 );
                 return;
             }
@@ -129,14 +145,84 @@ fn main() {
             total_violations += chaos_sweep(name, &rep, config.seed, chaos);
         }
     }
+    let mut audited = targets.len();
+    if sparse > 0 {
+        let (sampled, violations, gaps) = sparse_sweep(&config, sparse);
+        audited += sampled;
+        total_violations += violations;
+        total_gaps += gaps;
+    }
     println!(
-        "sanitizer-audit: {} program(s), {total_violations} violation(s), {total_gaps} \
-         precision gap(s)",
-        targets.len()
+        "sanitizer-audit: {audited} program(s), {total_violations} violation(s), {total_gaps} \
+         precision gap(s)"
     );
     if total_violations > 0 {
         std::process::exit(1);
     }
+}
+
+/// Audits `n` generated sparse-kernel programs, cycling through the
+/// kernel library and the three matrix structures with a fresh
+/// generator seed per sample. Each program's index arrays are preset
+/// from the generated matrix before every replay, so the traced runs
+/// exercise the same CRS/CCS structure the runtime guards inspect.
+/// Returns `(programs audited, violations, precision gaps)`.
+fn sparse_sweep(config: &AuditConfig, n: usize) -> (usize, usize, usize) {
+    const STRUCTURES: [Structure; 3] = [
+        Structure::Banded { bandwidth: 8 },
+        Structure::Uniform,
+        Structure::PowerLaw,
+    ];
+    println!("sparse sweep: {n} generated kernel program(s)");
+    let mut violations = 0usize;
+    let mut gaps = 0usize;
+    let mut sampled = 0usize;
+    let mut i = 0usize;
+    'outer: loop {
+        let structure = STRUCTURES[i % STRUCTURES.len()];
+        let seed = config.seed.wrapping_add(i as u64).wrapping_mul(3) | 1;
+        for k in kernels(&SparseScale::test(structure, seed)) {
+            if sampled == n {
+                break 'outer;
+            }
+            let rep = match compile_source(&k.source, DriverOptions::with_iaa()) {
+                Ok(r) => r,
+                Err(e) => die(&format!("sparse {}: parse error: {e}", k.name)),
+            };
+            let presets = k.resolve_presets(&rep.program);
+            let audit = audit_report_seeded(&rep, config, &presets);
+            println!(
+                "sparse {} ({}, seed {seed}): {} loop(s) audited, {} run(s) ok, {} failed, \
+                 {} violation(s), {} precision gap(s)",
+                k.name,
+                structure.tag(),
+                audit.loops_audited,
+                audit.runs_completed,
+                audit.runs_failed,
+                audit.violations(),
+                audit.precision_gaps(),
+            );
+            for f in &audit.findings {
+                let tag = match f.kind {
+                    FindingKind::SoundnessViolation => "VIOLATION",
+                    FindingKind::PrecisionGap => "precision-gap",
+                };
+                println!("  [{tag}] {}", f.detail);
+            }
+            if audit.runs_failed > 0 {
+                println!(
+                    "  [VIOLATION] sparse {}: {} run(s) failed",
+                    k.name, audit.runs_failed
+                );
+                violations += audit.runs_failed as usize;
+            }
+            violations += audit.violations();
+            gaps += audit.precision_gaps();
+            sampled += 1;
+        }
+        i += 1;
+    }
+    (sampled, violations, gaps)
 }
 
 /// Replays `rep` under `seeds` randomized fault schedules through the

@@ -24,8 +24,8 @@ pub mod audit;
 pub mod shadow;
 
 pub use audit::{
-    audit_report, audit_source, figures, AuditConfig, AuditMode, AuditReport, Figure, Finding,
-    FindingKind,
+    audit_report, audit_report_seeded, audit_source, figures, AuditConfig, AuditMode, AuditReport,
+    Figure, Finding, FindingKind,
 };
 pub use shadow::{
     guard_passes, AccessFacts, DepKind, DepWitness, DependenceTracer, LoopExecTrace, TraceHandle,

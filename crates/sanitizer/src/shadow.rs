@@ -354,14 +354,19 @@ impl Frame {
 /// the same inspection the hybrid dispatcher runs before clearing a
 /// guarded loop for parallel execution.
 pub fn guard_passes(store: &Store, guard: &GuardPlan, lo: i64, hi: i64) -> bool {
-    guard.checks.iter().all(|check| {
-        let verdict = match check {
-            ResidualCheck::Injective { array } => inspect_injective(store, *array, lo, hi),
-            ResidualCheck::OffsetLength { ptr, len } => {
-                inspect_offset_length(store, *ptr, *len, lo, hi)
-            }
-        };
-        verdict == Inspection::ParallelOk
+    // Conjunction of disjunctions: every group must be cleared by at
+    // least one of its checks (each check alone establishes that
+    // array's independence).
+    guard.groups.iter().all(|group| {
+        group.iter().any(|check| {
+            let verdict = match check {
+                ResidualCheck::Injective { array } => inspect_injective(store, *array, lo, hi),
+                ResidualCheck::OffsetLength { ptr, len } => {
+                    inspect_offset_length(store, *ptr, *len, lo, hi)
+                }
+            };
+            verdict == Inspection::ParallelOk
+        })
     })
 }
 

@@ -53,7 +53,9 @@ const SRC: &str = "program hybrid
 fn tier_name(tier: &DispatchTier) -> String {
     match tier {
         DispatchTier::CompileTimeParallel => "compile-time parallel".into(),
-        DispatchTier::RuntimeGuarded(g) => format!("runtime-guarded ({} check(s))", g.checks.len()),
+        DispatchTier::RuntimeGuarded(g) => {
+            format!("runtime-guarded ({} group(s))", g.groups.len())
+        }
         DispatchTier::Sequential => "sequential".into(),
     }
 }

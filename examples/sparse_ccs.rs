@@ -1,84 +1,96 @@
-//! The Compressed Column Storage scenario of Fig. 3 / Fig. 13: a sparse
-//! matrix stored segment-by-segment through `offset`/`length` index
-//! arrays, traversed by a loop the offset–length dependence test
-//! (§3.2.7) proves parallel — then *executed* in parallel threads to
-//! confirm the verdict.
+//! The Compressed Column Storage scenario of Fig. 3 / Fig. 13, grown
+//! into the full sparse workload suite: matrices from the seeded
+//! generator (`irr-sparse`) are lowered into the nine mini-Fortran
+//! kernels of `irr_programs::sparse`, compiled, and dispatched through
+//! the hybrid runtime. For one small and one large instance the example
+//! prints every kernel's dispatch tier and execution strategy, then
+//! proves the verdicts honest by checking hybrid/sequential parity on
+//! the CCS column-scaling kernel.
 //!
 //! ```sh
 //! cargo run --example sparse_ccs
 //! ```
 
+use irr_repro::driver::DispatchTier;
 use irr_repro::driver::{compile_source, DriverOptions};
-use irr_repro::exec::{run_loop_parallel, Interp, ParallelPlan};
+use irr_repro::exec::Interp;
+use irr_repro::programs::sparse::{kernels, SparseScale};
+use irr_repro::runtime::{run_hybrid_seeded, HybridConfig};
+use irr_repro::sparse::Structure;
 
 fn main() {
-    let source = "
-program ccs
-  integer i, j, ncol, offset(65), length(64)
-  real data(600), colsum(64)
-  ncol = 64
-  call build
-  ! scale every column in place: the offset-length test proves the
-  ! segments [offset(i) : offset(i)+length(i)-1] disjoint across i
-  do 200 i = 1, ncol
-    do j = 1, length(i)
-      data(offset(i) + j - 1) = data(offset(i) + j - 1) * 0.5 + 1.0
-    enddo
-    do j = 1, length(i)
-      colsum(i) = colsum(i) + data(offset(i) + j - 1)
-    enddo
- 200 continue
-  print colsum(1), colsum(64)
-end
-
-subroutine build
-  integer k
-  do k = 1, 64
-    length(k) = mod(k * 5, 8) + 1
-  enddo
-  offset(1) = 1
-  do k = 1, 64
-    offset(k + 1) = offset(k) + length(k)
-  enddo
-  do k = 1, 600
-    data(k) = mod(k, 10) * 0.1
-  enddo
-end
-";
-    let rep = compile_source(source, DriverOptions::with_iaa()).expect("parses");
-    let v = rep.verdict("CCS/do200").expect("loop exists");
-    println!("CCS/do200 parallel: {}", v.parallel);
-    println!("  independent arrays:");
-    for (a, test) in &v.independent_arrays {
-        println!("    {} via {}", rep.program.symbols.name(*a), test);
-    }
-    println!("  properties verified on demand:");
-    for (a, p) in &v.properties_used {
-        println!("    {a}: {p}");
-    }
-    assert!(v.parallel, "the offset-length test proves do200 parallel");
-
-    // Trust, but verify: run the loop across 4 threads and compare with
-    // the sequential execution.
-    let seq = Interp::new(&rep.program).run().expect("runs");
-    let plan = ParallelPlan {
-        threads: 4,
-        privatized: v
-            .privatized_scalars
-            .iter()
-            .copied()
-            .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
-            .collect(),
-        reductions: vec![],
-        ..ParallelPlan::default()
+    let small = SparseScale {
+        n: 64,
+        nnz: 600,
+        structure: Structure::Banded { bandwidth: 8 },
+        seed: 13,
     };
-    let par = run_loop_parallel(&rep.program, v.loop_stmt, &plan).expect("no write conflicts");
-    let data = rep.program.symbols.lookup("data").unwrap();
+    let large = SparseScale {
+        n: 4096,
+        nnz: 200_000,
+        structure: Structure::PowerLaw,
+        seed: 13,
+    };
+
+    for (title, scale) in [("small", &small), ("large", &large)] {
+        println!(
+            "== {title} instance: n = {}, nnz = {}, {} structure ==",
+            scale.n,
+            scale.nnz,
+            scale.structure.tag()
+        );
+        println!("{:<10} {:<28} strategy", "kernel", "dispatch tier");
+        for k in kernels(scale) {
+            let rep = compile_source(&k.source, DriverOptions::with_iaa()).expect("parses");
+            let v = rep.verdict(&k.label).expect("loop exists");
+            let tier = match &v.tier {
+                DispatchTier::CompileTimeParallel => "compile-time parallel".to_string(),
+                DispatchTier::RuntimeGuarded(g) => {
+                    format!("runtime-guarded ({} group(s))", g.groups.len())
+                }
+                DispatchTier::Sequential => "sequential".to_string(),
+            };
+            println!("{:<10} {:<28} {}", k.name, tier, v.strategy_facts.name());
+        }
+        println!();
+    }
+
+    // Trust, but verify: the CCS column-scaling kernel is the paper's
+    // Fig. 3 loop. Its offset/length arrays come preset from the
+    // generator, so the offset-length property is *not* provable at
+    // compile time — the dispatcher inspects the prefix-sum chain at
+    // runtime, clears the guard, and commits a parallel execution that
+    // must match the sequential interpreter bit for bit.
+    let colscale = kernels(&large)
+        .into_iter()
+        .find(|k| k.name == "colscale")
+        .expect("colscale kernel");
+    let rep = compile_source(&colscale.source, DriverOptions::with_iaa()).expect("parses");
+    let presets = colscale.resolve_presets(&rep.program);
+
+    let mut seq = Interp::new(&rep.program);
+    for (var, data) in &presets {
+        seq.preset_array(*var, data.clone());
+    }
+    let seq = seq.run().expect("sequential run");
+
+    let hybrid = run_hybrid_seeded(&rep, HybridConfig::default(), &presets).expect("hybrid run");
+    assert_eq!(seq.output, hybrid.outcome.output, "printed output parity");
+    let cval = rep.program.symbols.lookup("cval").unwrap();
     assert_eq!(
-        seq.store.array_as_reals(data),
-        par.array_as_reals(data),
-        "parallel execution matches sequential"
+        seq.store.array_as_reals(cval),
+        hybrid.outcome.store.array_as_reals(cval),
+        "scaled values parity"
     );
-    println!("\n4-thread execution matched the sequential run exactly.");
-    println!("checksums: {}", seq.output.join(" | "));
+    let t = &hybrid.telemetry;
+    assert!(t.guarded_parallel >= 1, "guard cleared: {t:?}");
+    assert_eq!(t.guarded_sequential, 0, "no guard rejections: {t:?}");
+
+    println!("colscale on the large instance:");
+    println!(
+        "  guard inspections run: {}, guarded parallel entries: {}",
+        t.inspections_run, t.guarded_parallel
+    );
+    println!("  hybrid execution matched the sequential run exactly.");
+    println!("  checksums: {}", seq.output.join(" | "));
 }

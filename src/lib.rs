@@ -17,7 +17,9 @@
 //! - [`exec`] — the interpreter and machine models,
 //! - [`runtime`] — the hybrid inspector–executor runtime with versioned
 //!   schedule caching,
-//! - [`programs`] — the five benchmark kernels.
+//! - [`programs`] — the five benchmark kernels,
+//! - [`sparse`] — SPARK00-class sparse matrix generators,
+//! - [`sanitizer`] — the shadow-memory dependence auditor.
 
 pub use irr_core as core;
 pub use irr_deptest as deptest;
@@ -29,4 +31,6 @@ pub use irr_passes as passes;
 pub use irr_privatize as privatize;
 pub use irr_programs as programs;
 pub use irr_runtime as runtime;
+pub use irr_sanitizer as sanitizer;
+pub use irr_sparse as sparse;
 pub use irr_symbolic as symbolic;

@@ -45,7 +45,10 @@ fn unknown_injectivity_is_guarded_not_parallel() {
     };
     let program = &rep.program;
     let p = program.symbols.lookup("p").unwrap();
-    assert_eq!(guard.checks, vec![ResidualCheck::Injective { array: p }]);
+    assert_eq!(
+        guard.groups,
+        vec![vec![ResidualCheck::Injective { array: p }]]
+    );
     // The verdict's blockers name the missing fact, not just "maybe".
     assert!(
         v.blockers.iter().any(|b| b.contains("runtime-checkable")),

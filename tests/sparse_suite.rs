@@ -1,0 +1,288 @@
+//! The sparse workload suite: verdict stability, three-way execution
+//! parity, and edge matrices for every generated kernel.
+
+use irr_repro::driver::{compile_source, CompilationReport, DispatchTier, DriverOptions};
+use irr_repro::exec::{ExecOutcome, Interp};
+use irr_repro::programs::sparse::{kernels, ExpectedTier, SparseProgram, SparseScale};
+use irr_repro::runtime::{run_hybrid_seeded, HybridConfig, HybridOutcome};
+use irr_repro::sparse::Structure;
+
+fn compile_kernel(k: &SparseProgram) -> CompilationReport {
+    compile_source(&k.source, DriverOptions::with_iaa())
+        .unwrap_or_else(|e| panic!("{}: parse error: {e}", k.name))
+}
+
+fn run_sequential(k: &SparseProgram, rep: &CompilationReport) -> ExecOutcome {
+    let mut it = Interp::new(&rep.program);
+    for (var, data) in k.resolve_presets(&rep.program) {
+        it.preset_array(var, data);
+    }
+    it.run()
+        .unwrap_or_else(|e| panic!("{}: sequential run: {e}", k.name))
+}
+
+fn run_hybrid_config(
+    k: &SparseProgram,
+    rep: &CompilationReport,
+    config: HybridConfig,
+) -> HybridOutcome {
+    run_hybrid_seeded(rep, config, &k.resolve_presets(&rep.program))
+        .unwrap_or_else(|e| panic!("{}: hybrid run: {e}", k.name))
+}
+
+/// Asserts `got` and `want` agree on printed output and on every
+/// non-privatized variable in the final store.
+fn assert_parity(
+    k: &SparseProgram,
+    rep: &CompilationReport,
+    got: &ExecOutcome,
+    want: &ExecOutcome,
+) {
+    assert_eq!(got.output, want.output, "{}: printed output", k.name);
+    let privatized: std::collections::HashSet<_> = rep
+        .verdicts
+        .iter()
+        .flat_map(|v| {
+            v.privatized_scalars
+                .iter()
+                .copied()
+                .chain(v.privatized_arrays.iter().map(|(a, _)| *a))
+        })
+        .collect();
+    for (vid, info) in rep.program.symbols.iter() {
+        if privatized.contains(&vid) {
+            continue;
+        }
+        if info.is_array() {
+            assert_eq!(
+                got.store.array_as_reals(vid),
+                want.store.array_as_reals(vid),
+                "{}: array {}",
+                k.name,
+                info.name
+            );
+        } else {
+            assert_eq!(
+                got.store.scalar(vid),
+                want.store.scalar(vid),
+                "{}: scalar {}",
+                k.name,
+                info.name
+            );
+        }
+    }
+}
+
+fn structures() -> [Structure; 3] {
+    [
+        Structure::Banded { bandwidth: 8 },
+        Structure::Uniform,
+        Structure::PowerLaw,
+    ]
+}
+
+/// Every kernel's main loop lands on its expected dispatch tier with
+/// its expected strategy facts, for all three matrix structures.
+#[test]
+fn verdicts_are_stable() {
+    for structure in structures() {
+        for k in kernels(&SparseScale::test(structure, 42)) {
+            let rep = compile_kernel(&k);
+            let v = rep
+                .verdict(&k.label)
+                .unwrap_or_else(|| panic!("{}: no verdict for {}", k.name, k.label));
+            let tier_ok = match k.expected_tier {
+                ExpectedTier::CompileTimeParallel => {
+                    matches!(v.tier, DispatchTier::CompileTimeParallel)
+                }
+                ExpectedTier::RuntimeGuarded => matches!(v.tier, DispatchTier::RuntimeGuarded(_)),
+                ExpectedTier::Sequential => matches!(v.tier, DispatchTier::Sequential),
+            };
+            assert!(
+                tier_ok,
+                "{} ({}): expected {:?}, got {:?} (blockers: {:?})",
+                k.name,
+                structure.tag(),
+                k.expected_tier,
+                v.tier,
+                v.blockers
+            );
+            assert_eq!(
+                v.strategy_facts.name(),
+                k.expected_facts,
+                "{} ({}): strategy facts",
+                k.name,
+                structure.tag()
+            );
+        }
+    }
+}
+
+/// Three-way parity at small size: hybrid with strategies, hybrid with
+/// the write-log only, and the plain sequential interpreter must agree
+/// on every observable.
+#[test]
+fn three_way_parity_for_every_kernel() {
+    for k in kernels(&SparseScale::test(Structure::Uniform, 7)) {
+        let rep = compile_kernel(&k);
+        let seq = run_sequential(&k, &rep);
+        let on = run_hybrid_config(&k, &rep, HybridConfig::default());
+        let off = run_hybrid_config(
+            &k,
+            &rep,
+            HybridConfig {
+                enable_strategies: false,
+                ..HybridConfig::default()
+            },
+        );
+        assert_parity(&k, &rep, &on.outcome, &seq);
+        assert_parity(&k, &rep, &off.outcome, &seq);
+        assert_eq!(
+            on.telemetry.fallbacks(),
+            0,
+            "{}: {:?}",
+            k.name,
+            on.telemetry
+        );
+        assert_eq!(
+            off.telemetry.fallbacks(),
+            0,
+            "{}: {:?}",
+            k.name,
+            off.telemetry
+        );
+    }
+}
+
+/// The guarded kernels actually clear their guards and dispatch
+/// parallel; the strategy kernels commit through their strategies.
+#[test]
+fn dispatch_telemetry_matches_the_tier_map() {
+    for k in kernels(&SparseScale::test(Structure::Uniform, 21)) {
+        let rep = compile_kernel(&k);
+        let out = run_hybrid_config(&k, &rep, HybridConfig::default());
+        let t = &out.telemetry;
+        match k.expected_tier {
+            ExpectedTier::CompileTimeParallel => {
+                assert!(t.compile_time_parallel >= 1, "{}: {t:?}", k.name);
+            }
+            ExpectedTier::RuntimeGuarded => {
+                assert!(t.guarded_parallel >= 1, "{}: {t:?}", k.name);
+                assert_eq!(t.guarded_sequential, 0, "{}: {t:?}", k.name);
+            }
+            ExpectedTier::Sequential => {
+                if k.expected_facts == "consecutive-append" {
+                    assert!(t.concat_parallel >= 1, "{}: {t:?}", k.name);
+                } else {
+                    assert!(t.sequential_proven >= 1, "{}: {t:?}", k.name);
+                }
+            }
+        }
+        match k.expected_facts {
+            "disjoint-affine" => assert!(t.strategy_in_place >= 1, "{}: {t:?}", k.name),
+            "consecutive-append" => assert!(t.strategy_concat >= 1, "{}: {t:?}", k.name),
+            _ => {}
+        }
+    }
+}
+
+/// The runtime inspectors survive 10M-nonzero index arrays: the
+/// offset–length scan over a 10M-element prefix-sum chain, the chunked
+/// parallel bitmap injectivity inspector over a 10M permutation (dense
+/// range), and the sparse-set fallback over 10M widely-scattered
+/// values. Inspectors are called directly on a preset store — no
+/// interpreted initialization loops — so the test stays fast.
+#[test]
+fn inspectors_survive_ten_million_nonzeros() {
+    use irr_repro::exec::{
+        inspect_injective, inspect_injective_parallel, inspect_offset_length, Inspection,
+    };
+    use irr_repro::frontend::parse_program;
+    use irr_repro::sparse::{generate, int_array, random_permutation, MatrixSpec};
+
+    const NNZ: usize = 10_000_000;
+    const ROWS: usize = 100_000;
+    let m = generate(&MatrixSpec::square(ROWS, NNZ, Structure::Uniform, 99));
+    assert_eq!(m.nnz(), NNZ);
+
+    // Declared extents are irrelevant: inspectors read the preset's
+    // materialized data.
+    let p = parse_program(
+        "program t
+         integer ptr(1), len(1), perm(1), wide(1)
+         end",
+    )
+    .unwrap();
+    let (ptr, len) = (
+        p.symbols.lookup("ptr").unwrap(),
+        p.symbols.lookup("len").unwrap(),
+    );
+    let (perm, wide) = (
+        p.symbols.lookup("perm").unwrap(),
+        p.symbols.lookup("wide").unwrap(),
+    );
+    let mut it = Interp::new(&p);
+    it.preset_array(ptr, int_array(&m.ptr));
+    it.preset_array(len, int_array(&m.len));
+    it.preset_array(perm, int_array(&random_permutation(NNZ, 7)));
+    // Widely-scattered distinct values: range ~1000x the section, so
+    // the parallel inspector takes the sparse-set path.
+    let scattered: Vec<i64> = (1..=NNZ as i64).map(|k| k * 1009).collect();
+    it.preset_array(wide, int_array(&scattered));
+    let store = it.run().unwrap().store;
+
+    assert_eq!(
+        inspect_offset_length(&store, ptr, len, 1, ROWS as i64),
+        Inspection::ParallelOk
+    );
+    assert_eq!(
+        inspect_injective_parallel(&store, perm, 1, NNZ as i64, 8),
+        Inspection::ParallelOk
+    );
+    assert_eq!(
+        inspect_injective_parallel(&store, wide, 1, NNZ as i64, 8),
+        Inspection::ParallelOk
+    );
+    // A single duplicate at the far end must still be caught.
+    let mut broken = random_permutation(NNZ, 7);
+    broken[NNZ - 1] = broken[0];
+    let mut it2 = Interp::new(&p);
+    it2.preset_array(perm, int_array(&broken));
+    let store2 = it2.run().unwrap().store;
+    assert_eq!(
+        inspect_injective_parallel(&store2, perm, 1, NNZ as i64, 8),
+        Inspection::Sequential
+    );
+    assert_eq!(
+        inspect_injective(&store2, perm, 1, NNZ as i64),
+        Inspection::Sequential
+    );
+}
+
+/// Zero-nonzero and single-row matrices: every kernel still compiles,
+/// runs, and keeps hybrid/sequential parity (loops are zero-trip or
+/// single-iteration, guards inspect empty or tiny sections).
+#[test]
+fn edge_matrices_keep_parity() {
+    for scale in [
+        SparseScale {
+            n: 8,
+            nnz: 0,
+            structure: Structure::Uniform,
+            seed: 3,
+        },
+        SparseScale {
+            n: 1,
+            nnz: 16,
+            structure: Structure::Banded { bandwidth: 4 },
+            seed: 4,
+        },
+    ] {
+        for k in kernels(&scale) {
+            let rep = compile_kernel(&k);
+            let seq = run_sequential(&k, &rep);
+            let on = run_hybrid_config(&k, &rep, HybridConfig::default());
+            assert_parity(&k, &rep, &on.outcome, &seq);
+        }
+    }
+}
