@@ -15,6 +15,12 @@
 //!   parallel and runtime-guarded) are profiled, then replayed on the
 //!   Origin 2000 machine model with 16 processors.
 //!
+//! Every combination also annotates `guarded_entries_retired` and
+//! `promoted_by_evolution` from one instrumented hybrid run: the
+//! runtime inspections the value-evolution analysis discharged at
+//! compile time. The producer-loop kernels must keep these nonzero —
+//! CI soft-gates on the sum regressing to zero.
+//!
 //! Reading a curve: fix a kernel and structure, follow the annotation
 //! across nnz.
 //!
@@ -31,13 +37,23 @@ use irr_bench::harness::Runner;
 use irr_bench::profile_report_seeded;
 use irr_driver::{compile_source, DispatchTier, DriverOptions};
 use irr_exec::{simulate_speedup, Interp, MachineModel};
-use irr_programs::sparse::{kernels, ExpectedTier, SparseScale};
+use irr_programs::sparse::{kernels, producer_kernels, ExpectedTier, SparseScale};
 use irr_runtime::{run_hybrid_seeded, HybridConfig};
 use irr_sparse::Structure;
 
 /// The kernels swept (a subset of the library: the three dispatch
-/// tiers and all three execution strategies are each represented).
-const SWEPT: [&str; 5] = ["spmv", "scale", "colscale", "permute", "rowgather"];
+/// tiers and all three execution strategies are each represented,
+/// plus the producer-loop variants whose consumers the value-evolution
+/// analysis promotes to compile-time parallel).
+const SWEPT: [&str; 7] = [
+    "spmv",
+    "scale",
+    "colscale",
+    "permute",
+    "rowgather",
+    "lufront_producer",
+    "permute_producer",
+];
 
 fn max_nnz() -> usize {
     // Unoptimized builds (`cargo test --benches` smoke runs) default to
@@ -77,7 +93,7 @@ fn main() {
                 structure,
                 seed: 0xCC5,
             };
-            for k in kernels(&scale) {
+            for k in kernels(&scale).into_iter().chain(producer_kernels(&scale)) {
                 if !SWEPT.contains(&k.name) {
                     continue;
                 }
@@ -130,6 +146,16 @@ fn main() {
                 r.annotate(
                     &format!("sparse/{combo}/modeled_speedup_16p_x1000"),
                     (modeled * 1000.0) as u64,
+                );
+                let probe = run_hybrid_seeded(&rep, HybridConfig::default(), &presets)
+                    .expect("telemetry probe run");
+                r.annotate(
+                    &format!("sparse/{combo}/guarded_entries_retired"),
+                    probe.telemetry.inspections_retired,
+                );
+                r.annotate(
+                    &format!("sparse/{combo}/promoted_by_evolution"),
+                    probe.telemetry.promoted_by_evolution,
                 );
                 curves.push((
                     format!("{}/{}", k.name, structure.tag()),

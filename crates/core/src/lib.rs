@@ -23,12 +23,14 @@
 //! `irr-privatize`, and `irr-driver` crates.
 
 pub mod ctx;
+pub mod evolution;
 pub mod gather;
 pub mod property;
 pub mod single_indexed;
 pub mod stack;
 
 pub use ctx::AnalysisCtx;
+pub use evolution::{EvoFacts, EvolutionAnalysis, Monotonicity};
 pub use gather::{find_index_gathering_loops, IndexGatherInfo};
 pub use property::{
     ArrayPropertyAnalysis, DistanceSpec, Property, PropertyQuery, QueryStats, INDEX_VAR,

@@ -24,7 +24,7 @@ pub use irr_passes::ReductionOp;
 pub use strategy::{derive_concat_shape, derive_in_place_facts, StrategyFacts};
 
 use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
-use irr_core::AnalysisCtx;
+use irr_core::{AnalysisCtx, EvolutionAnalysis};
 use irr_deptest::DependenceTester;
 use irr_frontend::{parse_program, LValue, ParseError, ProcId, Program, StmtId, StmtKind, VarId};
 use irr_passes::{
@@ -165,6 +165,11 @@ pub struct LoopVerdict {
     pub properties_used: Vec<(String, &'static str)>,
     /// Human-readable blockers when not parallel.
     pub blockers: Vec<String>,
+    /// Residual checks the value-evolution analysis discharged
+    /// statically: the runtime inspections this loop no longer needs.
+    /// Non-empty on loops promoted past (or partially relieved of)
+    /// runtime guarding by producer-loop facts.
+    pub retired_checks: Vec<ResidualCheck>,
     /// How a hybrid runtime should dispatch this loop.
     pub tier: DispatchTier,
     /// Proven facts a runtime can turn into a zero-merge execution
@@ -251,11 +256,14 @@ pub fn compile(mut program: Program, opts: DriverOptions) -> CompilationReport {
             ..SolverOptions::default()
         };
         let mut apa = ArrayPropertyAnalysis::with_options(&ctx, solver_opts);
+        // Producer-loop value evolution: one walk per procedure, the
+        // per-loop snapshots discharge residual checks in judge_loop.
+        let evo = EvolutionAnalysis::new(&ctx);
         for (pi, proc) in program.procedures.iter().enumerate() {
             let proc_id = ProcId(pi as u32);
             for s in program.stmts_in(&proc.body) {
                 if matches!(program.stmt(s).kind, StmtKind::Do { .. }) {
-                    verdicts.push(judge_loop(&ctx, &mut apa, &opts, proc_id, s));
+                    verdicts.push(judge_loop(&ctx, &mut apa, &evo, &opts, proc_id, s));
                 }
             }
         }
@@ -280,6 +288,7 @@ pub fn compile(mut program: Program, opts: DriverOptions) -> CompilationReport {
 fn judge_loop<'c, 'p>(
     ctx: &'c AnalysisCtx<'p>,
     apa: &mut ArrayPropertyAnalysis<'c, 'p>,
+    evo: &EvolutionAnalysis,
     opts: &DriverOptions,
     proc: ProcId,
     loop_stmt: StmtId,
@@ -296,6 +305,7 @@ fn judge_loop<'c, 'p>(
         reductions: Vec::new(),
         properties_used: Vec::new(),
         blockers: Vec::new(),
+        retired_checks: Vec::new(),
         tier: DispatchTier::Sequential,
         strategy_facts: StrategyFacts::None,
     };
@@ -389,6 +399,26 @@ fn judge_loop<'c, 'p>(
                 "array `{}` may carry a dependence",
                 program.symbols.name(array)
             ));
+        } else if let Some(rc) = opts
+            .enable_iaa
+            .then(|| evolution_discharge(ctx, evo, loop_stmt, &dep.residual))
+            .flatten()
+        {
+            // The value-evolution facts of the producer loops imply
+            // one of the residual checks outright: the array is
+            // independent with no runtime inspection needed, and the
+            // check is recorded as retired so the runtime can count
+            // the inspections it no longer runs.
+            v.independent_arrays.push((array, "EVO"));
+            match &rc {
+                ResidualCheck::Injective { array: p } => v
+                    .properties_used
+                    .push((program.symbols.name(*p).to_string(), "EVO-INJ")),
+                ResidualCheck::OffsetLength { ptr, .. } => v
+                    .properties_used
+                    .push((program.symbols.name(*ptr).to_string(), "EVO-OFFLEN")),
+            }
+            v.retired_checks.push(rc);
         } else {
             // The dependence is Unknown, not disproven — but the tester
             // identified the exact missing facts. Surface them both as a
@@ -476,6 +506,30 @@ fn judge_loop<'c, 'p>(
         _ => StrategyFacts::None,
     };
     v
+}
+
+/// Finds a residual check that the value-evolution facts at the loop
+/// imply over the loop's own (symbolic) inspection range — the same
+/// bounds the runtime would evaluate and hand to the inspector.
+fn evolution_discharge(
+    ctx: &AnalysisCtx<'_>,
+    evo: &EvolutionAnalysis,
+    loop_stmt: StmtId,
+    residual: &[ResidualCheck],
+) -> Option<ResidualCheck> {
+    let (_, lo, hi) = ctx.do_bounds_sym(loop_stmt)?;
+    let env = ctx.range_env_at(loop_stmt);
+    residual
+        .iter()
+        .find(|rc| match rc {
+            ResidualCheck::Injective { array } => {
+                evo.proves_injective(loop_stmt, *array, &lo, &hi, &env)
+            }
+            ResidualCheck::OffsetLength { ptr, len } => {
+                evo.proves_offset_length(loop_stmt, *ptr, *len, &lo, &hi, &env)
+            }
+        })
+        .cloned()
 }
 
 /// Whether every *read* of `array` in the whole program happens inside
@@ -703,5 +757,120 @@ mod tests {
         assert_eq!(rep.verdicts[0].label, "TRFD/do140");
         assert!(rep.verdict("TRFD/do140").is_some());
         assert_eq!(rep.parallel_labels(), vec!["TRFD/do140"]);
+    }
+
+    /// A CRS-style program that builds its own `rowptr` by histogram +
+    /// prefix sum before the offset–length consumer loop.
+    const CRS_PRODUCER: &str = "program t
+         integer i, j, k, n, nnz, rowof(16), rowlen(8), rowptr(9)
+         real aval(16), front(16)
+         n = 8
+         nnz = 16
+         do i = 1, n
+           rowlen(i) = 0
+         enddo
+         do k = 1, nnz
+           rowlen(rowof(k)) = rowlen(rowof(k)) + 1
+         enddo
+         rowptr(1) = 1
+         do i = 1, n
+           rowptr(i + 1) = rowptr(i) + rowlen(i)
+         enddo
+         do 400 i = 1, n
+           do j = 1, rowlen(i)
+             front(rowptr(i) + j - 1) = front(rowptr(i) + j - 1) * 0.98
+           enddo
+ 400     continue
+         print front(1)
+         end";
+
+    #[test]
+    fn producer_loops_promote_offset_length_consumer() {
+        let rep = compile_source(CRS_PRODUCER, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do400").unwrap();
+        assert!(matches!(v.tier, DispatchTier::CompileTimeParallel), "{v:?}");
+        assert_eq!(v.retired_checks.len(), 1, "{v:?}");
+        assert!(matches!(
+            v.retired_checks[0],
+            ResidualCheck::OffsetLength { .. }
+        ));
+        assert!(v.independent_arrays.iter().any(|(_, tag)| *tag == "EVO"));
+        assert!(v
+            .properties_used
+            .iter()
+            .any(|(a, t)| a == "rowptr" && *t == "EVO-OFFLEN"));
+    }
+
+    #[test]
+    fn affine_fill_promotes_injective_consumer() {
+        let src = "program t
+             integer k, nnz, perm(16)
+             real aval(16), pval(16)
+             nnz = 16
+             do k = 1, nnz
+               perm(k) = nnz + 1 - k
+             enddo
+             do 800 k = 1, nnz
+               pval(perm(k)) = aval(k) * 2.0
+ 800         continue
+             print pval(1)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do800").unwrap();
+        assert!(matches!(v.tier, DispatchTier::CompileTimeParallel), "{v:?}");
+        assert!(matches!(
+            v.retired_checks[..],
+            [ResidualCheck::Injective { .. }]
+        ));
+    }
+
+    #[test]
+    fn preset_only_index_arrays_stay_runtime_guarded() {
+        // Without the producer loops the same consumer keeps its guard
+        // plan: evolution facts must never materialize from thin air.
+        let src = "program t
+             integer i, j, n, rowlen(8), rowptr(9)
+             real front(16)
+             n = 8
+             do 400 i = 1, n
+               do j = 1, rowlen(i)
+                 front(rowptr(i) + j - 1) = front(rowptr(i) + j - 1) * 0.98
+               enddo
+ 400         continue
+             print front(1)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do400").unwrap();
+        assert!(matches!(v.tier, DispatchTier::RuntimeGuarded(_)), "{v:?}");
+        assert!(v.retired_checks.is_empty());
+    }
+
+    #[test]
+    fn intervening_write_blocks_promotion() {
+        // Rewriting one rowlen element between producer and consumer
+        // invalidates the chain: the loop must stay runtime-guarded.
+        let src = "program t
+             integer i, j, n, rowlen(8), rowptr(9)
+             real front(16)
+             n = 8
+             do i = 1, n
+               rowlen(i) = 2
+             enddo
+             rowptr(1) = 1
+             do i = 1, n
+               rowptr(i + 1) = rowptr(i) + rowlen(i)
+             enddo
+             rowlen(3) = 5
+             do 400 i = 1, n
+               do j = 1, rowlen(i)
+                 front(rowptr(i) + j - 1) = front(rowptr(i) + j - 1) * 0.98
+               enddo
+ 400         continue
+             print front(1)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do400").unwrap();
+        assert!(matches!(v.tier, DispatchTier::RuntimeGuarded(_)), "{v:?}");
+        assert!(v.retired_checks.is_empty());
     }
 }

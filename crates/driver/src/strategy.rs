@@ -76,7 +76,9 @@ fn affine_offset(e: &Expr, loop_var: VarId) -> Option<i64> {
             _ => None,
         },
         Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
-            (Expr::Var(v), Expr::IntLit(c)) if *v == loop_var => Some(-*c),
+            // Checked: constant folding can leave `i - i64::MIN`, whose
+            // negation has no i64 representation.
+            (Expr::Var(v), Expr::IntLit(c)) if *v == loop_var => c.checked_neg(),
             _ => None,
         },
         _ => None,
@@ -405,6 +407,64 @@ mod tests {
 
     fn var(p: &Program, name: &str) -> VarId {
         p.symbols.lookup(name).expect("variable exists")
+    }
+
+    #[test]
+    fn affine_offset_survives_extreme_constants() {
+        use irr_frontend::{BinOp, Expr};
+        let p = parse_program(
+            "program t
+             integer i
+             real x(10)
+             do i = 1, 10
+               x(i) = 1
+             enddo
+             end",
+        )
+        .unwrap();
+        let i = var(&p, "i");
+        // `i - i64::MIN` (only reachable through constant folding):
+        // negation has no i64 representation, so no offset — and no
+        // debug-build overflow panic.
+        let e = Expr::Bin(
+            BinOp::Sub,
+            Box::new(Expr::Var(i)),
+            Box::new(Expr::IntLit(i64::MIN)),
+        );
+        assert_eq!(affine_offset(&e, i), None);
+        // i64::MAX-adjacent offsets keep their exact value in both
+        // operand orders.
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Var(i)),
+            Box::new(Expr::IntLit(i64::MAX - 1)),
+        );
+        assert_eq!(affine_offset(&e, i), Some(i64::MAX - 1));
+        let e = Expr::Bin(
+            BinOp::Sub,
+            Box::new(Expr::Var(i)),
+            Box::new(Expr::IntLit(i64::MIN + 1)),
+        );
+        assert_eq!(affine_offset(&e, i), Some(i64::MAX));
+    }
+
+    #[test]
+    fn in_place_facts_carry_extreme_offsets_unclamped() {
+        // The derivation is a pure fact about the program text; range
+        // validation happens at dispatch. The fact must carry the
+        // extreme offset without overflow.
+        let p = parse_program(
+            "program t
+             integer i
+             real x(10)
+             do i = 1, 10
+               x(i + 9223372036854775800) = 1
+             enddo
+             end",
+        )
+        .unwrap();
+        let facts = derive_in_place_facts(&p, first_do(&p), &[], &[]).expect("facts derive");
+        assert_eq!(facts, vec![(var(&p, "x"), 9223372036854775800)]);
     }
 
     #[test]

@@ -420,7 +420,13 @@ fn prepare_in_place(
     let mut specs = Vec::with_capacity(facts.len());
     for (a, off) in facts {
         let len = interp.store.array_len(a)? as i64;
-        if lo + off < 1 || hi + off > len {
+        // Checked: an i64::MAX-adjacent offset must downgrade to the
+        // write-log (which reproduces the program's own out-of-bounds
+        // error), not overflow the window arithmetic.
+        let (Some(wlo), Some(whi)) = (lo.checked_add(off), hi.checked_add(off)) else {
+            return None;
+        };
+        if wlo < 1 || whi > len {
             return None;
         }
         // `payload_raw` forces payload uniqueness on the master before
@@ -1497,6 +1503,28 @@ mod tests {
              real y(100)
              do i = 1, 100
                y(i + 1) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let plan = ParallelPlan {
+            strategy: ExecutionStrategy::InPlaceDisjoint,
+            ..ParallelPlan::with_threads(4)
+        };
+        let mut interp = Interp::new(&p);
+        let err = exec_do_parallel(&mut interp, first_do(&p), &plan, 1, 100, 1).unwrap_err();
+        assert!(matches!(err, ParallelError::Exec(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn in_place_request_survives_i64_max_adjacent_offset() {
+        // `hi + off` has no i64 representation: the prepare step must
+        // downgrade (not overflow) and the write-log worker then
+        // reproduces the out-of-bounds error the sequential run hits.
+        let src = "program t
+             integer i
+             real y(100)
+             do i = 1, 100
+               y(i + 9223372036854775800) = i
              enddo
              end";
         let p = parse_program(src).unwrap();

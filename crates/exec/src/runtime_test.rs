@@ -335,7 +335,9 @@ pub fn inspect_offset_length(
         }
         let pk = p[(k - 1) as usize] as i64;
         let pk1 = p[k as usize] as i64;
-        if pk1 != pk + lk {
+        // Widened like the injectivity inspector's range arithmetic:
+        // extreme stored values must fail the equation, not overflow.
+        if pk1 as i128 != pk as i128 + lk as i128 {
             return Inspection::Sequential;
         }
     }

@@ -124,6 +124,20 @@ fn mid(n: usize) -> usize {
     (n / 2).max(1)
 }
 
+/// Segment index (1-based) of every nonzero, in storage order: the
+/// `rowof`/`colof` preset the producer kernels histogram over. For a
+/// CRS matrix the nonzeros are row-sorted, so the prefix sum the
+/// program computes over this histogram reproduces `m.ptr` exactly.
+fn segment_of(m: &SparseMatrix) -> Vec<i64> {
+    let mut out = Vec::with_capacity(m.nnz());
+    for (i, &l) in m.len.iter().enumerate() {
+        for _ in 0..l {
+            out.push((i + 1) as i64);
+        }
+    }
+    out
+}
+
 /// All nine kernels at the given scale, in a stable order.
 pub fn kernels(scale: &SparseScale) -> Vec<SparseProgram> {
     vec![
@@ -136,6 +150,20 @@ pub fn kernels(scale: &SparseScale) -> Vec<SparseProgram> {
         scale_kernel(scale),
         permute(scale),
         rowgather(scale),
+    ]
+}
+
+/// The three producer-loop kernels, in a stable order: the same
+/// consumers as `lufront`, `colscale`, and `permute`, but the index
+/// arrays are built by in-program producer loops instead of arriving
+/// as presets. The value-evolution analysis proves offset–length /
+/// injectivity at compile time, so the consumer loops promote to
+/// `CompileTimeParallel` with their runtime inspections retired.
+pub fn producer_kernels(scale: &SparseScale) -> Vec<SparseProgram> {
+    vec![
+        lufront_producer(scale),
+        colscale_producer(scale),
+        permute_producer(scale),
     ]
 }
 
@@ -304,6 +332,58 @@ end
     }
 }
 
+/// `lufront` with the offset–length chain built *in the program*:
+/// an init loop zeroes `rowlen`, a histogram over the preset `rowof`
+/// counts nonzeros per row, and a prefix-sum loop derives `rowptr`.
+/// Value evolution proves `rowlen ≥ 0` (fill + accumulate) and the
+/// `rowptr(i+1) = rowptr(i) + rowlen(i)` chain, so the do-400 consumer
+/// needs no offset–length inspection — it is compile-time parallel.
+pub fn lufront_producer(scale: &SparseScale) -> SparseProgram {
+    let m = crs(scale);
+    let (r, e) = (m.segments(), m.nnz().max(1));
+    let front = dense_reals(e, scale.seed ^ 0x57);
+    let source = format!(
+        "program lufrontp
+  integer i, j, k, n, nnz, rowptr({rp}), rowlen({r}), rowof({e})
+  real aval({e}), front({e})
+  n = {r}
+  nnz = {anz}
+  do 310 i = 1, n
+    rowlen(i) = 0
+ 310 continue
+  do 320 k = 1, nnz
+    rowlen(rowof(k)) = rowlen(rowof(k)) + 1
+ 320 continue
+  rowptr(1) = 1
+  do 330 i = 1, n
+    rowptr(i + 1) = rowptr(i) + rowlen(i)
+ 330 continue
+  do 400 i = 1, n
+    do j = 1, rowlen(i)
+      front(rowptr(i) + j - 1) = front(rowptr(i) + j - 1) * 0.98 + aval(rowptr(i) + j - 1)
+    enddo
+ 400 continue
+  print front(1), front({me}), front({e})
+end
+",
+        rp = r + 1,
+        anz = m.nnz(),
+        me = mid(e),
+    );
+    SparseProgram {
+        name: "lufront_producer",
+        label: "LUFRONTP/do400".into(),
+        source,
+        presets: vec![
+            ("rowof", int_array(&segment_of(&m))),
+            ("aval", real_array(&m.val)),
+            ("front", real_array(&front)),
+        ],
+        expected_tier: ExpectedTier::CompileTimeParallel,
+        expected_facts: "none",
+    }
+}
+
 /// CCS column scaling (the Fig. 3 shape at generated scale): in-place
 /// update of each column segment through preset `colptr`/`collen` —
 /// runtime-guarded by the offset–length inspection, like `lufront`,
@@ -337,6 +417,54 @@ end
             ("cval", real_array(&m.val)),
         ],
         expected_tier: ExpectedTier::RuntimeGuarded,
+        expected_facts: "none",
+    }
+}
+
+/// `colscale` with an in-program producer chain over the CCS layout:
+/// zero-fill, histogram over the preset `colof`, prefix-sum into
+/// `colptr` — the do-500 consumer's offset–length inspection is
+/// retired and the loop promotes to compile-time parallel.
+pub fn colscale_producer(scale: &SparseScale) -> SparseProgram {
+    let m = ccs(scale);
+    let (s, e) = (m.segments(), m.nnz().max(1));
+    let source = format!(
+        "program colscalep
+  integer i, j, k, ncol, nnz, colptr({sp}), collen({s}), colof({e})
+  real cval({e})
+  ncol = {s}
+  nnz = {anz}
+  do 510 i = 1, ncol
+    collen(i) = 0
+ 510 continue
+  do 520 k = 1, nnz
+    collen(colof(k)) = collen(colof(k)) + 1
+ 520 continue
+  colptr(1) = 1
+  do 530 i = 1, ncol
+    colptr(i + 1) = colptr(i) + collen(i)
+ 530 continue
+  do 500 i = 1, ncol
+    do j = 1, collen(i)
+      cval(colptr(i) + j - 1) = cval(colptr(i) + j - 1) * 0.5 + 1.0
+    enddo
+ 500 continue
+  print cval(1), cval({me}), cval({e})
+end
+",
+        sp = s + 1,
+        anz = m.nnz(),
+        me = mid(e),
+    );
+    SparseProgram {
+        name: "colscale_producer",
+        label: "COLSCALEP/do500".into(),
+        source,
+        presets: vec![
+            ("colof", int_array(&segment_of(&m))),
+            ("cval", real_array(&m.val)),
+        ],
+        expected_tier: ExpectedTier::CompileTimeParallel,
         expected_facts: "none",
     }
 }
@@ -452,6 +580,40 @@ end
     }
 }
 
+/// `permute` with the permutation built by an in-program reversal
+/// fill `perm(k) = nnz + 1 - k`: value evolution proves the fill
+/// injective over the loop range, so the do-800 scatter needs no
+/// injectivity inspection — compile-time parallel.
+pub fn permute_producer(scale: &SparseScale) -> SparseProgram {
+    let m = crs(scale);
+    let e = m.nnz().max(1);
+    let source = format!(
+        "program permutep
+  integer k, nnz, perm({e})
+  real aval({e}), pval({e})
+  nnz = {anz}
+  do 710 k = 1, nnz
+    perm(k) = nnz + 1 - k
+ 710 continue
+  do 800 k = 1, nnz
+    pval(perm(k)) = aval(k) * 2.0
+ 800 continue
+  print pval(1), pval({me}), pval({e})
+end
+",
+        anz = m.nnz(),
+        me = mid(e),
+    );
+    SparseProgram {
+        name: "permute_producer",
+        label: "PERMUTEP/do800".into(),
+        source,
+        presets: vec![("aval", real_array(&m.val))],
+        expected_tier: ExpectedTier::CompileTimeParallel,
+        expected_facts: "none",
+    }
+}
+
 /// Heavy-row gathering: appends the indices of rows longer than the
 /// mean to a compacted list through an incremented pointer. The
 /// pointer dependence proves the loop sequential, but the
@@ -499,8 +661,11 @@ mod tests {
             Structure::PowerLaw,
         ] {
             let scale = SparseScale::test(structure, 42);
-            let ks = kernels(&scale);
+            let mut ks = kernels(&scale);
             assert_eq!(ks.len(), 9);
+            let pks = producer_kernels(&scale);
+            assert_eq!(pks.len(), 3);
+            ks.extend(pks);
             for k in &ks {
                 let p = parse_program(&k.source)
                     .unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
@@ -534,7 +699,7 @@ mod tests {
                 seed: 2,
             },
         ] {
-            for k in kernels(&scale) {
+            for k in kernels(&scale).into_iter().chain(producer_kernels(&scale)) {
                 parse_program(&k.source)
                     .unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
             }
@@ -552,5 +717,37 @@ mod tests {
         assert!(facts.contains(&"none"));
         assert!(facts.contains(&"disjoint-affine"));
         assert!(facts.contains(&"consecutive-append"));
+    }
+
+    #[test]
+    fn producer_kernels_expect_promotion_everywhere() {
+        let pks = producer_kernels(&SparseScale::test(Structure::PowerLaw, 11));
+        assert_eq!(pks.len(), 3);
+        for k in &pks {
+            assert_eq!(
+                k.expected_tier,
+                ExpectedTier::CompileTimeParallel,
+                "{}: producer kernels exist to exercise evolution promotion",
+                k.name
+            );
+            parse_program(&k.source).unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
+        }
+    }
+
+    #[test]
+    fn segment_map_reproduces_the_pointer_array() {
+        // The prefix sum the producer programs compute over the
+        // `segment_of` histogram must land exactly on the generator's
+        // `ptr`, or the producer kernels would compute different
+        // segment windows than their preset-based counterparts.
+        let m = crs(&SparseScale::test(Structure::Uniform, 9));
+        let of = segment_of(&m);
+        assert_eq!(of.len(), m.nnz());
+        let mut ptr = vec![1i64];
+        for i in 0..m.segments() {
+            let cnt = of.iter().filter(|&&s| s == (i + 1) as i64).count() as i64;
+            ptr.push(ptr[i] + cnt);
+        }
+        assert_eq!(ptr, m.ptr);
     }
 }

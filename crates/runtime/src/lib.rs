@@ -111,6 +111,9 @@ struct LoopEntry {
     /// re-derives the facts itself on every dispatch, so a wrong entry
     /// here (or a forged verdict) downgrades safely to the write-log.
     strategy: ExecutionStrategy,
+    /// Residual checks the value-evolution analysis discharged at
+    /// compile time: inspections this loop entry never pays for.
+    retired: u64,
 }
 
 /// The hybrid dispatcher: consulted by the interpreter at every dynamic
@@ -169,6 +172,7 @@ impl HybridDispatcher {
                     privatized,
                     reductions,
                     strategy,
+                    retired: v.retired_checks.len() as u64,
                 },
             );
         }
@@ -364,6 +368,13 @@ impl LoopDispatcher for HybridDispatcher {
                 let fault = if lo <= hi { self.decide_fault() } else { None };
                 let fault = self.arm_fault(fault.filter(|k| *k != FaultKind::LieInspector));
                 self.telemetry.compile_time_parallel += 1;
+                if entry.retired > 0 {
+                    // This entry reached the unguarded tier on
+                    // evolution facts: count the inspections a
+                    // pre-evolution runtime would have run here.
+                    self.telemetry.promoted_by_evolution += 1;
+                    self.telemetry.inspections_retired += entry.retired;
+                }
                 self.last_parallel = Some((loop_stmt, key));
                 LoopDecision::Parallel(self.plan_for(&entry, fault))
             }
@@ -379,6 +390,10 @@ impl LoopDispatcher for HybridDispatcher {
                     self.telemetry.quarantined += 1;
                     return LoopDecision::Sequential;
                 }
+                // A loop can stay guarded with a *shorter* plan when
+                // evolution discharged only some of its arrays; those
+                // checks are still inspections this entry skips.
+                self.telemetry.inspections_retired += entry.retired;
                 let fault = if lo <= hi { self.decide_fault() } else { None };
                 let lie = fault == Some(FaultKind::LieInspector);
                 let parallel_ok = if lie {
@@ -778,5 +793,55 @@ mod tests {
         .unwrap();
         assert_eq!(uncached.telemetry.inspections_run, 3);
         assert_eq!(uncached.telemetry.cache_hits, 0);
+    }
+
+    #[test]
+    fn mutating_a_preset_index_array_forces_reinspection() {
+        // Stale-schedule soundness: `p` arrives as a *preset* (no
+        // in-program producer), passes injectivity on the first guarded
+        // entry, then the program corrupts one element. The second
+        // entry must see a stale cache key (the preset array's write
+        // version moved), re-inspect, and fall back sequential — a
+        // cache hit here would dispatch parallel on a duplicate target.
+        let src = "program t
+             integer i, r, n, p(8)
+             real z(8), x(8)
+             n = 8
+             do i = 1, n
+               x(i) = i * 1.0
+             enddo
+             do r = 1, 2
+               do 20 i = 1, n
+                 z(p(i)) = x(i) + r
+ 20            continue
+               p(2) = p(1)
+             enddo
+             print z(1), z(8)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do20").unwrap();
+        assert!(matches!(v.tier, DispatchTier::RuntimeGuarded(_)), "{v:?}");
+        let p_var = rep.program.symbols.lookup("p").unwrap();
+        let perm: Vec<i64> = (1..=8).rev().collect();
+        let presets = [(
+            p_var,
+            irr_exec::ArrayData::Int {
+                data: perm,
+                dims: vec![8],
+            },
+        )];
+        let hybrid = run_hybrid_seeded(&rep, HybridConfig::default(), &presets).unwrap();
+        let t = &hybrid.telemetry;
+        assert_eq!(t.guarded_parallel, 1, "{t:?}");
+        assert_eq!(t.guarded_sequential, 1, "{t:?}");
+        assert_eq!(t.inspections_run, 2, "{t:?}");
+        assert_eq!(t.cache_invalidations, 1, "{t:?}");
+        assert_eq!(t.cache_hits, 0, "{t:?}");
+        let mut seq = Interp::new(&rep.program);
+        for (var, data) in &presets {
+            seq.preset_array(*var, data.clone());
+        }
+        let seq = seq.run().unwrap();
+        assert_eq!(hybrid.outcome.output, seq.output);
     }
 }

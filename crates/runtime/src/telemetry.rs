@@ -26,6 +26,14 @@ pub struct Telemetry {
     pub cache_evictions: u64,
     /// Loop entries dispatched parallel on compile-time evidence alone.
     pub compile_time_parallel: u64,
+    /// Compile-time-parallel loop entries that owe their tier to the
+    /// value-evolution analysis (the verdict retired at least one
+    /// residual check a pre-evolution compiler would have inspected).
+    pub promoted_by_evolution: u64,
+    /// Runtime inspections *not* run because value evolution discharged
+    /// the residual check at compile time: one per retired check per
+    /// dynamic loop entry — directly comparable to `inspections_run`.
+    pub inspections_retired: u64,
     /// Guarded loop entries whose inspection (or cached verdict) cleared
     /// parallel execution.
     pub guarded_parallel: u64,

@@ -203,6 +203,7 @@ pub fn audit_report_seeded(
         let mut worst: Option<(DepWitness, u32)> = None;
         let mut unexplained = false;
         let mut max_iterations = 0u64;
+        let mut evolution_contradicted: Option<u32> = None;
         for (run, log) in &logs {
             for exec in log.executions_of(v.loop_stmt) {
                 max_iterations = max_iterations.max(exec.iterations);
@@ -211,6 +212,18 @@ pub fn audit_report_seeded(
                     DispatchTier::RuntimeGuarded(_) => exec.guard_passed == Some(true),
                     DispatchTier::Sequential => false,
                 };
+                // An evolution-promoted loop replays its retired checks
+                // as a synthetic guard: the compile-time proof claims
+                // they hold on every reachable input, so one observed
+                // failure is a soundness bug even if no dependence
+                // happened to manifest this run.
+                if matches!(v.tier, DispatchTier::CompileTimeParallel)
+                    && !v.retired_checks.is_empty()
+                    && exec.guard_passed == Some(false)
+                    && evolution_contradicted.is_none()
+                {
+                    evolution_contradicted = Some(*run);
+                }
                 for w in &exec.deps {
                     if exonerated.contains(&w.var) {
                         continue;
@@ -237,6 +250,23 @@ pub fn audit_report_seeded(
                     tier_name(&v.tier),
                     strategy_suffix(&v.strategy_facts),
                     w.describe(program)
+                ),
+            });
+            continue;
+        }
+        if let Some(run) = evolution_contradicted {
+            out.telemetry.audit_violations += 1;
+            out.findings.push(Finding {
+                kind: FindingKind::SoundnessViolation,
+                label: v.label.clone(),
+                loop_stmt: v.loop_stmt,
+                witness: None,
+                run,
+                detail: format!(
+                    "{}: evolution-retired check failed on live data in run {run}: the \
+                     compile-time promotion to {} is unsound for this input",
+                    v.label,
+                    tier_name(&v.tier),
                 ),
             });
             continue;

@@ -4,7 +4,7 @@
 //! ```text
 //! sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N]
 //!                 [--scale test|paper] [--only SUBSTR] [--chaos N]
-//!                 [--sparse N]
+//!                 [--sparse N] [--evolution]
 //! ```
 //!
 //! `--chaos N` additionally replays every target under `N` seeded
@@ -18,12 +18,20 @@
 //! seeds), presetting each program's index arrays from the matrix
 //! generator so the guards inspect real CRS/CCS structure.
 //!
+//! `--evolution` audits the producer-loop sparse kernels — programs
+//! whose index arrays are built by in-program loops so the
+//! value-evolution analysis promotes the consumers to compile-time
+//! parallel. The shadow tracer replays every retired check against the
+//! live store; a contradicted promotion is a soundness violation, and
+//! so is a sweep in which *no* consumer promotes (the analysis has
+//! silently regressed to runtime guarding).
+//!
 //! Exits nonzero iff any soundness violation is found, so the command
 //! doubles as a CI gate. Precision gaps (full mode) are informational.
 
-use irr_driver::{compile_source, CompilationReport, DriverOptions};
+use irr_driver::{compile_source, CompilationReport, DispatchTier, DriverOptions};
 use irr_exec::{FaultPlan, Interp, Store, Value};
-use irr_programs::sparse::{kernels, SparseScale};
+use irr_programs::sparse::{kernels, producer_kernels, SparseScale};
 use irr_programs::{all, Scale};
 use irr_runtime::{run_hybrid_with_faults, HybridConfig};
 use irr_sanitizer::{
@@ -40,6 +48,7 @@ fn main() {
     let mut only: Option<String> = None;
     let mut chaos = 0usize;
     let mut sparse = 0usize;
+    let mut evolution = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -82,10 +91,12 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--sparse needs an integer"))
             }
+            "--evolution" => evolution = true,
             "--help" | "-h" => {
                 println!(
                     "sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N] \
-                     [--scale test|paper] [--only SUBSTR] [--chaos N] [--sparse N]"
+                     [--scale test|paper] [--only SUBSTR] [--chaos N] [--sparse N] \
+                     [--evolution]"
                 );
                 return;
             }
@@ -148,6 +159,12 @@ fn main() {
     let mut audited = targets.len();
     if sparse > 0 {
         let (sampled, violations, gaps) = sparse_sweep(&config, sparse);
+        audited += sampled;
+        total_violations += violations;
+        total_gaps += gaps;
+    }
+    if evolution {
+        let (sampled, violations, gaps) = evolution_sweep(&config);
         audited += sampled;
         total_violations += violations;
         total_gaps += gaps;
@@ -221,6 +238,85 @@ fn sparse_sweep(config: &AuditConfig, n: usize) -> (usize, usize, usize) {
             sampled += 1;
         }
         i += 1;
+    }
+    (sampled, violations, gaps)
+}
+
+/// Audits the producer-loop kernels across the three matrix
+/// structures: every consumer loop the value-evolution analysis
+/// promoted is replayed under shadow tracing with its retired checks
+/// re-evaluated against the live store. Counts a violation for every
+/// contradicted promotion or failed run, and one extra violation if
+/// the sweep produces *zero* promotions — the regression gate that
+/// keeps the analysis from silently degrading to runtime guards.
+/// Returns `(programs audited, violations, precision gaps)`.
+fn evolution_sweep(config: &AuditConfig) -> (usize, usize, usize) {
+    const STRUCTURES: [Structure; 3] = [
+        Structure::Banded { bandwidth: 8 },
+        Structure::Uniform,
+        Structure::PowerLaw,
+    ];
+    println!(
+        "evolution sweep: producer-loop kernels, {} structure(s)",
+        STRUCTURES.len()
+    );
+    let mut violations = 0usize;
+    let mut gaps = 0usize;
+    let mut sampled = 0usize;
+    let mut promoted = 0usize;
+    for (i, structure) in STRUCTURES.iter().enumerate() {
+        let seed = config.seed.wrapping_add(i as u64).wrapping_mul(5) | 1;
+        for k in producer_kernels(&SparseScale::test(*structure, seed)) {
+            let rep = match compile_source(&k.source, DriverOptions::with_iaa()) {
+                Ok(r) => r,
+                Err(e) => die(&format!("evolution {}: parse error: {e}", k.name)),
+            };
+            let retired = rep
+                .verdict(&k.label)
+                .filter(|v| matches!(v.tier, DispatchTier::CompileTimeParallel))
+                .map_or(0, |v| v.retired_checks.len());
+            if retired > 0 {
+                promoted += 1;
+            }
+            let presets = k.resolve_presets(&rep.program);
+            let audit = audit_report_seeded(&rep, config, &presets);
+            println!(
+                "evolution {} ({}, seed {seed}): {} retired check(s), {} loop(s) audited, \
+                 {} run(s) ok, {} failed, {} violation(s), {} precision gap(s)",
+                k.name,
+                structure.tag(),
+                retired,
+                audit.loops_audited,
+                audit.runs_completed,
+                audit.runs_failed,
+                audit.violations(),
+                audit.precision_gaps(),
+            );
+            for f in &audit.findings {
+                let tag = match f.kind {
+                    FindingKind::SoundnessViolation => "VIOLATION",
+                    FindingKind::PrecisionGap => "precision-gap",
+                };
+                println!("  [{tag}] {}", f.detail);
+            }
+            if audit.runs_failed > 0 {
+                println!(
+                    "  [VIOLATION] evolution {}: {} run(s) failed",
+                    k.name, audit.runs_failed
+                );
+                violations += audit.runs_failed as usize;
+            }
+            violations += audit.violations();
+            gaps += audit.precision_gaps();
+            sampled += 1;
+        }
+    }
+    println!("evolution sweep: {promoted}/{sampled} consumer loop(s) promoted");
+    if promoted == 0 {
+        println!(
+            "  [VIOLATION] evolution sweep: no promotions — value-evolution analysis regressed"
+        );
+        violations += 1;
     }
     (sampled, violations, gaps)
 }

@@ -399,13 +399,24 @@ impl DependenceTracer {
         )
     }
 
-    /// A tracer primed with every runtime-guarded verdict of `report`.
+    /// A tracer primed with every runtime-guarded verdict of `report`,
+    /// plus a synthetic guard for every evolution-promoted loop: the
+    /// retired checks are replayed as a conjunction (each in its own
+    /// group — every one must hold on the live data), so a promotion
+    /// whose compile-time proof was wrong surfaces as a failed guard
+    /// even before any dependence manifests.
     pub fn from_report(report: &CompilationReport) -> (DependenceTracer, TraceHandle) {
         let guards = report
             .verdicts
             .iter()
             .filter_map(|v| match &v.tier {
                 DispatchTier::RuntimeGuarded(g) => Some((v.loop_stmt, g.clone())),
+                DispatchTier::CompileTimeParallel if !v.retired_checks.is_empty() => Some((
+                    v.loop_stmt,
+                    GuardPlan {
+                        groups: v.retired_checks.iter().map(|c| vec![c.clone()]).collect(),
+                    },
+                )),
                 _ => None,
             })
             .collect();
