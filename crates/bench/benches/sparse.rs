@@ -15,11 +15,14 @@
 //!   parallel and runtime-guarded) are profiled, then replayed on the
 //!   Origin 2000 machine model with 16 processors.
 //!
-//! Every combination also annotates `guarded_entries_retired` and
-//! `promoted_by_evolution` from one instrumented hybrid run: the
-//! runtime inspections the value-evolution analysis discharged at
-//! compile time. The producer-loop kernels must keep these nonzero —
-//! CI soft-gates on the sum regressing to zero.
+//! Every combination also annotates `guarded_entries_retired`,
+//! `promoted_by_evolution`, and `promoted_interproc` from one
+//! instrumented hybrid run: the runtime inspections the value-evolution
+//! analysis discharged at compile time, and how many of those
+//! promotions needed the interprocedural summaries (the call-structured
+//! kernels keep the last one nonzero). The producer-loop kernels must
+//! keep the first two nonzero — CI gates on either sum regressing to
+//! zero.
 //!
 //! Reading a curve: fix a kernel and structure, follow the annotation
 //! across nnz.
@@ -37,15 +40,18 @@ use irr_bench::harness::Runner;
 use irr_bench::profile_report_seeded;
 use irr_driver::{compile_source, DispatchTier, DriverOptions};
 use irr_exec::{simulate_speedup, Interp, MachineModel};
-use irr_programs::sparse::{kernels, producer_kernels, ExpectedTier, SparseScale};
+use irr_programs::sparse::{
+    interproc_kernels, kernels, producer_kernels, ExpectedTier, SparseScale,
+};
 use irr_runtime::{run_hybrid_seeded, HybridConfig};
 use irr_sparse::Structure;
 
 /// The kernels swept (a subset of the library: the three dispatch
 /// tiers and all three execution strategies are each represented,
 /// plus the producer-loop variants whose consumers the value-evolution
-/// analysis promotes to compile-time parallel).
-const SWEPT: [&str; 7] = [
+/// analysis promotes to compile-time parallel, plus the call-structured
+/// variants that only promote through the interprocedural summaries).
+const SWEPT: [&str; 9] = [
     "spmv",
     "scale",
     "colscale",
@@ -53,6 +59,8 @@ const SWEPT: [&str; 7] = [
     "rowgather",
     "lufront_producer",
     "permute_producer",
+    "lufront_callchain",
+    "permute_callchain",
 ];
 
 fn max_nnz() -> usize {
@@ -93,7 +101,11 @@ fn main() {
                 structure,
                 seed: 0xCC5,
             };
-            for k in kernels(&scale).into_iter().chain(producer_kernels(&scale)) {
+            for k in kernels(&scale)
+                .into_iter()
+                .chain(producer_kernels(&scale))
+                .chain(interproc_kernels(&scale))
+            {
                 if !SWEPT.contains(&k.name) {
                     continue;
                 }
@@ -156,6 +168,10 @@ fn main() {
                 r.annotate(
                     &format!("sparse/{combo}/promoted_by_evolution"),
                     probe.telemetry.promoted_by_evolution,
+                );
+                r.annotate(
+                    &format!("sparse/{combo}/promoted_interproc"),
+                    probe.telemetry.promoted_interproc,
                 );
                 curves.push((
                     format!("{}/{}", k.name, structure.tag()),

@@ -187,7 +187,10 @@ impl Runner {
             ));
         }
         out.push_str("  ],\n  \"annotations\": {\n");
-        let annotations = self.annotations.borrow();
+        // Sorted by key so the report is byte-stable regardless of the
+        // order benchmarks ran (and diffs cleanly across runs).
+        let mut annotations = self.annotations.borrow().clone();
+        annotations.sort_by(|a, b| a.0.cmp(&b.0));
         for (i, (k, v)) in annotations.iter().enumerate() {
             out.push_str(&format!(
                 "    \"{}\": {}{}\n",

@@ -34,7 +34,16 @@
 //! writes array `x` kills the facts about `x`, kills every chain fact
 //! whose length array is `x`, and kills facts whose symbolic ranges
 //! mention `x`; assigning a scalar kills facts whose ranges mention
-//! it; a `call` kills everything (the callee may write anything).
+//! it. A `call` kills everything *unless* the analysis was built
+//! [`with_summaries`](EvolutionAnalysis::with_summaries): then a call
+//! to a summarized (non-opaque, no-early-return) routine is composed
+//! flow-sensitively by walking the callee body under the call-site
+//! facts — preserving facts the callee provably leaves alone and
+//! establishing the facts its own producer loops create — and a call
+//! to an early-returning routine applies only the summary's MOD kill
+//! sets. Facts that survive or arise at a call are tagged
+//! [`interproc`](EvoFacts::interproc) so the driver can attribute the
+//! promotion to interprocedural reasoning.
 //!
 //! Facts are snapshotted at every loop entry (including loops nested
 //! in other loops — the snapshot already excludes everything the
@@ -44,6 +53,7 @@
 //!
 //! [`inspect_offset_length`]: https://docs.rs/irr-exec
 
+use crate::summaries::SummaryAnalysis;
 use crate::AnalysisCtx;
 use irr_frontend::{BinOp, Expr, LValue, StmtId, StmtKind, VarId};
 use irr_symbolic::{expr_to_sym, prove_ge0, prove_gt0, prove_le, Atom, RangeEnv, SymExpr};
@@ -80,6 +90,19 @@ pub struct EvoFacts {
     pub chain: Option<(VarId, SymExpr, SymExpr)>,
     /// Which producer shape established the fact (for diagnostics).
     pub origin: &'static str,
+    /// The fact survived, or was established, across a `call` via
+    /// procedure summaries — its use is an interprocedural promotion.
+    pub interproc: bool,
+}
+
+/// Field-wise equality, ignoring provenance (`origin`, `interproc`).
+fn same_fact(a: &EvoFacts, b: &EvoFacts) -> bool {
+    a.covered == b.covered
+        && a.monotone == b.monotone
+        && a.injective == b.injective
+        && a.nonneg == b.nonneg
+        && a.positive == b.positive
+        && a.chain == b.chain
 }
 
 /// Per-loop snapshots of the array facts live at loop entry.
@@ -88,14 +111,26 @@ pub struct EvolutionAnalysis {
 }
 
 impl EvolutionAnalysis {
-    /// Walks every procedure of the (post-pass) program once.
+    /// Walks every procedure of the (post-pass) program once, treating
+    /// every `call` as clobbering all facts.
     pub fn new(ctx: &AnalysisCtx<'_>) -> EvolutionAnalysis {
+        Self::build(ctx, None)
+    }
+
+    /// Like [`new`](Self::new), but composes facts across calls using
+    /// the per-routine summaries: calls to summarized routines
+    /// preserve and establish facts instead of clobbering them.
+    pub fn with_summaries(ctx: &AnalysisCtx<'_>, summaries: &SummaryAnalysis) -> EvolutionAnalysis {
+        Self::build(ctx, Some(summaries))
+    }
+
+    fn build(ctx: &AnalysisCtx<'_>, summaries: Option<&SummaryAnalysis>) -> EvolutionAnalysis {
         let mut evo = EvolutionAnalysis {
             at_loop: HashMap::new(),
         };
         for proc in &ctx.program.procedures {
             let mut facts: HashMap<VarId, EvoFacts> = HashMap::new();
-            evo.walk_body(ctx, &proc.body, &mut facts);
+            evo.walk_body(ctx, &proc.body, &mut facts, summaries);
         }
         evo
     }
@@ -161,11 +196,22 @@ impl EvolutionAnalysis {
         f.injective && prove_le(&f.covered.0, lo, env) && prove_le(hi, &f.covered.1, env)
     }
 
+    /// Whether the fact about `var` live at `loop_stmt` was carried or
+    /// established across a call (an interprocedural promotion when
+    /// used to discharge a check).
+    pub fn fact_interproc(&self, loop_stmt: StmtId, var: VarId) -> bool {
+        self.at_loop
+            .get(&loop_stmt)
+            .and_then(|m| m.get(&var))
+            .is_some_and(|f| f.interproc)
+    }
+
     fn walk_body(
         &mut self,
         ctx: &AnalysisCtx<'_>,
         body: &[StmtId],
         facts: &mut HashMap<VarId, EvoFacts>,
+        summaries: Option<&SummaryAnalysis>,
     ) {
         let program = ctx.program;
         for &s in body {
@@ -180,9 +226,9 @@ impl EvolutionAnalysis {
                         apply_kills(facts, &HashSet::new(), &ka);
                     }
                 },
-                StmtKind::Do { .. } => self.handle_do(ctx, s, facts),
+                StmtKind::Do { .. } => self.handle_do(ctx, s, facts, summaries),
                 StmtKind::While { body, .. } => {
-                    kill_for_subtree(ctx, body, facts);
+                    kill_for_subtree(ctx, body, facts, summaries);
                 }
                 StmtKind::If {
                     then_body,
@@ -191,9 +237,35 @@ impl EvolutionAnalysis {
                 } => {
                     let both: Vec<StmtId> =
                         then_body.iter().chain(else_body.iter()).copied().collect();
-                    kill_for_subtree(ctx, &both, facts);
+                    kill_for_subtree(ctx, &both, facts, summaries);
                 }
-                StmtKind::Call { .. } => facts.clear(),
+                StmtKind::Call { proc } => {
+                    match summaries.map(|sa| sa.summary(*proc)) {
+                        Some(sum) if !sum.opaque => {
+                            if sum.early_return {
+                                // Exit state is not the state after the
+                                // last statement: apply only the
+                                // (may-)MOD kill sets.
+                                let (ks, ka) = sum.kill_sets();
+                                apply_kills(facts, &ks, &ka);
+                            } else {
+                                // Flow-sensitive transformer
+                                // application: compose the callee's
+                                // kills and establishments over the
+                                // call-site facts by walking its body.
+                                // Bottom-up summary construction
+                                // guarantees the callee's own calls are
+                                // already summarized and acyclic.
+                                let callee_body = program.procedure(*proc).body.clone();
+                                self.walk_body(ctx, &callee_body, facts, summaries);
+                            }
+                            for f in facts.values_mut() {
+                                f.interproc = true;
+                            }
+                        }
+                        _ => facts.clear(),
+                    }
+                }
                 StmtKind::Print { .. } | StmtKind::Return => {}
             }
         }
@@ -204,6 +276,7 @@ impl EvolutionAnalysis {
         ctx: &AnalysisCtx<'_>,
         loop_stmt: StmtId,
         facts: &mut HashMap<VarId, EvoFacts>,
+        summaries: Option<&SummaryAnalysis>,
     ) {
         let program = ctx.program;
         let StmtKind::Do { var, body, .. } = &program.stmt(loop_stmt).kind else {
@@ -212,24 +285,33 @@ impl EvolutionAnalysis {
         let loop_var = *var;
         let body = body.clone();
         let pre = facts.clone();
-        let kills = kill_sets(ctx, &body).map(|(mut ks, ka)| {
+        let kills = kill_sets(ctx, &body, summaries).map(|(mut ks, ka, via_call)| {
             ks.insert(loop_var);
-            (ks, ka)
+            (ks, ka, via_call)
         });
         match &kills {
             None => facts.clear(),
-            Some((ks, ka)) => apply_kills(facts, ks, ka),
+            Some((ks, ka, via_call)) => {
+                apply_kills(facts, ks, ka);
+                if *via_call {
+                    // Survival across the loop relied on callee
+                    // summaries bounding what its calls write.
+                    for f in facts.values_mut() {
+                        f.interproc = true;
+                    }
+                }
+            }
         }
         // The surviving facts exclude everything this loop writes, so
         // they hold at entry to the loop and to every loop nested in
         // it.
-        self.at_loop.insert(loop_stmt, facts.clone());
+        self.snapshot(loop_stmt, facts);
         for s in program.stmts_in(&body) {
             if matches!(program.stmt(s).kind, StmtKind::Do { .. }) {
-                self.at_loop.insert(s, facts.clone());
+                self.snapshot(s, facts);
             }
         }
-        if let Some((ks, ka)) = &kills {
+        if let Some((ks, ka, _)) = &kills {
             if let Some((arr, f)) =
                 recognize_producer(ctx, loop_stmt, loop_var, &body, facts, &pre, ks, ka)
             {
@@ -237,35 +319,100 @@ impl EvolutionAnalysis {
             }
         }
     }
+
+    /// Records the facts live at entry to `s`. A loop inside a callee
+    /// is reached once per call site (plus the standalone walk of its
+    /// procedure), so on a revisit the snapshot is the *intersection*:
+    /// only facts identical across every visit survive, which keeps
+    /// the per-loop answer valid for every dynamic execution.
+    fn snapshot(&mut self, s: StmtId, facts: &HashMap<VarId, EvoFacts>) {
+        use std::collections::hash_map::Entry;
+        match self.at_loop.entry(s) {
+            Entry::Vacant(e) => {
+                e.insert(facts.clone());
+            }
+            Entry::Occupied(mut e) => {
+                e.get_mut().retain(|arr, f| match facts.get(arr) {
+                    Some(g) if same_fact(f, g) => {
+                        f.interproc |= g.interproc;
+                        true
+                    }
+                    _ => false,
+                });
+            }
+        }
+    }
 }
 
-/// `(scalars assigned, arrays written)` anywhere under `body`, or
-/// `None` when the subtree contains a call (kill everything).
-fn kill_sets(ctx: &AnalysisCtx<'_>, body: &[StmtId]) -> Option<(HashSet<VarId>, HashSet<VarId>)> {
+/// `(scalars assigned, arrays written, any-of-it-via-call)` anywhere
+/// under `body`, or `None` when the subtree contains a call to an
+/// unsummarized or opaque routine (kill everything).
+fn kill_sets(
+    ctx: &AnalysisCtx<'_>,
+    body: &[StmtId],
+    summaries: Option<&SummaryAnalysis>,
+) -> Option<(HashSet<VarId>, HashSet<VarId>, bool)> {
     let program = ctx.program;
     let mut scalars: HashSet<VarId> = irr_frontend::visit::scalars_assigned_in(program, body)
         .into_iter()
         .collect();
+    let mut arrays: HashSet<VarId> = irr_frontend::visit::arrays_written_in(program, body)
+        .into_iter()
+        .collect();
+    let mut via_call = false;
     for s in program.stmts_in(body) {
         match &program.stmt(s).kind {
-            StmtKind::Call { .. } => return None,
+            StmtKind::Call { proc } => match summaries.map(|sa| sa.summary(*proc)) {
+                Some(sum) if !sum.opaque => {
+                    via_call = true;
+                    scalars.extend(sum.mod_scalars.iter().copied());
+                    arrays.extend(sum.mod_arrays.iter().copied());
+                }
+                _ => return None,
+            },
             StmtKind::Do { var, .. } => {
                 scalars.insert(*var);
             }
             _ => {}
         }
     }
-    let arrays: HashSet<VarId> = irr_frontend::visit::arrays_written_in(program, body)
-        .into_iter()
-        .collect();
-    Some((scalars, arrays))
+    Some((scalars, arrays, via_call))
 }
 
-fn kill_for_subtree(ctx: &AnalysisCtx<'_>, body: &[StmtId], facts: &mut HashMap<VarId, EvoFacts>) {
-    match kill_sets(ctx, body) {
+fn kill_for_subtree(
+    ctx: &AnalysisCtx<'_>,
+    body: &[StmtId],
+    facts: &mut HashMap<VarId, EvoFacts>,
+    summaries: Option<&SummaryAnalysis>,
+) {
+    match kill_sets(ctx, body, summaries) {
         None => facts.clear(),
-        Some((ks, ka)) => apply_kills(facts, &ks, &ka),
+        Some((ks, ka, via_call)) => {
+            apply_kills(facts, &ks, &ka);
+            if via_call {
+                for f in facts.values_mut() {
+                    f.interproc = true;
+                }
+            }
+        }
     }
+}
+
+/// The exit fact set of `body` entered with no facts, composing calls
+/// via the (possibly still partial, conservatively opaque) summary
+/// table — used by summary construction for the *establishes*
+/// component.
+pub(crate) fn facts_at_exit(
+    ctx: &AnalysisCtx<'_>,
+    body: &[StmtId],
+    summaries: &SummaryAnalysis,
+) -> HashMap<VarId, EvoFacts> {
+    let mut evo = EvolutionAnalysis {
+        at_loop: HashMap::new(),
+    };
+    let mut facts = HashMap::new();
+    evo.walk_body(ctx, body, &mut facts, Some(summaries));
+    facts
 }
 
 /// Whether the symbolic material of a fact references a killed scalar
@@ -344,6 +491,7 @@ fn recognize_producer(
                     positive: false,
                     chain: None,
                     origin: "accumulate",
+                    interproc: false,
                 },
             ));
         }
@@ -380,6 +528,7 @@ fn recognize_producer(
                                 positive: false,
                                 chain: Some((d, lo, hi)),
                                 origin: "prefix-sum",
+                                interproc: false,
                             },
                         ));
                     }
@@ -422,6 +571,7 @@ fn recognize_producer(
             positive,
             chain: None,
             origin: "affine-fill",
+            interproc: false,
         },
     ))
 }
@@ -644,10 +794,18 @@ mod tests {
     }
 
     #[test]
-    fn a_call_kills_everything() {
-        let (p, loops) = analyze(
-            "program t
-             integer k, nnz, perm(16)
+    fn a_call_kills_everything_without_summaries() {
+        let (p, loops) = analyze(UNRELATED_CALL_SRC);
+        let ctx = AnalysisCtx::new(&p);
+        let evo = EvolutionAnalysis::new(&ctx);
+        let consumer = *loops.last().unwrap();
+        let env = ctx.range_env_at(consumer);
+        let (one, nnz) = (SymExpr::int(1), SymExpr::var(var(&p, "nnz")));
+        assert!(!evo.proves_injective(consumer, var(&p, "perm"), &one, &nnz, &env));
+    }
+
+    const UNRELATED_CALL_SRC: &str = "program t
+             integer k, nnz, perm(16), other(4)
              real y(16)
              nnz = 16
              do k = 1, nnz
@@ -659,16 +817,132 @@ mod tests {
          200 continue
              end
              subroutine clobber
+             integer j, other(4)
+             do j = 1, 4
+               other(j) = 0
+             enddo
+             end";
+
+    #[test]
+    fn unrelated_call_preserves_facts_with_summaries() {
+        // Satellite: the callee writes only `j` and `other`, neither of
+        // which the `perm` fact depends on — with summaries the fact
+        // survives the call and is tagged interprocedural.
+        let (p, loops) = analyze(UNRELATED_CALL_SRC);
+        let ctx = AnalysisCtx::new(&p);
+        let sa = crate::summaries::SummaryAnalysis::new(&ctx);
+        let evo = EvolutionAnalysis::with_summaries(&ctx, &sa);
+        let consumer = *loops.last().unwrap();
+        let env = ctx.range_env_at(consumer);
+        let (one, nnz) = (SymExpr::int(1), SymExpr::var(var(&p, "nnz")));
+        assert!(evo.proves_injective(consumer, var(&p, "perm"), &one, &nnz, &env));
+        assert!(evo.fact_interproc(consumer, var(&p, "perm")));
+    }
+
+    #[test]
+    fn recursive_call_conservatively_kills_even_with_summaries() {
+        let (p, loops) = analyze(
+            "program t
+             integer k, nnz, perm(16)
+             real y(16)
+             nnz = 16
+             do k = 1, nnz
+               perm(k) = k
+             enddo
+             call spin
+             do 200 k = 1, nnz
+               y(perm(k)) = 1.0
+         200 continue
+             end
+             subroutine spin
              integer j
-             j = 1
-             return
+             j = j - 1
+             if (j > 0) then
+               call spin
+             endif
              end",
         );
         let ctx = AnalysisCtx::new(&p);
-        let evo = EvolutionAnalysis::new(&ctx);
+        let sa = crate::summaries::SummaryAnalysis::new(&ctx);
+        assert!(sa.summary(irr_frontend::ProcId(1)).opaque);
+        let evo = EvolutionAnalysis::with_summaries(&ctx, &sa);
         let consumer = *loops.last().unwrap();
         let env = ctx.range_env_at(consumer);
         let (one, nnz) = (SymExpr::int(1), SymExpr::var(var(&p, "nnz")));
         assert!(!evo.proves_injective(consumer, var(&p, "perm"), &one, &nnz, &env));
+    }
+
+    #[test]
+    fn zero_trip_producer_inside_a_callee() {
+        // The callee's producer loop never runs; its fact covers the
+        // empty range [1, 0]. A vacuous consumer range still passes
+        // (the inspector would too), a real range must not.
+        let (p, loops) = analyze(
+            "program t
+             integer k, perm(8)
+             real y(8)
+             call zt
+             do 200 k = 1, 0
+               y(perm(k)) = 1.0
+         200 continue
+             end
+             subroutine zt
+             integer i, perm(8)
+             do i = 1, 0
+               perm(i) = i
+             enddo
+             end",
+        );
+        let ctx = AnalysisCtx::new(&p);
+        let sa = crate::summaries::SummaryAnalysis::new(&ctx);
+        let evo = EvolutionAnalysis::with_summaries(&ctx, &sa);
+        let consumer = *loops.last().unwrap();
+        let env = ctx.range_env_at(consumer);
+        let (one, zero, eight) = (SymExpr::int(1), SymExpr::int(0), SymExpr::int(8));
+        assert!(evo.proves_injective(consumer, var(&p, "perm"), &one, &zero, &env));
+        assert!(!evo.proves_injective(consumer, var(&p, "perm"), &one, &eight, &env));
+    }
+
+    #[test]
+    fn call_structured_producer_chain_promotes_only_with_summaries() {
+        // The whole producer chain lives in a subroutine; the consumer
+        // stays in the caller. Without summaries the call clobbers the
+        // chain fact; with summaries the offset–length inspection is
+        // discharged across the call.
+        let (p, loops) = analyze(
+            "program t
+             integer i, n, len(8), ptr(9)
+             real x(16)
+             n = 8
+             call build
+             do 400 i = 1, n
+               x(ptr(i)) = 0.0
+         400 continue
+             end
+             subroutine build
+             integer i, n, len(8), ptr(9)
+             do i = 1, n
+               len(i) = 1
+             enddo
+             ptr(1) = 1
+             do i = 1, n
+               ptr(i + 1) = ptr(i) + len(i)
+             enddo
+             end",
+        );
+        let ctx = AnalysisCtx::new(&p);
+        let consumer = *loops.last().unwrap();
+        let (one, n) = (SymExpr::int(1), SymExpr::var(var(&p, "n")));
+        let env = ctx.range_env_at(consumer);
+        let (ptr, len) = (var(&p, "ptr"), var(&p, "len"));
+
+        let cold = EvolutionAnalysis::new(&ctx);
+        assert!(!cold.proves_offset_length(consumer, ptr, len, &one, &n, &env));
+
+        let sa = crate::summaries::SummaryAnalysis::new(&ctx);
+        let evo = EvolutionAnalysis::with_summaries(&ctx, &sa);
+        assert!(evo.proves_offset_length(consumer, ptr, len, &one, &n, &env));
+        assert!(evo.proves_injective(consumer, ptr, &one, &n, &env));
+        assert!(evo.fact_interproc(consumer, ptr));
     }
 }

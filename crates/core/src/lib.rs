@@ -28,6 +28,7 @@ pub mod gather;
 pub mod property;
 pub mod single_indexed;
 pub mod stack;
+pub mod summaries;
 
 pub use ctx::AnalysisCtx;
 pub use evolution::{EvoFacts, EvolutionAnalysis, Monotonicity};
@@ -39,3 +40,4 @@ pub use single_indexed::{
     consecutively_written, single_indexed_arrays, ConsecutivelyWritten, IndexDefKind, SingleIndexed,
 };
 pub use stack::{stack_access, StackAccess};
+pub use summaries::{ProcSummary, SummaryAnalysis};

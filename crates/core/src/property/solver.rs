@@ -18,6 +18,7 @@
 
 use crate::ctx::AnalysisCtx;
 use crate::property::{checkers::PropertyChecker, Property, PropertyQuery, ITER_VAR};
+use crate::summaries::{section_mentions_array, SummaryAnalysis};
 use irr_frontend::{LValue, ProcId, StmtId, StmtKind, VarId};
 use irr_graph::{HcgNodeId, HcgNodeKind, SectionId, SectionKind};
 use irr_symbolic::{expr_to_sym, AggMode, RangeEnv, Section, SymExpr};
@@ -71,6 +72,11 @@ pub struct QueryStats {
 pub struct ArrayPropertyAnalysis<'c, 'p> {
     ctx: &'c AnalysisCtx<'p>,
     opts: SolverOptions,
+    /// Per-routine MOD/REF summaries: when present, a query reaching a
+    /// `call` node may step over it instead of recursively solving (or
+    /// failing on recursion), whenever the summary proves the callee
+    /// leaves the queried elements and the query bounds untouched.
+    summaries: Option<&'c SummaryAnalysis>,
     /// `(loop stmt, array, property) -> (Kill, Gen)`.
     loop_cache: HashMap<(StmtId, VarId, Property), (Section, Section)>,
     /// `(section, array, property) -> (Kill, Gen)`.
@@ -100,10 +106,44 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
         ArrayPropertyAnalysis {
             ctx,
             opts,
+            summaries: None,
             loop_cache: HashMap::new(),
             section_cache: HashMap::new(),
             stats: QueryStats::default(),
         }
+    }
+
+    /// Supplies per-routine summaries for stepping over calls. Must be
+    /// set before the first query: the summary-aware answers share the
+    /// section caches.
+    pub fn set_summaries(&mut self, summaries: &'c SummaryAnalysis) {
+        self.summaries = Some(summaries);
+    }
+
+    /// Whether the summary of `callee` proves a query on `chk.array`
+    /// with bounds material in `set` passes through the call unchanged:
+    /// the callee must not write the queried elements (whole array
+    /// untouched, or MOD section provably disjoint) nor anything the
+    /// query bounds mention (which would make the bounds denote
+    /// pre-call values).
+    fn summary_passes_call(&self, chk: &PropertyChecker, callee: ProcId, set: &Section) -> bool {
+        let Some(sum) = self.summaries.map(|sa| sa.summary(callee)) else {
+            return false;
+        };
+        if sum.opaque || sum.mod_scalars.iter().any(|&v| set.mentions_var(v)) {
+            return false;
+        }
+        if sum
+            .mod_arrays
+            .iter()
+            .any(|&a| section_mentions_array(set, a))
+        {
+            return false;
+        }
+        !sum.may_write_array(chk.array)
+            || sum
+                .mod_section(chk.array)
+                .provably_disjoint(set, &RangeEnv::new())
     }
 
     /// Answers a property query: `true` means *verified*; `false` means
@@ -347,6 +387,14 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                 self.rename_backward(stmt, &remaining)
             }
             HcgNodeKind::Call { callee, .. } => {
+                // Summary bypass (Bhosale & Eigenmann): when the callee
+                // provably leaves the queried elements alone, the query
+                // steps over the call — notably rescuing recursive call
+                // chains and `interprocedural = false` runs, which
+                // otherwise fail here.
+                if self.summary_passes_call(chk, callee, set) {
+                    return Ok(set.clone());
+                }
                 if !self.opts.interprocedural || visited_procs.contains(&callee) {
                     return Err(());
                 }
@@ -661,8 +709,16 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                 }
                 HcgNodeKind::Loop { stmt, .. } => self.summarize_loop(chk, stmt, visited_procs),
                 HcgNodeKind::Call { callee, .. } => {
-                    // SummarizeProcedure: the callee body's summary.
-                    if !self.opts.interprocedural || visited_procs.contains(&callee) {
+                    // SummarizeProcedure: the callee body's summary. A
+                    // MOD/REF summary proving the callee never writes the
+                    // array gives `(Kill, Gen) = (Empty, Empty)` without
+                    // descending (and regardless of recursion).
+                    if self
+                        .summaries
+                        .is_some_and(|sa| !sa.summary(callee).may_write_array(chk.array))
+                    {
+                        (Section::Empty, Section::Empty)
+                    } else if !self.opts.interprocedural || visited_procs.contains(&callee) {
                         (Section::Universal, Section::Empty)
                     } else {
                         visited_procs.push(callee);

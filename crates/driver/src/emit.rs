@@ -47,6 +47,14 @@ pub fn emit_annotated(report: &CompilationReport) -> String {
                     out.push_str(indent);
                     out.push_str(&directive_for(report, v));
                     out.push('\n');
+                    if !v.retired_checks.is_empty() {
+                        // The loop was promoted past runtime guarding:
+                        // record which inspections the evolution facts
+                        // retired (and whether that crossed a call).
+                        out.push_str(indent);
+                        out.push_str(&retired_directive_for(report, v));
+                        out.push('\n');
+                    }
                 } else if let DispatchTier::RuntimeGuarded(guard) = &v.tier {
                     let indent = &line[..line.len() - trimmed.len()];
                     out.push_str(indent);
@@ -102,16 +110,39 @@ fn directive_for(report: &CompilationReport, v: &LoopVerdict) -> String {
     format!("!$omp parallel do{clauses}")
 }
 
-fn guarded_directive_for(report: &CompilationReport, guard: &crate::GuardPlan) -> String {
+fn render_check(report: &CompilationReport, c: &ResidualCheck) -> String {
     let symbols = &report.program.symbols;
-    let render = |c: &ResidualCheck| match c {
+    match c {
         ResidualCheck::Injective { array } => {
             format!("injective({})", symbols.name(*array))
         }
         ResidualCheck::OffsetLength { ptr, len } => {
             format!("offlen({}, {})", symbols.name(*ptr), symbols.name(*len))
         }
+    }
+}
+
+/// `!$irr parallel retired(...)`: the statically discharged
+/// inspections of a promoted loop, sorted for byte-stable output, with
+/// an `interproc` tag when the discharge crossed a call.
+fn retired_directive_for(report: &CompilationReport, v: &LoopVerdict) -> String {
+    let mut checks: Vec<String> = v
+        .retired_checks
+        .iter()
+        .map(|c| render_check(report, c))
+        .collect();
+    checks.sort_unstable();
+    checks.dedup();
+    let tag = if v.promoted_interproc {
+        " interproc"
+    } else {
+        ""
     };
+    format!("!$irr parallel retired({}){tag}", checks.join(", "))
+}
+
+fn guarded_directive_for(report: &CompilationReport, guard: &crate::GuardPlan) -> String {
+    let render = |c: &ResidualCheck| render_check(report, c);
     // Within a group any one check clears the array (rendered with `|`);
     // every group must be cleared (rendered with `, `).
     let groups: Vec<String> = guard
@@ -186,6 +217,58 @@ mod tests {
         // is the same program.
         let reparsed = parse_program(&annotated).expect("annotated source parses");
         assert_eq!(reparsed.procedures.len(), rep.program.procedures.len());
+    }
+
+    #[test]
+    fn promoted_loops_print_retired_inspections_and_round_trip() {
+        // An affine-fill producer retires the injectivity inspection of
+        // the consumer: the annotation must say so and still reparse.
+        let src = "program t
+             integer k, nnz, perm(16)
+             real aval(16), pval(16)
+             nnz = 16
+             do k = 1, nnz
+               perm(k) = nnz + 1 - k
+             enddo
+             do 800 k = 1, nnz
+               pval(perm(k)) = aval(k) * 2.0
+ 800         continue
+             print pval(1)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let annotated = super::emit_annotated(&rep);
+        let lines: Vec<&str> = annotated.lines().map(str::trim).collect();
+        let d800 = lines.iter().position(|l| l.starts_with("do 800")).unwrap();
+        assert!(
+            lines[d800 - 1].starts_with("!$irr parallel retired(injective(perm))"),
+            "{annotated}"
+        );
+        assert!(
+            lines[d800 - 2].starts_with("!$omp parallel do"),
+            "{annotated}"
+        );
+        // Intraprocedural promotion: no interproc tag.
+        assert!(!lines[d800 - 1].contains("interproc"), "{annotated}");
+        // The directive is a comment: the annotated source reparses.
+        let reparsed = parse_program(&annotated).expect("annotated source parses");
+        assert_eq!(reparsed.procedures.len(), rep.program.procedures.len());
+        // Re-compiling the annotated source reproduces the annotation
+        // byte-for-byte (the full round trip).
+        let rep2 = compile_source(&annotated, DriverOptions::with_iaa()).unwrap();
+        assert_eq!(super::emit_annotated(&rep2), annotated);
+    }
+
+    #[test]
+    fn interprocedural_promotions_are_tagged_in_the_annotation() {
+        let rep =
+            compile_source(crate::tests::CALL_STRUCTURED_CRS, DriverOptions::with_iaa()).unwrap();
+        let annotated = super::emit_annotated(&rep);
+        let lines: Vec<&str> = annotated.lines().map(str::trim).collect();
+        let d400 = lines.iter().position(|l| l.starts_with("do 400")).unwrap();
+        assert!(
+            lines[d400 - 1].contains("retired(offlen(rowptr, rowlen)) interproc"),
+            "{annotated}"
+        );
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct DriverOptions {
     pub phase_order: PhaseOrder,
     /// Inlining threshold in statements (Polaris default: 50 lines).
     pub inline_limit: usize,
+    /// Compute per-routine property summaries and use them to carry
+    /// evolution facts and property queries across non-inlined calls.
+    /// Has no effect under `baseline_apo` or with IAA disabled.
+    pub enable_summaries: bool,
 }
 
 impl Default for DriverOptions {
@@ -65,6 +69,7 @@ impl Default for DriverOptions {
             baseline_apo: false,
             phase_order: PhaseOrder::Reorganized,
             inline_limit: 50,
+            enable_summaries: true,
         }
     }
 }
@@ -88,6 +93,15 @@ impl DriverOptions {
         DriverOptions {
             enable_iaa: false,
             baseline_apo: true,
+            ..DriverOptions::default()
+        }
+    }
+
+    /// Full IAA but no interprocedural summaries — the ablation that
+    /// shows what the summary pass buys on call-structured kernels.
+    pub fn without_summaries() -> Self {
+        DriverOptions {
+            enable_summaries: false,
             ..DriverOptions::default()
         }
     }
@@ -170,6 +184,10 @@ pub struct LoopVerdict {
     /// Non-empty on loops promoted past (or partially relieved of)
     /// runtime guarding by producer-loop facts.
     pub retired_checks: Vec<ResidualCheck>,
+    /// Some retired check was discharged by a fact that crossed a
+    /// `call` via the interprocedural summaries: the promotion needed
+    /// interprocedural reasoning.
+    pub promoted_interproc: bool,
     /// How a hybrid runtime should dispatch this loop.
     pub tier: DispatchTier,
     /// Proven facts a runtime can turn into a zero-merge execution
@@ -255,10 +273,22 @@ pub fn compile(mut program: Program, opts: DriverOptions) -> CompilationReport {
             interprocedural: opts.phase_order == PhaseOrder::Reorganized && !opts.baseline_apo,
             ..SolverOptions::default()
         };
+        // Interprocedural property summaries: bottom-up over the call
+        // graph, then threaded into both the query solver (stepping
+        // over calls the summary proves harmless) and the evolution
+        // walk (composing producer facts across calls).
+        let summaries = (opts.enable_summaries && opts.enable_iaa && !opts.baseline_apo)
+            .then(|| irr_core::SummaryAnalysis::new(&ctx));
         let mut apa = ArrayPropertyAnalysis::with_options(&ctx, solver_opts);
         // Producer-loop value evolution: one walk per procedure, the
         // per-loop snapshots discharge residual checks in judge_loop.
-        let evo = EvolutionAnalysis::new(&ctx);
+        let evo = match &summaries {
+            Some(sa) => {
+                apa.set_summaries(sa);
+                EvolutionAnalysis::with_summaries(&ctx, sa)
+            }
+            None => EvolutionAnalysis::new(&ctx),
+        };
         for (pi, proc) in program.procedures.iter().enumerate() {
             let proc_id = ProcId(pi as u32);
             for s in program.stmts_in(&proc.body) {
@@ -306,6 +336,7 @@ fn judge_loop<'c, 'p>(
         properties_used: Vec::new(),
         blockers: Vec::new(),
         retired_checks: Vec::new(),
+        promoted_interproc: false,
         tier: DispatchTier::Sequential,
         strategy_facts: StrategyFacts::None,
     };
@@ -418,6 +449,12 @@ fn judge_loop<'c, 'p>(
                     .properties_used
                     .push((program.symbols.name(*ptr).to_string(), "EVO-OFFLEN")),
             }
+            v.promoted_interproc |= match &rc {
+                ResidualCheck::Injective { array } => evo.fact_interproc(loop_stmt, *array),
+                ResidualCheck::OffsetLength { ptr, len } => {
+                    evo.fact_interproc(loop_stmt, *ptr) || evo.fact_interproc(loop_stmt, *len)
+                }
+            };
             v.retired_checks.push(rc);
         } else {
             // The dependence is Unknown, not disproven — but the tester
@@ -799,6 +836,61 @@ mod tests {
             .properties_used
             .iter()
             .any(|(a, t)| a == "rowptr" && *t == "EVO-OFFLEN"));
+    }
+
+    // The CRS producer chain hidden in a subroutine the inliner skips
+    // (labeled loops make it ineligible): only the interprocedural
+    // summaries can carry the producer facts to the consumer.
+    pub(crate) const CALL_STRUCTURED_CRS: &str = "program t
+         integer i, j, n, rowof(16), rowlen(8), rowptr(9)
+         real front(16)
+         n = 8
+         call crsbld
+         do 400 i = 1, n
+           do j = 1, rowlen(i)
+             front(rowptr(i) + j - 1) = front(rowptr(i) + j - 1) * 0.98
+           enddo
+ 400     continue
+         print front(1)
+         end
+         subroutine crsbld
+         integer i, k, rowof(16), rowlen(8), rowptr(9)
+         do 310 i = 1, 8
+           rowlen(i) = 0
+ 310     continue
+         do 320 k = 1, 16
+           rowlen(rowof(k)) = rowlen(rowof(k)) + 1
+ 320     continue
+         rowptr(1) = 1
+         do 330 i = 1, 8
+           rowptr(i + 1) = rowptr(i) + rowlen(i)
+ 330     continue
+         end";
+
+    #[test]
+    fn call_structured_producer_promotes_only_with_summaries() {
+        let rep = compile_source(CALL_STRUCTURED_CRS, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do400").unwrap();
+        assert!(matches!(v.tier, DispatchTier::CompileTimeParallel), "{v:?}");
+        assert!(v.promoted_interproc, "{v:?}");
+        assert!(matches!(
+            v.retired_checks[..],
+            [ResidualCheck::OffsetLength { .. }]
+        ));
+
+        let cold = compile_source(CALL_STRUCTURED_CRS, DriverOptions::without_summaries()).unwrap();
+        let cv = cold.verdict("T/do400").unwrap();
+        assert!(matches!(cv.tier, DispatchTier::RuntimeGuarded(_)), "{cv:?}");
+        assert!(!cv.promoted_interproc);
+        assert!(cv.retired_checks.is_empty());
+    }
+
+    #[test]
+    fn intraprocedural_promotions_are_not_flagged_interproc() {
+        let rep = compile_source(CRS_PRODUCER, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do400").unwrap();
+        assert!(matches!(v.tier, DispatchTier::CompileTimeParallel));
+        assert!(!v.promoted_interproc, "{v:?}");
     }
 
     #[test]

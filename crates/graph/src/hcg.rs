@@ -107,6 +107,9 @@ pub struct Hcg {
     loop_sections: HashMap<StmtId, SectionId>,
     stmt_nodes: HashMap<StmtId, HcgNodeId>,
     call_sites: HashMap<ProcId, Vec<HcgNodeId>>,
+    /// Deduplicated direct callees of each procedure, in call order —
+    /// the call-graph edges the bottom-up summary fixpoint walks.
+    calls_from: Vec<Vec<ProcId>>,
     /// Topological index of each node within its section.
     topo_index: Vec<u32>,
 }
@@ -124,11 +127,12 @@ impl Hcg {
             loop_sections: HashMap::new(),
             stmt_nodes: HashMap::new(),
             call_sites: HashMap::new(),
+            calls_from: vec![Vec::new(); program.procedures.len()],
             topo_index: Vec::new(),
         };
         for (i, proc) in program.procedures.iter().enumerate() {
             let pid = ProcId(i as u32);
-            let sec = hcg.build_section(program, SectionKind::ProcBody(pid), &proc.body);
+            let sec = hcg.build_section(program, pid, SectionKind::ProcBody(pid), &proc.body);
             hcg.proc_sections.push(sec);
         }
         hcg.compute_topo();
@@ -155,6 +159,7 @@ impl Hcg {
     fn build_section(
         &mut self,
         program: &Program,
+        pid: ProcId,
         kind: SectionKind,
         body: &[StmtId],
     ) -> SectionId {
@@ -170,7 +175,7 @@ impl Hcg {
         let exit = self.add_node(HcgNodeKind::Exit(sec), sec);
         let mut cur = entry;
         for &s in body {
-            cur = self.build_stmt(program, sec, cur, s);
+            cur = self.build_stmt(program, pid, sec, cur, s);
         }
         self.add_edge(cur, exit);
         self.sections[sec.index()].entry = entry;
@@ -186,6 +191,7 @@ impl Hcg {
     fn build_stmt(
         &mut self,
         program: &Program,
+        pid: ProcId,
         sec: SectionId,
         prev: HcgNodeId,
         s: StmtId,
@@ -207,12 +213,15 @@ impl Hcg {
                 );
                 self.stmt_nodes.insert(s, n);
                 self.call_sites.entry(*proc).or_default().push(n);
+                if !self.calls_from[pid.index()].contains(proc) {
+                    self.calls_from[pid.index()].push(*proc);
+                }
                 self.add_edge(prev, n);
                 n
             }
             StmtKind::Do { body, .. } | StmtKind::While { body, .. } => {
                 let body = body.clone();
-                let body_sec = self.build_section(program, SectionKind::LoopBody(s), &body);
+                let body_sec = self.build_section(program, pid, SectionKind::LoopBody(s), &body);
                 let n = self.add_node(
                     HcgNodeKind::Loop {
                         stmt: s,
@@ -236,12 +245,12 @@ impl Hcg {
                 let (then_body, else_body) = (then_body.clone(), else_body.clone());
                 let mut cur = branch;
                 for &t in &then_body {
-                    cur = self.build_stmt(program, sec, cur, t);
+                    cur = self.build_stmt(program, pid, sec, cur, t);
                 }
                 self.add_edge(cur, join);
                 let mut cur = branch;
                 for &t in &else_body {
-                    cur = self.build_stmt(program, sec, cur, t);
+                    cur = self.build_stmt(program, pid, sec, cur, t);
                 }
                 self.add_edge(cur, join);
                 join
@@ -328,6 +337,78 @@ impl Hcg {
     /// Every `call` node that targets `p`.
     pub fn call_sites(&self, p: ProcId) -> &[HcgNodeId] {
         self.call_sites.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The deduplicated direct callees of `p`, in first-call order.
+    pub fn callees(&self, p: ProcId) -> &[ProcId] {
+        self.calls_from
+            .get(p.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Procedures that participate in a call-graph cycle (including
+    /// direct self-recursion): any procedure reachable from one of its
+    /// own callees. Interprocedural summaries for these must be
+    /// conservative — there is no bottom-up order to compose them in.
+    pub fn recursive_procs(&self) -> Vec<ProcId> {
+        let n = self.calls_from.len();
+        let mut out = Vec::new();
+        for p in 0..n {
+            let start = ProcId(p as u32);
+            let mut seen: Vec<ProcId> = Vec::new();
+            let mut work: Vec<ProcId> = self.callees(start).to_vec();
+            let mut cyclic = false;
+            while let Some(q) = work.pop() {
+                if q == start {
+                    cyclic = true;
+                    break;
+                }
+                if seen.contains(&q) {
+                    continue;
+                }
+                seen.push(q);
+                work.extend_from_slice(self.callees(q));
+            }
+            if cyclic {
+                out.push(start);
+            }
+        }
+        out
+    }
+
+    /// A callees-first (bottom-up) traversal order of the call graph:
+    /// every procedure appears after all procedures it calls, except
+    /// across cycle back edges (cycle members are conservative anyway —
+    /// see [`Hcg::recursive_procs`]). Every procedure appears exactly
+    /// once, reachable from a call site or not.
+    pub fn bottom_up_procs(&self) -> Vec<ProcId> {
+        let n = self.calls_from.len();
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        for root in 0..n {
+            if state[root] != 0 {
+                continue;
+            }
+            // Iterative post-order DFS.
+            let mut stack: Vec<(ProcId, usize)> = vec![(ProcId(root as u32), 0)];
+            state[root] = 1;
+            while let Some((p, child)) = stack.pop() {
+                let callees = self.callees(p);
+                if child < callees.len() {
+                    stack.push((p, child + 1));
+                    let q = callees[child];
+                    if state[q.index()] == 0 {
+                        state[q.index()] = 1;
+                        stack.push((q, 0));
+                    }
+                } else {
+                    state[p.index()] = 2;
+                    order.push(p);
+                }
+            }
+        }
+        order
     }
 
     /// Topological index of `n` within its section (entry is 0). The
@@ -568,5 +649,63 @@ mod tests {
         let body = &p.procedure(p.main()).body;
         let n = h.node_of_stmt(body[0]).unwrap();
         assert_eq!(h.kind(n).stmt(), Some(body[0]));
+    }
+
+    #[test]
+    fn call_graph_edges_and_bottom_up_order() {
+        let (p, h) = build(
+            "program t
+             call a
+             call b
+             end
+             subroutine a
+             call c
+             end
+             subroutine b
+             call c
+             end
+             subroutine c
+             x = 1
+             end",
+        );
+        let (a, b, c) = (
+            p.find_procedure("a").unwrap(),
+            p.find_procedure("b").unwrap(),
+            p.find_procedure("c").unwrap(),
+        );
+        assert_eq!(h.callees(p.main()), &[a, b]);
+        assert_eq!(h.callees(a), &[c]);
+        assert!(h.recursive_procs().is_empty());
+        let order = h.bottom_up_procs();
+        assert_eq!(order.len(), p.procedures.len());
+        let pos = |q: ProcId| order.iter().position(|x| *x == q).unwrap();
+        assert!(pos(c) < pos(a));
+        assert!(pos(c) < pos(b));
+        assert!(pos(a) < pos(p.main()));
+    }
+
+    #[test]
+    fn mutual_recursion_is_detected() {
+        let (p, h) = build(
+            "program t
+             call a
+             end
+             subroutine a
+             call b
+             end
+             subroutine b
+             call a
+             end
+             subroutine leaf
+             y = 1
+             end",
+        );
+        let rec = h.recursive_procs();
+        assert!(rec.contains(&p.find_procedure("a").unwrap()));
+        assert!(rec.contains(&p.find_procedure("b").unwrap()));
+        assert!(!rec.contains(&p.main()), "main calls a cycle, is not in it");
+        assert!(!rec.contains(&p.find_procedure("leaf").unwrap()));
+        // Unreachable procedures still appear in the bottom-up order.
+        assert_eq!(h.bottom_up_procs().len(), p.procedures.len());
     }
 }

@@ -614,6 +614,107 @@ end
     }
 }
 
+/// `lufront_producer` with the whole producer chain moved into a
+/// subroutine the inliner must skip (its loops are labeled): the
+/// offset–length facts reach the do-400 consumer only via the
+/// interprocedural summaries, so the loop promotes to
+/// `CompileTimeParallel` exactly when summaries are enabled — the
+/// SPARK00-style decomposed-kernel shape.
+pub fn lufront_callchain(scale: &SparseScale) -> SparseProgram {
+    let m = crs(scale);
+    let (r, e) = (m.segments(), m.nnz().max(1));
+    let front = dense_reals(e, scale.seed ^ 0x65);
+    let source = format!(
+        "program lufrontc
+  integer i, j, k, n, nnz, rowptr({rp}), rowlen({r}), rowof({e})
+  real aval({e}), front({e})
+  n = {r}
+  call crsbld
+  do 400 i = 1, n
+    do j = 1, rowlen(i)
+      front(rowptr(i) + j - 1) = front(rowptr(i) + j - 1) * 0.98 + aval(rowptr(i) + j - 1)
+    enddo
+ 400 continue
+  print front(1), front({me}), front({e})
+end
+subroutine crsbld
+  integer i, k, nnz, rowptr({rp}), rowlen({r}), rowof({e})
+  do 610 i = 1, {r}
+    rowlen(i) = 0
+ 610 continue
+  do 620 k = 1, {anz}
+    rowlen(rowof(k)) = rowlen(rowof(k)) + 1
+ 620 continue
+  rowptr(1) = 1
+  do 630 i = 1, {r}
+    rowptr(i + 1) = rowptr(i) + rowlen(i)
+ 630 continue
+end
+",
+        rp = r + 1,
+        anz = m.nnz(),
+        me = mid(e),
+    );
+    SparseProgram {
+        name: "lufront_callchain",
+        label: "LUFRONTC/do400".into(),
+        source,
+        presets: vec![
+            ("rowof", int_array(&segment_of(&m))),
+            ("aval", real_array(&m.val)),
+            ("front", real_array(&front)),
+        ],
+        expected_tier: ExpectedTier::CompileTimeParallel,
+        expected_facts: "none",
+    }
+}
+
+/// `permute_producer` with the reversal fill hidden in a subroutine
+/// (labeled loop, so never inlined): the injectivity fact crosses the
+/// call via summaries and the do-800 scatter promotes — without them
+/// it stays runtime-guarded.
+pub fn permute_callchain(scale: &SparseScale) -> SparseProgram {
+    let m = crs(scale);
+    let e = m.nnz().max(1);
+    let source = format!(
+        "program permutec
+  integer k, nnz, perm({e})
+  real aval({e}), pval({e})
+  nnz = {anz}
+  call permbld
+  do 800 k = 1, nnz
+    pval(perm(k)) = aval(k) * 2.0
+ 800 continue
+  print pval(1), pval({me}), pval({e})
+end
+subroutine permbld
+  integer k, perm({e})
+  do 710 k = 1, {anz}
+    perm(k) = {anz} + 1 - k
+ 710 continue
+end
+",
+        anz = m.nnz(),
+        me = mid(e),
+    );
+    SparseProgram {
+        name: "permute_callchain",
+        label: "PERMUTEC/do800".into(),
+        source,
+        presets: vec![("aval", real_array(&m.val))],
+        expected_tier: ExpectedTier::CompileTimeParallel,
+        expected_facts: "none",
+    }
+}
+
+/// The call-structured producer kernels, in a stable order: consumers
+/// identical to the producer kernels', but the index arrays are built
+/// by subroutines the inliner cannot flatten. Their promotion is the
+/// acceptance test of the interprocedural summary pass.
+pub fn interproc_kernels(scale: &SparseScale) -> Vec<SparseProgram> {
+    vec![lufront_callchain(scale), permute_callchain(scale)]
+}
+
 /// Heavy-row gathering: appends the indices of rows longer than the
 /// mean to a compacted list through an incremented pointer. The
 /// pointer dependence proves the loop sequential, but the
@@ -731,6 +832,30 @@ mod tests {
                 k.name
             );
             parse_program(&k.source).unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
+        }
+    }
+
+    #[test]
+    fn interproc_kernels_parse_and_keep_the_producers_out_of_line() {
+        let iks = interproc_kernels(&SparseScale::test(Structure::Uniform, 13));
+        assert_eq!(iks.len(), 2);
+        for k in &iks {
+            assert_eq!(k.expected_tier, ExpectedTier::CompileTimeParallel);
+            let p = parse_program(&k.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
+            assert_eq!(
+                p.procedures.len(),
+                2,
+                "{}: the producer chain must live in a subroutine",
+                k.name
+            );
+            // Labeled producer loops keep the subroutine out of the
+            // inliner, so promotion genuinely crosses the call.
+            let sub = &p.procedures[1];
+            assert!(p.stmts_in(&sub.body).iter().any(|&s| matches!(
+                p.stmt(s).kind,
+                irr_frontend::StmtKind::Do { label: Some(_), .. }
+            )));
         }
     }
 

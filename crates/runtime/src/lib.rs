@@ -114,6 +114,9 @@ struct LoopEntry {
     /// Residual checks the value-evolution analysis discharged at
     /// compile time: inspections this loop entry never pays for.
     retired: u64,
+    /// The discharge crossed a procedure boundary (summary-carried
+    /// facts): promotions to attribute to interprocedural analysis.
+    interproc: bool,
 }
 
 /// The hybrid dispatcher: consulted by the interpreter at every dynamic
@@ -173,6 +176,7 @@ impl HybridDispatcher {
                     reductions,
                     strategy,
                     retired: v.retired_checks.len() as u64,
+                    interproc: v.promoted_interproc,
                 },
             );
         }
@@ -374,6 +378,9 @@ impl LoopDispatcher for HybridDispatcher {
                     // pre-evolution runtime would have run here.
                     self.telemetry.promoted_by_evolution += 1;
                     self.telemetry.inspections_retired += entry.retired;
+                    if entry.interproc {
+                        self.telemetry.promoted_interproc += 1;
+                    }
                 }
                 self.last_parallel = Some((loop_stmt, key));
                 LoopDecision::Parallel(self.plan_for(&entry, fault))

@@ -34,6 +34,10 @@ pub struct Telemetry {
     /// the residual check at compile time: one per retired check per
     /// dynamic loop entry — directly comparable to `inspections_run`.
     pub inspections_retired: u64,
+    /// The subset of `promoted_by_evolution` entries whose discharging
+    /// fact crossed a `call` via the interprocedural summaries: the
+    /// promotions only summary-based propagation can deliver.
+    pub promoted_interproc: u64,
     /// Guarded loop entries whose inspection (or cached verdict) cleared
     /// parallel execution.
     pub guarded_parallel: u64,

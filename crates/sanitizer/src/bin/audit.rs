@@ -4,7 +4,7 @@
 //! ```text
 //! sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N]
 //!                 [--scale test|paper] [--only SUBSTR] [--chaos N]
-//!                 [--sparse N] [--evolution]
+//!                 [--sparse N] [--evolution] [--interproc]
 //! ```
 //!
 //! `--chaos N` additionally replays every target under `N` seeded
@@ -26,12 +26,18 @@
 //! so is a sweep in which *no* consumer promotes (the analysis has
 //! silently regressed to runtime guarding).
 //!
+//! `--interproc` audits the call-structured kernels — producers that
+//! live out of line in a subroutine, so only the interprocedural
+//! summaries can promote the consumers. Same rules as `--evolution`,
+//! plus each promotion must be flagged `promoted_interproc`; a sweep
+//! with zero surviving interprocedural promotions is a violation.
+//!
 //! Exits nonzero iff any soundness violation is found, so the command
 //! doubles as a CI gate. Precision gaps (full mode) are informational.
 
 use irr_driver::{compile_source, CompilationReport, DispatchTier, DriverOptions};
 use irr_exec::{FaultPlan, Interp, Store, Value};
-use irr_programs::sparse::{kernels, producer_kernels, SparseScale};
+use irr_programs::sparse::{interproc_kernels, kernels, producer_kernels, SparseScale};
 use irr_programs::{all, Scale};
 use irr_runtime::{run_hybrid_with_faults, HybridConfig};
 use irr_sanitizer::{
@@ -49,6 +55,7 @@ fn main() {
     let mut chaos = 0usize;
     let mut sparse = 0usize;
     let mut evolution = false;
+    let mut interproc = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -92,11 +99,12 @@ fn main() {
                     .unwrap_or_else(|_| die("--sparse needs an integer"))
             }
             "--evolution" => evolution = true,
+            "--interproc" => interproc = true,
             "--help" | "-h" => {
                 println!(
                     "sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N] \
                      [--scale test|paper] [--only SUBSTR] [--chaos N] [--sparse N] \
-                     [--evolution]"
+                     [--evolution] [--interproc]"
                 );
                 return;
             }
@@ -165,6 +173,12 @@ fn main() {
     }
     if evolution {
         let (sampled, violations, gaps) = evolution_sweep(&config);
+        audited += sampled;
+        total_violations += violations;
+        total_gaps += gaps;
+    }
+    if interproc {
+        let (sampled, violations, gaps) = interproc_sweep(&config);
         audited += sampled;
         total_violations += violations;
         total_gaps += gaps;
@@ -315,6 +329,95 @@ fn evolution_sweep(config: &AuditConfig) -> (usize, usize, usize) {
     if promoted == 0 {
         println!(
             "  [VIOLATION] evolution sweep: no promotions — value-evolution analysis regressed"
+        );
+        violations += 1;
+    }
+    (sampled, violations, gaps)
+}
+
+/// Audits the call-structured kernels: the index-array producers live
+/// in a subroutine the inliner never flattens, so the consumer promotes
+/// to compile-time parallel *only* through the interprocedural property
+/// summaries. Every promotion must carry the `promoted_interproc` flag
+/// and survive dynamic replay (retired checks re-evaluated against the
+/// live store). A sweep with zero surviving interprocedural promotions
+/// counts as a violation — the regression gate for the summary layer.
+/// Returns `(programs audited, violations, precision gaps)`.
+fn interproc_sweep(config: &AuditConfig) -> (usize, usize, usize) {
+    const STRUCTURES: [Structure; 3] = [
+        Structure::Banded { bandwidth: 8 },
+        Structure::Uniform,
+        Structure::PowerLaw,
+    ];
+    println!(
+        "interproc sweep: call-structured kernels, {} structure(s)",
+        STRUCTURES.len()
+    );
+    let mut violations = 0usize;
+    let mut gaps = 0usize;
+    let mut sampled = 0usize;
+    let mut promoted = 0usize;
+    for (i, structure) in STRUCTURES.iter().enumerate() {
+        let seed = config.seed.wrapping_add(i as u64).wrapping_mul(7) | 1;
+        for k in interproc_kernels(&SparseScale::test(*structure, seed)) {
+            let rep = match compile_source(&k.source, DriverOptions::with_iaa()) {
+                Ok(r) => r,
+                Err(e) => die(&format!("interproc {}: parse error: {e}", k.name)),
+            };
+            let consumer = rep
+                .verdict(&k.label)
+                .filter(|v| matches!(v.tier, DispatchTier::CompileTimeParallel));
+            let retired = consumer.map_or(0, |v| v.retired_checks.len());
+            let flagged = consumer.is_some_and(|v| v.promoted_interproc);
+            if retired > 0 && !flagged {
+                println!(
+                    "  [VIOLATION] interproc {}: promotion not flagged promoted_interproc",
+                    k.name
+                );
+                violations += 1;
+            }
+            let presets = k.resolve_presets(&rep.program);
+            let audit = audit_report_seeded(&rep, config, &presets);
+            println!(
+                "interproc {} ({}, seed {seed}): {} retired check(s), interproc {}, {} loop(s) \
+                 audited, {} run(s) ok, {} failed, {} violation(s), {} precision gap(s)",
+                k.name,
+                structure.tag(),
+                retired,
+                flagged,
+                audit.loops_audited,
+                audit.runs_completed,
+                audit.runs_failed,
+                audit.violations(),
+                audit.precision_gaps(),
+            );
+            for f in &audit.findings {
+                let tag = match f.kind {
+                    FindingKind::SoundnessViolation => "VIOLATION",
+                    FindingKind::PrecisionGap => "precision-gap",
+                };
+                println!("  [{tag}] {}", f.detail);
+            }
+            if audit.runs_failed > 0 {
+                println!(
+                    "  [VIOLATION] interproc {}: {} run(s) failed",
+                    k.name, audit.runs_failed
+                );
+                violations += audit.runs_failed as usize;
+            }
+            if retired > 0 && flagged && audit.violations() == 0 && audit.runs_failed == 0 {
+                promoted += 1;
+            }
+            violations += audit.violations();
+            gaps += audit.precision_gaps();
+            sampled += 1;
+        }
+    }
+    println!("interproc sweep: {promoted}/{sampled} consumer loop(s) promoted interprocedurally");
+    if promoted == 0 {
+        println!(
+            "  [VIOLATION] interproc sweep: no surviving interprocedural promotions — the \
+             summary layer regressed"
         );
         violations += 1;
     }
