@@ -1,0 +1,276 @@
+//! Load generator for the analysis service: a deterministic mixed
+//! request stream — generated sparse kernels, the five figure
+//! benchmarks, and the malformed-program corpus — pushed through a
+//! budgeted [`irr_service::Service`] in a semi-open loop (a bounded
+//! window of in-flight requests, so admission control is exercised
+//! without drowning the pool).
+//!
+//! Emitted into the `--json` report:
+//!
+//! - timed entries `service/latency/{p50,p99}` — end-to-end response
+//!   latency percentiles in nanoseconds (queue wait included), so the
+//!   CI soft perf gate (`--baseline` + `--regress-threshold`) watches
+//!   the tail, not just the middle;
+//! - annotations: request/completion/shed counts, cache hits and the
+//!   hit rate (per-mille), degraded counts by reason, parse errors,
+//!   caught panics, and the per-fault fired counts.
+//!
+//! The stream completes or the binary fails: every response must carry
+//! a known reason code, and every caught panic must be an injected
+//! one — an escaped or unattributed panic is a hard error, which is
+//! what makes the CI smoke run (1k requests, tight budgets) a
+//! robustness gate and not just a timer.
+//!
+//! Configuration is by environment (bare arguments are harness
+//! filters):
+//!
+//! | variable             | default | meaning                          |
+//! |----------------------|---------|----------------------------------|
+//! | `SERVICE_REQUESTS`   | 10000   | requests in the stream           |
+//! | `SERVICE_WORKERS`    | 4       | worker threads                   |
+//! | `SERVICE_QUEUE`      | 64      | admission-queue capacity         |
+//! | `SERVICE_FUEL`       | 2000000 | per-rung fuel (0 = unmetered)    |
+//! | `SERVICE_WALL_MS`    | 200     | per-request deadline (0 = none)  |
+//! | `SERVICE_FAULT_RATE` | 20      | injected faults per 1000 requests|
+//! | `SERVICE_SEED`       | 0x5eed  | stream + fault randomization     |
+//!
+//! ```sh
+//! cargo bench -p irr-bench --bench service -- --json BENCH_service.json
+//! SERVICE_REQUESTS=1000 SERVICE_FUEL=30000 cargo bench -p irr-bench --bench service
+//! ```
+
+use irr_bench::harness::Runner;
+use irr_exec::SplitMix64;
+use irr_programs::sparse::{kernels, producer_kernels, SparseScale};
+use irr_service::{Service, ServiceConfig, ServiceFaultPlan, Submitted};
+use irr_sparse::Structure;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The source pool the stream draws from: `(name, source, well_formed)`.
+fn pool() -> Vec<(String, String, bool)> {
+    let mut out = Vec::new();
+    for (structure, tag) in [(Structure::Uniform, "uni"), (Structure::PowerLaw, "pow")] {
+        let scale = SparseScale::test(structure, 0xbeef);
+        for k in kernels(&scale).into_iter().chain(producer_kernels(&scale)) {
+            out.push((format!("{}-{tag}", k.name), k.source, true));
+        }
+    }
+    for b in irr_programs::all(irr_programs::Scale::Test) {
+        out.push((b.name.to_string(), b.source, true));
+    }
+    for c in irr_frontend::malformed_corpus(40) {
+        out.push((c.name.to_string(), c.source, false));
+    }
+    out
+}
+
+fn percentile(sorted_ns: &[u128], p: f64) -> u128 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx]
+}
+
+fn main() {
+    // Injected panics are caught and attributed by the service; keep
+    // their default-hook backtraces out of the log. Real panics still
+    // print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected analysis fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let runner = Runner::from_env();
+    let requests = if runner.is_check_only() {
+        200
+    } else {
+        env_u64("SERVICE_REQUESTS", 10_000) as usize
+    };
+    let workers = env_u64("SERVICE_WORKERS", 4) as usize;
+    let queue = env_u64("SERVICE_QUEUE", 64) as usize;
+    let fuel = match env_u64("SERVICE_FUEL", 2_000_000) {
+        0 => None,
+        f => Some(f),
+    };
+    let wall = match env_u64("SERVICE_WALL_MS", 200) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let fault_rate = env_u64("SERVICE_FAULT_RATE", 20) as u32;
+    let seed = env_u64("SERVICE_SEED", 0x5eed);
+
+    let pool = pool();
+    let well_formed: Vec<usize> = (0..pool.len()).filter(|&i| pool[i].2).collect();
+    let malformed: Vec<usize> = (0..pool.len()).filter(|&i| !pool[i].2).collect();
+
+    let svc = Service::start(ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        fuel,
+        wall_budget: wall,
+        fault_plan: if fault_rate > 0 {
+            ServiceFaultPlan::randomized(seed, fault_rate, 5)
+        } else {
+            ServiceFaultPlan::none()
+        },
+        ..ServiceConfig::default()
+    });
+
+    // Semi-open loop: a paced phase keeps at most `window` requests in
+    // flight (draining the oldest before submitting), and every eighth
+    // block of 64 requests is an unpaced burst that slams the bounded
+    // queue — so both completions and reason-coded sheds are exercised.
+    let window = (queue / 2).max(workers + 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut inflight: VecDeque<std::sync::mpsc::Receiver<irr_service::AnalysisResponse>> =
+        VecDeque::new();
+    let mut latencies_ns: Vec<u128> = Vec::with_capacity(requests);
+    let mut reasons: HashMap<&'static str, u64> = HashMap::new();
+    let drain = |rx: std::sync::mpsc::Receiver<irr_service::AnalysisResponse>,
+                 latencies_ns: &mut Vec<u128>,
+                 reasons: &mut HashMap<&'static str, u64>| {
+        let resp = rx.recv().expect("worker replies");
+        latencies_ns.push(resp.latency.as_nanos());
+        *reasons.entry(resp.reason_code()).or_insert(0) += 1;
+    };
+
+    let t0 = std::time::Instant::now();
+    for i in 0..requests {
+        // 70% well-formed (so the cache and the ladder do real work),
+        // 30% malformed (so the parse front door does).
+        let idx = if rng.next_u64() % 10 < 7 {
+            well_formed[(rng.next_u64() % well_formed.len() as u64) as usize]
+        } else {
+            malformed[(rng.next_u64() % malformed.len() as u64) as usize]
+        };
+        let (name, source, _) = &pool[idx];
+        let bursting = (i / 64) % 8 == 7;
+        if !bursting {
+            while inflight.len() >= window {
+                let rx = inflight.pop_front().unwrap();
+                drain(rx, &mut latencies_ns, &mut reasons);
+            }
+        }
+        match svc.submit(name, source) {
+            Submitted::Accepted(rx) => {
+                inflight.push_back(rx);
+            }
+            Submitted::Shed(resp) => {
+                *reasons.entry(resp.reason_code()).or_insert(0) += 1;
+            }
+        }
+    }
+    for rx in inflight {
+        drain(rx, &mut latencies_ns, &mut reasons);
+    }
+    let elapsed = t0.elapsed();
+
+    // ---- hard robustness checks -----------------------------------------
+    let known = [
+        "ok",
+        "fuel",
+        "wall-clock",
+        "quarantined",
+        "parse-error",
+        "panic",
+        "shed:queue-full",
+        "shed:shutting-down",
+    ];
+    for (code, n) in &reasons {
+        assert!(known.contains(code), "unknown reason code {code} x{n}");
+    }
+    let injected_panics = svc.faults_fired_count("panic-in-analysis") as u64;
+    let stats = svc.stats();
+    assert_eq!(
+        stats.panics_caught, injected_panics,
+        "a panic escaped attribution: {} caught vs {} injected",
+        stats.panics_caught, injected_panics
+    );
+    assert_eq!(stats.submitted, requests as u64);
+    assert_eq!(
+        stats.completed + stats.shed_queue_full + stats.shed_shutdown,
+        requests as u64,
+        "requests lost in flight"
+    );
+
+    // ---- report ---------------------------------------------------------
+    latencies_ns.sort_unstable();
+    let p50 = percentile(&latencies_ns, 0.50);
+    let p99 = percentile(&latencies_ns, 0.99);
+    println!(
+        "service load: {requests} requests in {:.2}s ({:.0} req/s, {workers} workers)",
+        elapsed.as_secs_f64(),
+        requests as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "  latency p50 {:.3} ms, p99 {:.3} ms (completed {})",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        stats.completed
+    );
+    println!(
+        "  cache {:.1}% hit, shed {:.1}%, degraded {}, parse errors {}, panics caught {}",
+        stats.cache_hit_rate() * 100.0,
+        stats.shed_rate() * 100.0,
+        stats.degraded,
+        stats.parse_errors,
+        stats.panics_caught
+    );
+    let mut codes: Vec<_> = reasons.iter().collect();
+    codes.sort();
+    for (code, n) in codes {
+        println!("    {code}: {n}");
+    }
+
+    runner.record_value("service/latency/p50", p50);
+    runner.record_value("service/latency/p99", p99);
+    runner.annotate("service/requests", requests as u64);
+    runner.annotate("service/completed", stats.completed);
+    runner.annotate("service/shed_queue_full", stats.shed_queue_full);
+    runner.annotate("service/cache_hits", stats.cache_hits);
+    runner.annotate(
+        "service/cache_hit_rate_x1000",
+        (stats.cache_hit_rate() * 1000.0) as u64,
+    );
+    runner.annotate(
+        "service/shed_rate_x1000",
+        (stats.shed_rate() * 1000.0) as u64,
+    );
+    runner.annotate("service/degraded", stats.degraded);
+    runner.annotate("service/fuel_exhaustions", stats.fuel_exhaustions);
+    runner.annotate("service/wall_exhaustions", stats.wall_exhaustions);
+    runner.annotate("service/quarantined_served", stats.quarantined_served);
+    runner.annotate("service/parse_errors", stats.parse_errors);
+    runner.annotate("service/panics_caught", stats.panics_caught);
+    for (reason, count) in reasons {
+        runner.annotate(&format!("service/reason/{reason}"), count);
+    }
+    for fault in [
+        "panic-in-analysis",
+        "stalled-worker",
+        "poisoned-cache-entry",
+        "budget-starvation",
+    ] {
+        runner.annotate(
+            &format!("service/fault/{fault}"),
+            svc.faults_fired_count(fault) as u64,
+        );
+    }
+    drop(svc);
+    std::process::exit(runner.finalize());
+}

@@ -23,6 +23,13 @@
 //! - `--regress-threshold R` sets that threshold as a ratio (default
 //!   1.5: a benchmark 50% over its baseline median is a regression);
 //! - other flags (`--bench`, etc.) are ignored.
+//!
+//! `cargo bench` runs the binary with the *package* directory
+//! (`crates/bench`) as its working directory, so relative `--json` and
+//! `--baseline` paths are resolved against the workspace root (the
+//! nearest ancestor holding a `Cargo.lock`) — `--json
+//! BENCH_parallel.json` lands next to the committed baselines however
+//! the bench is invoked. Absolute paths are used as given.
 
 use std::cell::RefCell;
 use std::hint::black_box;
@@ -68,9 +75,9 @@ impl Runner {
                     .and_then(|v| v.parse().ok())
                     .map(|n: usize| n.max(1));
             } else if a == "--json" {
-                json_path = args.next();
+                json_path = args.next().map(|p| resolve_report_path(&p));
             } else if a == "--baseline" {
-                baseline_path = args.next();
+                baseline_path = args.next().map(|p| resolve_report_path(&p));
             } else if a == "--regress-threshold" {
                 if let Some(t) = args.next().and_then(|v| v.parse().ok()) {
                     regress_threshold = t;
@@ -98,6 +105,30 @@ impl Runner {
         if self.json_path.is_some() {
             self.annotations.borrow_mut().push((key.to_string(), value));
         }
+    }
+
+    /// Whether the binary runs in `--test` smoke mode (one pass, no
+    /// timing loops) — load generators use this to shrink the request
+    /// stream.
+    pub fn is_check_only(&self) -> bool {
+        self.check_only
+    }
+
+    /// Records an externally measured value (e.g. a latency percentile
+    /// computed by a load generator) as a one-sample benchmark entry,
+    /// so it lands in `--json` and is gated by `--baseline` like any
+    /// timed result. No-op in check mode.
+    pub fn record_value(&self, id: &str, ns: u128) {
+        if self.check_only {
+            return;
+        }
+        self.record(Record {
+            id: id.to_string(),
+            median_ns: ns,
+            min_ns: ns,
+            mean_ns: ns,
+            samples: 1,
+        });
     }
 
     /// Starts a named benchmark group (default 50 samples per entry).
@@ -208,6 +239,31 @@ impl Runner {
 /// parser is deliberately minimal — the repository builds without a
 /// JSON dependency — and reads exactly the shape `render_json` writes:
 /// one benchmark object per line.
+/// Resolves a `--json`/`--baseline` path: absolute paths pass through;
+/// relative paths anchor at the workspace root (the nearest ancestor
+/// of the working directory holding a `Cargo.lock`), because `cargo
+/// bench` starts the binary in the bench *package* directory, not the
+/// directory the command was typed in.
+fn resolve_report_path(path: &str) -> String {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return path.to_string();
+    }
+    let Ok(cwd) = std::env::current_dir() else {
+        return path.to_string();
+    };
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join(p).to_string_lossy().into_owned();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return path.to_string(),
+        }
+    }
+}
+
 fn parse_baseline(text: &str) -> Vec<(String, u128)> {
     let mut out = Vec::new();
     for line in text.lines() {

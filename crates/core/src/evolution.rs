@@ -53,6 +53,7 @@
 //!
 //! [`inspect_offset_length`]: https://docs.rs/irr-exec
 
+use crate::budget::AnalysisBudget;
 use crate::summaries::SummaryAnalysis;
 use crate::AnalysisCtx;
 use irr_frontend::{BinOp, Expr, LValue, StmtId, StmtKind, VarId};
@@ -114,25 +115,45 @@ impl EvolutionAnalysis {
     /// Walks every procedure of the (post-pass) program once, treating
     /// every `call` as clobbering all facts.
     pub fn new(ctx: &AnalysisCtx<'_>) -> EvolutionAnalysis {
-        Self::build(ctx, None)
+        Self::budgeted(ctx, None, None)
     }
 
     /// Like [`new`](Self::new), but composes facts across calls using
     /// the per-routine summaries: calls to summarized routines
     /// preserve and establish facts instead of clobbering them.
     pub fn with_summaries(ctx: &AnalysisCtx<'_>, summaries: &SummaryAnalysis) -> EvolutionAnalysis {
-        Self::build(ctx, Some(summaries))
+        Self::budgeted(ctx, Some(summaries), None)
     }
 
-    fn build(ctx: &AnalysisCtx<'_>, summaries: Option<&SummaryAnalysis>) -> EvolutionAnalysis {
+    /// The fully general constructor: optional summaries, optional
+    /// [`AnalysisBudget`]. When the budget runs dry mid-walk the
+    /// remaining loops simply get no snapshots (and the live fact set
+    /// is dropped), so every discharge question they would be asked
+    /// answers "unknown" — weaker verdicts, never unsound ones.
+    /// Snapshots recorded *before* exhaustion were computed from a
+    /// complete walk up to that point and stay valid.
+    pub fn budgeted(
+        ctx: &AnalysisCtx<'_>,
+        summaries: Option<&SummaryAnalysis>,
+        budget: Option<&AnalysisBudget>,
+    ) -> EvolutionAnalysis {
         let mut evo = EvolutionAnalysis {
             at_loop: HashMap::new(),
         };
         for proc in &ctx.program.procedures {
             let mut facts: HashMap<VarId, EvoFacts> = HashMap::new();
-            evo.walk_body(ctx, &proc.body, &mut facts, summaries);
+            evo.walk_body(ctx, &proc.body, &mut facts, summaries, budget);
         }
         evo
+    }
+
+    /// An analysis that never ran: no loop has a snapshot, so every
+    /// discharge question answers "unknown". The evolution-off rung of
+    /// the degradation ladder compiles against this.
+    pub fn disabled() -> EvolutionAnalysis {
+        EvolutionAnalysis {
+            at_loop: HashMap::new(),
+        }
     }
 
     /// The facts live at entry to `loop_stmt`, if the loop was reached
@@ -212,9 +233,18 @@ impl EvolutionAnalysis {
         body: &[StmtId],
         facts: &mut HashMap<VarId, EvoFacts>,
         summaries: Option<&SummaryAnalysis>,
+        budget: Option<&AnalysisBudget>,
     ) {
         let program = ctx.program;
         for &s in body {
+            if budget.is_some_and(|b| !b.spend(1)) {
+                // Dry meter: stop producing facts. Clearing first keeps
+                // the walk conservative — nothing recorded from here on
+                // can claim a property the completed prefix didn't
+                // establish.
+                facts.clear();
+                return;
+            }
             match &program.stmt(s).kind {
                 StmtKind::Assign { lhs, .. } => match lhs {
                     LValue::Scalar(v) => {
@@ -226,7 +256,7 @@ impl EvolutionAnalysis {
                         apply_kills(facts, &HashSet::new(), &ka);
                     }
                 },
-                StmtKind::Do { .. } => self.handle_do(ctx, s, facts, summaries),
+                StmtKind::Do { .. } => self.handle_do(ctx, s, facts, summaries, budget),
                 StmtKind::While { body, .. } => {
                     kill_for_subtree(ctx, body, facts, summaries);
                 }
@@ -257,7 +287,7 @@ impl EvolutionAnalysis {
                                 // guarantees the callee's own calls are
                                 // already summarized and acyclic.
                                 let callee_body = program.procedure(*proc).body.clone();
-                                self.walk_body(ctx, &callee_body, facts, summaries);
+                                self.walk_body(ctx, &callee_body, facts, summaries, budget);
                             }
                             for f in facts.values_mut() {
                                 f.interproc = true;
@@ -277,6 +307,7 @@ impl EvolutionAnalysis {
         loop_stmt: StmtId,
         facts: &mut HashMap<VarId, EvoFacts>,
         summaries: Option<&SummaryAnalysis>,
+        budget: Option<&AnalysisBudget>,
     ) {
         let program = ctx.program;
         let StmtKind::Do { var, body, .. } = &program.stmt(loop_stmt).kind else {
@@ -284,6 +315,13 @@ impl EvolutionAnalysis {
         };
         let loop_var = *var;
         let body = body.clone();
+        // The kill-set and producer analyses below walk the whole
+        // subtree: charge proportionally, and record nothing when dry
+        // (no snapshot ⇒ `facts_at` is `None` ⇒ every discharge fails).
+        if budget.is_some_and(|b| !b.spend(1 + body.len() as u64)) {
+            facts.clear();
+            return;
+        }
         let pre = facts.clone();
         let kills = kill_sets(ctx, &body, summaries).map(|(mut ks, ka, via_call)| {
             ks.insert(loop_var);
@@ -411,7 +449,7 @@ pub(crate) fn facts_at_exit(
         at_loop: HashMap::new(),
     };
     let mut facts = HashMap::new();
-    evo.walk_body(ctx, body, &mut facts, Some(summaries));
+    evo.walk_body(ctx, body, &mut facts, Some(summaries), None);
     facts
 }
 

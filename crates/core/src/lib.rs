@@ -22,6 +22,7 @@
 //! test, and the parallelization driver) live in the `irr-deptest`,
 //! `irr-privatize`, and `irr-driver` crates.
 
+pub mod budget;
 pub mod ctx;
 pub mod evolution;
 pub mod gather;
@@ -30,6 +31,7 @@ pub mod single_indexed;
 pub mod stack;
 pub mod summaries;
 
+pub use budget::{AnalysisBudget, BudgetExhaustion};
 pub use ctx::AnalysisCtx;
 pub use evolution::{EvoFacts, EvolutionAnalysis, Monotonicity};
 pub use gather::{find_index_gathering_loops, IndexGatherInfo};

@@ -16,6 +16,7 @@
 //! - a `call` node recursively solves inside the callee (Fig. 11), and a
 //!   procedure entry splits the query to every call site (Fig. 12).
 
+use crate::budget::AnalysisBudget;
 use crate::ctx::AnalysisCtx;
 use crate::property::{checkers::PropertyChecker, Property, PropertyQuery, ITER_VAR};
 use crate::summaries::{section_mentions_array, SummaryAnalysis};
@@ -77,6 +78,10 @@ pub struct ArrayPropertyAnalysis<'c, 'p> {
     /// failing on recursion), whenever the summary proves the callee
     /// leaves the queried elements and the query bounds untouched.
     summaries: Option<&'c SummaryAnalysis>,
+    /// Cooperative resource meter: when it runs dry, every in-flight and
+    /// subsequent query answers "could not be verified" (which is always
+    /// sound — see `budget`'s module docs).
+    budget: Option<&'c AnalysisBudget>,
     /// `(loop stmt, array, property) -> (Kill, Gen)`.
     loop_cache: HashMap<(StmtId, VarId, Property), (Section, Section)>,
     /// `(section, array, property) -> (Kill, Gen)`.
@@ -107,6 +112,7 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
             ctx,
             opts,
             summaries: None,
+            budget: None,
             loop_cache: HashMap::new(),
             section_cache: HashMap::new(),
             stats: QueryStats::default(),
@@ -118,6 +124,19 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
     /// section caches.
     pub fn set_summaries(&mut self, summaries: &'c SummaryAnalysis) {
         self.summaries = Some(summaries);
+    }
+
+    /// Meters this engine's worklists against `budget`. Once the meter
+    /// runs dry the engine keeps answering, but always conservatively
+    /// ("could not be verified").
+    pub fn set_budget(&mut self, budget: &'c AnalysisBudget) {
+        self.budget = Some(budget);
+    }
+
+    /// One unit of worklist work; `false` means the meter is dry and the
+    /// caller must bail conservatively.
+    fn tick(&self) -> bool {
+        self.budget.is_none_or(|b| b.spend(1))
     }
 
     /// Whether the summary of `callee` proves a query on `chk.array`
@@ -154,6 +173,9 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
         let result = (|| {
             if query.section.is_empty() {
                 return true;
+            }
+            if self.budget.is_some_and(|b| b.exhausted().is_some()) {
+                return false; // dry meter: unverified, not disproved
             }
             let Some(node) = self.ctx.hcg.node_of_stmt(query.at_stmt) else {
                 return false;
@@ -307,6 +329,10 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
             };
             let set = pending.remove(&n).expect("popped key");
             self.stats.nodes_visited += 1;
+            if !self.tick() {
+                killed = true; // out of budget: report unverified
+                break;
+            }
             let vcount = visits.entry(n).or_insert(0);
             *vcount += 1;
             if *vcount > 8 {
@@ -698,6 +724,11 @@ impl<'c, 'p> ArrayPropertyAnalysis<'c, 'p> {
                 .expect("pending nonempty");
             let gen_t = pending.remove(&n).expect("popped key");
             self.stats.nodes_visited += 1;
+            if !self.tick() {
+                // Out of budget: "may kill everything, generates nothing"
+                // is the top of the summary lattice.
+                return (Section::Universal, Section::Empty);
+            }
             if n == entry {
                 final_gen = Some(gen_t);
                 break;

@@ -39,6 +39,7 @@
 //! sets but drop the establish component: the exit state is then not
 //! the state after the last statement.
 
+use crate::budget::AnalysisBudget;
 use crate::evolution::{self, EvoFacts};
 use crate::AnalysisCtx;
 use irr_frontend::{Expr, LValue, ProcId, StmtKind, VarId};
@@ -129,6 +130,15 @@ impl SummaryAnalysis {
     /// Computes summaries for every routine, callees before callers.
     /// Routines on call-graph cycles stay [`ProcSummary::unknown`].
     pub fn new(ctx: &AnalysisCtx<'_>) -> SummaryAnalysis {
+        Self::new_budgeted(ctx, None)
+    }
+
+    /// [`new`](Self::new) under an [`AnalysisBudget`]: each routine is
+    /// charged proportionally to its body before being summarized, and
+    /// once the meter runs dry every remaining routine keeps its
+    /// `unknown` (opaque) summary — callers then treat its calls as
+    /// clobbering everything, which is the sound direction.
+    pub fn new_budgeted(ctx: &AnalysisCtx<'_>, budget: Option<&AnalysisBudget>) -> SummaryAnalysis {
         let nprocs = ctx.program.procedures.len();
         let mut sa = SummaryAnalysis {
             summaries: vec![ProcSummary::unknown(); nprocs],
@@ -137,6 +147,10 @@ impl SummaryAnalysis {
         for p in ctx.hcg.bottom_up_procs() {
             if recursive.contains(&p) {
                 continue; // stays opaque
+            }
+            let cost = 1 + ctx.program.stmts_in(&ctx.program.procedure(p).body).len() as u64;
+            if budget.is_some_and(|b| !b.spend(cost)) {
+                break; // the rest stay opaque
             }
             sa.summaries[p.index()] = compute_summary(ctx, p, &sa);
         }

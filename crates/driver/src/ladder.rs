@@ -1,0 +1,210 @@
+//! The degradation ladder: four analysis configurations ordered from
+//! strongest to cheapest, each provably no less conservative than the
+//! one above it.
+//!
+//! | rung | configuration | what a loop can lose |
+//! |------|---------------|----------------------|
+//! | `Full` | summaries + evolution + solver | nothing (baseline) |
+//! | `SummariesOff` | evolution + solver, calls opaque | interprocedural promotions |
+//! | `EvolutionOff` | solver only | all `EVO` promotions (loops fall back to guards) |
+//! | `ParseOnly` | no analysis | everything: every loop is `Sequential` |
+//!
+//! The monotonicity argument is structural, not empirical: every rung
+//! removes an analysis whose only power is to *verify* facts, and every
+//! verified fact only ever moves a verdict toward parallel (a retired
+//! check, a stepped-over call, a discharged query). Removing the
+//! analysis removes proofs, never adds them — so descending the ladder
+//! can only move verdicts along `CompileTimeParallel → RuntimeGuarded
+//! → Sequential`, which is exactly the direction the dispatch tiers
+//! degrade safely (the runtime treats `Sequential` as "just run it").
+//! The property test in `irr-service` checks this on every kernel.
+
+use crate::{compile_budgeted, parse_only_report, CompilationReport, DispatchTier, DriverOptions};
+use irr_core::AnalysisBudget;
+use irr_frontend::Program;
+
+/// A rung of the ladder, strongest first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DegradeLevel {
+    /// Everything on: summaries, evolution, full solver.
+    Full,
+    /// Interprocedural summaries off: calls are opaque again.
+    SummariesOff,
+    /// Value-evolution off too: no residual checks are retired.
+    EvolutionOff,
+    /// No analysis at all: parse, enumerate loops, answer `Sequential`.
+    ParseOnly,
+}
+
+impl DegradeLevel {
+    /// All rungs, strongest first.
+    pub const ALL: [DegradeLevel; 4] = [
+        DegradeLevel::Full,
+        DegradeLevel::SummariesOff,
+        DegradeLevel::EvolutionOff,
+        DegradeLevel::ParseOnly,
+    ];
+
+    /// Short stable name for telemetry and reason codes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeLevel::Full => "full",
+            DegradeLevel::SummariesOff => "summaries-off",
+            DegradeLevel::EvolutionOff => "evolution-off",
+            DegradeLevel::ParseOnly => "parse-only",
+        }
+    }
+
+    /// The next (weaker) rung, or `None` from the terminal rung.
+    pub fn next(&self) -> Option<DegradeLevel> {
+        match self {
+            DegradeLevel::Full => Some(DegradeLevel::SummariesOff),
+            DegradeLevel::SummariesOff => Some(DegradeLevel::EvolutionOff),
+            DegradeLevel::EvolutionOff => Some(DegradeLevel::ParseOnly),
+            DegradeLevel::ParseOnly => None,
+        }
+    }
+
+    /// Applies this rung's restrictions to a base configuration. The
+    /// result only ever clears capability bits, so a caller's own
+    /// restrictions (e.g. `baseline_apo`) survive the descent.
+    pub fn options(&self, base: DriverOptions) -> DriverOptions {
+        match self {
+            DegradeLevel::Full => base,
+            DegradeLevel::SummariesOff => DriverOptions {
+                enable_summaries: false,
+                ..base
+            },
+            DegradeLevel::EvolutionOff => DriverOptions {
+                enable_summaries: false,
+                enable_evolution: false,
+                ..base
+            },
+            // ParseOnly never reaches `compile`; keep the weakest
+            // configuration anyway so misuse stays conservative.
+            DegradeLevel::ParseOnly => DriverOptions {
+                enable_iaa: false,
+                enable_summaries: false,
+                enable_evolution: false,
+                ..base
+            },
+        }
+    }
+
+    /// Compiles `program` at this rung. `ParseOnly` ignores the budget
+    /// (it cannot exhaust); the other rungs thread it through every
+    /// analysis pass.
+    pub fn compile_at(
+        &self,
+        program: Program,
+        base: DriverOptions,
+        budget: Option<&AnalysisBudget>,
+    ) -> CompilationReport {
+        match self {
+            DegradeLevel::ParseOnly => parse_only_report(program),
+            _ => compile_budgeted(program, self.options(base), budget),
+        }
+    }
+}
+
+/// Orders dispatch tiers by optimism: degraded verdicts must never
+/// *increase* this rank relative to the `Full` compile of the same
+/// loop.
+pub fn tier_rank(tier: &DispatchTier) -> u8 {
+    match tier {
+        DispatchTier::Sequential => 0,
+        DispatchTier::RuntimeGuarded(_) => 1,
+        DispatchTier::CompileTimeParallel => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+    use irr_frontend::parse_program;
+
+    #[test]
+    fn rung_names_and_order_are_stable() {
+        let names: Vec<&str> = DegradeLevel::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(
+            names,
+            ["full", "summaries-off", "evolution-off", "parse-only"]
+        );
+        let mut l = DegradeLevel::Full;
+        let mut walked = vec![l];
+        while let Some(n) = l.next() {
+            walked.push(n);
+            l = n;
+        }
+        assert_eq!(walked, DegradeLevel::ALL);
+    }
+
+    #[test]
+    fn options_only_clear_capabilities() {
+        let base = DriverOptions::apo();
+        for l in DegradeLevel::ALL {
+            let o = l.options(base);
+            assert!(o.baseline_apo, "caller restrictions survive {l:?}");
+            assert!(!o.enable_iaa || base.enable_iaa);
+        }
+    }
+
+    #[test]
+    fn ladder_descends_on_the_call_structured_kernel() {
+        // The call-structured CRS kernel needs every analysis for its
+        // promotion, so it exercises all four rungs distinctly.
+        let src = crate::tests::CALL_STRUCTURED_CRS;
+        let full = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let full_rank = tier_rank(&full.verdict("T/do400").unwrap().tier);
+        assert_eq!(full_rank, 2);
+        let mut prev_rank = full_rank;
+        for l in [
+            DegradeLevel::SummariesOff,
+            DegradeLevel::EvolutionOff,
+            DegradeLevel::ParseOnly,
+        ] {
+            let rep = l.compile_at(parse_program(src).unwrap(), DriverOptions::with_iaa(), None);
+            let rank = tier_rank(&rep.verdict("T/do400").unwrap().tier);
+            assert!(rank <= prev_rank, "{l:?} got more optimistic: {rank}");
+            prev_rank = rank;
+        }
+        assert_eq!(prev_rank, 0, "parse-only is Sequential");
+    }
+
+    #[test]
+    fn parse_only_keeps_loop_labels() {
+        let src = "program t
+             integer i
+             real x(10)
+             do 140 i = 1, 10
+               x(i) = 1
+ 140         continue
+             end";
+        let rep = parse_only_report(parse_program(src).unwrap());
+        assert_eq!(rep.verdicts.len(), 1);
+        assert_eq!(rep.verdicts[0].label, "T/do140");
+        assert!(matches!(rep.verdicts[0].tier, DispatchTier::Sequential));
+        assert!(rep.verdicts[0].blockers[0].contains("parse-only"));
+    }
+
+    #[test]
+    fn starved_budget_still_yields_verdicts() {
+        let src = crate::tests::CALL_STRUCTURED_CRS;
+        let budget = AnalysisBudget::limited(Some(3), None);
+        let rep = DegradeLevel::Full.compile_at(
+            parse_program(src).unwrap(),
+            DriverOptions::with_iaa(),
+            Some(&budget),
+        );
+        let full = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        assert_eq!(rep.verdicts.len(), full.verdicts.len());
+        for (starved, f) in rep.verdicts.iter().zip(&full.verdicts) {
+            assert!(
+                tier_rank(&starved.tier) <= tier_rank(&f.tier),
+                "starved verdict for {} more optimistic than full",
+                f.label
+            );
+        }
+    }
+}

@@ -16,15 +16,17 @@
 //! reorganizes the pipeline.
 
 pub mod emit;
+pub mod ladder;
 pub mod strategy;
 
 pub use emit::emit_annotated;
 pub use irr_deptest::ResidualCheck;
 pub use irr_passes::ReductionOp;
+pub use ladder::DegradeLevel;
 pub use strategy::{derive_concat_shape, derive_in_place_facts, StrategyFacts};
 
 use irr_core::property::{ArrayPropertyAnalysis, SolverOptions};
-use irr_core::{AnalysisCtx, EvolutionAnalysis};
+use irr_core::{AnalysisBudget, AnalysisCtx, EvolutionAnalysis};
 use irr_deptest::DependenceTester;
 use irr_frontend::{parse_program, LValue, ParseError, ProcId, Program, StmtId, StmtKind, VarId};
 use irr_passes::{
@@ -60,6 +62,11 @@ pub struct DriverOptions {
     /// evolution facts and property queries across non-inlined calls.
     /// Has no effect under `baseline_apo` or with IAA disabled.
     pub enable_summaries: bool,
+    /// Run the value-evolution walk over producer loops and use its
+    /// facts to retire residual checks. Disabling it (the ladder's
+    /// evolution-off rung) keeps every verdict sound: loops that would
+    /// have been promoted stay runtime-guarded instead.
+    pub enable_evolution: bool,
 }
 
 impl Default for DriverOptions {
@@ -70,6 +77,7 @@ impl Default for DriverOptions {
             phase_order: PhaseOrder::Reorganized,
             inline_limit: 50,
             enable_summaries: true,
+            enable_evolution: true,
         }
     }
 }
@@ -102,6 +110,16 @@ impl DriverOptions {
     pub fn without_summaries() -> Self {
         DriverOptions {
             enable_summaries: false,
+            ..DriverOptions::default()
+        }
+    }
+
+    /// Full IAA but no value-evolution walk (implies no summaries,
+    /// since their payload is evolution facts crossing calls).
+    pub fn without_evolution() -> Self {
+        DriverOptions {
+            enable_summaries: false,
+            enable_evolution: false,
             ..DriverOptions::default()
         }
     }
@@ -247,7 +265,21 @@ pub fn compile_source(src: &str, opts: DriverOptions) -> Result<CompilationRepor
 }
 
 /// Runs the pass pipeline and the parallelization analysis.
-pub fn compile(mut program: Program, opts: DriverOptions) -> CompilationReport {
+pub fn compile(program: Program, opts: DriverOptions) -> CompilationReport {
+    compile_budgeted(program, opts, None)
+}
+
+/// [`compile`] under an optional [`AnalysisBudget`]: the summary
+/// fixpoint, the evolution walk, and every property query cooperate
+/// with the meter. When it runs dry, in-flight analyses bail
+/// conservatively and the remaining loops get weaker (but sound)
+/// verdicts — typically `RuntimeGuarded` or `Sequential` where an
+/// unmetered compile would have proven `CompileTimeParallel`.
+pub fn compile_budgeted(
+    mut program: Program,
+    opts: DriverOptions,
+    budget: Option<&AnalysisBudget>,
+) -> CompilationReport {
     let t0 = Instant::now();
     // ---- Fig. 15 pass pipeline -----------------------------------------
     let tp = Instant::now();
@@ -278,16 +310,26 @@ pub fn compile(mut program: Program, opts: DriverOptions) -> CompilationReport {
         // over calls the summary proves harmless) and the evolution
         // walk (composing producer facts across calls).
         let summaries = (opts.enable_summaries && opts.enable_iaa && !opts.baseline_apo)
-            .then(|| irr_core::SummaryAnalysis::new(&ctx));
+            .then(|| irr_core::SummaryAnalysis::new_budgeted(&ctx, budget));
         let mut apa = ArrayPropertyAnalysis::with_options(&ctx, solver_opts);
+        if let Some(b) = budget {
+            apa.set_budget(b);
+        }
         // Producer-loop value evolution: one walk per procedure, the
         // per-loop snapshots discharge residual checks in judge_loop.
-        let evo = match &summaries {
-            Some(sa) => {
-                apa.set_summaries(sa);
-                EvolutionAnalysis::with_summaries(&ctx, sa)
+        let evo = if opts.enable_iaa && opts.enable_evolution {
+            match &summaries {
+                Some(sa) => {
+                    apa.set_summaries(sa);
+                    EvolutionAnalysis::budgeted(&ctx, Some(sa), budget)
+                }
+                None => EvolutionAnalysis::budgeted(&ctx, None, budget),
             }
-            None => EvolutionAnalysis::new(&ctx),
+        } else {
+            if let Some(sa) = &summaries {
+                apa.set_summaries(sa);
+            }
+            EvolutionAnalysis::disabled()
         };
         for (pi, proc) in program.procedures.iter().enumerate() {
             let proc_id = ProcId(pi as u32);
@@ -310,6 +352,47 @@ pub fn compile(mut program: Program, opts: DriverOptions) -> CompilationReport {
             property_time,
             property_queries,
             solver_nodes,
+        },
+    }
+}
+
+/// The terminal rung of the degradation ladder: no pass pipeline, no
+/// analysis — every `do` loop gets a `Sequential` verdict with a
+/// reason-coded blocker. Running everything sequentially is trivially
+/// sound, and building this report costs only the loop enumeration, so
+/// it can never itself exhaust a budget.
+pub fn parse_only_report(program: Program) -> CompilationReport {
+    let t0 = Instant::now();
+    let mut verdicts = Vec::new();
+    for (pi, proc) in program.procedures.iter().enumerate() {
+        let proc_id = ProcId(pi as u32);
+        for s in program.stmts_in(&proc.body) {
+            if matches!(program.stmt(s).kind, StmtKind::Do { .. }) {
+                verdicts.push(LoopVerdict {
+                    loop_stmt: s,
+                    label: program.loop_label(proc_id, s),
+                    proc: proc_id,
+                    parallel: false,
+                    independent_arrays: Vec::new(),
+                    privatized_arrays: Vec::new(),
+                    privatized_scalars: Vec::new(),
+                    reductions: Vec::new(),
+                    properties_used: Vec::new(),
+                    blockers: vec!["analysis skipped (parse-only degradation)".into()],
+                    retired_checks: Vec::new(),
+                    promoted_interproc: false,
+                    tier: DispatchTier::Sequential,
+                    strategy_facts: StrategyFacts::None,
+                });
+            }
+        }
+    }
+    CompilationReport {
+        program,
+        verdicts,
+        stats: CompileStats {
+            total_time: t0.elapsed(),
+            ..CompileStats::default()
         },
     }
 }
@@ -430,8 +513,7 @@ fn judge_loop<'c, 'p>(
                 "array `{}` may carry a dependence",
                 program.symbols.name(array)
             ));
-        } else if let Some(rc) = opts
-            .enable_iaa
+        } else if let Some(rc) = (opts.enable_iaa && opts.enable_evolution)
             .then(|| evolution_discharge(ctx, evo, loop_stmt, &dep.residual))
             .flatten()
         {

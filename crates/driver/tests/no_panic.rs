@@ -1,0 +1,49 @@
+//! No panic escapes `parse` + `analyze` for any corpus program, at any
+//! rung of the degradation ladder, with or without a starved budget.
+//! This is the compile-side half of the service's robustness story: the
+//! worker pool's `catch_unwind` is a last line of defense, not an
+//! excuse for reachable panics.
+
+use irr_core::AnalysisBudget;
+use irr_driver::{compile_budgeted, ladder::DegradeLevel, DriverOptions};
+use irr_frontend::{malformed_corpus, parse_program};
+
+#[test]
+fn corpus_never_panics_through_parse_and_analyze() {
+    let mut escaped = Vec::new();
+    for case in malformed_corpus(100) {
+        let Ok(program) = parse_program(&case.source) else {
+            continue; // parse errors are the expected outcome
+        };
+        let r = std::panic::catch_unwind(move || {
+            let _ = compile_budgeted(program, DriverOptions::with_iaa(), None);
+        });
+        if r.is_err() {
+            escaped.push(case.name);
+        }
+    }
+    assert!(escaped.is_empty(), "panics escaped analyze: {escaped:?}");
+}
+
+#[test]
+fn corpus_never_panics_on_any_ladder_rung_with_starved_budgets() {
+    let mut escaped = Vec::new();
+    for case in malformed_corpus(40) {
+        let Ok(program) = parse_program(&case.source) else {
+            continue;
+        };
+        for rung in DegradeLevel::ALL {
+            for fuel in [Some(0), Some(7), None] {
+                let program = program.clone();
+                let r = std::panic::catch_unwind(move || {
+                    let budget = AnalysisBudget::limited(fuel, None);
+                    let _ = rung.compile_at(program, DriverOptions::with_iaa(), Some(&budget));
+                });
+                if r.is_err() {
+                    escaped.push((case.name, rung.name(), fuel));
+                }
+            }
+        }
+    }
+    assert!(escaped.is_empty(), "panics escaped: {escaped:?}");
+}

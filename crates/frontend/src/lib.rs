@@ -32,6 +32,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod corpus;
 pub mod diag;
 pub mod lexer;
 pub mod parser;
@@ -41,6 +42,7 @@ pub mod visit;
 
 pub use ast::{BinOp, Expr, Intrinsic, LValue, Procedure, Program, Stmt, StmtId, StmtKind, UnOp};
 pub use builder::ProgramBuilder;
+pub use corpus::{malformed_corpus, CorpusCase};
 pub use diag::{ParseError, SourceLoc};
 pub use parser::parse_program;
 pub use printer::print_program;

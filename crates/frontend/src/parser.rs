@@ -20,6 +20,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let parser = Parser {
         tokens,
         pos: 0,
+        depth: 0,
         symbols: SymbolTable::new(),
         stmts: Vec::new(),
         procedures: Vec::new(),
@@ -28,9 +29,18 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     parser.parse()
 }
 
+/// Maximum combined statement/expression nesting depth. Real programs
+/// nest a handful of levels; the limit exists because the parser is
+/// recursive descent and a hostile `((((…` or thousand-deep loop nest
+/// would otherwise overflow the stack — which aborts the process and
+/// cannot be caught by a service's `catch_unwind`.
+pub const MAX_NESTING_DEPTH: usize = 200;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current recursion depth (statements + expressions combined).
+    depth: usize,
     symbols: SymbolTable,
     stmts: Vec<Stmt>,
     procedures: Vec<Procedure>,
@@ -107,6 +117,21 @@ impl Parser {
                 self.tokens[self.pos.saturating_sub(1)].loc,
             )),
         }
+    }
+
+    /// Runs `f` one recursion level deeper, failing with a typed error
+    /// (instead of a stack overflow) past [`MAX_NESTING_DEPTH`].
+    fn with_depth<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_NESTING_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
     }
 
     fn new_stmt(&mut self, kind: StmtKind, loc: SourceLoc) -> StmtId {
@@ -213,6 +238,10 @@ impl Parser {
     /// Parses one statement (or a declaration, which produces no
     /// statement).
     fn parse_stmt(&mut self) -> Result<Option<StmtId>, ParseError> {
+        self.with_depth(|p| p.parse_stmt_inner())
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Option<StmtId>, ParseError> {
         let loc = self.loc();
         let head = match self.peek() {
             Token::Ident(s) => s.clone(),
@@ -308,7 +337,11 @@ impl Parser {
         self.bump(); // `do`
         let label = match self.peek() {
             Token::Int(v) if *v >= 0 => {
-                let v = *v as u32;
+                let v = *v;
+                // `v as u32` would silently truncate a hostile label
+                // (e.g. 4294967296 → 0) and corrupt loop matching.
+                let v = u32::try_from(v)
+                    .map_err(|_| self.err(format!("statement label `{v}` out of range")))?;
                 self.bump();
                 Some(v)
             }
@@ -397,13 +430,13 @@ impl Parser {
                 if self.eat_kw("elseif") {
                     // rewind trick: re-insert an `if` by parsing directly
                     let nested_loc = self.loc();
-                    let nested = self.parse_if_after_keyword(nested_loc)?;
+                    let nested = self.with_depth(|p| p.parse_if_after_keyword(nested_loc))?;
                     return Ok(self.finish_if(cond, then_body, vec![nested], loc));
                 } else {
                     self.bump(); // else
                     let nested_loc = self.loc();
                     self.bump(); // if
-                    let nested = self.parse_if_after_keyword(nested_loc)?;
+                    let nested = self.with_depth(|p| p.parse_if_after_keyword(nested_loc))?;
                     return Ok(self.finish_if(cond, then_body, vec![nested], loc));
                 }
             } else if self.eat_kw("else") {
@@ -447,13 +480,13 @@ impl Parser {
         {
             if self.eat_kw("elseif") {
                 let nested_loc = self.loc();
-                let nested = self.parse_if_after_keyword(nested_loc)?;
+                let nested = self.with_depth(|p| p.parse_if_after_keyword(nested_loc))?;
                 vec![nested]
             } else {
                 self.bump();
                 let nested_loc = self.loc();
                 self.bump();
-                let nested = self.parse_if_after_keyword(nested_loc)?;
+                let nested = self.with_depth(|p| p.parse_if_after_keyword(nested_loc))?;
                 vec![nested]
             }
         } else if self.eat_kw("else") {
@@ -535,7 +568,7 @@ impl Parser {
     // ----- expressions ---------------------------------------------------
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        self.parse_or()
+        self.with_depth(|p| p.parse_or())
     }
 
     fn parse_or(&mut self) -> Result<Expr, ParseError> {
@@ -561,7 +594,7 @@ impl Parser {
     fn parse_not(&mut self) -> Result<Expr, ParseError> {
         if matches!(self.peek(), Token::Not) {
             self.bump();
-            let inner = self.parse_not()?;
+            let inner = self.with_depth(|p| p.parse_not())?;
             return Ok(Expr::Un(UnOp::Not, Box::new(inner)));
         }
         self.parse_cmp()
@@ -617,12 +650,12 @@ impl Parser {
         match self.peek() {
             Token::Minus => {
                 self.bump();
-                let inner = self.parse_unary()?;
+                let inner = self.with_depth(|p| p.parse_unary())?;
                 Ok(Expr::Un(UnOp::Neg, Box::new(inner)))
             }
             Token::Plus => {
                 self.bump();
-                self.parse_unary()
+                self.with_depth(|p| p.parse_unary())
             }
             _ => self.parse_primary(),
         }

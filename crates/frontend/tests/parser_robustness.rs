@@ -90,6 +90,68 @@ fn keywords_are_case_insensitive() {
 }
 
 #[test]
+fn no_panic_escapes_parse_on_the_malformed_corpus() {
+    // Every corpus case — truncated loops, mismatched labels, giant
+    // literals, hostile nesting, seeded mutations — must produce a
+    // clean Ok or Err. A panic here is exactly the bug the service's
+    // per-request isolation exists to contain; it must not exist.
+    let mut escaped = Vec::new();
+    for case in irr_frontend::malformed_corpus(200) {
+        let src = case.source.clone();
+        let r = std::panic::catch_unwind(move || {
+            let _ = parse_program(&src);
+        });
+        if r.is_err() {
+            escaped.push(case.name);
+        }
+    }
+    assert!(escaped.is_empty(), "panics escaped parse: {escaped:?}");
+}
+
+#[test]
+fn hostile_nesting_is_a_typed_error_not_a_crash() {
+    for case in [
+        "deep-paren-nest",
+        "deep-unary-nest",
+        "deep-loop-nest",
+        "deep-if-nest",
+    ] {
+        let c = irr_frontend::malformed_corpus(0)
+            .into_iter()
+            .find(|c| c.name == case)
+            .unwrap();
+        let err = parse_program(&c.source).unwrap_err();
+        assert!(
+            err.to_string().contains("nesting deeper than"),
+            "{case}: {err}"
+        );
+    }
+}
+
+#[test]
+fn giant_literals_are_typed_errors() {
+    rejects("program t\nx = 99999999999999999999999999999\nend\n");
+    // Huge real exponents saturate to infinity in f64 and parse;
+    // huge do-labels overflow u32's range check path.
+    rejects("program t\ninteger i\nreal x(10)\ndo 4294967296 i = 1, 10\nx(i) = 1\nenddo\nend\n");
+}
+
+#[test]
+fn nesting_just_below_the_limit_parses() {
+    let depth = 150; // below MAX_NESTING_DEPTH = 200
+    let mut src = String::from("program t\ninteger a\n");
+    for _ in 0..depth {
+        src.push_str("if (a > 0) then\n");
+    }
+    src.push_str("a = 1\n");
+    for _ in 0..depth {
+        src.push_str("endif\n");
+    }
+    src.push_str("end\n");
+    parse_program(&src).unwrap();
+}
+
+#[test]
 fn comments_everywhere() {
     let p = parse_program(
         "! leading comment

@@ -32,9 +32,19 @@
 //! plus each promotion must be flagged `promoted_interproc`; a sweep
 //! with zero surviving interprocedural promotions is a violation.
 //!
+//! `--ladder` compiles every target (benchmarks, figures, and one
+//! sparse-kernel sweep) at every rung of the service degradation
+//! ladder (full → summaries-off → evolution-off → parse-only) and
+//! checks two things per rung: the verdicts are monotone — descending
+//! a rung never moves any loop *toward* parallel — and the degraded
+//! report still replays dependence-clean under shadow tracing. A
+//! strengthened verdict or a contradicted degraded verdict is a
+//! violation.
+//!
 //! Exits nonzero iff any soundness violation is found, so the command
 //! doubles as a CI gate. Precision gaps (full mode) are informational.
 
+use irr_driver::ladder::{tier_rank, DegradeLevel};
 use irr_driver::{compile_source, CompilationReport, DispatchTier, DriverOptions};
 use irr_exec::{FaultPlan, Interp, Store, Value};
 use irr_programs::sparse::{interproc_kernels, kernels, producer_kernels, SparseScale};
@@ -56,6 +66,7 @@ fn main() {
     let mut sparse = 0usize;
     let mut evolution = false;
     let mut interproc = false;
+    let mut ladder = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -100,11 +111,12 @@ fn main() {
             }
             "--evolution" => evolution = true,
             "--interproc" => interproc = true,
+            "--ladder" => ladder = true,
             "--help" | "-h" => {
                 println!(
                     "sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N] \
                      [--scale test|paper] [--only SUBSTR] [--chaos N] [--sparse N] \
-                     [--evolution] [--interproc]"
+                     [--evolution] [--interproc] [--ladder]"
                 );
                 return;
             }
@@ -179,6 +191,12 @@ fn main() {
     }
     if interproc {
         let (sampled, violations, gaps) = interproc_sweep(&config);
+        audited += sampled;
+        total_violations += violations;
+        total_gaps += gaps;
+    }
+    if ladder {
+        let (sampled, violations, gaps) = ladder_sweep(&config, &targets);
         audited += sampled;
         total_violations += violations;
         total_gaps += gaps;
@@ -420,6 +438,116 @@ fn interproc_sweep(config: &AuditConfig) -> (usize, usize, usize) {
              summary layer regressed"
         );
         violations += 1;
+    }
+    (sampled, violations, gaps)
+}
+
+/// Compiles every target plus one sparse-kernel set at every rung of
+/// the service degradation ladder and checks, per rung:
+///
+/// - **monotonicity** — descending a rung never moves any loop's
+///   dispatch tier toward parallel (Sequential stays Sequential, a
+///   runtime-guarded loop may only stay or fall to Sequential);
+/// - **soundness** — the degraded report still replays
+///   dependence-clean under shadow tracing.
+///
+/// Returns `(programs audited, violations, precision gaps)` where one
+/// program counts once regardless of rungs.
+fn ladder_sweep(config: &AuditConfig, targets: &[(String, String)]) -> (usize, usize, usize) {
+    type Presets = Vec<(irr_frontend::VarId, irr_exec::ArrayData)>;
+    let mut cases: Vec<(String, String, Presets)> = Vec::new();
+    let mut violations = 0usize;
+    let mut gaps = 0usize;
+    for (name, src) in targets {
+        cases.push((name.clone(), src.clone(), Vec::new()));
+    }
+    let scale = SparseScale::test(Structure::Uniform, config.seed | 1);
+    let mut sparse_presets: Vec<(String, irr_programs::sparse::SparseProgram)> = Vec::new();
+    for k in kernels(&scale) {
+        sparse_presets.push((format!("sparse/{}", k.name), k));
+    }
+    println!(
+        "ladder sweep: {} program(s) x {} rung(s)",
+        cases.len() + sparse_presets.len(),
+        DegradeLevel::ALL.len()
+    );
+
+    let audit_rungs = |name: &str,
+                       src: &str,
+                       presets: &[(irr_frontend::VarId, irr_exec::ArrayData)]|
+     -> (usize, usize) {
+        let mut violations = 0usize;
+        let mut gaps = 0usize;
+        let mut prev: Option<(DegradeLevel, std::collections::HashMap<String, u8>)> = None;
+        for level in DegradeLevel::ALL {
+            let program = match irr_frontend::parse_program(src) {
+                Ok(p) => p,
+                Err(e) => die(&format!("ladder {name}: parse error: {e}")),
+            };
+            let rep = level.compile_at(program, DriverOptions::with_iaa(), None);
+            let ranks: std::collections::HashMap<String, u8> = rep
+                .verdicts
+                .iter()
+                .map(|v| (v.label.clone(), tier_rank(&v.tier)))
+                .collect();
+            if let Some((prev_level, prev_ranks)) = &prev {
+                for (label, rank) in &ranks {
+                    if let Some(prev_rank) = prev_ranks.get(label) {
+                        if rank > prev_rank {
+                            println!(
+                                "  [VIOLATION] ladder {name}: {label} strengthened from rank \
+                                 {prev_rank} ({}) to rank {rank} ({})",
+                                prev_level.name(),
+                                level.name()
+                            );
+                            violations += 1;
+                        }
+                    }
+                }
+            }
+            let audit = audit_report_seeded(&rep, config, presets);
+            if audit.violations() > 0 || audit.runs_failed > 0 {
+                for f in &audit.findings {
+                    if f.kind == FindingKind::SoundnessViolation {
+                        println!(
+                            "  [VIOLATION] ladder {name} at {}: {}",
+                            level.name(),
+                            f.detail
+                        );
+                    }
+                }
+                violations += audit.violations() + audit.runs_failed as usize;
+            }
+            gaps += audit.precision_gaps();
+            prev = Some((level, ranks));
+        }
+        (violations, gaps)
+    };
+
+    for (name, src, presets) in &cases {
+        let (v, g) = audit_rungs(name, src, presets);
+        violations += v;
+        gaps += g;
+        println!(
+            "ladder {name}: {} rung(s), {v} violation(s)",
+            DegradeLevel::ALL.len()
+        );
+    }
+    let mut sampled = cases.len();
+    for (name, k) in &sparse_presets {
+        let rep = match compile_source(&k.source, DriverOptions::with_iaa()) {
+            Ok(r) => r,
+            Err(e) => die(&format!("ladder {name}: parse error: {e}")),
+        };
+        let presets = k.resolve_presets(&rep.program);
+        let (v, g) = audit_rungs(name, &k.source, &presets);
+        violations += v;
+        gaps += g;
+        println!(
+            "ladder {name}: {} rung(s), {v} violation(s)",
+            DegradeLevel::ALL.len()
+        );
+        sampled += 1;
     }
     (sampled, violations, gaps)
 }

@@ -1,0 +1,320 @@
+//! The shared verdict cache: memoized [`CompilationReport`]s keyed on
+//! program hash + analysis rung, with the same three defenses the
+//! runtime's `ScheduleCache` earned in its chaos suite:
+//!
+//! - **versioning** — `invalidate_all` bumps a generation counter and
+//!   stale entries die lazily on probe, so invalidation is O(1) and
+//!   never blocks the pool;
+//! - **bounded capacity** — LRU eviction with an eviction counter, so
+//!   a hostile request stream cannot grow the cache without bound;
+//! - **quarantine** — a key whose analysis panicked serves degraded
+//!   (parse-only) responses for `quarantine_retries` requests, then is
+//!   re-admitted; re-admission and every poison eviction is counted.
+//!
+//! The insert-after-success discipline lives in the caller (`lib.rs`):
+//! nothing is inserted until a report completed at the requested rung,
+//! which is what makes "a panicking request leaves the cache
+//! byte-identical" a one-line invariant instead of a cleanup path.
+
+use irr_driver::{ladder::tier_rank, CompilationReport, DegradeLevel};
+use std::collections::HashMap;
+
+/// FNV-1a over the program source: stable, dependency-free, and fast
+/// enough that hashing never shows up next to an analysis run.
+pub fn program_hash(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache key: program hash plus the rung the report was computed at.
+pub type VerdictKey = (u64, DegradeLevel);
+
+struct Entry {
+    report: CompilationReport,
+    version: u64,
+    /// LRU tick of the last probe hit (or insert).
+    last_used: u64,
+    poisoned: bool,
+}
+
+/// Outcome of a cache probe.
+pub enum VerdictProbe {
+    /// A valid entry: the caller gets a clone of the memoized report.
+    Hit(Box<CompilationReport>),
+    /// No entry (or a stale-version entry, lazily discarded).
+    Miss,
+    /// The key is quarantined: serve a degraded response. One retry
+    /// was consumed; after the last one the key is re-admitted.
+    Quarantined,
+}
+
+/// The shared memo table. Callers wrap it in a `Mutex`; every method
+/// is O(1) except LRU eviction's scan (bounded by capacity).
+pub struct VerdictCache {
+    entries: HashMap<VerdictKey, Entry>,
+    /// Keys serving degraded responses, with retries remaining.
+    quarantined: HashMap<VerdictKey, u32>,
+    capacity: usize,
+    version: u64,
+    tick: u64,
+    evictions: u64,
+    poison_evictions: u64,
+    readmissions: u64,
+}
+
+impl VerdictCache {
+    pub fn new(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            entries: HashMap::new(),
+            quarantined: HashMap::new(),
+            capacity: capacity.max(1),
+            version: 0,
+            tick: 0,
+            evictions: 0,
+            poison_evictions: 0,
+            readmissions: 0,
+        }
+    }
+
+    /// Probes for `key`. Quarantine takes precedence over any stored
+    /// entry — a quarantined key must not serve its old (suspect)
+    /// report.
+    pub fn probe(&mut self, key: &VerdictKey) -> VerdictProbe {
+        if let Some(left) = self.quarantined.get_mut(key) {
+            if *left > 0 {
+                *left -= 1;
+                return VerdictProbe::Quarantined;
+            }
+            // Last retry already consumed: re-admit.
+            self.quarantined.remove(key);
+            self.readmissions += 1;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(e) if e.poisoned => {
+                self.entries.remove(key);
+                self.poison_evictions += 1;
+                VerdictProbe::Miss
+            }
+            Some(e) if e.version == self.version => {
+                e.last_used = self.tick;
+                VerdictProbe::Hit(Box::new(e.report.clone()))
+            }
+            Some(_) => {
+                // Stale generation: lazy invalidation.
+                self.entries.remove(key);
+                VerdictProbe::Miss
+            }
+            None => VerdictProbe::Miss,
+        }
+    }
+
+    /// Inserts a completed report. Callers only insert results that
+    /// finished at the requested rung with an unexhausted budget —
+    /// degraded or suspect reports never enter the table.
+    pub fn insert(&mut self, key: VerdictKey, report: CompilationReport) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                report,
+                version: self.version,
+                last_used: self.tick,
+                poisoned: false,
+            },
+        );
+    }
+
+    /// Quarantines `key` for `retries` probes and drops any stored
+    /// entry (a panicking analysis may mean the memo is suspect too).
+    pub fn quarantine(&mut self, key: VerdictKey, retries: u32) {
+        if self.entries.remove(&key).is_some() {
+            self.poison_evictions += 1;
+        }
+        self.quarantined.insert(key, retries);
+    }
+
+    /// Marks a stored entry poisoned (the injected `poisoned-cache-
+    /// entry` fault): the next probe evicts it instead of serving it.
+    /// Returns whether an entry existed to poison.
+    pub fn poison_entry(&mut self, key: &VerdictKey) -> bool {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.poisoned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `key` currently serves degraded responses.
+    pub fn is_quarantined(&self, key: &VerdictKey) -> bool {
+        self.quarantined.get(key).is_some_and(|left| *left > 0)
+    }
+
+    /// Bumps the generation: every existing entry becomes stale and
+    /// dies on its next probe.
+    pub fn invalidate_all(&mut self) {
+        self.version += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub fn poison_evictions(&self) -> u64 {
+        self.poison_evictions
+    }
+
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions
+    }
+
+    /// An order-independent digest of the cache's observable state:
+    /// keys, generations, and a per-entry verdict summary. Two caches
+    /// with the same fingerprint serve the same answers — the
+    /// cache-poisoning regression test asserts a panicking request
+    /// leaves this value untouched.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for ((hash, level), e) in &self.entries {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            mix(*hash);
+            mix(*level as u64);
+            mix(e.version);
+            mix(e.report.verdicts.len() as u64);
+            for v in &e.report.verdicts {
+                mix(program_hash(&v.label));
+                mix(tier_rank(&v.tier) as u64);
+                mix(v.parallel as u64);
+                mix(v.retired_checks.len() as u64);
+                mix(v.blockers.len() as u64);
+            }
+            acc ^= h; // XOR: iteration order independent
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_driver::{compile_source, DriverOptions};
+
+    fn report() -> CompilationReport {
+        compile_source(
+            "program t\ninteger i\nreal x(10)\ndo i = 1, 10\nx(i) = 1\nenddo\nend\n",
+            DriverOptions::with_iaa(),
+        )
+        .unwrap()
+    }
+
+    const KEY: VerdictKey = (42, DegradeLevel::Full);
+
+    #[test]
+    fn probe_insert_roundtrip() {
+        let mut c = VerdictCache::new(8);
+        assert!(matches!(c.probe(&KEY), VerdictProbe::Miss));
+        c.insert(KEY, report());
+        assert!(matches!(c.probe(&KEY), VerdictProbe::Hit(_)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_counted() {
+        let mut c = VerdictCache::new(2);
+        c.insert((1, DegradeLevel::Full), report());
+        c.insert((2, DegradeLevel::Full), report());
+        // Touch 1 so 2 is the LRU victim.
+        assert!(matches!(
+            c.probe(&(1, DegradeLevel::Full)),
+            VerdictProbe::Hit(_)
+        ));
+        c.insert((3, DegradeLevel::Full), report());
+        assert_eq!(c.evictions(), 1);
+        assert!(matches!(
+            c.probe(&(2, DegradeLevel::Full)),
+            VerdictProbe::Miss
+        ));
+        assert!(matches!(
+            c.probe(&(1, DegradeLevel::Full)),
+            VerdictProbe::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn invalidation_is_lazy_and_generational() {
+        let mut c = VerdictCache::new(8);
+        c.insert(KEY, report());
+        c.invalidate_all();
+        assert!(matches!(c.probe(&KEY), VerdictProbe::Miss));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn quarantine_serves_degraded_then_readmits() {
+        let mut c = VerdictCache::new(8);
+        c.insert(KEY, report());
+        c.quarantine(KEY, 2);
+        assert!(c.is_quarantined(&KEY));
+        assert!(matches!(c.probe(&KEY), VerdictProbe::Quarantined));
+        assert!(matches!(c.probe(&KEY), VerdictProbe::Quarantined));
+        // Retries consumed: next probe re-admits (and the old entry
+        // was dropped at quarantine time, so it is a miss).
+        assert!(matches!(c.probe(&KEY), VerdictProbe::Miss));
+        assert_eq!(c.readmissions(), 1);
+        assert!(!c.is_quarantined(&KEY));
+    }
+
+    #[test]
+    fn poisoned_entries_are_evicted_not_served() {
+        let mut c = VerdictCache::new(8);
+        c.insert(KEY, report());
+        assert!(c.poison_entry(&KEY));
+        assert!(matches!(c.probe(&KEY), VerdictProbe::Miss));
+        assert_eq!(c.poison_evictions(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_observable_state_only() {
+        let mut a = VerdictCache::new(8);
+        let mut b = VerdictCache::new(8);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.insert(KEY, report());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.insert(KEY, report());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Probes (LRU ticks) do not change the fingerprint.
+        let before = a.fingerprint();
+        let _ = a.probe(&KEY);
+        assert_eq!(a.fingerprint(), before);
+    }
+}

@@ -1,0 +1,764 @@
+//! Analysis as a service: a concurrent front door over
+//! `irr_driver::compile`.
+//!
+//! The north-star deployment analyzes untrusted programs for many
+//! clients at once, so the pool is built robustness-first:
+//!
+//! - **admission control** — a bounded queue; overload sheds with a
+//!   reason-coded retry-after instead of queueing without bound;
+//! - **budgets** — every request gets a per-rung fuel allowance and a
+//!   request-wide wall-clock deadline ([`irr_core::AnalysisBudget`]),
+//!   threaded through the solver, evolution, and summary passes;
+//! - **graceful degradation** — an exhausted budget descends the
+//!   [`DegradeLevel`] ladder (full → summaries-off → evolution-off →
+//!   parse-only); every rung is more conservative than the last, so a
+//!   starved request gets a sound-but-weaker answer, never an error;
+//! - **panic isolation** — each rung runs under `catch_unwind`; a
+//!   panicking program yields a typed [`ServiceError`], quarantines its
+//!   cache key, and cannot take down a worker or leave a partial cache
+//!   entry;
+//! - **memoization** — completed reports are shared through a
+//!   versioned, LRU, quarantine-aware [`VerdictCache`];
+//! - **fault injection** — [`ServiceFaultPlan`] scripts the four
+//!   service-level faults the chaos suite must catch with exact
+//!   attribution.
+
+pub mod cache;
+pub mod fault;
+
+pub use cache::{program_hash, VerdictCache, VerdictKey, VerdictProbe};
+pub use fault::{ServiceFault, ServiceFaultPlan, ServiceFaultShot};
+pub use irr_driver::{ladder::tier_rank, CompilationReport, DegradeLevel, DriverOptions};
+
+use irr_core::{AnalysisBudget, BudgetExhaustion};
+use irr_driver::parse_only_report;
+use irr_frontend::{parse_program, Program};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Pool configuration.
+pub struct ServiceConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Pending-request bound; submissions past it are shed.
+    pub queue_capacity: usize,
+    /// Fuel per ladder rung (`None` = unmetered). The ladder refuels
+    /// on descent, so a request can spend up to `3 × fuel` before the
+    /// free parse-only rung.
+    pub fuel: Option<u64>,
+    /// Request-wide wall-clock deadline shared by every rung.
+    pub wall_budget: Option<Duration>,
+    /// Verdict-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Degraded responses served before a quarantined key re-admits.
+    pub quarantine_retries: u32,
+    /// The rung requests start at (and the only rung whose results
+    /// are cached). `Full` in production; tests descend from others.
+    pub start_level: DegradeLevel,
+    /// Base driver configuration for the start rung.
+    pub options: DriverOptions,
+    /// Injected faults (chaos suite); [`ServiceFaultPlan::none`]
+    /// in production.
+    pub fault_plan: ServiceFaultPlan,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            fuel: None,
+            wall_budget: None,
+            cache_capacity: 256,
+            quarantine_retries: 2,
+            start_level: DegradeLevel::Full,
+            options: DriverOptions::with_iaa(),
+            fault_plan: ServiceFaultPlan::none(),
+        }
+    }
+}
+
+/// Why a submission was refused at the door.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShedReason {
+    /// The queue is at capacity; retry after the estimated drain time.
+    QueueFull {
+        /// Estimated milliseconds until the queue has room.
+        retry_after_ms: u64,
+    },
+    /// The pool is shutting down; do not retry.
+    ShuttingDown,
+}
+
+impl ShedReason {
+    /// Stable reason code for telemetry.
+    pub fn reason_code(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull { .. } => "queue-full",
+            ShedReason::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// Why a completed response is weaker than a `start_level` analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradeReason {
+    /// A rung ran out of fuel; the ladder descended.
+    Fuel,
+    /// The request-wide deadline passed; straight to parse-only.
+    WallClock,
+    /// The cache key is quarantined after a panic; parse-only until
+    /// re-admission.
+    Quarantined,
+}
+
+impl DegradeReason {
+    /// Stable reason code for telemetry.
+    pub fn reason_code(&self) -> &'static str {
+        match self {
+            DegradeReason::Fuel => "fuel",
+            DegradeReason::WallClock => "wall-clock",
+            DegradeReason::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Typed failure: every variant carries a reason code; none of them
+/// is ever an escaped panic.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Refused at admission.
+    Shed(ShedReason),
+    /// The program does not parse (the expected outcome for malformed
+    /// input — reported, not retried).
+    Parse(String),
+    /// A rung panicked; caught, attributed, and the key quarantined.
+    AnalysisPanicked {
+        /// The rung that panicked.
+        rung: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The worker's reply channel vanished (should not happen; kept
+    /// typed so batch collection never panics).
+    ReplyLost,
+}
+
+impl ServiceError {
+    /// Stable reason code for telemetry.
+    pub fn reason_code(&self) -> &'static str {
+        match self {
+            ServiceError::Shed(ShedReason::QueueFull { .. }) => "shed:queue-full",
+            ServiceError::Shed(ShedReason::ShuttingDown) => "shed:shutting-down",
+            ServiceError::Parse(_) => "parse-error",
+            ServiceError::AnalysisPanicked { .. } => "panic",
+            ServiceError::ReplyLost => "reply-lost",
+        }
+    }
+}
+
+/// A successful analysis (possibly degraded, possibly memoized).
+#[derive(Debug)]
+pub struct Analyzed {
+    /// The report — computed at [`Analyzed::level`].
+    pub report: CompilationReport,
+    /// The ladder rung that produced the report.
+    pub level: DegradeLevel,
+    /// Why the response is below `start_level`; `None` at full
+    /// strength. Degraded responses are always reason-coded.
+    pub degraded: Option<DegradeReason>,
+    /// Served from the verdict cache.
+    pub cache_hit: bool,
+}
+
+/// One request's outcome.
+#[derive(Debug)]
+pub struct AnalysisResponse {
+    /// Submission sequence number (fault plans key on this).
+    pub seq: u64,
+    /// Caller-supplied request name.
+    pub name: String,
+    /// Submission-to-response latency (includes queue wait).
+    pub latency: Duration,
+    /// The analysis or its typed failure.
+    pub result: Result<Analyzed, ServiceError>,
+}
+
+impl AnalysisResponse {
+    /// The response's reason code: `"ok"` for a full-strength answer,
+    /// the degrade reason for weaker ones, the error code otherwise.
+    pub fn reason_code(&self) -> &'static str {
+        match &self.result {
+            Ok(a) => a.degraded.map_or("ok", |d| d.reason_code()),
+            Err(e) => e.reason_code(),
+        }
+    }
+}
+
+/// Monotone counters; read via [`Service::stats`].
+#[derive(Default)]
+struct Stats {
+    submitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_shutdown: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    parse_errors: AtomicU64,
+    panics_caught: AtomicU64,
+    quarantined_served: AtomicU64,
+    degraded: AtomicU64,
+    fuel_exhaustions: AtomicU64,
+    wall_exhaustions: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Requests offered to `submit` (accepted or shed).
+    pub submitted: u64,
+    /// Shed with `queue-full`.
+    pub shed_queue_full: u64,
+    /// Shed with `shutting-down`.
+    pub shed_shutdown: u64,
+    /// Responses produced by workers.
+    pub completed: u64,
+    /// Served from the verdict cache.
+    pub cache_hits: u64,
+    /// Probes that missed (and went on to analyze).
+    pub cache_misses: u64,
+    /// Requests whose program did not parse.
+    pub parse_errors: u64,
+    /// Panics caught by per-request isolation.
+    pub panics_caught: u64,
+    /// Degraded responses served for quarantined keys.
+    pub quarantined_served: u64,
+    /// Responses below the requested rung (any reason).
+    pub degraded: u64,
+    /// Ladder descents caused by fuel exhaustion.
+    pub fuel_exhaustions: u64,
+    /// Descents (straight to parse-only) caused by the deadline.
+    pub wall_exhaustions: u64,
+    /// Total worker-busy nanoseconds (drives retry-after estimates).
+    pub busy_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate over completed probes.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+
+    /// Fraction of submissions shed at the door.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.shed_queue_full + self.shed_shutdown) as f64 / self.submitted as f64
+        }
+    }
+}
+
+struct Job {
+    seq: u64,
+    name: String,
+    source: String,
+    enqueued: Instant,
+    reply: mpsc::Sender<AnalysisResponse>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    workers: usize,
+    queue_capacity: usize,
+    fuel: Option<u64>,
+    wall_budget: Option<Duration>,
+    quarantine_retries: u32,
+    start_level: DegradeLevel,
+    options: DriverOptions,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: Mutex<VerdictCache>,
+    faults: Mutex<ServiceFaultPlan>,
+    stats: Stats,
+    next_seq: AtomicU64,
+}
+
+/// Outcome of a submission: a receiver for the eventual response, or
+/// an immediate reason-coded shed response.
+pub enum Submitted {
+    /// Accepted; the response arrives on the receiver.
+    Accepted(mpsc::Receiver<AnalysisResponse>),
+    /// Refused; the shed response is complete and reason-coded.
+    Shed(Box<AnalysisResponse>),
+}
+
+/// The worker pool. Dropping (or [`Service::shutdown`]) drains
+/// in-flight work and joins every worker.
+pub struct Service {
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the pool.
+    pub fn start(config: ServiceConfig) -> Service {
+        let shared = Arc::new(Shared {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            fuel: config.fuel,
+            wall_budget: config.wall_budget,
+            quarantine_retries: config.quarantine_retries,
+            start_level: config.start_level,
+            options: config.options,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            cache: Mutex::new(VerdictCache::new(config.cache_capacity)),
+            faults: Mutex::new(config.fault_plan),
+            stats: Stats::default(),
+            next_seq: AtomicU64::new(0),
+        });
+        let threads = (0..shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Service { shared, threads }
+    }
+
+    /// Offers one request. Returns immediately: either a receiver for
+    /// the eventual response, or a complete shed response.
+    pub fn submit(&self, name: &str, source: &str) -> Submitted {
+        let s = &self.shared;
+        let seq = s.next_seq.fetch_add(1, Relaxed);
+        s.stats.submitted.fetch_add(1, Relaxed);
+        let shed = |reason: ShedReason| {
+            Submitted::Shed(Box::new(AnalysisResponse {
+                seq,
+                name: name.to_string(),
+                latency: Duration::ZERO,
+                result: Err(ServiceError::Shed(reason)),
+            }))
+        };
+        let mut q = s.queue.lock().unwrap();
+        if q.shutdown {
+            drop(q);
+            s.stats.shed_shutdown.fetch_add(1, Relaxed);
+            return shed(ShedReason::ShuttingDown);
+        }
+        if q.jobs.len() >= s.queue_capacity {
+            let backlog = q.jobs.len() as u64;
+            drop(q);
+            s.stats.shed_queue_full.fetch_add(1, Relaxed);
+            return shed(ShedReason::QueueFull {
+                retry_after_ms: self.retry_after_ms(backlog),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job {
+            seq,
+            name: name.to_string(),
+            source: source.to_string(),
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        drop(q);
+        s.available.notify_one();
+        Submitted::Accepted(rx)
+    }
+
+    /// Submits and blocks for the response (sheds still return
+    /// immediately).
+    pub fn analyze(&self, name: &str, source: &str) -> AnalysisResponse {
+        match self.submit(name, source) {
+            Submitted::Shed(resp) => *resp,
+            Submitted::Accepted(rx) => rx.recv().unwrap_or(AnalysisResponse {
+                seq: u64::MAX,
+                name: name.to_string(),
+                latency: Duration::ZERO,
+                result: Err(ServiceError::ReplyLost),
+            }),
+        }
+    }
+
+    /// Submits a whole batch, then collects every response (sheds
+    /// included, in submission order).
+    pub fn analyze_batch<'a>(
+        &self,
+        requests: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Vec<AnalysisResponse> {
+        let submitted: Vec<(String, Submitted)> = requests
+            .into_iter()
+            .map(|(name, source)| (name.to_string(), self.submit(name, source)))
+            .collect();
+        submitted
+            .into_iter()
+            .map(|(name, sub)| match sub {
+                Submitted::Shed(resp) => *resp,
+                Submitted::Accepted(rx) => rx.recv().unwrap_or(AnalysisResponse {
+                    seq: u64::MAX,
+                    name,
+                    latency: Duration::ZERO,
+                    result: Err(ServiceError::ReplyLost),
+                }),
+            })
+            .collect()
+    }
+
+    /// Estimated milliseconds until a full queue has room: backlog ×
+    /// average service time ÷ workers, floored at 1ms.
+    fn retry_after_ms(&self, backlog: u64) -> u64 {
+        let s = &self.shared;
+        let avg_ms = (s.stats.busy_ns.load(Relaxed) / 1_000_000)
+            .checked_div(s.stats.completed.load(Relaxed))
+            .map_or(5, |ms| ms.max(1));
+        (backlog * avg_ms / s.workers as u64).max(1)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            submitted: s.submitted.load(Relaxed),
+            shed_queue_full: s.shed_queue_full.load(Relaxed),
+            shed_shutdown: s.shed_shutdown.load(Relaxed),
+            completed: s.completed.load(Relaxed),
+            cache_hits: s.cache_hits.load(Relaxed),
+            cache_misses: s.cache_misses.load(Relaxed),
+            parse_errors: s.parse_errors.load(Relaxed),
+            panics_caught: s.panics_caught.load(Relaxed),
+            quarantined_served: s.quarantined_served.load(Relaxed),
+            degraded: s.degraded.load(Relaxed),
+            fuel_exhaustions: s.fuel_exhaustions.load(Relaxed),
+            wall_exhaustions: s.wall_exhaustions.load(Relaxed),
+            busy_ns: s.busy_ns.load(Relaxed),
+        }
+    }
+
+    /// The cache's observable-state digest (see
+    /// [`VerdictCache::fingerprint`]).
+    pub fn cache_fingerprint(&self) -> u64 {
+        self.shared.cache.lock().unwrap().fingerprint()
+    }
+
+    /// Entries currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().unwrap().len()
+    }
+
+    /// Cache poison-eviction count (quarantines + poisoned probes).
+    pub fn cache_poison_evictions(&self) -> u64 {
+        self.shared.cache.lock().unwrap().poison_evictions()
+    }
+
+    /// Quarantined keys re-admitted so far.
+    pub fn cache_readmissions(&self) -> u64 {
+        self.shared.cache.lock().unwrap().readmissions()
+    }
+
+    /// Drops every memoized verdict (generation bump; O(1)).
+    pub fn cache_invalidate_all(&self) {
+        self.shared.cache.lock().unwrap().invalidate_all();
+    }
+
+    /// Fired fault shots, for chaos-suite attribution.
+    pub fn faults_fired(&self) -> Vec<ServiceFaultShot> {
+        self.shared.faults.lock().unwrap().fired().to_vec()
+    }
+
+    /// Fired shots carrying `name`.
+    pub fn faults_fired_count(&self, name: &str) -> usize {
+        self.shared.faults.lock().unwrap().fired_count(name)
+    }
+
+    /// Stops admissions, drains the queue, joins the workers, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        let started = Instant::now();
+        process(shared, job);
+        shared
+            .stats
+            .busy_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Relaxed);
+    }
+}
+
+/// Runs one request end to end. Every exit path sends exactly one
+/// reason-coded response; no panic can escape (analysis runs under
+/// `catch_unwind`, and everything outside it is non-panicking by
+/// construction and covered by the corpus tests).
+fn process(shared: &Shared, job: Job) {
+    let fault = shared.faults.lock().unwrap().decide(job.seq);
+    let requested = shared.start_level;
+    // The deadline holder carries the request-wide wall clock. It is
+    // anchored here — before the probe, the parse, and any injected
+    // stall — so a stalled worker shows up as wall-budget consumption,
+    // and each rung refuels from it so fuel is per-rung but time is
+    // global.
+    let deadline = AnalysisBudget::limited(None, shared.wall_budget);
+    let key: VerdictKey = (program_hash(&job.source), requested);
+    let respond = |result: Result<Analyzed, ServiceError>| {
+        shared.stats.completed.fetch_add(1, Relaxed);
+        if let Ok(a) = &result {
+            if a.degraded.is_some() {
+                shared.stats.degraded.fetch_add(1, Relaxed);
+            }
+        }
+        let _ = job.reply.send(AnalysisResponse {
+            seq: job.seq,
+            name: job.name.clone(),
+            latency: job.enqueued.elapsed(),
+            result,
+        });
+    };
+
+    // Injected poisoned-cache-entry: corrupt the memo *before* the
+    // probe so the cache's own defense (evict + recompute) is what
+    // the request exercises.
+    if fault == Some(ServiceFault::PoisonCacheEntry) {
+        shared.cache.lock().unwrap().poison_entry(&key);
+        shared
+            .faults
+            .lock()
+            .unwrap()
+            .record_fired(job.seq, ServiceFault::PoisonCacheEntry);
+    }
+
+    // Faults that fire inside the analysis path (panic, stall,
+    // starvation) bypass the memo probe: chaos coverage must not
+    // depend on whether an earlier request already cached the answer.
+    let bypass_cache = matches!(
+        fault,
+        Some(
+            ServiceFault::PanicInAnalysis
+                | ServiceFault::StallWorker { .. }
+                | ServiceFault::BudgetStarvation
+        )
+    );
+    let probe = if bypass_cache {
+        VerdictProbe::Miss
+    } else {
+        shared.cache.lock().unwrap().probe(&key)
+    };
+    match probe {
+        VerdictProbe::Hit(report) => {
+            shared.stats.cache_hits.fetch_add(1, Relaxed);
+            respond(Ok(Analyzed {
+                report: *report,
+                level: requested,
+                degraded: None,
+                cache_hit: true,
+            }));
+            return;
+        }
+        VerdictProbe::Quarantined => {
+            shared.stats.quarantined_served.fetch_add(1, Relaxed);
+            match parse_isolated(&job.source) {
+                Ok(program) => respond(Ok(Analyzed {
+                    report: parse_only_report(program),
+                    level: DegradeLevel::ParseOnly,
+                    degraded: Some(DegradeReason::Quarantined),
+                    cache_hit: false,
+                })),
+                Err(e) => {
+                    shared.stats.parse_errors.fetch_add(1, Relaxed);
+                    respond(Err(e));
+                }
+            }
+            return;
+        }
+        VerdictProbe::Miss => {
+            shared.stats.cache_misses.fetch_add(1, Relaxed);
+        }
+    }
+
+    let program = match parse_isolated(&job.source) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.stats.parse_errors.fetch_add(1, Relaxed);
+            respond(Err(e));
+            return;
+        }
+    };
+
+    // Injected stalled-worker: burn the wall budget before analyzing.
+    if let Some(ServiceFault::StallWorker { ms }) = fault {
+        thread::sleep(Duration::from_millis(ms));
+        shared
+            .faults
+            .lock()
+            .unwrap()
+            .record_fired(job.seq, ServiceFault::StallWorker { ms });
+    }
+
+    // Injected budget starvation: this request's fuel is zero.
+    let fuel = if fault == Some(ServiceFault::BudgetStarvation) {
+        shared
+            .faults
+            .lock()
+            .unwrap()
+            .record_fired(job.seq, ServiceFault::BudgetStarvation);
+        Some(0)
+    } else {
+        shared.fuel
+    };
+
+    let mut level = requested;
+    let mut degrade_reason: Option<DegradeReason> = None;
+    loop {
+        if level != DegradeLevel::ParseOnly
+            && deadline.exhausted() == Some(BudgetExhaustion::WallClock)
+        {
+            shared.stats.wall_exhaustions.fetch_add(1, Relaxed);
+            degrade_reason = Some(DegradeReason::WallClock);
+            level = DegradeLevel::ParseOnly;
+        }
+        if level == DegradeLevel::ParseOnly {
+            let report = parse_only_report(program.clone());
+            if requested == DegradeLevel::ParseOnly {
+                shared.cache.lock().unwrap().insert(key, report.clone());
+                degrade_reason = None;
+            }
+            respond(Ok(Analyzed {
+                report,
+                level,
+                degraded: degrade_reason,
+                cache_hit: false,
+            }));
+            return;
+        }
+        let budget = deadline.refueled(fuel);
+        let inject_panic = fault == Some(ServiceFault::PanicInAnalysis) && level == requested;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected analysis fault");
+            }
+            level.compile_at(program.clone(), shared.options, Some(&budget))
+        }));
+        match outcome {
+            Err(payload) => {
+                if inject_panic {
+                    shared
+                        .faults
+                        .lock()
+                        .unwrap()
+                        .record_fired(job.seq, ServiceFault::PanicInAnalysis);
+                }
+                shared.stats.panics_caught.fetch_add(1, Relaxed);
+                shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .quarantine(key, shared.quarantine_retries);
+                let message = panic_message(payload.as_ref());
+                respond(Err(ServiceError::AnalysisPanicked {
+                    rung: level.name(),
+                    message,
+                }));
+                return;
+            }
+            Ok(report) => match budget.exhausted() {
+                None => {
+                    if level == requested {
+                        shared.cache.lock().unwrap().insert(key, report.clone());
+                    }
+                    respond(Ok(Analyzed {
+                        report,
+                        level,
+                        degraded: degrade_reason,
+                        cache_hit: false,
+                    }));
+                    return;
+                }
+                Some(BudgetExhaustion::Fuel) => {
+                    shared.stats.fuel_exhaustions.fetch_add(1, Relaxed);
+                    degrade_reason = Some(DegradeReason::Fuel);
+                    level = level.next().unwrap_or(DegradeLevel::ParseOnly);
+                }
+                Some(BudgetExhaustion::WallClock) => {
+                    shared.stats.wall_exhaustions.fetch_add(1, Relaxed);
+                    degrade_reason = Some(DegradeReason::WallClock);
+                    level = DegradeLevel::ParseOnly;
+                }
+            },
+        }
+    }
+}
+
+/// Parses under `catch_unwind`: a parse panic (there should be none —
+/// the corpus tests enforce it) becomes a typed error, not a dead
+/// worker.
+fn parse_isolated(source: &str) -> Result<Program, ServiceError> {
+    match catch_unwind(AssertUnwindSafe(|| parse_program(source))) {
+        Ok(Ok(p)) => Ok(p),
+        Ok(Err(e)) => Err(ServiceError::Parse(e.to_string())),
+        Err(payload) => Err(ServiceError::AnalysisPanicked {
+            rung: "parse",
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,192 @@
+//! Service behavior under normal (fault-free) operation: memoization,
+//! admission control, budget-driven degradation, typed parse errors,
+//! and reason-coded responses for a mixed workload.
+
+use irr_service::{
+    AnalysisResponse, DegradeLevel, Service, ServiceConfig, ServiceError, ServiceFault,
+    ServiceFaultPlan, ShedReason, Submitted,
+};
+use std::time::Duration;
+
+const GOOD: &str = "program t
+integer i
+integer idx(10)
+real x(10)
+do i = 1, 10
+idx(i) = i
+enddo
+do 10 i = 1, 10
+x(idx(i)) = 1.0
+10 continue
+print x(1)
+end
+";
+
+#[test]
+fn full_strength_roundtrip_then_cache_hit() {
+    let svc = Service::start(ServiceConfig::default());
+    let first = svc.analyze("good", GOOD);
+    let a = first.result.as_ref().expect("full analysis succeeds");
+    assert_eq!(a.level, DegradeLevel::Full);
+    assert_eq!(a.degraded, None);
+    assert!(!a.cache_hit);
+    assert_eq!(first.reason_code(), "ok");
+
+    let second = svc.analyze("good-again", GOOD);
+    let b = second.result.as_ref().expect("cached analysis succeeds");
+    assert!(b.cache_hit);
+    assert_eq!(b.level, DegradeLevel::Full);
+    // The memoized report answers identically.
+    assert_eq!(a.report.verdicts.len(), b.report.verdicts.len());
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn parse_errors_are_typed_not_panics() {
+    let svc = Service::start(ServiceConfig::default());
+    let resp = svc.analyze("broken", "program t\ndo i = 1, 10\nend\n");
+    match &resp.result {
+        Err(ServiceError::Parse(msg)) => assert!(!msg.is_empty()),
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+    assert_eq!(resp.reason_code(), "parse-error");
+    assert_eq!(svc.stats().parse_errors, 1);
+}
+
+#[test]
+fn zero_fuel_descends_the_whole_ladder_with_reason() {
+    let svc = Service::start(ServiceConfig {
+        fuel: Some(0),
+        ..ServiceConfig::default()
+    });
+    let resp = svc.analyze("starved", GOOD);
+    let a = resp.result.as_ref().expect("degraded is Ok, not an error");
+    assert_eq!(a.level, DegradeLevel::ParseOnly);
+    assert_eq!(resp.reason_code(), "fuel");
+    // Parse-only still names every loop, all sequential.
+    assert_eq!(a.report.verdicts.len(), 2);
+    assert!(a.report.verdicts.iter().all(|v| !v.parallel));
+
+    let stats = svc.stats();
+    // Full, summaries-off, and evolution-off each ran dry once.
+    assert_eq!(stats.fuel_exhaustions, 3);
+    assert_eq!(stats.degraded, 1);
+
+    // Degraded results are never memoized.
+    assert_eq!(svc.cache_len(), 0);
+    let again = svc.analyze("starved-again", GOOD);
+    assert!(!again.result.unwrap().cache_hit);
+}
+
+#[test]
+fn expired_deadline_jumps_straight_to_parse_only() {
+    let svc = Service::start(ServiceConfig {
+        wall_budget: Some(Duration::ZERO),
+        ..ServiceConfig::default()
+    });
+    let resp = svc.analyze("deadline", GOOD);
+    let a = resp.result.as_ref().expect("degraded is Ok");
+    assert_eq!(a.level, DegradeLevel::ParseOnly);
+    assert_eq!(resp.reason_code(), "wall-clock");
+    assert!(svc.stats().wall_exhaustions >= 1);
+    assert_eq!(svc.cache_len(), 0);
+}
+
+#[test]
+fn overload_sheds_with_reason_coded_retry_after() {
+    // One worker pinned by a stall, queue of one: of five submissions
+    // at most two are ever admitted (one in flight + one queued).
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        fault_plan: ServiceFaultPlan::scripted([(0, ServiceFault::StallWorker { ms: 300 })]),
+        ..ServiceConfig::default()
+    });
+    let mut pending = Vec::new();
+    let mut shed: Vec<AnalysisResponse> = Vec::new();
+    for i in 0..5 {
+        match svc.submit(&format!("r{i}"), GOOD) {
+            Submitted::Accepted(rx) => pending.push(rx),
+            Submitted::Shed(resp) => shed.push(*resp),
+        }
+    }
+    assert!(shed.len() >= 3, "expected >=3 sheds, got {}", shed.len());
+    for resp in &shed {
+        match &resp.result {
+            Err(ServiceError::Shed(ShedReason::QueueFull { retry_after_ms })) => {
+                assert!(*retry_after_ms >= 1);
+            }
+            other => panic!("expected QueueFull shed, got {other:?}"),
+        }
+        assert_eq!(resp.reason_code(), "shed:queue-full");
+    }
+    for rx in pending {
+        let resp = rx.recv().expect("accepted requests complete");
+        assert!(resp.result.is_ok());
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.shed_queue_full, shed.len() as u64);
+    assert!(stats.shed_rate() > 0.5);
+}
+
+#[test]
+fn batch_of_mixed_good_and_malformed_is_fully_reason_coded() {
+    let corpus = irr_frontend::malformed_corpus(30);
+    let benchmarks = irr_programs::all(irr_programs::Scale::Test);
+    let mut requests: Vec<(String, String)> = Vec::new();
+    for b in &benchmarks {
+        requests.push((b.name.to_string(), b.source.clone()));
+    }
+    for c in &corpus {
+        requests.push((c.name.to_string(), c.source.clone()));
+    }
+    // A second wave repeats the benchmarks so the cache gets hits;
+    // `analyze_batch` drains the first wave before it is submitted.
+    let again: Vec<(String, String)> = benchmarks
+        .iter()
+        .map(|b| (format!("{}-again", b.name), b.source.clone()))
+        .collect();
+
+    let svc = Service::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: requests.len() + again.len(),
+        ..ServiceConfig::default()
+    });
+    let mut responses = svc.analyze_batch(requests.iter().map(|(n, s)| (n.as_str(), s.as_str())));
+    responses.extend(svc.analyze_batch(again.iter().map(|(n, s)| (n.as_str(), s.as_str()))));
+    assert_eq!(responses.len(), requests.len() + again.len());
+
+    let known = [
+        "ok",
+        "fuel",
+        "wall-clock",
+        "quarantined",
+        "parse-error",
+        "shed:queue-full",
+        "shed:shutting-down",
+        "panic",
+    ];
+    for resp in &responses {
+        assert!(
+            known.contains(&resp.reason_code()),
+            "{}: unknown reason {}",
+            resp.name,
+            resp.reason_code()
+        );
+        // Nothing in the corpus panics analysis.
+        assert!(!matches!(
+            resp.result,
+            Err(ServiceError::AnalysisPanicked { .. })
+        ));
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, (requests.len() + again.len()) as u64);
+    assert_eq!(stats.panics_caught, 0);
+    assert_eq!(stats.cache_hits, benchmarks.len() as u64);
+}
