@@ -440,11 +440,31 @@ fn strategy_sweep(r: &Runner) {
     for (name, v) in out.strategy_counts() {
         r.annotate(&format!("parallel-strategy/hybrid-modperm/{name}"), v);
     }
+    for (name, v) in compiled_counts(&out) {
+        r.annotate(&format!("parallel-strategy/hybrid-modperm/{name}"), v);
+    }
     let gather = irr_driver::compile_source(GATHER_SRC, DriverOptions::with_iaa()).unwrap();
     let out = run_hybrid(&gather, HybridConfig::default()).unwrap();
     for (name, v) in out.strategy_counts() {
         r.annotate(&format!("parallel-strategy/hybrid-gather/{name}"), v);
     }
+    for (name, v) in compiled_counts(&out) {
+        r.annotate(&format!("parallel-strategy/hybrid-gather/{name}"), v);
+    }
+}
+
+/// Compiled-tier engagement counters recorded alongside the strategy
+/// counts: sequential-tier bytecode entries, parallel dispatches with
+/// bytecode workers, and reason-coded tree-walk fallbacks.
+fn compiled_counts(out: &irr_runtime::HybridOutcome) -> [(&'static str, u64); 3] {
+    [
+        ("compiled_loops", out.telemetry.compiled_loops),
+        (
+            "compiled_worker_dispatches",
+            out.telemetry.compiled_worker_dispatches,
+        ),
+        ("compiled_fallbacks", out.telemetry.compiled_fallbacks()),
+    ]
 }
 
 /// The transactional-fallback costs:

@@ -1,0 +1,416 @@
+//! Advisory compiled-tier plans: a pure-syntactic restatement of the
+//! executor's bytecode-lowering eligibility rules.
+//!
+//! The executor owns the authoritative lowering (`irr-exec`'s
+//! `bytecode` module) and *never* trusts the driver: at dispatch it
+//! re-lowers the loop nest from the AST, so a forged or stale
+//! [`CompiledPlan`] can change performance but never semantics. This
+//! module exists so that (a) the driver can annotate each verdict with
+//! the plan a runtime should expect, next to the strategy facts, and
+//! (b) the lint layer can re-derive the plan with the same function and
+//! flag verdicts whose plan was tampered with.
+//!
+//! The rules here mirror the lowering one-for-one — same statement
+//! whitelist, same expression rejections, same register accounting —
+//! and must be kept in sync with it. Divergence is tolerated in exactly
+//! one direction at run time: when the plan says "compiled" but the
+//! executor rejects, the loop falls back to the tree-walk with a
+//! reason-coded telemetry counter.
+
+use irr_frontend::{
+    BinOp, Expr, Intrinsic, LValue, Program, ScalarType, StmtId, StmtKind, UnOp, VarId,
+};
+
+/// What the compiled tier will do with a loop nest, derived without
+/// executing anything. Also a fingerprint: the lint layer re-derives
+/// the plan and compares for equality, so every field must be a pure
+/// function of the program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CompiledPlan {
+    /// Registers the bytecode body allocates (the executor's `u16`
+    /// register file uses the same accounting).
+    pub registers: u32,
+    /// Inner loops (`do` and `while`) in the nest, root excluded.
+    pub inner_loops: u32,
+    /// Fused affine element accesses `a(v + c)`, loads and stores.
+    pub affine_accesses: u32,
+    /// Fused gather/scatter accesses `a(idx(e))`, loads and stores.
+    pub indirect_accesses: u32,
+    /// Append-through-pointer fusions `a(p) = e` + `p = p + 1`.
+    pub appends: u32,
+    /// Scalar reduction accumulates `s = s op e` / `s = e op s`.
+    pub accumulates: u32,
+}
+
+/// Derives the advisory compiled-tier plan for the `do` loop at
+/// `loop_stmt`, or `None` when the nest contains a construct the
+/// bytecode executor refuses to lower: procedure calls, `print`,
+/// `return`, logical/comparison operators in numeric position,
+/// intrinsics with too few arguments, subscripted scalars or
+/// over-subscripted arrays, or a register file past `u16`.
+pub fn derive_compiled_plan(program: &Program, loop_stmt: StmtId) -> Option<CompiledPlan> {
+    let StmtKind::Do { body, .. } = &program.stmt(loop_stmt).kind else {
+        return None;
+    };
+    let mut w = Walk {
+        program,
+        plan: CompiledPlan::default(),
+        temps: 0,
+    };
+    w.walk_stmts(body).ok()?;
+    if w.temps > u16::MAX as u32 {
+        return None;
+    }
+    w.plan.registers = w.temps;
+    Some(w.plan)
+}
+
+/// Eligibility failure. Carries no payload: the executor's lowering
+/// owns the reason tokens; this walk only answers yes/no.
+struct Reject;
+
+type Elig<T> = Result<T, Reject>;
+
+struct Walk<'p> {
+    program: &'p Program,
+    plan: CompiledPlan,
+    /// Temp-register count, mirroring the lowering's allocator.
+    temps: u32,
+}
+
+impl<'p> Walk<'p> {
+    fn temp(&mut self) {
+        self.temps = self.temps.saturating_add(1);
+    }
+
+    fn ty(&self, v: VarId) -> ScalarType {
+        self.program.symbols.var(v).ty
+    }
+
+    fn walk_stmts(&mut self, body: &[StmtId]) -> Elig<()> {
+        let mut k = 0;
+        while k < body.len() {
+            if k + 1 < body.len() && self.try_append(body[k], body[k + 1])? {
+                k += 2;
+                continue;
+            }
+            self.walk_stmt(body[k])?;
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// The append-through-pointer peephole window, with the lowering's
+    /// exact match conditions.
+    fn try_append(&mut self, s1: StmtId, s2: StmtId) -> Elig<bool> {
+        let StmtKind::Assign {
+            lhs: LValue::Element(arr, subs),
+            rhs,
+        } = &self.program.stmt(s1).kind
+        else {
+            return Ok(false);
+        };
+        let [Expr::Var(p)] = subs.as_slice() else {
+            return Ok(false);
+        };
+        let StmtKind::Assign {
+            lhs: LValue::Scalar(p2),
+            rhs: inc,
+        } = &self.program.stmt(s2).kind
+        else {
+            return Ok(false);
+        };
+        let bumps = matches!(
+            inc,
+            Expr::Bin(BinOp::Add, x, y)
+                if (x.is_var(*p) && y.as_int_lit() == Some(1))
+                    || (y.is_var(*p) && x.as_int_lit() == Some(1))
+        );
+        if p2 != p
+            || !bumps
+            || self.ty(*p) != ScalarType::Int
+            || self.program.symbols.var(*arr).rank() != 1
+        {
+            return Ok(false);
+        }
+        self.walk_expr(rhs)?;
+        self.plan.appends += 1;
+        Ok(true)
+    }
+
+    fn walk_stmt(&mut self, s: StmtId) -> Elig<()> {
+        match &self.program.stmt(s).kind {
+            StmtKind::Assign { lhs, rhs } => {
+                match lhs {
+                    LValue::Scalar(v) => {
+                        if let Expr::Bin(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul), x, y) = rhs {
+                            if x.is_var(*v) {
+                                self.walk_expr(y)?;
+                                self.plan.accumulates += 1;
+                                return Ok(());
+                            }
+                            if matches!(op, BinOp::Add | BinOp::Mul) && y.is_var(*v) {
+                                self.walk_expr(x)?;
+                                self.plan.accumulates += 1;
+                                return Ok(());
+                            }
+                        }
+                        self.walk_expr(rhs)?;
+                    }
+                    LValue::Element(a, subs) => {
+                        self.walk_expr(rhs)?;
+                        self.walk_element(*a, subs, false)?;
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.temp();
+                self.walk_cond(cond)?;
+                self.walk_stmts(then_body)?;
+                self.walk_stmts(else_body)
+            }
+            StmtKind::Do {
+                lo, hi, step, body, ..
+            } => {
+                self.walk_expr(lo)?;
+                self.walk_expr(hi)?;
+                if let Some(e) = step {
+                    self.walk_expr(e)?;
+                }
+                self.plan.inner_loops += 1;
+                self.walk_stmts(body)
+            }
+            StmtKind::While { cond, body } => {
+                self.temp();
+                self.walk_cond(cond)?;
+                self.plan.inner_loops += 1;
+                self.walk_stmts(body)
+            }
+            StmtKind::Call { .. } | StmtKind::Print { .. } | StmtKind::Return => Err(Reject),
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) -> Elig<()> {
+        match e {
+            Expr::IntLit(_) | Expr::RealLit(_) | Expr::Var(_) => Ok(()),
+            Expr::Element(a, subs) => self.walk_element(*a, subs, true),
+            Expr::Bin(op, x, y) => {
+                if op.is_comparison() || op.is_logical() {
+                    return Err(Reject);
+                }
+                self.walk_expr(x)?;
+                self.walk_expr(y)?;
+                self.temp();
+                Ok(())
+            }
+            Expr::Un(UnOp::Neg, x) => {
+                self.walk_expr(x)?;
+                self.temp();
+                Ok(())
+            }
+            Expr::Un(UnOp::Not, _) => Err(Reject),
+            Expr::Call(f, args) => {
+                let needed = match f {
+                    Intrinsic::Min | Intrinsic::Max | Intrinsic::Mod => 2,
+                    _ => 1,
+                };
+                if args.len() < needed {
+                    return Err(Reject);
+                }
+                for a in args {
+                    self.walk_expr(a)?;
+                }
+                self.temp();
+                Ok(())
+            }
+        }
+    }
+
+    fn walk_cond(&mut self, e: &Expr) -> Elig<()> {
+        match e {
+            Expr::Bin(op, x, y) if op.is_comparison() => {
+                self.walk_expr(x)?;
+                self.walk_expr(y)
+            }
+            Expr::Bin(BinOp::And | BinOp::Or, x, y) => {
+                self.walk_cond(x)?;
+                self.walk_cond(y)
+            }
+            Expr::Un(UnOp::Not, x) => self.walk_cond(x),
+            other => self.walk_expr(other),
+        }
+    }
+
+    /// An element access (load when `is_load`), with the lowering's
+    /// rank checks, fusion patterns, and temp accounting.
+    fn walk_element(&mut self, a: VarId, subs: &[Expr], is_load: bool) -> Elig<()> {
+        let rank = self.program.symbols.var(a).rank();
+        if rank == 0 || subs.is_empty() || subs.len() > rank {
+            return Err(Reject);
+        }
+        if subs.len() == 1 {
+            if is_load {
+                self.temp();
+            }
+            match self.fused_sub(&subs[0]) {
+                Some(FusedSub::Direct) => {}
+                Some(FusedSub::Affine) => self.plan.affine_accesses += 1,
+                Some(FusedSub::Gather) => self.plan.indirect_accesses += 1,
+                None => self.walk_expr(&subs[0])?,
+            }
+            return Ok(());
+        }
+        for s in subs {
+            self.walk_expr(s)?;
+        }
+        // One mov per subscript, the flat index, and (for loads) the
+        // destination.
+        for _ in subs {
+            self.temp();
+        }
+        self.temp();
+        if is_load {
+            self.temp();
+        }
+        Ok(())
+    }
+
+    fn fused_sub(&self, sub: &Expr) -> Option<FusedSub> {
+        let int_scalar = |e: &Expr| matches!(e, Expr::Var(v) if self.ty(*v) == ScalarType::Int);
+        let simple = |e: &Expr| matches!(e, Expr::Var(_) | Expr::IntLit(_));
+        match sub {
+            Expr::Var(_) | Expr::IntLit(_) => Some(FusedSub::Direct),
+            Expr::Bin(BinOp::Add, x, y) => {
+                if (int_scalar(x) && y.as_int_lit().is_some())
+                    || (x.as_int_lit().is_some() && int_scalar(y))
+                {
+                    Some(FusedSub::Affine)
+                } else {
+                    None
+                }
+            }
+            Expr::Bin(BinOp::Sub, x, y) => {
+                match (int_scalar(x), y.as_int_lit().and_then(i64::checked_neg)) {
+                    (true, Some(_)) => Some(FusedSub::Affine),
+                    _ => None,
+                }
+            }
+            Expr::Element(idx_arr, inner) => {
+                let [inner] = inner.as_slice() else {
+                    return None;
+                };
+                if self.program.symbols.var(*idx_arr).rank() < 1 {
+                    return None;
+                }
+                simple(inner).then_some(FusedSub::Gather)
+            }
+            _ => None,
+        }
+    }
+}
+
+enum FusedSub {
+    Direct,
+    Affine,
+    Gather,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irr_frontend::parse_program;
+
+    fn first_do(program: &Program) -> StmtId {
+        let main = program.main();
+        program
+            .stmts_in(&program.procedure(main).body)
+            .into_iter()
+            .find(|s| matches!(program.stmt(*s).kind, StmtKind::Do { .. }))
+            .unwrap()
+    }
+
+    #[test]
+    fn spmv_style_nest_gets_a_plan_with_patterns() {
+        let p = parse_program(
+            "program t
+             integer i, j, n, rowptr(9), colind(16)
+             real y(8), aval(16), x(8), s
+             n = 8
+             do i = 1, n
+               s = 0.0
+               do j = rowptr(i), rowptr(i + 1) - 1
+                 s = s + aval(j) * x(colind(j))
+               enddo
+               y(i) = s
+             enddo
+             end",
+        )
+        .unwrap();
+        let plan = derive_compiled_plan(&p, first_do(&p)).unwrap();
+        assert_eq!(plan.inner_loops, 1);
+        assert!(plan.indirect_accesses >= 1, "{plan:?}");
+        assert!(plan.accumulates >= 1, "{plan:?}");
+        assert!(plan.registers > 0);
+    }
+
+    #[test]
+    fn print_in_nest_rejects() {
+        let p = parse_program(
+            "program t
+             integer i
+             real x(8)
+             do i = 1, 8
+               x(i) = 1.0
+               print x(i)
+             enddo
+             end",
+        )
+        .unwrap();
+        assert!(derive_compiled_plan(&p, first_do(&p)).is_none());
+    }
+
+    #[test]
+    fn append_and_affine_patterns_are_counted() {
+        let p = parse_program(
+            "program t
+             integer i, n, p
+             real out(100), x(100), y(100)
+             n = 50
+             p = 1
+             do i = 1, n
+               y(i + 1) = x(i)
+               out(p) = x(i)
+               p = p + 1
+             enddo
+             end",
+        )
+        .unwrap();
+        let plan = derive_compiled_plan(&p, first_do(&p)).unwrap();
+        assert_eq!(plan.appends, 1, "{plan:?}");
+        assert!(plan.affine_accesses >= 1, "{plan:?}");
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let p = parse_program(
+            "program t
+             integer i, j, n, rowlen(8), rowptr(9)
+             real front(16)
+             n = 8
+             do i = 1, n
+               do j = 1, rowlen(i)
+                 front(rowptr(i) + j - 1) = front(rowptr(i) + j - 1) * 0.98
+               enddo
+             enddo
+             end",
+        )
+        .unwrap();
+        let s = first_do(&p);
+        assert_eq!(derive_compiled_plan(&p, s), derive_compiled_plan(&p, s));
+    }
+}

@@ -15,10 +15,12 @@
 //! analysis to intraprocedural queries, which is exactly why the paper
 //! reorganizes the pipeline.
 
+pub mod compiled;
 pub mod emit;
 pub mod ladder;
 pub mod strategy;
 
+pub use compiled::{derive_compiled_plan, CompiledPlan};
 pub use emit::emit_annotated;
 pub use irr_deptest::ResidualCheck;
 pub use irr_passes::ReductionOp;
@@ -211,6 +213,11 @@ pub struct LoopVerdict {
     /// Proven facts a runtime can turn into a zero-merge execution
     /// strategy (in-place disjoint writes, positional concatenation).
     pub strategy_facts: StrategyFacts,
+    /// Advisory plan for the compiled (bytecode) execution tier, when
+    /// the loop nest is within the lowering's eligibility fragment.
+    /// The executor re-derives this at dispatch and never trusts it;
+    /// the lint layer re-derives it to catch tampering.
+    pub compiled: Option<CompiledPlan>,
 }
 
 /// Timings and counters for Table 2.
@@ -383,6 +390,9 @@ pub fn parse_only_report(program: Program) -> CompilationReport {
                     promoted_interproc: false,
                     tier: DispatchTier::Sequential,
                     strategy_facts: StrategyFacts::None,
+                    // Parse-only degradation never claims a plan; the
+                    // conservative direction (tree-walk) is always safe.
+                    compiled: None,
                 });
             }
         }
@@ -422,6 +432,7 @@ fn judge_loop<'c, 'p>(
         promoted_interproc: false,
         tier: DispatchTier::Sequential,
         strategy_facts: StrategyFacts::None,
+        compiled: derive_compiled_plan(ctx.program, loop_stmt),
     };
     let StmtKind::Do { var, body, .. } = &program.stmt(loop_stmt).kind else {
         v.blockers.push("not a do loop".into());
@@ -965,6 +976,26 @@ mod tests {
         assert!(matches!(cv.tier, DispatchTier::RuntimeGuarded(_)), "{cv:?}");
         assert!(!cv.promoted_interproc);
         assert!(cv.retired_checks.is_empty());
+    }
+
+    #[test]
+    fn verdicts_carry_advisory_compiled_plans() {
+        let rep = compile_source(CRS_PRODUCER, DriverOptions::with_iaa()).unwrap();
+        let v = rep.verdict("T/do400").unwrap();
+        let plan = v.compiled.expect("straightline nest is lowerable");
+        assert_eq!(Some(plan), derive_compiled_plan(&rep.program, v.loop_stmt));
+        assert_eq!(plan.inner_loops, 1, "{plan:?}");
+        // A loop with i/o in the body gets no plan.
+        let src = "program t
+             integer i
+             real x(8)
+             do i = 1, 8
+               x(i) = 1.0
+               print x(i)
+             enddo
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        assert!(rep.verdicts[0].compiled.is_none());
     }
 
     #[test]

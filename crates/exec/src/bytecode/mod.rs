@@ -1,0 +1,689 @@
+//! Compiled execution tier: a compact register bytecode for
+//! verdict-annotated `do`-loop nests.
+//!
+//! The tree-walking interpreter pays for its instrumentation on every
+//! AST node: enum dispatch per expression node, a `Vec<usize>` per
+//! array access in `flat_index`, and symbol-table type lookups per
+//! scalar write. For the loops the analysis already understands — the
+//! sparse kernels and figure loops of the paper — none of that varies
+//! between iterations. This module lowers such a loop nest **once**
+//! into a flat register program ([`CompiledBody`]) and replays it with
+//! a small dispatch loop:
+//!
+//! - **Registers, not a tree.** Expression temporaries live in one
+//!   flat `Vec<Value>` register file sized at lowering; scalar
+//!   variables are read and written directly through their dense store
+//!   slots (the [`ScalarLayout`] pass — also used by the interpreter
+//!   itself to retire per-access symbol-table type lookups).
+//! - **Resolved array operands.** Array accesses carry their `VarId`
+//!   slot and are bounds-checked against the live extents without
+//!   allocating a subscript vector.
+//! - **Superinstructions** for the proven patterns the analysis
+//!   recognizes: affine store `a(i+c) = e` ([`Op::StoreAffine`]),
+//!   gather through an index array `a(idx(i))` ([`Op::Gather`]) and
+//!   its store dual ([`Op::Scatter`]), scalar reduction accumulate
+//!   `s = s op e` ([`Op::Accum`]), and append-through-pointer
+//!   `a(p) = e; p = p + 1` ([`Op::Append`]).
+//!
+//! **Parity is the contract.** A compiled loop must be byte-identical
+//! to the tree-walk in store contents, printed output, statement
+//! costs, fuel accounting, and error identity — the differential
+//! harness in `tests/strategy_parity.rs` and `sanitizer-audit
+//! --compiled` enforce this across the whole corpus. To that end the
+//! lowering is deliberately conservative: fuel is charged per
+//! statement entry at the same program points ([`Op::Charge`]), array
+//! materialization order is preserved ([`Op::Ensure`] precedes
+//! subscript evaluation exactly where `flat_index` would materialize),
+//! and any construct whose interpreter semantics are not replicated
+//! bit-for-bit — procedure calls, `print`, `return`, logical
+//! operators in numeric position — rejects the lowering and falls
+//! back to the interpreter via a reason-coded
+//! [`FallbackReason`](crate::dispatch::FallbackReason).
+//!
+//! Trust discipline mirrors the raw-pointer strategies: the driver's
+//! `CompiledPlan` is an advisory claim. The executor never runs a plan
+//! — it re-lowers the nest from the AST at dispatch (cached per
+//! `StmtId`; lowering is a pure function of the program) and falls
+//! back when the lowering disagrees, so a forged plan can never reach
+//! the bytecode path.
+
+mod exec;
+mod fast;
+mod lower;
+
+pub(crate) use fast::{specialize, FastBody};
+pub use lower::{lower_do_loop, LowerReject};
+
+use crate::dispatch::{FallbackReason, LoopDecision, LoopDispatcher};
+use crate::interp::Store;
+use irr_frontend::{BinOp, Intrinsic, Program, ScalarType, StmtId, VarId};
+
+/// An instruction operand: a temp register, a scalar store slot, or an
+/// immediate. Scalar reads are deferred to the consuming instruction —
+/// expressions cannot write scalars, so the deferred read observes the
+/// same value the interpreter's eager left-to-right evaluation would.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Opnd {
+    /// Temp register.
+    T(u16),
+    /// Scalar store slot (dense `VarId` index).
+    S(VarId),
+    /// Integer immediate.
+    I(i64),
+    /// Real immediate.
+    R(f64),
+}
+
+/// One bytecode instruction. Temp register indices (`u16`) index the
+/// per-execution register file; jump targets are indices into the
+/// instruction's own block.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// Charge `n` cost/fuel units — emitted at every statement entry
+    /// (and nowhere else), so total cost and the out-of-fuel point
+    /// match the interpreter exactly.
+    Charge(u64),
+    /// `t[dst] = src`.
+    Mov { dst: u16, src: Opnd },
+    /// `t[dst] = a op b` with the interpreter's `apply_bin` semantics
+    /// (wrapping integer arithmetic, euclidean div/mod, zero checks).
+    Bin {
+        op: BinOp,
+        dst: u16,
+        a: Opnd,
+        b: Opnd,
+    },
+    /// `t[dst] = -src`.
+    Neg { dst: u16, src: Opnd },
+    /// `t[dst] = (a op b) as 0/1` with `eval_cond` ordering semantics
+    /// (exact integer compare, NaN compares equal).
+    Cmp {
+        op: BinOp,
+        dst: u16,
+        a: Opnd,
+        b: Opnd,
+    },
+    /// `t[dst] = (src != 0.0) as 0/1` (condition fallback truthiness).
+    Truthy { dst: u16, src: Opnd },
+    /// `t[t] = 1 - t[t]` (logical not over a 0/1 condition register).
+    Not { t: u16 },
+    /// One-argument intrinsic.
+    Intr1 { f: Intrinsic, dst: u16, a: Opnd },
+    /// Two-argument intrinsic.
+    Intr2 {
+        f: Intrinsic,
+        dst: u16,
+        a: Opnd,
+        b: Opnd,
+    },
+    /// Unconditional jump within the block.
+    Jump { target: u32 },
+    /// Jump when the 0/1 condition register is 0.
+    JumpIfZero { src: u16, target: u32 },
+    /// Jump when the 0/1 condition register is non-0.
+    JumpIfNonZero { src: u16, target: u32 },
+    /// Materialize `arr` if needed (evaluating declared extents) —
+    /// emitted before subscript evaluation exactly where the
+    /// interpreter's `flat_index` would, preserving materialization
+    /// order, write-log records, and the random-fill stream.
+    Ensure { arr: VarId },
+    /// Column-major flat index of `n` subscripts held in consecutive
+    /// temps `t[base..base+n]`, bounds-checked per dimension;
+    /// `t[dst] = flat index`. `arr` must be materialized.
+    IndexN {
+        arr: VarId,
+        base: u16,
+        n: u8,
+        dst: u16,
+    },
+    /// `t[dst] = arr[t[idx]]` (flat index previously checked).
+    LoadAt { arr: VarId, idx: u16, dst: u16 },
+    /// `arr[t[idx]] = src` through the store's full write path
+    /// (overlay intercept, copy-on-write, version bump, write log).
+    StoreAt { arr: VarId, idx: u16, src: Opnd },
+    /// Fused 1-subscript load: ensure, bounds-check `sub` against the
+    /// first extent, read.
+    LoadElem1 { arr: VarId, sub: Opnd, dst: u16 },
+    /// Fused 1-subscript store.
+    StoreElem1 { arr: VarId, sub: Opnd, src: Opnd },
+    /// Fused affine load `arr(base + off)`; `base` is an
+    /// integer-typed scalar slot.
+    LoadAffine {
+        arr: VarId,
+        base: VarId,
+        off: i64,
+        dst: u16,
+    },
+    /// Fused affine store `arr(base + off) = src` — the proven
+    /// in-place-disjoint write pattern.
+    StoreAffine {
+        arr: VarId,
+        base: VarId,
+        off: i64,
+        src: Opnd,
+    },
+    /// Fused gather `arr(idx_arr(sub))`: both arrays ensured in
+    /// interpreter order, both subscripts bounds-checked.
+    Gather {
+        arr: VarId,
+        idx_arr: VarId,
+        sub: Opnd,
+        dst: u16,
+    },
+    /// Fused gather-store `arr(idx_arr(sub)) = src`.
+    Scatter {
+        arr: VarId,
+        idx_arr: VarId,
+        sub: Opnd,
+        src: Opnd,
+    },
+    /// Scalar write with declared-type coercion and write-log record.
+    SetScalar {
+        var: VarId,
+        ty: ScalarType,
+        src: Opnd,
+    },
+    /// Fused reduction accumulate `var = var op src` (`rev` swaps the
+    /// operand order: `var = src op var`).
+    Accum {
+        var: VarId,
+        ty: ScalarType,
+        op: BinOp,
+        rev: bool,
+        src: Opnd,
+    },
+    /// Fused append-through-pointer: `arr(ptr) = src` followed by the
+    /// second statement's charge and `ptr = ptr + 1` — the
+    /// privatize-and-concat write pattern.
+    Append {
+        arr: VarId,
+        ptr: VarId,
+        ty: ScalarType,
+        src: Opnd,
+    },
+    /// A nested `do` loop: bounds read from operands (already
+    /// evaluated in-order by preceding ops), induction writes logged,
+    /// per-loop statistics maintained exactly as the interpreter's.
+    DoLoop {
+        var: VarId,
+        ty: ScalarType,
+        stmt: StmtId,
+        lo: Opnd,
+        hi: Opnd,
+        step: Opnd,
+        body: u16,
+    },
+    /// A nested `while` loop: the condition block leaves 0/1 in
+    /// `cond_temp` before every iteration.
+    WhileLoop {
+        stmt: StmtId,
+        cond: u16,
+        cond_temp: u16,
+        body: u16,
+    },
+}
+
+/// Number of distinct opcodes (for [`CompiledProfile`]).
+pub const OPCODE_COUNT: usize = 27;
+
+/// Stable opcode names, index-aligned with [`Op::tag`] — the keys of
+/// the per-opcode dispatch counts in `BENCH_compiled.json`.
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "charge",
+    "mov",
+    "bin",
+    "neg",
+    "cmp",
+    "truthy",
+    "not",
+    "intr1",
+    "intr2",
+    "jump",
+    "jump_if_zero",
+    "jump_if_nonzero",
+    "ensure",
+    "index_n",
+    "load_at",
+    "store_at",
+    "load_elem",
+    "store_elem",
+    "load_affine",
+    "store_affine",
+    "gather",
+    "scatter",
+    "set_scalar",
+    "accum",
+    "append",
+    "do_loop",
+    "while_loop",
+];
+
+impl Op {
+    /// Dense opcode tag, index into [`OPCODE_NAMES`].
+    pub(crate) fn tag(&self) -> usize {
+        match self {
+            Op::Charge(_) => 0,
+            Op::Mov { .. } => 1,
+            Op::Bin { .. } => 2,
+            Op::Neg { .. } => 3,
+            Op::Cmp { .. } => 4,
+            Op::Truthy { .. } => 5,
+            Op::Not { .. } => 6,
+            Op::Intr1 { .. } => 7,
+            Op::Intr2 { .. } => 8,
+            Op::Jump { .. } => 9,
+            Op::JumpIfZero { .. } => 10,
+            Op::JumpIfNonZero { .. } => 11,
+            Op::Ensure { .. } => 12,
+            Op::IndexN { .. } => 13,
+            Op::LoadAt { .. } => 14,
+            Op::StoreAt { .. } => 15,
+            Op::LoadElem1 { .. } => 16,
+            Op::StoreElem1 { .. } => 17,
+            Op::LoadAffine { .. } => 18,
+            Op::StoreAffine { .. } => 19,
+            Op::Gather { .. } => 20,
+            Op::Scatter { .. } => 21,
+            Op::SetScalar { .. } => 22,
+            Op::Accum { .. } => 23,
+            Op::Append { .. } => 24,
+            Op::DoLoop { .. } => 25,
+            Op::WhileLoop { .. } => 26,
+        }
+    }
+}
+
+/// Per-opcode dispatch counters, collected when profiling is enabled
+/// on the interpreter ([`crate::Interp::compiled_profile`]) and merged
+/// from parallel workers at commit. Kept out of [`crate::ExecStats`]
+/// so stats equality between tiers stays byte-identical.
+#[derive(Clone, Debug)]
+pub struct CompiledProfile {
+    /// Dispatch count per opcode, index-aligned with [`OPCODE_NAMES`].
+    pub counts: [u64; OPCODE_COUNT],
+}
+
+impl Default for CompiledProfile {
+    fn default() -> Self {
+        CompiledProfile::new()
+    }
+}
+
+impl CompiledProfile {
+    /// All-zero profile.
+    pub fn new() -> CompiledProfile {
+        CompiledProfile {
+            counts: [0; OPCODE_COUNT],
+        }
+    }
+
+    /// Adds another profile's counts (worker merge).
+    pub fn merge(&mut self, other: &CompiledProfile) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total instruction dispatches.
+    pub fn dispatches(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(opcode name, count)` pairs for non-zero opcodes.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        OPCODE_NAMES
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(n, &c)| (*n, c))
+            .collect()
+    }
+}
+
+/// A lowered `do`-loop nest: blocks of instructions (the root block is
+/// one iteration of the outermost body; nested loop bodies and `while`
+/// conditions get their own blocks) plus the register-file size and
+/// the loop metadata the drivers need.
+#[derive(Debug)]
+pub struct CompiledBody {
+    pub(crate) blocks: Vec<Vec<Op>>,
+    /// Block holding one iteration of the outermost loop body.
+    pub(crate) root: u16,
+    /// Register-file size.
+    pub(crate) n_temps: u16,
+    /// The outermost loop's induction variable and its declared type.
+    pub(crate) root_var: VarId,
+    pub(crate) root_ty: ScalarType,
+    /// Every loop statement in the nest (root first) — checked against
+    /// `record_loops` at dispatch, since per-iteration cost recording
+    /// is an interpreter-only instrument.
+    pub(crate) loops: Vec<StmtId>,
+}
+
+impl CompiledBody {
+    /// Total instruction count across all blocks.
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Register-file size an executor must provide to run the body.
+    pub fn register_count(&self) -> usize {
+        self.n_temps as usize
+    }
+
+    /// Loop statements in the nest (outermost first).
+    pub fn loop_stmts(&self) -> &[StmtId] {
+        &self.loops
+    }
+}
+
+/// Dense per-`VarId` scalar type table: the register-resolution pass
+/// shared by the interpreter (which uses it to retire per-access
+/// symbol-table lookups on scalar writes) and the bytecode lowering
+/// (which bakes the resolved `(slot, type)` pairs into instructions).
+#[derive(Clone, Debug)]
+pub struct ScalarLayout {
+    types: Box<[ScalarType]>,
+}
+
+impl ScalarLayout {
+    /// Builds the table from a program's symbol table.
+    pub fn new(program: &Program) -> ScalarLayout {
+        ScalarLayout {
+            types: program.symbols.iter().map(|(_, info)| info.ty).collect(),
+        }
+    }
+
+    /// Declared type of `v`.
+    #[inline]
+    pub fn ty(&self, v: VarId) -> ScalarType {
+        self.types[v.index()]
+    }
+}
+
+/// The all-compiled dispatcher: every `do` loop entry requests the
+/// bytecode tier; unlowerable or instrumented loops fall back to the
+/// tree-walk per the interpreter's own guard. This is the
+/// single-thread "compiled" arm of the differential parity matrix and
+/// the compiled bench runs.
+#[derive(Debug, Default)]
+pub struct CompiledDispatch {
+    /// Dynamic loop entries that ran through the bytecode tier.
+    pub compiled: u64,
+    /// Dynamic loop entries that fell back, per reason.
+    pub fallbacks: Vec<(FallbackReason, u64)>,
+}
+
+impl CompiledDispatch {
+    /// Fresh dispatcher with zeroed counters.
+    pub fn new() -> CompiledDispatch {
+        CompiledDispatch::default()
+    }
+
+    /// Total fallback count across reasons.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.iter().map(|(_, c)| c).sum()
+    }
+}
+
+impl LoopDispatcher for CompiledDispatch {
+    fn dispatch(
+        &mut self,
+        _store: &Store,
+        _loop_stmt: StmtId,
+        _lo: i64,
+        _hi: i64,
+        _step: i64,
+    ) -> LoopDecision {
+        LoopDecision::Compiled
+    }
+
+    fn compiled_committed(&mut self, _loop_stmt: StmtId) {
+        self.compiled += 1;
+    }
+
+    fn compiled_fallback(&mut self, _loop_stmt: StmtId, reason: FallbackReason) {
+        match self.fallbacks.iter_mut().find(|(r, _)| *r == reason) {
+            Some((_, c)) => *c += 1,
+            None => self.fallbacks.push((reason, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExecError, ExecOutcome, Interp};
+    use irr_frontend::parse_program;
+
+    fn both(src: &str) -> (ExecOutcome, ExecOutcome, CompiledDispatch) {
+        let p = parse_program(src).unwrap();
+        let seq = Interp::new(&p).run().unwrap();
+        let mut d = CompiledDispatch::new();
+        let comp = Interp::new(&p).run_dispatched(&mut d).unwrap();
+        (seq, comp, d)
+    }
+
+    /// Byte-identical store, output, total cost, and per-loop stats.
+    fn assert_parity(src: &str) -> CompiledDispatch {
+        let (seq, comp, d) = both(src);
+        assert_eq!(seq.store, comp.store);
+        assert_eq!(seq.output, comp.output);
+        assert_eq!(seq.stats.total_cost, comp.stats.total_cost);
+        assert_eq!(seq.stats.loops.len(), comp.stats.loops.len());
+        for (s, ls) in &seq.stats.loops {
+            let cs = &comp.stats.loops[s];
+            assert_eq!(ls.invocations, cs.invocations, "invocations of {s:?}");
+            assert_eq!(ls.total_cost, cs.total_cost, "cost of {s:?}");
+        }
+        d
+    }
+
+    #[test]
+    fn affine_gather_reduction_parity() {
+        let d = assert_parity(
+            "program t
+             integer i, idx(50)
+             real a(60), b(50), s
+             do i = 1, 50
+               idx(i) = 51 - i
+               b(i) = i * 0.25
+             enddo
+             do i = 1, 50
+               a(i + 3) = b(i) * 2.0
+               s = s + a(idx(i))
+             enddo
+             print s
+             end",
+        );
+        assert!(d.compiled >= 2, "{d:?}");
+        assert_eq!(d.fallback_count(), 0, "{d:?}");
+    }
+
+    #[test]
+    fn append_and_nested_loop_parity() {
+        assert_parity(
+            "program t
+             integer i, j, q, ind(200), ptr(10), len(10)
+             do i = 1, 10
+               ptr(i) = (i - 1) * 7 + 1
+               len(i) = 5
+             enddo
+             do i = 1, 10
+               do j = 1, len(i)
+                 q = q + 1
+                 ind(q) = ptr(i) + j
+               enddo
+             enddo
+             print q, ind(1), ind(50)
+             end",
+        );
+    }
+
+    #[test]
+    fn while_and_if_parity() {
+        assert_parity(
+            "program t
+             integer i, j, k
+             real x(40)
+             do i = 1, 20
+               j = i
+               while (j > 1)
+                 j = j / 2
+                 k = k + 1
+               endwhile
+               if (k > 10 .and. i < 15) then
+                 x(i) = k * 1.5
+               else
+                 x(i) = 0 - k
+               endif
+             enddo
+             print k
+             end",
+        );
+    }
+
+    #[test]
+    fn multi_dim_and_intrinsic_parity() {
+        assert_parity(
+            "program t
+             integer i, j
+             real z(8, 9), s
+             do i = 1, 8
+               do j = 1, 9
+                 z(i, j) = max(i, j) + sqrt(i * 1.0)
+               enddo
+             enddo
+             do i = 1, 8
+               s = s + z(i, mod(i, 9) + 1)
+             enddo
+             print s
+             end",
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_error_identity() {
+        let src = "program t
+             integer i, idx(10)
+             real a(5)
+             do i = 1, 10
+               idx(i) = i
+             enddo
+             do i = 1, 10
+               a(idx(i)) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let seq = Interp::new(&p).run().unwrap_err();
+        let comp = Interp::new(&p)
+            .run_dispatched(&mut CompiledDispatch::new())
+            .unwrap_err();
+        assert_eq!(seq, comp);
+        assert!(matches!(seq, ExecError::OutOfBounds { .. }));
+    }
+
+    /// Satellite: a tight fuel budget must exhaust at the same point —
+    /// same error, same total cost — on both tiers.
+    #[test]
+    fn fuel_exhaustion_point_is_identical() {
+        let src = "program t
+             integer i
+             real x(1000)
+             do i = 1, 1000
+               x(i) = i * 2.0
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        for fuel in [7u64, 100, 1001] {
+            let mut seq = Interp::new(&p);
+            seq.fuel = fuel;
+            let seq_err = seq.run().unwrap_err();
+            let mut comp = Interp::new(&p);
+            comp.fuel = fuel;
+            let mut d = CompiledDispatch::new();
+            let comp_err = comp.run_dispatched(&mut d).unwrap_err();
+            assert_eq!(seq_err, ExecError::OutOfFuel);
+            assert_eq!(comp_err, ExecError::OutOfFuel);
+        }
+        // Cost at the exhaustion point matches exactly.
+        let mut seq = Interp::new(&p);
+        seq.fuel = 100;
+        seq.run().unwrap_err();
+        // `run` consumes; re-run with stats captured via run_dispatched.
+        let mut a = Interp::new(&p);
+        a.fuel = 100;
+        let _ = a.exec_proc(p.main());
+        let mut b = Interp::new(&p);
+        b.fuel = 100;
+        let mut d = CompiledDispatch::new();
+        let _ = b.exec_proc_with(p.main(), &mut d);
+        assert_eq!(a.stats.total_cost, b.stats.total_cost);
+        assert_eq!(a.store, b.store);
+    }
+
+    #[test]
+    fn print_in_body_falls_back_with_reason() {
+        let src = "program t
+             integer i
+             do i = 1, 3
+               print i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let mut d = CompiledDispatch::new();
+        let out = Interp::new(&p).run_dispatched(&mut d).unwrap();
+        assert_eq!(out.output, vec!["1", "2", "3"]);
+        assert_eq!(d.compiled, 0);
+        assert_eq!(d.fallbacks, vec![(FallbackReason::Unsupported, 1)], "{d:?}");
+    }
+
+    #[test]
+    fn recorded_loop_falls_back_as_traced() {
+        let src = "program t
+             integer i
+             real x(10)
+             do i = 1, 10
+               x(i) = i
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let target = p
+            .stmts_in(&p.procedure(p.main()).body)
+            .into_iter()
+            .find(|s| p.stmt(*s).kind.is_loop())
+            .unwrap();
+        let mut it = Interp::new(&p);
+        it.record_loops.insert(target);
+        let mut d = CompiledDispatch::new();
+        let out = it.run_dispatched(&mut d).unwrap();
+        assert_eq!(d.fallbacks, vec![(FallbackReason::Traced, 1)]);
+        assert_eq!(out.stats.loops[&target].iteration_costs.len(), 1);
+    }
+
+    #[test]
+    fn profile_counts_superinstructions() {
+        let src = "program t
+             integer i, idx(20)
+             real a(30), s
+             do i = 1, 20
+               idx(i) = i
+             enddo
+             do i = 1, 20
+               a(i + 1) = i * 1.0
+               s = s + a(idx(i))
+             enddo
+             end";
+        let p = parse_program(src).unwrap();
+        let mut it = Interp::new(&p);
+        it.compiled_profile = Some(Box::new(CompiledProfile::new()));
+        let mut d = CompiledDispatch::new();
+        it.exec_proc_with(p.main(), &mut d).unwrap();
+        let prof = it.compiled_profile.take().unwrap();
+        let by_name: std::collections::HashMap<_, _> = prof.nonzero().into_iter().collect();
+        assert_eq!(by_name["store_affine"], 20);
+        assert_eq!(by_name["gather"], 20);
+        assert_eq!(by_name["accum"], 20);
+        assert!(prof.dispatches() > 0);
+    }
+}

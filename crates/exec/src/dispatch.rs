@@ -20,6 +20,13 @@ use irr_frontend::StmtId;
 pub enum LoopDecision {
     /// Run the loop through the sequential interpreter.
     Sequential,
+    /// Run the loop through the single-threaded register-bytecode tier
+    /// (see [`crate::bytecode`]). The interpreter re-lowers the nest
+    /// from the AST at dispatch — a cached pure derivation — and falls
+    /// back to the sequential tree-walk (reporting
+    /// [`LoopDispatcher::compiled_fallback`]) when the loop cannot be
+    /// lowered or carries interpreter-only instrumentation.
+    Compiled,
     /// Run the loop through the chunked parallel executor.
     Parallel(ParallelPlan),
 }
@@ -47,6 +54,10 @@ pub enum FallbackReason {
     /// write left its proven window, or append positions broke the
     /// consecutive discipline).
     Strategy,
+    /// The loop carries interpreter-only instrumentation (an attached
+    /// access tracer or per-iteration cost recording), so a compiled
+    /// dispatch fell back to the instrumented tree-walk.
+    Traced,
 }
 
 impl FallbackReason {
@@ -59,6 +70,7 @@ impl FallbackReason {
             FallbackReason::Unsupported => "unsupported",
             FallbackReason::Timeout => "timeout",
             FallbackReason::Strategy => "strategy",
+            FallbackReason::Traced => "traced",
         }
     }
 }
@@ -94,6 +106,20 @@ pub trait LoopDispatcher {
     /// write-log if its own derivation could not re-prove the facts).
     /// The default is a no-op.
     fn parallel_committed(&mut self, _loop_stmt: StmtId, _strategy: ExecutionStrategy) {}
+
+    /// Notifies the dispatcher that its most recent
+    /// [`Compiled`](LoopDecision::Compiled) decision for `loop_stmt`
+    /// ran to completion through the bytecode tier. The default is a
+    /// no-op.
+    fn compiled_committed(&mut self, _loop_stmt: StmtId) {}
+
+    /// Notifies the dispatcher that a compiled dispatch of `loop_stmt`
+    /// fell back to the sequential interpreter for `reason` (the nest
+    /// could not be lowered, or interpreter-only instrumentation is
+    /// active). The sequential execution that follows is authoritative
+    /// — the fallback costs one cache-hit lowering attempt, nothing
+    /// more. The default is a no-op.
+    fn compiled_fallback(&mut self, _loop_stmt: StmtId, _reason: FallbackReason) {}
 }
 
 /// The trivial dispatcher: every loop runs sequentially. Using it with

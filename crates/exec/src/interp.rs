@@ -1,6 +1,7 @@
 //! The instrumenting tree-walking interpreter.
 
-use crate::dispatch::{LoopDecision, LoopDispatcher, SequentialDispatch};
+use crate::bytecode::{CompiledBody, CompiledProfile, FastBody, ScalarLayout};
+use crate::dispatch::{FallbackReason, LoopDecision, LoopDispatcher, SequentialDispatch};
 use crate::rng::SplitMix64;
 use crate::trace::{AccessTracer, TraceConfig, TracerSlot};
 use irr_frontend::{
@@ -466,9 +467,35 @@ impl Store {
         self.versions[arr.index()] += 1;
     }
 
+    /// Records `n` writes to `arr` at once — the compiled fast path
+    /// counts writes locally and lands them here at flush, keeping the
+    /// version arithmetic identical to `n` tree-walk writes.
+    pub(crate) fn bump_version_by(&mut self, arr: VarId, n: u64) {
+        self.versions[arr.index()] += n;
+    }
+
+    /// Whether writes are observed beyond the payload (transactional
+    /// write log or a strategy overlay). The compiled fast path is
+    /// only sound when they are not.
+    pub(crate) fn writes_observed(&self) -> bool {
+        self.log.is_some() || self.overlay.is_some()
+    }
+
+    /// Uniquely-owned payload of a materialized array (cloning a
+    /// shared `Arc` exactly as a tree-walk write would).
+    pub(crate) fn array_make_mut(&mut self, arr: VarId) -> &mut ArrayData {
+        Arc::make_mut(self.arrays[arr.index()].as_mut().expect("ensured"))
+    }
+
     /// The flat element count of `arr`, if materialized.
     pub fn array_len(&self, arr: VarId) -> Option<usize> {
         self.arrays[arr.index()].as_deref().map(ArrayData::len)
+    }
+
+    /// The payload of `arr`, if materialized (the bytecode executor's
+    /// read path).
+    pub(crate) fn array_ref(&self, arr: VarId) -> Option<&ArrayData> {
+        self.arrays[arr.index()].as_deref()
     }
 
     /// Reads a scalar.
@@ -677,6 +704,25 @@ pub struct Interp<'p> {
     /// When set, lazily materialized arrays fill with deterministic
     /// pseudo-random values instead of zeros (randomized audit inputs).
     random_fill: Option<SplitMix64>,
+    /// Dense per-`VarId` scalar types, resolved once at construction —
+    /// scalar writes on the hot path read this table instead of the
+    /// symbol table, and the bytecode lowering shares it.
+    pub(crate) layout: ScalarLayout,
+    /// Per-loop lowering results (`None` caches a rejection). Lowering
+    /// is a pure function of the immutable program, so entries stay
+    /// valid for the interpreter's lifetime; `Arc` lets parallel
+    /// workers share one body.
+    compiled_cache: HashMap<StmtId, Option<Arc<CompiledBody>>>,
+    /// Typed specializations of cached bodies (`None` caches a nest
+    /// the type inference cannot specialize). Like the lowering, the
+    /// specialization is a pure function of the immutable program.
+    fast_cache: HashMap<StmtId, Option<Arc<FastBody>>>,
+    /// Per-opcode dispatch counters for the bytecode tier; `None` (the
+    /// default) disables profiling entirely. Kept out of [`ExecStats`]
+    /// so tier parity of stats is byte-identical.
+    pub compiled_profile: Option<Box<CompiledProfile>>,
+    /// Reusable register file for compiled loop entries.
+    pub(crate) ctemps: Vec<Value>,
 }
 
 impl<'p> Interp<'p> {
@@ -696,7 +742,59 @@ impl<'p> Interp<'p> {
             fuel: 2_000_000_000,
             tracer: None,
             random_fill: None,
+            layout: ScalarLayout::new(program),
+            compiled_cache: HashMap::new(),
+            fast_cache: HashMap::new(),
+            compiled_profile: None,
+            ctemps: Vec::new(),
         }
+    }
+
+    /// The cached lowering of the `do` loop at `s` (`None` when the
+    /// nest is not lowerable). The first call per loop runs the
+    /// lowering; later calls are a map hit.
+    pub fn compiled_body_for(&mut self, s: StmtId) -> Option<Arc<CompiledBody>> {
+        if let Some(cached) = self.compiled_cache.get(&s) {
+            return cached.clone();
+        }
+        let lowered = crate::bytecode::lower_do_loop(self.program, s)
+            .ok()
+            .map(Arc::new);
+        self.compiled_cache.insert(s, lowered.clone());
+        lowered
+    }
+
+    /// The cached typed specialization of the loop at `s` (`None` when
+    /// the nest cannot be statically typed).
+    pub(crate) fn fast_body_for(&mut self, s: StmtId, cb: &CompiledBody) -> Option<Arc<FastBody>> {
+        if let Some(cached) = self.fast_cache.get(&s) {
+            return cached.clone();
+        }
+        let fb = crate::bytecode::specialize(self.program, cb).map(Arc::new);
+        self.fast_cache.insert(s, fb.clone());
+        fb
+    }
+
+    /// Whether a [`LoopDecision::Compiled`] dispatch of `s` can run, and
+    /// with which body. Interpreter-only instrumentation (an attached
+    /// tracer — whose access hooks fire on every read — or
+    /// per-iteration cost recording on any loop of the nest) forces the
+    /// instrumented tree-walk.
+    fn compiled_decision(&mut self, s: StmtId) -> Result<Arc<CompiledBody>, FallbackReason> {
+        if self.tracer.is_some() {
+            return Err(FallbackReason::Traced);
+        }
+        let Some(cb) = self.compiled_body_for(s) else {
+            return Err(FallbackReason::Unsupported);
+        };
+        if cb
+            .loop_stmts()
+            .iter()
+            .any(|l| self.record_loops.contains(l))
+        {
+            return Err(FallbackReason::Traced);
+        }
+        Ok(cb)
     }
 
     /// Attaches an access tracer: `hook` receives loop events for the
@@ -824,7 +922,7 @@ impl<'p> Interp<'p> {
                 match lhs {
                     LValue::Scalar(v) => {
                         let v = *v;
-                        let ty = program.symbols.var(v).ty;
+                        let ty = self.layout.ty(v);
                         self.store.set_scalar(v, ty, val);
                         if let Some(t) = &mut self.tracer {
                             t.hook.write_scalar(v);
@@ -859,30 +957,43 @@ impl<'p> Interp<'p> {
                 if step == 0 {
                     return Err(ExecError::DivisionByZero);
                 }
-                if let LoopDecision::Parallel(plan) =
-                    dispatcher.dispatch(&self.store, s, lo, hi, step)
-                {
-                    match crate::parallel::exec_do_parallel(self, s, &plan, lo, hi, step) {
-                        Ok(strategy) => {
-                            dispatcher.parallel_committed(s, strategy);
-                            return Ok(());
-                        }
-                        // Genuine runtime errors inside a worker are the
-                        // program's fault and propagate.
-                        Err(crate::parallel::ParallelError::Exec(x)) => return Err(x),
-                        // Everything else is the dispatch's fault
-                        // (conflict, panic, shape, timeout, unsupported
-                        // shape). The transaction left the master store,
-                        // stats, and output untouched, so fall through
-                        // to the sequential loop below — the recorded
-                        // run is then exactly the sequential one.
-                        Err(other) => {
-                            let reason = other.fallback_reason().unwrap_or_else(|| {
-                                unreachable!("non-Exec ParallelError always has a reason")
-                            });
-                            dispatcher.parallel_failed(s, reason);
+                match dispatcher.dispatch(&self.store, s, lo, hi, step) {
+                    LoopDecision::Parallel(plan) => {
+                        match crate::parallel::exec_do_parallel(self, s, &plan, lo, hi, step) {
+                            Ok(strategy) => {
+                                dispatcher.parallel_committed(s, strategy);
+                                return Ok(());
+                            }
+                            // Genuine runtime errors inside a worker are
+                            // the program's fault and propagate.
+                            Err(crate::parallel::ParallelError::Exec(x)) => return Err(x),
+                            // Everything else is the dispatch's fault
+                            // (conflict, panic, shape, timeout,
+                            // unsupported shape). The transaction left
+                            // the master store, stats, and output
+                            // untouched, so fall through to the
+                            // sequential loop below — the recorded run
+                            // is then exactly the sequential one.
+                            Err(other) => {
+                                let reason = other.fallback_reason().unwrap_or_else(|| {
+                                    unreachable!("non-Exec ParallelError always has a reason")
+                                });
+                                dispatcher.parallel_failed(s, reason);
+                            }
                         }
                     }
+                    LoopDecision::Compiled => match self.compiled_decision(s) {
+                        Ok(cb) => {
+                            self.exec_do_compiled(s, &cb, lo, hi, step)?;
+                            dispatcher.compiled_committed(s);
+                            return Ok(());
+                        }
+                        // Unlowerable or instrumented: the sequential
+                        // walk below is the execution; the failed
+                        // dispatch cost one cached lowering lookup.
+                        Err(reason) => dispatcher.compiled_fallback(s, reason),
+                    },
+                    LoopDecision::Sequential => {}
                 }
                 // Traced loops report entry (with the live store, for
                 // guard replay), every iteration, and exit. Parallel
@@ -899,7 +1010,7 @@ impl<'p> Interp<'p> {
                 entry.invocations += 1;
                 let cost_at_entry = self.stats.total_cost;
                 let mut iter_costs: Vec<u64> = Vec::new();
-                let ty = program.symbols.var(var).ty;
+                let ty = self.layout.ty(var);
                 let mut i = lo;
                 while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
                     self.store.set_scalar(var, ty, Value::Int(i));
@@ -1113,7 +1224,7 @@ impl<'p> Interp<'p> {
     }
 }
 
-fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+pub(crate) fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => Ok(match op {
             BinOp::Add => Value::Int(x.wrapping_add(y)),
@@ -1152,7 +1263,7 @@ fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
     }
 }
 
-fn apply_intrinsic(intr: Intrinsic, vals: &[Value]) -> Result<Value, ExecError> {
+pub(crate) fn apply_intrinsic(intr: Intrinsic, vals: &[Value]) -> Result<Value, ExecError> {
     let real1 =
         |f: fn(f64) -> f64| -> Result<Value, ExecError> { Ok(Value::Real(f(vals[0].as_real()))) };
     match intr {

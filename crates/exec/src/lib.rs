@@ -20,6 +20,7 @@
 //! non-negative remainder (`div_euclid`/`rem_euclid`), matching the
 //! assumptions of the symbolic layer.
 
+pub mod bytecode;
 pub mod dispatch;
 pub mod fault;
 pub mod interp;
@@ -29,6 +30,10 @@ pub mod rng;
 pub mod runtime_test;
 pub mod trace;
 
+pub use bytecode::{
+    lower_do_loop, CompiledBody, CompiledDispatch, CompiledProfile, LowerReject, ScalarLayout,
+    OPCODE_NAMES,
+};
 pub use dispatch::{FallbackReason, LoopDecision, LoopDispatcher, SequentialDispatch};
 pub use fault::{FaultKind, FaultPlan, FaultShot};
 pub use interp::{

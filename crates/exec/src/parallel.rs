@@ -48,6 +48,7 @@
 //! loop-invariant inputs, so the sequential fallback deterministically
 //! rewrites every touched location with the correct values.
 
+use crate::bytecode::{CompiledBody, CompiledProfile};
 use crate::fault::FaultKind;
 use crate::interp::{
     ArrayData, ConcatBuf, ExecError, ExecStats, InPlaceWindow, Interp, RawSlice, Store, Value,
@@ -55,6 +56,7 @@ use crate::interp::{
 };
 use irr_frontend::{Program, StmtId, StmtKind, VarId};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How a parallel dispatch writes results back to the master store.
@@ -126,6 +128,15 @@ pub struct ParallelPlan {
     /// strategy on every dispatch and silently downgrades to the
     /// write-log when the proof does not hold for this loop.
     pub strategy: ExecutionStrategy,
+    /// Whether worker chunks may run the loop body through the register
+    /// bytecode tier instead of the tree-walk (see [`crate::bytecode`]).
+    /// Like `strategy`, this is a request: the master re-lowers the
+    /// nest at dispatch and workers silently fall back to the AST walk
+    /// when the body is not lowerable. Composes with every write-back
+    /// strategy — the bytecode writes through the same store paths the
+    /// interpreter does, so overlays and write logs see identical
+    /// streams.
+    pub compiled: bool,
 }
 
 impl Default for ParallelPlan {
@@ -137,6 +148,7 @@ impl Default for ParallelPlan {
             deadline_ms: None,
             fault: None,
             strategy: ExecutionStrategy::WriteLog,
+            compiled: true,
         }
     }
 }
@@ -345,6 +357,9 @@ struct ChunkOutcome {
     output: Vec<String>,
     reduction_finals: Vec<(VarId, Value)>,
     ptr_final: i64,
+    /// Per-opcode bytecode dispatch counts, collected only when the
+    /// master interpreter has profiling enabled.
+    profile: Option<Box<CompiledProfile>>,
 }
 
 /// Why one worker's chunk did not complete.
@@ -568,6 +583,17 @@ pub fn exec_do_parallel(
             None => Mode::WriteLog,
         },
     };
+    // Lower the loop body once on the master so every worker chunk can
+    // replay it through the bytecode tier (pure function of the
+    // program, so the master's cache entry is shared via Arc). A body
+    // the lowering rejects leaves `None` and the workers walk the AST
+    // exactly as before.
+    let compiled_body: Option<Arc<CompiledBody>> = if plan.compiled {
+        interp.compiled_body_for(loop_stmt)
+    } else {
+        None
+    };
+    let profile_workers = interp.compiled_profile.is_some();
     // Run each chunk on a copy-on-write clone of the live store;
     // workers return only their logs/buffers and stats. In-place
     // workers skip write logging entirely — their target writes go
@@ -579,6 +605,7 @@ pub fn exec_do_parallel(
             let mut handles = Vec::new();
             for (widx, &(clo, chi)) in chunks.iter().enumerate() {
                 let snapshot = interp.store.clone();
+                let cbody = compiled_body.clone();
                 handles.push(scope.spawn(move || {
                     if panic_chunk == Some(widx) {
                         panic!("injected fault: worker {widx} panic");
@@ -623,6 +650,15 @@ pub fn exec_do_parallel(
                                 .install_overlay(WriteOverlay::concat(*p0 as usize, bufs));
                         }
                     }
+                    if profile_workers && cbody.is_some() {
+                        worker.compiled_profile = Some(Box::new(CompiledProfile::new()));
+                    }
+                    // One register file per chunk, reused across its
+                    // iterations (registers are write-before-read).
+                    let mut ctemps: Vec<Value> = match &cbody {
+                        Some(cb) => vec![Value::Int(0); cb.register_count()],
+                        None => Vec::new(),
+                    };
                     let ty = program.symbols.var(var).ty;
                     let mut i = clo;
                     while i <= chi {
@@ -632,7 +668,10 @@ pub fn exec_do_parallel(
                             }
                         }
                         worker.store.set_scalar_untracked(var, ty, Value::Int(i));
-                        worker.exec_body(body)?;
+                        match &cbody {
+                            Some(cb) => worker.run_compiled_body_block(cb, &mut ctemps)?,
+                            None => worker.exec_body(body)?,
+                        }
                         worker.charge(1)?; // loop bookkeeping, as sequential
                         if let Some(v) = worker.store.overlay_violation() {
                             return Err(WorkerFailure::Violated(v));
@@ -648,6 +687,7 @@ pub fn exec_do_parallel(
                         Mode::Concat { ptr, .. } => worker.store.scalar(*ptr).as_int(),
                         _ => 0,
                     };
+                    let profile = worker.compiled_profile.take();
                     Ok(ChunkOutcome {
                         log: worker.store.take_write_log().unwrap_or_default(),
                         overlay: worker.store.take_overlay(),
@@ -655,6 +695,7 @@ pub fn exec_do_parallel(
                         output: worker.output,
                         reduction_finals,
                         ptr_final,
+                        profile,
                     })
                 }));
             }
@@ -747,6 +788,9 @@ pub fn exec_do_parallel(
             e.iteration_costs.extend(ls.iteration_costs);
         }
         interp.output.extend(c.output);
+        if let (Some(master), Some(p)) = (interp.compiled_profile.as_deref_mut(), c.profile) {
+            master.merge(&p);
+        }
     }
     // Sequential semantics: the induction variable ends one past `hi`.
     interp.store.set_scalar(var, ty, Value::Int(hi + 1));

@@ -20,6 +20,13 @@ impl VarId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a `VarId` from its symbol-table index (the inverse
+    /// of [`VarId::index`], for executors that key per-variable state
+    /// by dense index).
+    pub fn from_index(i: usize) -> VarId {
+        VarId(i as u32)
+    }
 }
 
 impl ProcId {

@@ -30,7 +30,9 @@
 //! do exactly that).
 
 use irr_core::{AnalysisCtx, EvolutionAnalysis, SummaryAnalysis};
-use irr_driver::{CompilationReport, DispatchTier, GuardPlan, LoopVerdict, ResidualCheck};
+use irr_driver::{
+    derive_compiled_plan, CompilationReport, DispatchTier, GuardPlan, LoopVerdict, ResidualCheck,
+};
 use irr_frontend::{
     BinOp, Expr, Intrinsic, LValue, ProcId, Program, StmtId, StmtKind, UnOp, VarId,
 };
@@ -92,6 +94,21 @@ pub fn lint_report(report: &CompilationReport) -> Vec<Diagnostic> {
     for v in &report.verdicts {
         if !matches!(program.stmt(v.loop_stmt).kind, StmtKind::Do { .. }) {
             continue;
+        }
+        // The compiled-tier plan is a fingerprint: re-deriving it with
+        // the driver's own pure function must reproduce it exactly. A
+        // verdict carrying a plan the eligibility walk rejects (or one
+        // with tampered pattern counts) was forged. A *missing* plan is
+        // never flagged — the conservative direction (tree-walk) is
+        // always safe.
+        if v.compiled.is_some() && v.compiled != derive_compiled_plan(program, v.loop_stmt) {
+            diags.push(Diagnostic {
+                code: "IRR-S001",
+                class: DiagClass::Soundness,
+                loop_label: v.label.clone(),
+                message: "carries a compiled-tier plan the eligibility walk does not re-derive"
+                    .to_string(),
+            });
         }
         if v.parallel {
             if let Some(msg) = soundness_witness(program, &summaries, v) {
@@ -761,6 +778,36 @@ mod tests {
             "{}",
             s001[0].message
         );
+    }
+
+    #[test]
+    fn forged_compiled_plan_is_caught_statically() {
+        // do10 is parallel and lowerable; inflating its plan's pattern
+        // counts must trip the fingerprint re-derivation. Forging a
+        // plan onto a print-bearing (unlowerable) loop must trip too.
+        let mut rep = compile_source(DEP_SRC, DriverOptions::with_iaa()).unwrap();
+        let v = rep
+            .verdicts
+            .iter_mut()
+            .find(|v| v.label.ends_with("do10"))
+            .unwrap();
+        let mut plan = v.compiled.expect("do10 is lowerable");
+        plan.affine_accesses += 7;
+        v.compiled = Some(plan);
+        let diags = lint_report(&rep);
+        assert!(
+            diags.iter().any(|d| d.code == "IRR-S001"
+                && d.loop_label.ends_with("do10")
+                && d.message.contains("compiled-tier plan")),
+            "{}",
+            render(&diags)
+        );
+        // Dropping the plan entirely is conservative, never a finding.
+        let mut rep = compile_source(DEP_SRC, DriverOptions::with_iaa()).unwrap();
+        for v in &mut rep.verdicts {
+            v.compiled = None;
+        }
+        assert_eq!(soundness_count(&lint_report(&rep)), 0);
     }
 
     #[test]

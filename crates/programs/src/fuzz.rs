@@ -1,0 +1,85 @@
+//! SplitMix64-randomized loop programs for the differential parity
+//! gates (the strategy-parity suite and `sanitizer-audit --compiled`).
+//!
+//! Each program is a straight-line prologue that fills the inputs
+//! (including an injective gather index), followed by a labeled loop
+//! whose body is assembled from templates spanning the bytecode
+//! lowering's superinstructions: affine store, gather load, scatter
+//! through an index array, scalar accumulate, append-through-pointer,
+//! and inner `do`/`if` shapes. All subscripts are bounded by
+//! construction, so every generated program runs error-free and
+//! differential comparisons are exact.
+
+use irr_exec::SplitMix64;
+
+/// Loop-body statement templates. Kept as a named constant so the
+/// tests can assert coverage (every template parses and lowers).
+const TEMPLATES: [&str; 9] = [
+    "y(i) = x(i) * 2.0 + y(i)\n",
+    "y(i + 1) = x(i) - 0.25\n",
+    "s = s + x(i)\n",
+    "z(idx(i)) = x(i)\n",
+    "t = x(idx(i))\nz(i) = t * 0.5\n",
+    "if (x(i) > 0.5) then\nz(i) = x(i)\nelse\nz(i) = 1.0 - x(i)\nendif\n",
+    "do j = 1, 3\ny(i) = y(i) + 0.125\nenddo\n",
+    "s = s + min(x(i), z(i)) * max(x(i), 0.1)\n",
+    "if (x(i) > 0.25) then\nq = q + 1\nw(q) = x(i)\nendif\n",
+];
+
+/// One randomized loop program drawn from `rng`. The same rng state
+/// always yields the same source, so seeds name programs durably
+/// across the test suite, the audit CLI, and CI.
+pub fn random_loop_program(rng: &mut SplitMix64) -> String {
+    let n_stmts = 2 + rng.range_i64(0, 2) as usize;
+    let mut body = String::new();
+    for _ in 0..n_stmts {
+        body.push_str(TEMPLATES[rng.range_usize(0, TEMPLATES.len() - 1)]);
+    }
+    format!(
+        "program f
+         integer i, j, n, q, idx(64)
+         real s, t, x(64), y(65), z(64), w(64)
+         n = 64
+         s = 0.0
+         q = 0
+         do i = 1, n
+           x(i) = mod(i * 13, 97) * 0.01
+           idx(i) = mod(i * 7, 64) + 1
+         enddo
+         do 20 i = 1, n
+{body} 20      continue
+         print s, q, y(1), z(5)
+         end"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_parses() {
+        let (mut a, mut b) = (SplitMix64::new(7), SplitMix64::new(7));
+        for _ in 0..8 {
+            let (pa, pb) = (random_loop_program(&mut a), random_loop_program(&mut b));
+            assert_eq!(pa, pb);
+            irr_frontend::parse_program(&pa).expect("generated program parses");
+        }
+    }
+
+    #[test]
+    fn every_template_parses_in_isolation() {
+        for t in TEMPLATES {
+            let src = format!(
+                "program f
+                 integer i, j, n, q, idx(64)
+                 real s, t, x(64), y(65), z(64), w(64)
+                 n = 64
+                 do 20 i = 1, n
+{t} 20           continue
+                 end"
+            );
+            irr_frontend::parse_program(&src).expect("template parses");
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod bdna;
 pub mod dyfesm;
+pub mod fuzz;
 pub mod p3m;
 pub mod sparse;
 pub mod tree;

@@ -80,6 +80,12 @@ pub struct HybridConfig {
     /// sections stay on the sequential scan (thread spawn would cost
     /// more than it saves).
     pub parallel_inspect_threshold: usize,
+    /// Use the compiled (bytecode) execution tier: sequential-tier leaf
+    /// loops whose verdict carries a compiled plan dispatch as
+    /// [`LoopDecision::Compiled`], and parallel plans request bytecode
+    /// worker bodies. `false` keeps every loop on the tree-walk — the
+    /// A/B baseline for the `compiled` bench group.
+    pub enable_compiled: bool,
 }
 
 impl Default for HybridConfig {
@@ -93,6 +99,7 @@ impl Default for HybridConfig {
             worker_deadline_ms: None,
             enable_strategies: true,
             parallel_inspect_threshold: 2048,
+            enable_compiled: true,
         }
     }
 }
@@ -117,6 +124,16 @@ struct LoopEntry {
     /// The discharge crossed a procedure boundary (summary-carried
     /// facts): promotions to attribute to interprocedural analysis.
     interproc: bool,
+    /// The verdict carries an advisory compiled-tier plan. Purely a
+    /// request: the executor re-lowers from the AST at dispatch and
+    /// falls back (reason-coded) when the plan was wrong.
+    compiled_plan: bool,
+    /// The nest contains no inner `do` loop. Only such leaves take the
+    /// sequential compiled tier — an inner `do` must keep consulting
+    /// this dispatcher (it may itself be parallel), and the bytecode
+    /// executor never dispatches. Inner `while` loops are fine: the
+    /// tree-walk never routes those through the dispatcher either.
+    leaf_do: bool,
 }
 
 /// The hybrid dispatcher: consulted by the interpreter at every dynamic
@@ -168,6 +185,17 @@ impl HybridDispatcher {
                 StrategyFacts::ConsecutiveAppend { .. } => ExecutionStrategy::PrivatizeAndConcat,
                 StrategyFacts::None => ExecutionStrategy::WriteLog,
             };
+            let leaf_do = match &report.program.stmt(v.loop_stmt).kind {
+                irr_frontend::StmtKind::Do { body, .. } => {
+                    report.program.stmts_in(body).iter().all(|s| {
+                        !matches!(
+                            report.program.stmt(*s).kind,
+                            irr_frontend::StmtKind::Do { .. }
+                        )
+                    })
+                }
+                _ => false,
+            };
             loops.insert(
                 v.loop_stmt,
                 LoopEntry {
@@ -177,6 +205,8 @@ impl HybridDispatcher {
                     strategy,
                     retired: v.retired_checks.len() as u64,
                     interproc: v.promoted_interproc,
+                    compiled_plan: v.compiled.is_some(),
+                    leaf_do,
                 },
             );
         }
@@ -218,7 +248,13 @@ impl HybridDispatcher {
             .map(|e| (e.privatized.as_slice(), e.reductions.as_slice()))
     }
 
-    fn plan_for(&self, entry: &LoopEntry, fault: Option<FaultKind>) -> ParallelPlan {
+    fn plan_for(&mut self, entry: &LoopEntry, fault: Option<FaultKind>) -> ParallelPlan {
+        // A request, not a promise: the master re-lowers before
+        // spawning and workers silently tree-walk when it fails.
+        let compiled = self.config.enable_compiled && entry.compiled_plan;
+        if compiled {
+            self.telemetry.compiled_worker_dispatches += 1;
+        }
         ParallelPlan {
             threads: self.config.threads.max(1),
             privatized: entry.privatized.clone(),
@@ -230,6 +266,7 @@ impl HybridDispatcher {
             } else {
                 ExecutionStrategy::WriteLog
             },
+            compiled,
         }
     }
 
@@ -356,6 +393,14 @@ impl LoopDispatcher for HybridDispatcher {
                     return LoopDecision::Parallel(self.plan_for(&entry, fault));
                 }
                 self.telemetry.sequential_proven += 1;
+                // The compiled tier changes the engine, not the
+                // decision: the entry is still a proven-sequential
+                // dispatch (counted above), executed on bytecode. Only
+                // leaf nests qualify — an inner `do` loop must keep
+                // consulting this dispatcher.
+                if self.config.enable_compiled && entry.compiled_plan && entry.leaf_do {
+                    return LoopDecision::Compiled;
+                }
                 LoopDecision::Sequential
             }
             DispatchTier::CompileTimeParallel => {
@@ -452,6 +497,14 @@ impl LoopDispatcher for HybridDispatcher {
             ExecutionStrategy::InPlaceDisjoint => self.telemetry.strategy_in_place += 1,
             ExecutionStrategy::PrivatizeAndConcat => self.telemetry.strategy_concat += 1,
         }
+    }
+
+    fn compiled_committed(&mut self, _loop_stmt: StmtId) {
+        self.telemetry.compiled_loops += 1;
+    }
+
+    fn compiled_fallback(&mut self, _loop_stmt: StmtId, reason: FallbackReason) {
+        self.telemetry.record_compiled_fallback(reason);
     }
 
     fn parallel_failed(&mut self, loop_stmt: StmtId, reason: FallbackReason) {
@@ -763,6 +816,76 @@ mod tests {
         assert_eq!(off.outcome.output, seq.output);
         assert_eq!(off.telemetry.concat_parallel, 0);
         assert_eq!(off.telemetry.strategy_concat, 0);
+    }
+
+    #[test]
+    fn sequential_tier_leaf_loops_run_on_the_compiled_tier() {
+        // A scalar-dependence loop: proven sequential, leaf nest,
+        // lowerable — the canonical compiled-tier customer.
+        let src = "program t
+             integer i, n
+             real s, x(100)
+             n = 100
+             s = 0
+             do i = 1, n
+               x(i) = s
+               s = s * 2 + 1
+             enddo
+             print x(3)
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let v = &rep.verdicts[0];
+        assert!(matches!(v.tier, DispatchTier::Sequential), "{v:?}");
+        assert!(v.compiled.is_some(), "{v:?}");
+        let seq = Interp::new(&rep.program).run().unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(hybrid.outcome.output, seq.output);
+        assert_eq!(hybrid.outcome.stats.total_cost, seq.stats.total_cost);
+        let t = &hybrid.telemetry;
+        assert_eq!(t.compiled_loops, 1, "{t:?}");
+        assert_eq!(t.compiled_fallbacks(), 0, "{t:?}");
+        // The decision is still a proven-sequential dispatch.
+        assert_eq!(t.sequential_proven, 1, "{t:?}");
+        // A/B switch: same semantics, zero compiled dispatches.
+        let off = run_hybrid(
+            &rep,
+            HybridConfig {
+                enable_compiled: false,
+                ..HybridConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(off.outcome.output, seq.output);
+        assert_eq!(off.outcome.stats.total_cost, seq.stats.total_cost);
+        assert_eq!(off.telemetry.compiled_loops, 0);
+        assert_eq!(off.telemetry.sequential_proven, 1);
+    }
+
+    #[test]
+    fn sequential_nests_with_inner_do_loops_stay_on_the_tree_walk() {
+        // The inner do must keep consulting the dispatcher, so the
+        // outer sequential loop is not a compiled-tier leaf.
+        let src = "program t
+             integer i, j, n
+             real s, x(10)
+             n = 10
+             s = 0
+             do i = 1, n
+               s = s + 1
+               do j = 1, n
+                 x(j) = x(j) + s
+               enddo
+               s = s * 2
+             enddo
+             print x(1), s
+             end";
+        let rep = compile_source(src, DriverOptions::with_iaa()).unwrap();
+        let outer = &rep.verdicts[0];
+        assert!(matches!(outer.tier, DispatchTier::Sequential), "{outer:?}");
+        let seq = Interp::new(&rep.program).run().unwrap();
+        let hybrid = run_hybrid(&rep, HybridConfig::default()).unwrap();
+        assert_eq!(hybrid.outcome.output, seq.output);
+        assert_eq!(hybrid.telemetry.compiled_loops, 0, "{:?}", hybrid.telemetry);
     }
 
     #[test]

@@ -91,6 +91,24 @@ pub struct Telemetry {
     /// dynamic self-check failed (in-place write outside its proven
     /// window, broken append discipline).
     pub fallback_strategy: u64,
+    /// Sequential-tier loop entries executed on the compiled (bytecode)
+    /// tier instead of the tree-walk. Always also counted under
+    /// `sequential_proven`: the compiled tier changes the engine, not
+    /// the dispatch decision.
+    pub compiled_loops: u64,
+    /// Parallel dispatches whose plan requested bytecode workers (the
+    /// compiled tier inside the parallel path). A request, not a
+    /// promise — the master re-lowers before spawning and workers
+    /// silently tree-walk when that fails.
+    pub compiled_worker_dispatches: u64,
+    /// Compiled-tier dispatches that fell back to the tree-walk because
+    /// the executor's own re-lowering rejected the nest (the verdict's
+    /// advisory plan diverged from the authoritative lowering).
+    pub compiled_fallback_unsupported: u64,
+    /// Compiled-tier dispatches that fell back because instrumentation
+    /// (access tracing or per-loop recording) was attached — the
+    /// bytecode path carries no tracer hooks.
+    pub compiled_fallback_traced: u64,
     /// Dynamic loop executions analyzed under shadow-memory tracing by
     /// the dependence sanitizer.
     pub traced_executions: u64,
@@ -159,7 +177,25 @@ impl Telemetry {
             FallbackReason::Unsupported => self.fallback_unsupported += 1,
             FallbackReason::Timeout => self.fallback_timeout += 1,
             FallbackReason::Strategy => self.fallback_strategy += 1,
+            // A traced fallback is a compiled-tier reason; route it to
+            // that family even if it arrives through this entry point.
+            FallbackReason::Traced => self.compiled_fallback_traced += 1,
         }
+    }
+
+    /// Records one compiled-tier dispatch that fell back to the
+    /// tree-walk, under its reason code.
+    pub fn record_compiled_fallback(&mut self, reason: FallbackReason) {
+        match reason {
+            FallbackReason::Traced => self.compiled_fallback_traced += 1,
+            _ => self.compiled_fallback_unsupported += 1,
+        }
+    }
+
+    /// Total compiled-tier dispatches that fell back to the tree-walk,
+    /// over all reason codes.
+    pub fn compiled_fallbacks(&self) -> u64 {
+        self.compiled_fallback_unsupported + self.compiled_fallback_traced
     }
 
     /// The fallback counter for one reason code.
@@ -171,6 +207,7 @@ impl Telemetry {
             FallbackReason::Unsupported => self.fallback_unsupported,
             FallbackReason::Timeout => self.fallback_timeout,
             FallbackReason::Strategy => self.fallback_strategy,
+            FallbackReason::Traced => self.compiled_fallback_traced,
         }
     }
 

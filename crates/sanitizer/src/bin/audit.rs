@@ -32,6 +32,15 @@
 //! plus each promotion must be flagged `promoted_interproc`; a sweep
 //! with zero surviving interprocedural promotions is a violation.
 //!
+//! `--compiled` differentially audits the bytecode execution tier:
+//! every target (benchmarks, figures, a sparse-kernel sweep, and a
+//! batch of SplitMix64-randomized loop programs) runs once on the
+//! sequential tree-walk and once with every eligible loop forced
+//! through the register-bytecode engine. The two runs must be
+//! **byte-identical** — same store bits, same printed output, same
+//! fuel accounting per loop — and the sweep must compile at least one
+//! loop, or the tier has silently regressed to the tree-walk.
+//!
 //! `--ladder` compiles every target (benchmarks, figures, and one
 //! sparse-kernel sweep) at every rung of the service degradation
 //! ladder (full → summaries-off → evolution-off → parse-only) and
@@ -46,7 +55,8 @@
 
 use irr_driver::ladder::{tier_rank, DegradeLevel};
 use irr_driver::{compile_source, CompilationReport, DispatchTier, DriverOptions};
-use irr_exec::{FaultPlan, Interp, Store, Value};
+use irr_exec::{CompiledDispatch, FaultPlan, Interp, SplitMix64, Store, Value};
+use irr_programs::fuzz::random_loop_program;
 use irr_programs::sparse::{interproc_kernels, kernels, producer_kernels, SparseScale};
 use irr_programs::{all, Scale};
 use irr_runtime::{run_hybrid_with_faults, HybridConfig};
@@ -67,6 +77,7 @@ fn main() {
     let mut evolution = false;
     let mut interproc = false;
     let mut ladder = false;
+    let mut compiled = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -112,11 +123,12 @@ fn main() {
             "--evolution" => evolution = true,
             "--interproc" => interproc = true,
             "--ladder" => ladder = true,
+            "--compiled" => compiled = true,
             "--help" | "-h" => {
                 println!(
                     "sanitizer-audit [--mode soundness|full] [--seed N] [--inputs N] \
                      [--scale test|paper] [--only SUBSTR] [--chaos N] [--sparse N] \
-                     [--evolution] [--interproc] [--ladder]"
+                     [--evolution] [--interproc] [--ladder] [--compiled]"
                 );
                 return;
             }
@@ -200,6 +212,11 @@ fn main() {
         audited += sampled;
         total_violations += violations;
         total_gaps += gaps;
+    }
+    if compiled {
+        let (sampled, violations) = compiled_sweep(&config, &targets);
+        audited += sampled;
+        total_violations += violations;
     }
     println!(
         "sanitizer-audit: {audited} program(s), {total_violations} violation(s), {total_gaps} \
@@ -550,6 +567,131 @@ fn ladder_sweep(config: &AuditConfig, targets: &[(String, String)]) -> (usize, u
         sampled += 1;
     }
     (sampled, violations, gaps)
+}
+
+/// Differentially audits the bytecode execution tier. Every corpus
+/// program — the CLI targets, one generated sparse-kernel set (index
+/// arrays preset from the matrix generator), and a batch of
+/// SplitMix64-randomized loop programs — runs once on the sequential
+/// tree-walk and once with every dynamic loop entry forced through
+/// [`CompiledDispatch`] (bytecode where the lowering accepts the nest,
+/// reason-coded fallback to the tree-walk where it does not). The two
+/// runs must agree **byte for byte**: store bits, output lines, total
+/// fuel, and per-loop statistics — the compiled tier's contract is
+/// exact replay, so there is no tolerance. A sweep in which *zero*
+/// loop entries compile is itself a violation: the tier has silently
+/// regressed to the tree-walk. Returns `(programs audited,
+/// violations)`.
+fn compiled_sweep(config: &AuditConfig, targets: &[(String, String)]) -> (usize, usize) {
+    const RANDOM_PROGRAMS: usize = 12;
+
+    fn audit_one(
+        name: &str,
+        rep: &CompilationReport,
+        presets: &[(irr_frontend::VarId, irr_exec::ArrayData)],
+        compiled_total: &mut u64,
+    ) -> usize {
+        let mut seq_it = Interp::new(&rep.program);
+        let mut comp_it = Interp::new(&rep.program);
+        for (var, data) in presets {
+            seq_it.preset_array(*var, data.clone());
+            comp_it.preset_array(*var, data.clone());
+        }
+        let seq = match seq_it.run() {
+            Ok(o) => o,
+            Err(e) => die(&format!("compiled {name}: sequential run failed: {e}")),
+        };
+        let mut dispatch = CompiledDispatch::new();
+        let comp = match comp_it.run_dispatched(&mut dispatch) {
+            Ok(o) => o,
+            Err(e) => die(&format!("compiled {name}: bytecode run failed: {e}")),
+        };
+        *compiled_total += dispatch.compiled;
+        let mut bad = 0usize;
+        if comp.output != seq.output {
+            println!("  [VIOLATION] compiled {name}: output diverged");
+            bad += 1;
+        }
+        if comp.store != seq.store {
+            println!("  [VIOLATION] compiled {name}: store bits diverged");
+            bad += 1;
+        }
+        if comp.stats.total_cost != seq.stats.total_cost {
+            println!(
+                "  [VIOLATION] compiled {name}: fuel diverged: {} vs {}",
+                comp.stats.total_cost, seq.stats.total_cost
+            );
+            bad += 1;
+        }
+        for (stmt, want) in &seq.stats.loops {
+            match comp.stats.loops.get(stmt) {
+                Some(got)
+                    if got.invocations == want.invocations && got.total_cost == want.total_cost => {
+                }
+                _ => {
+                    println!("  [VIOLATION] compiled {name}: loop stats diverged at {stmt:?}");
+                    bad += 1;
+                }
+            }
+        }
+        println!(
+            "compiled {name}: {} loop entr(ies) compiled, {} fallback(s), {}",
+            dispatch.compiled,
+            dispatch.fallback_count(),
+            if bad == 0 {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        bad
+    }
+
+    println!(
+        "compiled sweep: {} target(s) + sparse kernels + {RANDOM_PROGRAMS} randomized program(s)",
+        targets.len()
+    );
+    let mut violations = 0usize;
+    let mut sampled = 0usize;
+    let mut compiled_total = 0u64;
+    for (name, src) in targets {
+        let rep = match compile_source(src, DriverOptions::with_iaa()) {
+            Ok(r) => r,
+            Err(e) => die(&format!("compiled {name}: parse error: {e}")),
+        };
+        violations += audit_one(name, &rep, &[], &mut compiled_total);
+        sampled += 1;
+    }
+    for k in kernels(&SparseScale::test(Structure::Uniform, config.seed | 1)) {
+        let rep = match compile_source(&k.source, DriverOptions::with_iaa()) {
+            Ok(r) => r,
+            Err(e) => die(&format!("compiled sparse/{}: parse error: {e}", k.name)),
+        };
+        let presets = k.resolve_presets(&rep.program);
+        let name = format!("sparse/{}", k.name);
+        violations += audit_one(&name, &rep, &presets, &mut compiled_total);
+        sampled += 1;
+    }
+    let mut rng = SplitMix64::new(config.seed ^ 0xB17E_C0DE);
+    for i in 0..RANDOM_PROGRAMS {
+        let src = random_loop_program(&mut rng);
+        let rep = match compile_source(&src, DriverOptions::with_iaa()) {
+            Ok(r) => r,
+            Err(e) => die(&format!("compiled random-{i}: parse error: {e}")),
+        };
+        let name = format!("random-{i}");
+        violations += audit_one(&name, &rep, &[], &mut compiled_total);
+        sampled += 1;
+    }
+    println!("compiled sweep: {sampled} program(s), {compiled_total} loop entr(ies) compiled");
+    if compiled_total == 0 {
+        println!(
+            "  [VIOLATION] compiled sweep: no loop compiled — the bytecode tier regressed to \
+             the tree-walk"
+        );
+        violations += 1;
+    }
+    (sampled, violations)
 }
 
 /// Replays `rep` under `seeds` randomized fault schedules through the

@@ -1,28 +1,48 @@
-//! Strategy parity suite: proof-directed execution strategies must be
-//! semantically invisible.
+//! Execution-mode parity suite: proof-directed strategies and the
+//! compiled bytecode tier must be semantically invisible.
 //!
-//! Every program runs three ways — hybrid with strategies enabled
-//! (in-place / concat commits where proven), hybrid with strategies
-//! disabled (every parallel dispatch through the transactional
-//! write-log), and pure sequential interpretation — and all three must
-//! agree on the final store, printed output, and execution statistics.
-//! The corpus is the five benchmark kernels plus the paper figures,
-//! with dedicated kernels for the zero-trip, single-iteration, and
-//! consecutively-written (concat) edge cases.
+//! Every program runs four ways — **compiled** (bytecode tier for
+//! sequential leaves and parallel workers, strategies enabled),
+//! **strategies** (tree-walk engines, in-place / concat commits where
+//! proven), **write-log** (tree-walk, every parallel dispatch through
+//! the transactional write-log), and pure **sequential**
+//! interpretation — and all four must agree on the final store, the
+//! printed output, and the execution statistics (the compiled tier
+//! replays the tree-walk's fuel accounting instruction for
+//! instruction). The corpus is the five benchmark kernels, the paper
+//! figures, the generated sparse kernels, and a SplitMix64-randomized
+//! program sweep, plus dedicated kernels for the zero-trip,
+//! single-iteration, and consecutively-written (concat) edge cases.
 
 use irr_driver::{compile_source, CompilationReport, DriverOptions};
-use irr_exec::{Interp, Store, Value};
+use irr_exec::{ArrayData, ExecOutcome, Interp, SplitMix64, Store, Value};
+use irr_frontend::VarId;
+use irr_programs::fuzz::random_loop_program;
+use irr_programs::sparse::{kernels, SparseScale};
 use irr_programs::{all, Scale};
-use irr_runtime::{run_hybrid, HybridConfig, HybridOutcome};
+use irr_runtime::{run_hybrid_seeded, HybridConfig, HybridOutcome};
 use irr_sanitizer::figures;
+use irr_sparse::Structure;
 
-fn compiled(src: &str) -> CompilationReport {
+type Presets = Vec<(VarId, ArrayData)>;
+
+fn compile(src: &str) -> CompilationReport {
     compile_source(src, DriverOptions::with_iaa()).expect("compiles")
 }
 
-fn strategies(enable: bool) -> HybridConfig {
+/// The three hybrid modes of the matrix; the fourth way is the pure
+/// sequential interpreter every mode is compared against.
+const MODES: [(&str, bool, bool); 3] = [
+    // (name, enable_compiled, enable_strategies)
+    ("compiled", true, true),
+    ("strategies", false, true),
+    ("write-log", false, false),
+];
+
+fn mode_config(enable_compiled: bool, enable_strategies: bool) -> HybridConfig {
     HybridConfig {
-        enable_strategies: enable,
+        enable_compiled,
+        enable_strategies,
         ..HybridConfig::default()
     }
 }
@@ -32,21 +52,47 @@ fn reals_eq(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * scale
 }
 
+fn run_sequential(rep: &CompilationReport, presets: &Presets) -> ExecOutcome {
+    let mut it = Interp::new(&rep.program);
+    for (var, data) in presets {
+        it.preset_array(*var, data.clone());
+    }
+    it.run().expect("sequential run")
+}
+
 /// Asserts `hybrid` reproduced the sequential run exactly: output,
 /// store (privatized scratch excluded), and per-loop statistics.
-fn assert_sequential_parity(name: &str, rep: &CompilationReport, hybrid: &HybridOutcome) {
-    let seq = Interp::new(&rep.program).run().expect("sequential run");
+fn assert_sequential_parity(
+    name: &str,
+    rep: &CompilationReport,
+    presets: &Presets,
+    hybrid: &HybridOutcome,
+) {
+    let seq = run_sequential(rep, presets);
     assert_eq!(
         hybrid.outcome.output.len(),
         seq.output.len(),
         "{name}: output length differs"
     );
     for (got, want) in hybrid.outcome.output.iter().zip(&seq.output) {
-        let close = match (got.parse::<f64>(), want.parse::<f64>()) {
-            (Ok(g), Ok(w)) => reals_eq(g, w),
-            _ => got == want,
-        };
-        assert!(close, "{name}: output differs: {got} vs {want}");
+        let (g_toks, w_toks): (Vec<&str>, Vec<&str>) = (
+            got.split_whitespace().collect(),
+            want.split_whitespace().collect(),
+        );
+        assert_eq!(
+            g_toks.len(),
+            w_toks.len(),
+            "{name}: output differs: {got} vs {want}"
+        );
+        for (g, w) in g_toks.iter().zip(&w_toks) {
+            // Token-wise approximate compare: parallel reductions may
+            // reassociate float sums across chunk boundaries.
+            let close = match (g.parse::<f64>(), w.parse::<f64>()) {
+                (Ok(g), Ok(w)) => reals_eq(g, w),
+                _ => g == w,
+            };
+            assert!(close, "{name}: output differs: {got} vs {want}");
+        }
     }
     assert_store_eq(name, rep, &seq.store, &hybrid.outcome.store);
     assert_eq!(
@@ -122,19 +168,23 @@ fn assert_store_eq(name: &str, rep: &CompilationReport, seq: &Store, got: &Store
     }
 }
 
-/// Runs `src` both ways and asserts three-way parity; returns both
-/// outcomes for telemetry assertions.
-fn three_way(name: &str, rep: &CompilationReport) -> (HybridOutcome, HybridOutcome) {
-    let with = run_hybrid(rep, strategies(true)).unwrap_or_else(|e| panic!("{name} (on): {e}"));
-    let without =
-        run_hybrid(rep, strategies(false)).unwrap_or_else(|e| panic!("{name} (off): {e}"));
-    assert_sequential_parity(&format!("{name} (strategies on)"), rep, &with);
-    assert_sequential_parity(&format!("{name} (strategies off)"), rep, &without);
-    (with, without)
+/// Runs the full mode matrix against the sequential baseline; returns
+/// the hybrid outcomes in [`MODES`] order (compiled, strategies,
+/// write-log) for telemetry assertions.
+fn four_way(name: &str, rep: &CompilationReport, presets: &Presets) -> Vec<HybridOutcome> {
+    MODES
+        .iter()
+        .map(|(mode, compiled, strategies)| {
+            let out = run_hybrid_seeded(rep, mode_config(*compiled, *strategies), presets)
+                .unwrap_or_else(|e| panic!("{name} ({mode}): {e}"));
+            assert_sequential_parity(&format!("{name} ({mode})"), rep, presets, &out);
+            out
+        })
+        .collect()
 }
 
 #[test]
-fn benchmarks_and_figures_agree_under_all_strategy_modes() {
+fn benchmarks_and_figures_agree_under_all_modes() {
     let mut targets: Vec<(String, String)> = all(Scale::Test)
         .into_iter()
         .map(|b| (b.name.to_string(), b.source))
@@ -145,21 +195,52 @@ fn benchmarks_and_figures_agree_under_all_strategy_modes() {
             .map(|f| (f.name.to_string(), f.source.to_string())),
     );
     let mut in_place_commits = 0u64;
+    let mut compiled_commits = 0u64;
     for (name, src) in &targets {
-        let rep = compiled(src);
-        let (with, without) = three_way(name, &rep);
+        let rep = compile(src);
+        let outs = four_way(name, &rep, &Vec::new());
+        let (with_compiled, with, without) = (&outs[0], &outs[1], &outs[2]);
         in_place_commits += with.telemetry.strategy_in_place;
+        compiled_commits += with_compiled.telemetry.compiled_loops;
         assert_eq!(
             without.telemetry.strategy_in_place + without.telemetry.strategy_concat,
             0,
             "{name}: strategies disabled must commit only through the write-log: {:?}",
             without.telemetry
         );
+        assert_eq!(
+            with.telemetry.compiled_loops, 0,
+            "{name}: compiled tier disabled must stay on the tree-walk: {:?}",
+            with.telemetry
+        );
     }
     assert!(
         in_place_commits > 0,
         "the corpus must exercise the in-place strategy at least once"
     );
+    assert!(
+        compiled_commits > 0,
+        "the corpus must exercise the compiled tier at least once"
+    );
+}
+
+#[test]
+fn sparse_kernels_agree_under_all_modes() {
+    for k in kernels(&SparseScale::test(Structure::Uniform, 11)) {
+        let rep = compile(&k.source);
+        let presets = k.resolve_presets(&rep.program);
+        four_way(k.name, &rep, &presets);
+    }
+}
+
+#[test]
+fn randomized_programs_agree_under_all_modes() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for case in 0..16 {
+        let src = random_loop_program(&mut rng);
+        let rep = compile(&src);
+        four_way(&format!("random-{case}"), &rep, &Vec::new());
+    }
 }
 
 #[test]
@@ -184,8 +265,9 @@ fn zero_trip_and_single_iteration_loops_are_strategy_safe() {
              print x(1), m
              end"
         );
-        let rep = compiled(&src);
-        let (with, _) = three_way(name, &rep);
+        let rep = compile(&src);
+        let outs = four_way(name, &rep, &Vec::new());
+        let with = &outs[1];
         assert_eq!(
             with.telemetry.fallbacks(),
             0,
@@ -219,8 +301,9 @@ fn in_place_write_log_and_sequential_agree_on_affine_offsets() {
  20      continue
          print y(2), y(129), s
          end";
-    let rep = compiled(src);
-    let (with, without) = three_way("affine-offset", &rep);
+    let rep = compile(src);
+    let outs = four_way("affine-offset", &rep, &Vec::new());
+    let (with, without) = (&outs[1], &outs[2]);
     assert!(
         with.telemetry.strategy_in_place >= 1,
         "strategies on must commit in place: {:?}",
@@ -257,8 +340,9 @@ fn concat_kernel_agrees_and_commits_positionally() {
  20      continue
          print q, ind(1)
          end";
-    let rep = compiled(src);
-    let (with, without) = three_way("concat-gather", &rep);
+    let rep = compile(src);
+    let outs = four_way("concat-gather", &rep, &Vec::new());
+    let (with, without) = (&outs[1], &outs[2]);
     assert!(
         with.telemetry.strategy_concat >= 1,
         "strategies on must commit a positional concat: {:?}",
